@@ -1,0 +1,71 @@
+// Command era-bench regenerates the tables and figures of the ERA paper's
+// evaluation (§6) on deterministic synthetic workloads.
+//
+// Usage:
+//
+//	era-bench -list
+//	era-bench -exp fig10a
+//	era-bench -exp all -scale medium
+//
+// Times are virtual (a deterministic disk/cluster cost model prices the
+// real counted work), so output is machine-independent; see EXPERIMENTS.md
+// for the comparison against the paper's reported results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"era/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale = flag.String("scale", "small", "workload scale: small, medium or large")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-8s %-11s %s\n", "ID", "PAPER", "TITLE")
+		for _, e := range bench.All {
+			fmt.Printf("%-8s %-11s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return
+	}
+
+	sc, err := bench.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	var exps []bench.Experiment
+	if *exp == "all" {
+		exps = bench.All
+	} else {
+		e, err := bench.ByID(*exp)
+		if err != nil {
+			fatal(err)
+		}
+		exps = []bench.Experiment{e}
+	}
+
+	fmt.Printf("scale=%s (1 paper-GB = %d symbols)\n\n", sc.Name, sc.Unit)
+	for _, e := range exps {
+		start := time.Now()
+		tbl, err := e.Run(sc)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "era-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,40 @@
+// Command era-gen writes deterministic synthetic datasets (the stand-ins
+// for the paper's genome/DNA/protein/English corpora) to files.
+//
+// Usage:
+//
+//	era-gen -kind genome -n 1000000 -seed 42 -out genome.seq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"era/internal/workload"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "dna", "dataset kind: genome, dna, protein or english")
+		n    = flag.Int("n", 1<<20, "number of symbols (terminator appended)")
+		seed = flag.Int64("seed", 42, "generator seed")
+		out  = flag.String("out", "", "output file (default <kind>.seq)")
+	)
+	flag.Parse()
+
+	data, err := workload.Generate(workload.Kind(*kind), *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "era-gen:", err)
+		os.Exit(1)
+	}
+	path := *out
+	if path == "" {
+		path = *kind + ".seq"
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "era-gen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d symbols (+terminator) to %s\n", *n, path)
+}

@@ -1,0 +1,170 @@
+// Command era builds and queries suffix tree indexes with the ERA
+// algorithm.
+//
+// Usage:
+//
+//	era build -in genome.seq -out genome.idx -mem 67108864 -mode serial
+//	era build -gen dna -n 500000 -out dna.idx
+//	era query -index dna.idx -pattern GGTGATG
+//	era stats -index dna.idx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"era"
+	"era/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "build":
+		build(os.Args[2:])
+	case "query":
+		query(os.Args[2:])
+	case "stats":
+		stats(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  era build -in FILE | -gen KIND -n N [-out FILE] [-mem BYTES] [-mode serial|shared-disk|shared-nothing] [-workers N] [-skipseek]
+  era query -index FILE -pattern P [-max N]
+  era stats -index FILE`)
+	os.Exit(2)
+}
+
+func build(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	var (
+		in      = fs.String("in", "", "input file (raw symbols; terminator optional)")
+		gen     = fs.String("gen", "", "generate a synthetic dataset instead: genome, dna, protein, english")
+		n       = fs.Int("n", 1<<20, "symbols to generate with -gen")
+		seed    = fs.Int64("seed", 42, "generator seed")
+		out     = fs.String("out", "index.idx", "output index file")
+		mem     = fs.Int64("mem", 64<<20, "construction memory budget in bytes")
+		mode    = fs.String("mode", "serial", "serial, shared-disk or shared-nothing")
+		workers = fs.Int("workers", 4, "cores/nodes for the parallel modes")
+		skip    = fs.Bool("skipseek", true, "enable the disk seek optimization (§4.4)")
+	)
+	fs.Parse(args)
+
+	var data []byte
+	var err error
+	switch {
+	case *gen != "":
+		data, err = workload.Generate(workload.Kind(*gen), *n, *seed)
+		if err == nil {
+			data = data[:len(data)-1] // Build appends its own terminator
+		}
+	case *in != "":
+		data, err = os.ReadFile(*in)
+		if err == nil && len(data) > 0 && data[len(data)-1] == '$' {
+			data = data[:len(data)-1]
+		}
+	default:
+		err = fmt.Errorf("one of -in or -gen is required")
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := &era.Config{MemoryBudget: *mem, Workers: *workers, SkipSeek: *skip}
+	switch *mode {
+	case "serial":
+		cfg.Mode = era.Serial
+	case "shared-disk":
+		cfg.Mode = era.SharedDisk
+	case "shared-nothing":
+		cfg.Mode = era.SharedNothing
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	idx, err := era.Build(data, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := idx.WriteTo(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	s := idx.Stats()
+	fmt.Printf("indexed %d symbols (alphabet %s) into %s\n", idx.Len()-1, idx.Alphabet().Name(), *out)
+	fmt.Printf("modeled time %v, %d scans, %d prefixes, %d virtual trees, %d sub-trees, %d tree nodes\n",
+		s.ModeledTime, s.Scans, s.Prefixes, s.Groups, s.SubTrees, s.TreeNodes)
+}
+
+func query(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	var (
+		index   = fs.String("index", "", "index file written by era build")
+		pattern = fs.String("pattern", "", "pattern to search")
+		maxOut  = fs.Int("max", 10, "maximum occurrences to print")
+	)
+	fs.Parse(args)
+	if *index == "" || *pattern == "" {
+		fatal(fmt.Errorf("-index and -pattern are required"))
+	}
+	idx := load(*index)
+	occ := idx.Occurrences([]byte(*pattern))
+	fmt.Printf("%q occurs %d times\n", *pattern, len(occ))
+	for i, o := range occ {
+		if i >= *maxOut {
+			fmt.Printf("... and %d more\n", len(occ)-*maxOut)
+			break
+		}
+		fmt.Printf("  offset %d\n", o)
+	}
+}
+
+func stats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	index := fs.String("index", "", "index file written by era build")
+	fs.Parse(args)
+	if *index == "" {
+		fatal(fmt.Errorf("-index is required"))
+	}
+	idx := load(*index)
+	lrs, occ := idx.LongestRepeatedSubstring()
+	fmt.Printf("string length: %d symbols (terminator included)\n", idx.Len())
+	fmt.Printf("alphabet: %s (%d symbols)\n", idx.Alphabet().Name(), idx.Alphabet().Size())
+	fmt.Printf("documents: %d\n", idx.NumDocs())
+	show := lrs
+	if len(show) > 60 {
+		show = show[:60]
+	}
+	fmt.Printf("longest repeated substring: %d symbols (%q...), %d occurrences\n", len(lrs), show, len(occ))
+}
+
+func load(path string) *era.Index {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	idx, err := era.ReadIndex(f)
+	if err != nil {
+		fatal(err)
+	}
+	return idx
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "era:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,248 @@
+// Package era is a Go implementation of ERA ("Elastic Range"), the
+// disk-based suffix tree construction algorithm of Mansour, Allam,
+// Skiadopoulos and Kalnis (PVLDB 5(1), 2011), together with the full
+// evaluation apparatus of the paper: the WaveFront, B²ST, TRELLIS and
+// Ukkonen baselines, a simulated disk/cluster substrate with virtual-time
+// cost accounting, and one benchmark per table and figure of the paper.
+//
+// The public API builds suffix tree indexes over byte strings (optionally a
+// corpus of documents as a generalized suffix tree) with a bounded memory
+// budget, serially or in parallel, and answers the classic suffix tree
+// queries: substring search, occurrence listing and counting, longest
+// repeated substring, longest common substring, and repeat (motif)
+// enumeration.
+//
+// Quick start:
+//
+//	idx, err := era.Build([]byte("TGGTGGTGGTGCGGTGATGGTGC"), nil)
+//	if err != nil { ... }
+//	fmt.Println(idx.Count([]byte("TG")))      // 7
+//	fmt.Println(idx.Occurrences([]byte("GGT")))
+package era
+
+import (
+	"fmt"
+	"time"
+
+	"era/internal/alphabet"
+	"era/internal/core"
+	"era/internal/diskio"
+	"era/internal/seq"
+	"era/internal/sim"
+	"era/internal/suffixtree"
+)
+
+// Mode selects the execution architecture (§5 of the paper).
+type Mode int
+
+const (
+	// Serial builds on one core.
+	Serial Mode = iota
+	// SharedDisk builds with Workers goroutines against one shared disk
+	// (the multicore desktop configuration of Fig. 12).
+	SharedDisk
+	// SharedNothing builds on a simulated cluster of Workers nodes, each
+	// with a private copy of the input (Table 3, Fig. 13).
+	SharedNothing
+)
+
+// Config tunes a build. The zero value (or a nil pointer) selects sensible
+// defaults: automatic alphabet detection, a 64 MB budget, serial execution.
+type Config struct {
+	// Alphabet fixes the symbol alphabet; nil auto-detects DNA, protein,
+	// English, or derives a custom alphabet from the input's distinct bytes.
+	Alphabet *alphabet.Alphabet
+	// MemoryBudget bounds construction memory in bytes (default 64 MB).
+	// The resulting tree itself is held in memory for querying.
+	MemoryBudget int64
+	// Mode selects serial, shared-disk parallel or shared-nothing parallel.
+	Mode Mode
+	// Workers is the core/node count for the parallel modes (default 4).
+	Workers int
+	// SkipSeek enables the paper's §4.4 disk block-skipping optimization.
+	SkipSeek bool
+	// DiskModel overrides the simulated storage cost model (defaults to
+	// sim.DefaultModel, a 2011 SATA-class disk).
+	DiskModel *sim.CostModel
+}
+
+// BuildStats summarizes the accounted construction work.
+type BuildStats struct {
+	// ModeledTime is the virtual end-to-end time under the disk model.
+	ModeledTime time.Duration
+	// Scans is the number of sequential passes over the input.
+	Scans int
+	// Prefixes and Groups are the vertical partitioning outcome.
+	Prefixes int
+	Groups   int
+	// SubTrees is the number of independently built sub-trees.
+	SubTrees int
+	// TreeNodes is the node count of the final tree (root excluded).
+	TreeNodes int64
+}
+
+// Index is a queryable suffix tree over a string or document corpus.
+type Index struct {
+	tree    *suffixtree.Tree
+	data    []byte
+	alpha   *alphabet.Alphabet
+	docEnds []int32 // exclusive end offset per document (corpus indexes)
+	stats   BuildStats
+}
+
+func (c *Config) withDefaults() Config {
+	var out Config
+	if c != nil {
+		out = *c
+	}
+	if out.MemoryBudget == 0 {
+		out.MemoryBudget = 64 << 20
+	}
+	if out.Workers == 0 {
+		out.Workers = 4
+	}
+	return out
+}
+
+// Build constructs a suffix tree index over data using the ERA algorithm
+// under the configured memory budget. The input must not contain the
+// terminator byte '$'; one is appended internally.
+func Build(data []byte, cfg *Config) (*Index, error) {
+	return build([][]byte{data}, cfg)
+}
+
+// BuildCorpus constructs a generalized suffix tree over a document corpus:
+// the suffix tree of the concatenation of all documents (§1 of the paper —
+// operations on string databases use exactly this). Occurrence queries can
+// be scoped and attributed per document.
+func BuildCorpus(docs [][]byte, cfg *Config) (*Index, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("era: empty corpus")
+	}
+	return build(docs, cfg)
+}
+
+func build(docs [][]byte, cfgp *Config) (*Index, error) {
+	cfg := cfgp.withDefaults()
+
+	var total int
+	for _, d := range docs {
+		total += len(d)
+	}
+	data := make([]byte, 0, total+1)
+	docEnds := make([]int32, len(docs))
+	for i, d := range docs {
+		for _, b := range d {
+			if b == alphabet.Terminator {
+				return nil, fmt.Errorf("era: document %d contains the reserved terminator byte %q", i, alphabet.Terminator)
+			}
+		}
+		data = append(data, d...)
+		docEnds[i] = int32(len(data))
+	}
+	data = append(data, alphabet.Terminator)
+
+	alpha := cfg.Alphabet
+	if alpha == nil {
+		var err error
+		alpha, err = detectAlphabet(data[:len(data)-1])
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	model := sim.DefaultModel()
+	if cfg.DiskModel != nil {
+		model = *cfg.DiskModel
+	}
+	disk := diskio.NewDisk(model)
+	f, err := seq.Publish(disk, "input.seq", alpha, data)
+	if err != nil {
+		return nil, err
+	}
+
+	opts := core.Options{
+		MemoryBudget: cfg.MemoryBudget,
+		SkipSeek:     cfg.SkipSeek,
+		Assemble:     true,
+	}
+
+	idx := &Index{data: data, alpha: alpha, docEnds: docEnds}
+	switch cfg.Mode {
+	case Serial:
+		res, err := core.BuildSerial(f, opts)
+		if err != nil {
+			return nil, err
+		}
+		idx.tree = res.Tree
+		idx.stats = statsOf(res.Stats, res.Tree)
+	case SharedDisk:
+		res, err := core.BuildParallel(f, core.ParallelOptions{Options: opts, Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		idx.tree = res.Tree
+		idx.stats = statsOf(res.Stats, res.Tree)
+	case SharedNothing:
+		res, err := core.BuildDistributed(f, core.DistributedOptions{Options: opts, Nodes: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		idx.tree = res.Tree
+		idx.stats = statsOf(res.Stats, res.Tree)
+	default:
+		return nil, fmt.Errorf("era: unknown mode %d", cfg.Mode)
+	}
+	return idx, nil
+}
+
+func statsOf(s core.Stats, t *suffixtree.Tree) BuildStats {
+	return BuildStats{
+		ModeledTime: s.VirtualTime,
+		Scans:       s.Scans,
+		Prefixes:    s.Prefixes,
+		Groups:      s.Groups,
+		SubTrees:    s.SubTrees,
+		TreeNodes:   int64(t.NumNodes() - 1),
+	}
+}
+
+// detectAlphabet picks a predefined alphabet covering the data, or derives
+// a custom one from its distinct bytes.
+func detectAlphabet(data []byte) (*alphabet.Alphabet, error) {
+	var seen [256]bool
+	for _, b := range data {
+		seen[b] = true
+	}
+	distinct := make([]byte, 0, 64)
+	for b := 0; b < 256; b++ {
+		if seen[b] {
+			distinct = append(distinct, byte(b))
+		}
+	}
+	for _, a := range []*alphabet.Alphabet{alphabet.DNA, alphabet.Protein, alphabet.English} {
+		ok := true
+		for _, b := range distinct {
+			if !a.Contains(b) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return a, nil
+		}
+	}
+	return alphabet.New("custom", distinct)
+}
+
+// Stats returns the construction statistics.
+func (x *Index) Stats() BuildStats { return x.stats }
+
+// Alphabet returns the alphabet the index was built with.
+func (x *Index) Alphabet() *alphabet.Alphabet { return x.alpha }
+
+// Len returns the indexed string length including the terminator.
+func (x *Index) Len() int { return len(x.data) }
+
+// NumDocs returns the number of documents (1 for a plain Build).
+func (x *Index) NumDocs() int { return len(x.docEnds) }

@@ -1,0 +1,253 @@
+package era
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"era/internal/alphabet"
+	"era/internal/workload"
+)
+
+func TestBuildAndQuery(t *testing.T) {
+	idx, err := Build([]byte("TGGTGGTGGTGCGGTGATGGTGC"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Count([]byte("TG")); got != 7 {
+		t.Errorf("Count(TG) = %d, want 7 (paper Table 1)", got)
+	}
+	want := []int{0, 3, 6, 9, 14, 17, 20}
+	got := idx.Occurrences([]byte("TG"))
+	if len(got) != len(want) {
+		t.Fatalf("Occurrences(TG) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Occurrences(TG) = %v, want %v", got, want)
+		}
+	}
+	if !idx.Contains([]byte("GATGG")) {
+		t.Error("Contains(GATGG) = false, want true")
+	}
+	if idx.Contains([]byte("TGT")) {
+		t.Error("Contains(TGT) = true, want false")
+	}
+	lrs, occ := idx.LongestRepeatedSubstring()
+	if !bytes.Equal(lrs, []byte("TGGTGGTG")) {
+		t.Errorf("LRS = %q, want TGGTGGTG", lrs)
+	}
+	if len(occ) != 2 {
+		t.Errorf("LRS occurrences = %v, want 2", occ)
+	}
+}
+
+func TestBuildRejectsTerminatorInInput(t *testing.T) {
+	if _, err := Build([]byte("AC$GT"), nil); err == nil {
+		t.Fatal("expected error for input containing the terminator byte")
+	}
+}
+
+func TestBuildModes(t *testing.T) {
+	data := workload.MustGenerate(workload.DNA, 3000, 5)
+	data = data[:len(data)-1] // Build appends the terminator itself
+	var reference []int
+	for _, mode := range []Mode{Serial, SharedDisk, SharedNothing} {
+		idx, err := Build(data, &Config{Mode: mode, Workers: 3, MemoryBudget: 64 * 1024})
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		occ := idx.Occurrences([]byte("TGA"))
+		if reference == nil {
+			reference = occ
+			continue
+		}
+		if len(occ) != len(reference) {
+			t.Fatalf("mode %d: %d occurrences, want %d", mode, len(occ), len(reference))
+		}
+		for i := range occ {
+			if occ[i] != reference[i] {
+				t.Fatalf("mode %d: occurrence %d = %d, want %d", mode, i, occ[i], reference[i])
+			}
+		}
+	}
+}
+
+func TestAlphabetDetection(t *testing.T) {
+	cases := []struct {
+		data string
+		want string
+	}{
+		{"ACGTACGT", "DNA"},
+		{"MKLVWY", "Protein"},
+		{"hello_world", ""}, // underscore forces a custom alphabet
+		{"thequickbrownfox", "English"},
+	}
+	for _, c := range cases {
+		idx, err := Build([]byte(c.data), nil)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", c.data, err)
+		}
+		got := idx.Alphabet().Name()
+		if c.want != "" && got != c.want {
+			t.Errorf("Build(%q) detected alphabet %s, want %s", c.data, got, c.want)
+		}
+		if !idx.Contains([]byte(c.data[2:5])) {
+			t.Errorf("Build(%q): substring query failed", c.data)
+		}
+	}
+}
+
+func TestCorpusQueries(t *testing.T) {
+	docs := [][]byte{
+		[]byte("GATTACAGATTACA"),
+		[]byte("CATTAGA"),
+		[]byte("TTTT"),
+	}
+	idx, err := BuildCorpus(docs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.NumDocs() != 3 {
+		t.Fatalf("NumDocs = %d, want 3", idx.NumDocs())
+	}
+
+	hits := idx.DocOccurrences([]byte("ATTA"))
+	wantHits := []DocHit{{0, 1}, {0, 8}, {1, 1}}
+	if len(hits) != len(wantHits) {
+		t.Fatalf("DocOccurrences(ATTA) = %v, want %v", hits, wantHits)
+	}
+	for i := range wantHits {
+		if hits[i] != wantHits[i] {
+			t.Fatalf("DocOccurrences(ATTA) = %v, want %v", hits, wantHits)
+		}
+	}
+
+	// "AG" occurs inside doc 0 ("ACAG") and doc 1 ("TAGA"), and also spans
+	// the boundary of docs 0→1 ("...TACA"+"CATT..." has no AG crossing;
+	// construct one that does: doc0 ends with A, doc1 starts with C). Use
+	// a crossing check with "ACA"+"CAT": "ACAT" crosses.
+	cross := idx.DocOccurrences([]byte("ACAT"))
+	if len(cross) != 0 {
+		t.Errorf("DocOccurrences(ACAT) = %v, want none (crossing matches excluded)", cross)
+	}
+	if !idx.Contains([]byte("ACAT")) {
+		t.Error("Contains(ACAT) should see the crossing match in the concatenation")
+	}
+
+	lcs, offA, offB, err := idx.LongestCommonSubstring(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lcs, []byte("ATTA")) {
+		t.Errorf("LCS(0,1) = %q, want ATTA", lcs)
+	}
+	if offA < 0 || offB < 0 {
+		t.Errorf("LCS offsets = %d, %d; want both ≥ 0", offA, offB)
+	}
+	if !bytes.Equal(docs[0][offA:offA+len(lcs)], lcs) || !bytes.Equal(docs[1][offB:offB+len(lcs)], lcs) {
+		t.Error("LCS offsets do not locate the substring")
+	}
+}
+
+func TestRepeats(t *testing.T) {
+	idx, err := Build([]byte("ABCABCABCXYZXYZ"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := idx.Repeats(3, 2)
+	if len(reps) == 0 {
+		t.Fatal("no repeats found")
+	}
+	if !bytes.Equal(reps[0].Pattern, []byte("ABCABC")) {
+		t.Errorf("longest repeat = %q, want ABCABC", reps[0].Pattern)
+	}
+	foundXYZ := false
+	for _, r := range reps {
+		if bytes.Equal(r.Pattern, []byte("XYZ")) {
+			foundXYZ = true
+			if len(r.Occurrences) != 2 {
+				t.Errorf("XYZ occurrences = %v, want 2", r.Occurrences)
+			}
+		}
+	}
+	if !foundXYZ {
+		t.Error("repeat XYZ not reported")
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	docs := [][]byte{[]byte("GATTACA"), []byte("TAGACAT")}
+	idx, err := BuildCorpus(docs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumDocs() != 2 {
+		t.Fatalf("NumDocs = %d, want 2", got.NumDocs())
+	}
+	for _, p := range []string{"GATT", "TAGA", "ACA", "CAT"} {
+		if got.Count([]byte(p)) != idx.Count([]byte(p)) {
+			t.Errorf("Count(%s) differs after round-trip", p)
+		}
+	}
+}
+
+func TestBuildQuickAgainstNaiveSearch(t *testing.T) {
+	f := func(core []byte, patRaw []byte) bool {
+		if len(core) == 0 {
+			core = []byte{0}
+		}
+		data := make([]byte, len(core))
+		for i, c := range core {
+			data[i] = "ACGT"[c%4]
+		}
+		idx, err := Build(data, &Config{MemoryBudget: 8 * 1024})
+		if err != nil {
+			return false
+		}
+		pat := make([]byte, len(patRaw)%5)
+		for i := range pat {
+			pat[i] = "ACGT"[patRaw[i]%4]
+		}
+		if len(pat) == 0 {
+			return true
+		}
+		want := bytes.Count(data, pat)
+		// bytes.Count does not count overlaps; count manually.
+		want = 0
+		for i := 0; i+len(pat) <= len(data); i++ {
+			if bytes.Equal(data[i:i+len(pat)], pat) {
+				want++
+			}
+		}
+		return idx.Count(pat) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Build([]byte("ACGT"), &Config{Mode: Mode(99)}); err == nil {
+		t.Error("expected error for unknown mode")
+	}
+	if _, err := BuildCorpus(nil, nil); err == nil {
+		t.Error("expected error for empty corpus")
+	}
+	if _, err := Build([]byte("acgt"), &Config{Alphabet: alphabet.Protein}); err == nil {
+		t.Error("expected error for input outside the configured alphabet")
+	}
+	// Bytes at or below the terminator '$' cannot be indexed (the canonical
+	// ordering requires symbols to rank above it); the error must be clear.
+	if _, err := Build([]byte("a b"), nil); err == nil {
+		t.Error("expected error for input with bytes ranking at or below the terminator")
+	}
+}

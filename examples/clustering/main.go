@@ -1,0 +1,112 @@
+// Document clustering: §1 of the paper cites suffix-tree document
+// clustering [4]. This example builds a generalized suffix tree over a
+// small corpus with BuildCorpus and clusters documents by their longest
+// common substrings — the shared-phrase similarity that suffix-tree
+// clustering uses.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"era"
+)
+
+func main() {
+	docs := [][]byte{
+		[]byte(clean("the quick brown fox jumps over the lazy dog")),
+		[]byte(clean("the quick brown fox leaps over a sleepy cat")),
+		[]byte(clean("suffix trees index every suffix of a string")),
+		[]byte(clean("a suffix tree indexes all suffixes efficiently")),
+		[]byte(clean("the lazy dog sleeps while the quick fox runs")),
+		[]byte(clean("string indexing with suffix trees is efficient")),
+	}
+
+	idx, err := era.BuildCorpus(docs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generalized suffix tree over %d documents, %d symbols\n\n", idx.NumDocs(), idx.Len())
+
+	// Pairwise similarity: normalized longest-common-substring length.
+	n := len(docs)
+	sim := make([][]float64, n)
+	fmt.Println("pairwise LCS similarity:")
+	for i := 0; i < n; i++ {
+		sim[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				sim[i][j] = 1
+				continue
+			}
+			lcs, _, _, err := idx.LongestCommonSubstring(i, j)
+			if err != nil {
+				log.Fatal(err)
+			}
+			d := len(docs[i])
+			if len(docs[j]) < d {
+				d = len(docs[j])
+			}
+			sim[i][j] = float64(len(lcs)) / float64(d)
+		}
+	}
+	for i := 0; i < n; i++ {
+		fmt.Printf("  doc%d:", i)
+		for j := 0; j < n; j++ {
+			fmt.Printf(" %.2f", sim[i][j])
+		}
+		fmt.Println()
+	}
+
+	// Single-link agglomerative clustering at a fixed threshold.
+	const threshold = 0.25
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if sim[i][j] >= threshold {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	clusters := map[int][]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		clusters[r] = append(clusters[r], i)
+	}
+	fmt.Printf("\nclusters at threshold %.2f:\n", threshold)
+	k := 1
+	for _, members := range clusters {
+		fmt.Printf("  cluster %d: docs %v\n", k, members)
+		k++
+	}
+
+	// Show the strongest shared phrase.
+	lcs, offA, offB, err := idx.LongestCommonSubstring(0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstrongest shared phrase between doc0 and doc1: %q (offsets %d, %d)\n", lcs, offA, offB)
+}
+
+// clean maps text onto the lowercase a-z alphabet (spaces become 'x' runs
+// are avoided by simply dropping non-letters).
+func clean(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		if r >= 'a' && r <= 'z' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

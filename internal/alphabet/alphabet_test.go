@@ -1,0 +1,152 @@
+package alphabet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPredefinedAlphabets(t *testing.T) {
+	cases := []struct {
+		a    *Alphabet
+		size int
+		bits uint
+	}{
+		{DNA, 4, 3},      // 4 symbols + terminator = 5 codes -> 3 bits
+		{Protein, 20, 5}, // 21 codes -> 5 bits
+		{English, 26, 5}, // 27 codes -> 5 bits
+	}
+	for _, c := range cases {
+		if c.a.Size() != c.size {
+			t.Errorf("%s: size %d, want %d", c.a.Name(), c.a.Size(), c.size)
+		}
+		if c.a.Bits() != c.bits {
+			t.Errorf("%s: bits %d, want %d", c.a.Name(), c.a.Bits(), c.bits)
+		}
+	}
+}
+
+func TestRankAndContains(t *testing.T) {
+	for i, s := range DNA.Symbols() {
+		if DNA.Rank(s) != i {
+			t.Errorf("Rank(%c) = %d, want %d", s, DNA.Rank(s), i)
+		}
+		if !DNA.Contains(s) {
+			t.Errorf("Contains(%c) = false", s)
+		}
+	}
+	if DNA.Contains('X') {
+		t.Error("Contains(X) = true")
+	}
+	if DNA.Rank(Terminator) != -1 {
+		t.Errorf("Rank($) = %d, want -1", DNA.Rank(Terminator))
+	}
+}
+
+func TestNewRejectsBadSymbols(t *testing.T) {
+	if _, err := New("bad", []byte{Terminator}); err == nil {
+		t.Error("terminator accepted as symbol")
+	}
+	if _, err := New("bad", []byte{' '}); err == nil {
+		t.Error("symbol below terminator accepted")
+	}
+	if _, err := New("bad", nil); err == nil {
+		t.Error("empty alphabet accepted")
+	}
+}
+
+func TestNewDeduplicatesAndSorts(t *testing.T) {
+	a, err := New("x", []byte("CABAC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(a.Symbols()); got != "ABC" {
+		t.Errorf("symbols = %q, want ABC", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := DNA.Validate([]byte("ACGT$")); err != nil {
+		t.Errorf("valid string rejected: %v", err)
+	}
+	if err := DNA.Validate([]byte("ACGT")); err == nil {
+		t.Error("missing terminator accepted")
+	}
+	if err := DNA.Validate([]byte("ACXT$")); err == nil {
+		t.Error("foreign symbol accepted")
+	}
+	if err := DNA.Validate(nil); err == nil {
+		t.Error("empty string accepted")
+	}
+}
+
+func TestPackRoundTrip(t *testing.T) {
+	for _, a := range []*Alphabet{DNA, Protein, English} {
+		syms := a.Symbols()
+		data := make([]byte, 0, 1001)
+		for i := 0; i < 1000; i++ {
+			data = append(data, syms[i%len(syms)])
+		}
+		data = append(data, Terminator)
+		p, err := Pack(a, data)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if p.Len() != len(data) {
+			t.Fatalf("%s: Len %d, want %d", a.Name(), p.Len(), len(data))
+		}
+		if !bytes.Equal(p.Bytes(), data) {
+			t.Errorf("%s: round trip mismatch", a.Name())
+		}
+		// Density: DNA at 3 bits/sym packs below 1 byte/sym.
+		if p.SizeBytes() >= len(data) && a.Bits() < 8 {
+			t.Errorf("%s: packed size %d not smaller than raw %d", a.Name(), p.SizeBytes(), len(data))
+		}
+	}
+}
+
+func TestPackQuick(t *testing.T) {
+	f := func(raw []byte) bool {
+		data := make([]byte, len(raw)+1)
+		for i, c := range raw {
+			data[i] = "ACGT"[c%4]
+		}
+		data[len(raw)] = Terminator
+		p, err := Pack(DNA, data)
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if p.At(i) != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackedBytes(t *testing.T) {
+	// 2.6 Gsym of DNA at 3 bits ≈ 0.975 GB — the packing that lets a
+	// larger share of S stay resident (§6.1).
+	if got := DNA.PackedBytes(8); got != 3 {
+		t.Errorf("DNA.PackedBytes(8) = %d, want 3", got)
+	}
+	if got := Protein.PackedBytes(8); got != 5 {
+		t.Errorf("Protein.PackedBytes(8) = %d, want 5", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"DNA", "Protein", "English"} {
+		a, err := ByName(name)
+		if err != nil || a.Name() != name {
+			t.Errorf("ByName(%s) = %v, %v", name, a, err)
+		}
+	}
+	if _, err := ByName("klingon"); err == nil {
+		t.Error("unknown alphabet accepted")
+	}
+}

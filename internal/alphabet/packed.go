@@ -1,0 +1,89 @@
+package alphabet
+
+import "fmt"
+
+// BitPacked is a fixed-width bit-packed symbol sequence. It stores each
+// symbol (including the trailing terminator) in Alphabet.Bits() bits, giving
+// the same density the paper assumes: 2 bits/symbol for DNA, 5 bits/symbol
+// for protein and English.
+//
+// Code 0 is reserved for the terminator; symbol i is stored as code i+1.
+type BitPacked struct {
+	alpha *Alphabet
+	words []uint64
+	n     int // number of symbols stored (terminator included)
+}
+
+// Pack encodes s (which must validate against a) into a BitPacked sequence.
+func Pack(a *Alphabet, s []byte) (*BitPacked, error) {
+	if err := a.Validate(s); err != nil {
+		return nil, err
+	}
+	bits := a.bits
+	p := &BitPacked{
+		alpha: a,
+		words: make([]uint64, (len(s)*int(bits)+63)/64),
+		n:     len(s),
+	}
+	for i, sym := range s {
+		var code uint64
+		if sym == Terminator {
+			code = 0
+		} else {
+			code = uint64(a.rank[sym]) + 1
+		}
+		p.set(i, code, bits)
+	}
+	return p, nil
+}
+
+func (p *BitPacked) set(i int, code uint64, bits uint) {
+	bitPos := uint(i) * bits
+	w, off := bitPos/64, bitPos%64
+	p.words[w] |= code << off
+	if off+bits > 64 {
+		p.words[w+1] |= code >> (64 - off)
+	}
+}
+
+func (p *BitPacked) code(i int) uint64 {
+	bits := p.alpha.bits
+	bitPos := uint(i) * bits
+	w, off := bitPos/64, bitPos%64
+	v := p.words[w] >> off
+	if off+bits > 64 {
+		v |= p.words[w+1] << (64 - off)
+	}
+	return v & ((1 << bits) - 1)
+}
+
+// Len returns the number of symbols, terminator included.
+func (p *BitPacked) Len() int { return p.n }
+
+// At returns the symbol at offset i, decoding from the packed form.
+func (p *BitPacked) At(i int) byte {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("alphabet: BitPacked index %d out of range [0,%d)", i, p.n))
+	}
+	c := p.code(i)
+	if c == 0 {
+		return Terminator
+	}
+	return p.alpha.symbols[c-1]
+}
+
+// Bytes decodes the whole sequence back to plain bytes.
+func (p *BitPacked) Bytes() []byte {
+	out := make([]byte, p.n)
+	for i := 0; i < p.n; i++ {
+		out[i] = p.At(i)
+	}
+	return out
+}
+
+// SizeBytes returns the resident size of the packed words in bytes; this is
+// what the memory accountant charges for a resident packed string.
+func (p *BitPacked) SizeBytes() int { return len(p.words) * 8 }
+
+// Alphabet returns the alphabet the sequence was packed with.
+func (p *BitPacked) Alphabet() *Alphabet { return p.alpha }

@@ -1,0 +1,95 @@
+package b2st
+
+import (
+	"testing"
+
+	"era/internal/alphabet"
+	"era/internal/diskio"
+	"era/internal/seq"
+	"era/internal/sim"
+	"era/internal/ukkonen"
+	"era/internal/workload"
+)
+
+func publish(t testing.TB, a *alphabet.Alphabet, data []byte) *seq.File {
+	t.Helper()
+	disk := diskio.NewDisk(sim.DefaultModel())
+	f, err := seq.Publish(disk, "input.seq", a, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestBuildSerialMatchesOracle(t *testing.T) {
+	for _, k := range workload.Kinds {
+		k := k
+		t.Run(string(k), func(t *testing.T) {
+			a, err := workload.AlphabetOf(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := workload.MustGenerate(k, 2500, 7)
+			f := publish(t, a, data)
+			res, err := BuildSerial(f, Options{MemoryBudget: 8 * 1024, Assemble: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Tree.Validate(true); err != nil {
+				t.Fatal(err)
+			}
+			m, err := seq.NewMem(a, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle, err := ukkonen.Build(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := res.Tree.NumNodes(), oracle.NumNodes(); got != want {
+				t.Errorf("node count %d, want %d", got, want)
+			}
+			gl, ol := res.Tree.Leaves(res.Tree.Root()), oracle.Leaves(oracle.Root())
+			for i := range gl {
+				if gl[i] != ol[i] {
+					t.Fatalf("leaf order differs at %d: %d vs %d", i, gl[i], ol[i])
+				}
+			}
+			if res.Stats.Partitions < 2 {
+				t.Errorf("expected multiple partitions under a tight budget, got %d", res.Stats.Partitions)
+			}
+			if res.Stats.TempBytes <= int64(len(data)) {
+				t.Errorf("temporary results (%d bytes) should exceed the input (%d)", res.Stats.TempBytes, len(data))
+			}
+		})
+	}
+}
+
+func TestTempBlowupGrowsWithPartitions(t *testing.T) {
+	data := workload.MustGenerate(workload.DNA, 4000, 3)
+	small, err := BuildSerial(publish(t, alphabet.DNA, data), Options{MemoryBudget: 4 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := BuildSerial(publish(t, alphabet.DNA, data), Options{MemoryBudget: 40 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Stats.Partitions <= large.Stats.Partitions {
+		t.Fatalf("partitions: small-mem %d should exceed large-mem %d", small.Stats.Partitions, large.Stats.Partitions)
+	}
+	if small.Stats.TempBytes <= large.Stats.TempBytes {
+		t.Errorf("temp bytes: small-mem %d should exceed large-mem %d (c = 2n/M)", small.Stats.TempBytes, large.Stats.TempBytes)
+	}
+	if small.Stats.VirtualTime <= large.Stats.VirtualTime {
+		t.Errorf("modeled time: small-mem %v should exceed large-mem %v", small.Stats.VirtualTime, large.Stats.VirtualTime)
+	}
+}
+
+func TestMaxMemoryLimit(t *testing.T) {
+	data := workload.MustGenerate(workload.DNA, 500, 3)
+	_, err := BuildSerial(publish(t, alphabet.DNA, data), Options{MemoryBudget: 64 * 1024, MaxMemory: 32 * 1024})
+	if err == nil {
+		t.Fatal("expected the reference implementation's memory limit to reject the budget")
+	}
+}

@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"era/internal/core"
+	"era/internal/workload"
+)
+
+// RunFig7a reproduces Fig. 7(a): horizontal partitioning methods ERa-str and
+// ERa-str+mem over growing DNA strings with a fixed 512 MB budget.
+func RunFig7a(s Scale) (*Table, error) {
+	t := &Table{ID: "fig7a", Paper: "Fig. 7(a)", Title: "serial time of horizontal partitioning methods; DNA; 512MB RAM",
+		Header: []string{"size(MBps)", "ERA-str(ms)", "ERA-str+mem(ms)", "str/str+mem"}}
+	mem := int64(s.GB(0.5))
+	for _, mbps := range []int{256, 512, 1024, 2048} {
+		n := s.GB(float64(mbps) / 1024)
+		f, err := s.dataset(workload.DNA, n, 7001)
+		if err != nil {
+			return nil, err
+		}
+		rStr, err := core.BuildSerial(f, core.Options{MemoryBudget: mem, Method: core.Str, SkipSeek: true, WriteTrees: true})
+		if err != nil {
+			return nil, err
+		}
+		f2, err := s.dataset(workload.DNA, n, 7001)
+		if err != nil {
+			return nil, err
+		}
+		rMem, err := core.BuildSerial(f2, core.Options{MemoryBudget: mem, Method: core.StrMem, SkipSeek: true, WriteTrees: true})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(itoa(mbps), ms(rStr.Stats.VirtualTime), ms(rMem.Stats.VirtualTime),
+			ratio(rStr.Stats.VirtualTime, rMem.Stats.VirtualTime))
+	}
+	t.Notes = append(t.Notes, "paper: str+mem wins and the gap widens with string length")
+	return t, nil
+}
+
+// RunFig7b reproduces Fig. 7(b): the same comparison across memory budgets
+// for a 2 GBps DNA string.
+func RunFig7b(s Scale) (*Table, error) {
+	t := &Table{ID: "fig7b", Paper: "Fig. 7(b)", Title: "horizontal partitioning methods; DNA 2GBps; variable memory",
+		Header: []string{"mem(GB)", "ERA-str(ms)", "ERA-str+mem(ms)", "str/str+mem"}}
+	n := s.GB(2)
+	for _, gb := range []float64{0.5, 1, 2, 4} {
+		mem := int64(s.GB(gb))
+		f, err := s.dataset(workload.DNA, n, 7002)
+		if err != nil {
+			return nil, err
+		}
+		rStr, err := core.BuildSerial(f, core.Options{MemoryBudget: mem, Method: core.Str, SkipSeek: true, WriteTrees: true})
+		if err != nil {
+			return nil, err
+		}
+		f2, err := s.dataset(workload.DNA, n, 7002)
+		if err != nil {
+			return nil, err
+		}
+		rMem, err := core.BuildSerial(f2, core.Options{MemoryBudget: mem, Method: core.StrMem, SkipSeek: true, WriteTrees: true})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(ftoa(gb), ms(rStr.Stats.VirtualTime), ms(rMem.Stats.VirtualTime),
+			ratio(rStr.Stats.VirtualTime, rMem.Stats.VirtualTime))
+	}
+	return t, nil
+}
+
+// runFig8 sweeps the R buffer size for one dataset kind (Fig. 8).
+func runFig8(s Scale, id, paper string, kind workload.Kind, rMBs []int, seed int64) (*Table, error) {
+	t := &Table{ID: id, Paper: paper, Title: "tuning the size of R; " + string(kind) + "; 1GB RAM",
+		Header: []string{"size(GBps)"}}
+	for _, r := range rMBs {
+		t.Header = append(t.Header, itoa(r)+"MB(ms)")
+	}
+	mem := int64(s.GB(1))
+	for _, gb := range []float64{2.5, 3, 3.5, 4} {
+		n := s.GB(gb)
+		row := []string{ftoa(gb)}
+		for _, rmb := range rMBs {
+			f, err := s.dataset(kind, n, seed)
+			if err != nil {
+				return nil, err
+			}
+			r, err := core.BuildSerial(f, core.Options{
+				MemoryBudget: mem,
+				RSize:        int64(s.GB(float64(rmb) / 1024)),
+				SkipSeek:     true,
+				WriteTrees:   true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ms(r.Stats.VirtualTime))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// RunFig8a reproduces Fig. 8(a): R sweep on DNA (|Σ|=4); the paper settles
+// on 32 MB.
+func RunFig8a(s Scale) (*Table, error) {
+	t, err := runFig8(s, "fig8a", "Fig. 8(a)", workload.DNA, []int{16, 32, 64, 128}, 8001)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, "paper: 32MB is the sweet spot for DNA")
+	return t, nil
+}
+
+// RunFig8b reproduces Fig. 8(b): R sweep on protein (|Σ|=20); the paper
+// settles on 256 MB.
+func RunFig8b(s Scale) (*Table, error) {
+	t, err := runFig8(s, "fig8b", "Fig. 8(b)", workload.Protein, []int{32, 64, 128, 256}, 8002)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, "paper: 256MB is the sweet spot for protein (larger branching factor)")
+	return t, nil
+}
+
+// RunFig9a reproduces Fig. 9(a): the virtual-tree grouping ablation on DNA
+// with 1 GB RAM.
+func RunFig9a(s Scale) (*Table, error) {
+	t := &Table{ID: "fig9a", Paper: "Fig. 9(a)", Title: "effect of virtual trees (grouping); DNA; 1GB RAM",
+		Header: []string{"size(GBps)", "without(ms)", "with(ms)", "gain%", "groups-with", "groups-without"}}
+	mem := int64(s.GB(1))
+	for _, gb := range []float64{2, 2.5, 3, 3.5, 4} {
+		n := s.GB(gb)
+		f, err := s.dataset(workload.DNA, n, 9001)
+		if err != nil {
+			return nil, err
+		}
+		without, err := core.BuildSerial(f, core.Options{MemoryBudget: mem, NoGrouping: true, SkipSeek: true, WriteTrees: true})
+		if err != nil {
+			return nil, err
+		}
+		f2, err := s.dataset(workload.DNA, n, 9001)
+		if err != nil {
+			return nil, err
+		}
+		with, err := core.BuildSerial(f2, core.Options{MemoryBudget: mem, SkipSeek: true, WriteTrees: true})
+		if err != nil {
+			return nil, err
+		}
+		gain := 100 * (float64(without.Stats.VirtualTime) - float64(with.Stats.VirtualTime)) / float64(without.Stats.VirtualTime)
+		t.AddRow(ftoa(gb), ms(without.Stats.VirtualTime), ms(with.Stats.VirtualTime),
+			ftoa(gain), itoa(with.Stats.Groups), itoa(without.Stats.Groups))
+	}
+	t.Notes = append(t.Notes, "paper: grouping is at least 23% faster")
+	return t, nil
+}
+
+// RunFig9b reproduces Fig. 9(b): elastic range vs static ranges of 16 and 32
+// symbols on DNA with 1 GB RAM.
+func RunFig9b(s Scale) (*Table, error) {
+	t := &Table{ID: "fig9b", Paper: "Fig. 9(b)", Title: "effect of elastic range; DNA; 1GB RAM",
+		Header: []string{"size(GBps)", "elastic(ms)", "static16(ms)", "static32(ms)", "best-static/elastic"}}
+	mem := int64(s.GB(1))
+	for _, gb := range []float64{1.5, 2, 2.5, 3, 3.5, 4} {
+		n := s.GB(gb)
+		run := func(staticRange int) (*core.Result, error) {
+			f, err := s.dataset(workload.DNA, n, 9002)
+			if err != nil {
+				return nil, err
+			}
+			return core.BuildSerial(f, core.Options{MemoryBudget: mem, StaticRange: staticRange, SkipSeek: true, WriteTrees: true})
+		}
+		elastic, err := run(0)
+		if err != nil {
+			return nil, err
+		}
+		s16, err := run(16)
+		if err != nil {
+			return nil, err
+		}
+		s32, err := run(32)
+		if err != nil {
+			return nil, err
+		}
+		best := s16.Stats.VirtualTime
+		if s32.Stats.VirtualTime < best {
+			best = s32.Stats.VirtualTime
+		}
+		t.AddRow(ftoa(gb), ms(elastic.Stats.VirtualTime), ms(s16.Stats.VirtualTime),
+			ms(s32.Stats.VirtualTime), ratio(best, elastic.Stats.VirtualTime))
+	}
+	t.Notes = append(t.Notes, "paper: elastic is 46%-240% faster; static 32 beats static 16 only on long strings")
+	return t, nil
+}

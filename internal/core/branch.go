@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"era/internal/seq"
+	"era/internal/sim"
+	"era/internal/suffixtree"
+)
+
+// This file implements ERa-str (§4.2.1): Algorithm ComputeSuffixSubTree with
+// the optimized iterative BranchEdge. The sub-tree is built level by level
+// directly in the node structure — every round extends or branches the open
+// edges in place, which costs random memory accesses per update (the paper's
+// stated reason for superseding it with SubTreePrepare/BuildSubTree, §4.2.2).
+// It is kept as a first-class builder because Fig. 7 compares the two.
+
+// openEdge is an edge still under construction: all suffixes in occs pass
+// through node's edge end at string depth depth.
+type openEdge struct {
+	node  int32
+	occs  []int32
+	depth int32 // symbols of each suffix consumed so far
+}
+
+// strState is the ERa-str working state for one sub-tree of a group.
+type strState struct {
+	prefix Prefix
+	tree   *suffixtree.Tree
+	open   []openEdge
+	active int // total occurrences on open edges
+}
+
+// GroupBranch builds every sub-tree of a virtual tree with the ERa-str
+// method, sharing each scan of S across the whole group exactly like
+// GroupPrepare. Chunks of `range` symbols per unresolved suffix are fetched
+// per round (optimizations 1–3 of §4.2.1); the occurrence-collection scan
+// doubles as round one.
+func GroupBranch(f *seq.File, view seq.String, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel,
+	group Group, rCap int64, staticRange int) ([]*suffixtree.Tree, PrepareStats, error) {
+
+	n := f.Len()
+	stats := PrepareStats{MinRange: int(^uint(0) >> 1)}
+
+	rng1 := roundRange(rCap, staticRange, activeUpfront(group), n)
+	occs, round1, captured, err := CollectWithFill(f, sc, clock, model, group, rng1)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.SymbolsRead += captured
+
+	subs := make([]*strState, len(group.Prefixes))
+	for i, p := range group.Prefixes {
+		if len(occs[i]) == 0 {
+			return nil, PrepareStats{}, fmt.Errorf("core: prefix %q has no occurrences", p.Label)
+		}
+		t := suffixtree.New(view)
+		st := &strState{prefix: p, tree: t}
+		plen := int32(len(p.Label))
+		first := occs[i][0]
+		if int(first)+len(p.Label) == n {
+			// The prefix label itself ends with the terminator (p$ or the
+			// trivial T$ sub-tree): a single leaf, complete immediately.
+			leaf := t.NewNode(first, int32(n), first)
+			t.AttachLast(t.Root(), leaf)
+		} else {
+			u := t.NewNode(first, first+plen, -1)
+			t.AttachLast(t.Root(), u)
+			st.open = append(st.open, openEdge{node: u, occs: occs[i], depth: plen})
+			st.active = len(occs[i])
+		}
+		subs[i] = st
+	}
+
+	var cpuSeq, cpuRand int64
+
+	type fill struct {
+		pos int
+		sub int32
+		occ int32 // occurrence position identifies the chunk
+	}
+	var fills []fill
+	chunks := make(map[int64][]byte) // (sub<<32 | occ) -> chunk
+	firstRound := true
+
+	for {
+		activeTotal := 0
+		for _, st := range subs {
+			activeTotal += st.active
+		}
+		if activeTotal == 0 {
+			break
+		}
+		var rng int
+		if firstRound {
+			rng = rng1
+		} else {
+			rng = roundRange(rCap, staticRange, activeTotal, n)
+		}
+		if rng < stats.MinRange {
+			stats.MinRange = rng
+		}
+		if rng > stats.MaxRange {
+			stats.MaxRange = rng
+		}
+		stats.Rounds++
+
+		for k := range chunks {
+			delete(chunks, k)
+		}
+		if firstRound {
+			// Round one uses the chunks captured by the collect scan.
+			firstRound = false
+			for si := range subs {
+				for j, o := range occs[si] {
+					chunks[int64(si)<<32|int64(uint32(o))] = round1[si][j]
+				}
+			}
+		} else {
+			// One sequential pass fetches the next chunk for every
+			// unresolved suffix of every sub-tree in the group.
+			fills = fills[:0]
+			for si, st := range subs {
+				for _, oe := range st.open {
+					for _, o := range oe.occs {
+						fills = append(fills, fill{int(o) + int(oe.depth), int32(si), o})
+					}
+				}
+			}
+			sort.Slice(fills, func(a, b int) bool { return fills[a].pos < fills[b].pos })
+			cpuSeq += int64(len(fills))
+
+			sc.Reset()
+			reqs := make([]seq.BatchRequest, len(fills))
+			for i, fl := range fills {
+				want := rng
+				if fl.pos+want > n {
+					want = n - fl.pos
+				}
+				reqs[i] = seq.BatchRequest{Off: fl.pos, Dst: make([]byte, want)}
+			}
+			if err := sc.FetchBatch(reqs); err != nil {
+				return nil, stats, err
+			}
+			for i, fl := range fills {
+				chunks[int64(fl.sub)<<32|int64(uint32(fl.occ))] = reqs[i].Dst[:reqs[i].Got]
+				stats.SymbolsRead += int64(reqs[i].Got)
+			}
+		}
+
+		// Process every open edge against its chunks. All of this phase's
+		// work runs against the partial tree and per-edge chunk state —
+		// the non-sequential, non-local memory accesses that §4.2.2 calls
+		// out as ERa-str's bottleneck — so the whole of it is charged at
+		// the random-access rate.
+		for si, st := range subs {
+			open := st.open
+			st.open = st.open[:0]
+			st.active = 0
+			for _, oe := range open {
+				seqOps, randOps, err := st.processEdge(oe, chunks, int64(si), int32(n))
+				if err != nil {
+					return nil, stats, err
+				}
+				cpuSeq += seqOps
+				cpuRand += randOps
+			}
+		}
+		clock.Advance(model.RandomCPUTime(cpuSeq + cpuRand))
+		cpuSeq, cpuRand = 0, 0
+	}
+
+	trees := make([]*suffixtree.Tree, len(subs))
+	for i, st := range subs {
+		trees[i] = st.tree
+	}
+	if stats.MinRange > stats.MaxRange {
+		stats.MinRange = 0
+	}
+	return trees, stats, nil
+}
+
+// processEdge consumes this round's chunks along one open edge: the edge is
+// extended over the symbols every suffix shares (Proposition 1 case 2), then
+// branched where they diverge (case 3); singleton branches become leaves
+// (case 1). Unresolved branches are re-queued for the next round. Tree
+// mutations are counted as random-access operations, symbol comparisons as
+// sequential ones.
+func (st *strState) processEdge(oe openEdge, chunks map[int64][]byte, si int64, n int32) (seqOps, randOps int64, err error) {
+	t := st.tree
+	type job struct {
+		node     int32
+		occs     []int32
+		depth    int32 // suffix depth at the node's edge end
+		consumed int32 // symbols of this round's chunk already used
+	}
+	stack := []job{{oe.node, oe.occs, oe.depth, 0}}
+
+	chunk := func(o int32) []byte { return chunks[si<<32|int64(uint32(o))] }
+
+	for len(stack) > 0 {
+		j := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		if len(j.occs) == 1 {
+			// Leaf (Proposition 1 case 1): extend the edge to the
+			// terminator and label with the suffix offset.
+			t.SetEdgeEnd(j.node, n)
+			t.SetSuffix(j.node, j.occs[0])
+			randOps++
+			continue
+		}
+
+		// Common extension across all suffixes within the fetched window.
+		first := chunk(j.occs[0])
+		limit := int32(len(first)) - j.consumed
+		for _, o := range j.occs[1:] {
+			c := chunk(o)
+			if l := int32(len(c)) - j.consumed; l < limit {
+				limit = l
+			}
+		}
+		var cs int32
+		for cs < limit {
+			sym := first[j.consumed+cs]
+			same := true
+			for _, o := range j.occs[1:] {
+				seqOps++
+				if chunk(o)[j.consumed+cs] != sym {
+					same = false
+					break
+				}
+			}
+			if !same {
+				break
+			}
+			cs++
+		}
+		if cs > 0 {
+			t.SetEdgeEnd(j.node, t.EdgeEnd(j.node)+cs)
+			randOps++
+		}
+		newDepth := j.depth + cs
+		newConsumed := j.consumed + cs
+
+		if cs == limit {
+			// Window exhausted with no divergence: stay open.
+			st.open = append(st.open, openEdge{node: j.node, occs: j.occs, depth: newDepth})
+			st.active += len(j.occs)
+			continue
+		}
+
+		// Divergence: group occurrences by their next symbol.
+		groupsBySym := make(map[byte][]int32)
+		for _, o := range j.occs {
+			sym := chunk(o)[newConsumed]
+			groupsBySym[sym] = append(groupsBySym[sym], o)
+			seqOps++
+		}
+		syms := make([]byte, 0, len(groupsBySym))
+		for s := range groupsBySym {
+			syms = append(syms, s)
+		}
+		sort.Slice(syms, func(a, b int) bool { return syms[a] < syms[b] })
+		for _, s := range syms {
+			g := groupsBySym[s]
+			o := g[0]
+			child := t.NewNode(o+newDepth, o+newDepth+1, -1)
+			t.AttachLast(j.node, child)
+			randOps++
+			stack = append(stack, job{child, g, newDepth + 1, newConsumed + 1})
+		}
+	}
+	return seqOps, randOps, nil
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"era/internal/cluster"
+	"era/internal/seq"
+	"era/internal/sim"
+	"era/internal/suffixtree"
+)
+
+// DistributedOptions configure the shared-nothing parallel build (§5,
+// Table 3, Fig. 13). MemoryBudget is interpreted per node (the paper uses
+// 1 GB per CPU in Table 3).
+type DistributedOptions struct {
+	Options
+	// Nodes is the cluster size. Each node holds its own copy of S on its
+	// own disk after the initial broadcast.
+	Nodes int
+}
+
+// DistributedResult reports a shared-nothing build with the component times
+// the paper's Table 3 separates: string transfer, vertical partitioning
+// (serial on the master), and tree construction.
+type DistributedResult struct {
+	Tree             *suffixtree.Tree // assembled tree when Options.Assemble
+	Stats            Stats
+	TransferTime     time.Duration // broadcast of S to all nodes
+	VPTime           time.Duration // serial vertical partitioning
+	ConstructionTime time.Duration // max over nodes (independent work)
+	TotalTime        time.Duration // everything
+	WallTime         time.Duration
+	Nodes            []WorkerStats
+}
+
+// BuildDistributed runs ERA on a simulated shared-nothing cluster: the
+// master broadcasts S, performs vertical partitioning serially, divides the
+// groups equally among nodes, and every node builds its virtual trees
+// entirely locally. Completion is the slowest node (no merge phase — the
+// property that makes ERA "easily parallelizable", §5).
+func BuildDistributed(f *seq.File, opts DistributedOptions) (*DistributedResult, error) {
+	if opts.Nodes < 1 {
+		return nil, fmt.Errorf("core: Nodes must be ≥ 1, got %d", opts.Nodes)
+	}
+	assemble := opts.Assemble
+	opts.Assemble = false // nodes collect sub-trees; the master assembles
+	model := f.Disk().Model()
+
+	// Broadcast S to every node (§5: "during initialization the input
+	// string should be transmitted to each node").
+	cl, err := cluster.New(f, opts.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	transfer := cl.TransferTime()
+
+	layout, err := PlanMemory(opts.MemoryBudget, opts.RSize, f.Alphabet().Bits())
+	if err != nil {
+		return nil, err
+	}
+
+	// Vertical partitioning: serial, on the master's local copy.
+	masterClock := new(sim.Clock)
+	masterScan, err := cl.Node(0).NewScanner(masterClock, seq.ScannerConfig{BufSize: int(layout.InputBuf), SkipSeek: opts.SkipSeek})
+	if err != nil {
+		return nil, err
+	}
+	groups, vstats, err := VerticalPartition(cl.Node(0), masterScan, masterClock, model, layout.FM, !opts.NoGrouping)
+	if err != nil {
+		return nil, err
+	}
+	vpTime := masterClock.Now()
+
+	assign := make([][]Group, opts.Nodes)
+	for i, g := range groups {
+		assign[i%opts.Nodes] = append(assign[i%opts.Nodes], g)
+	}
+
+	res := &DistributedResult{TransferTime: transfer, VPTime: vpTime, Nodes: make([]WorkerStats, opts.Nodes)}
+	res.Stats.VPTime = vpTime
+	res.Stats.VPIterations = vstats.Iterations
+	res.Stats.Prefixes = vstats.Prefixes
+	res.Stats.Groups = vstats.Groups
+	res.Stats.MinRange = int(^uint(0) >> 1)
+
+	perNode := make([]*Result, opts.Nodes)
+	errs := make([]error, opts.Nodes)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Nodes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			perNode[i], errs[i] = runNode(cl.Node(i), model, layout, opts.Options, assign[i], i, assemble)
+		}(i)
+	}
+	wg.Wait()
+	res.WallTime = time.Since(start)
+
+	if assemble {
+		view, err := f.View()
+		if err != nil {
+			return nil, err
+		}
+		res.Tree = suffixtree.New(view)
+		for i, r := range perNode {
+			if errs[i] != nil {
+				continue // reported below
+			}
+			for _, st := range r.subTrees {
+				if err := res.Tree.Graft(st); err != nil {
+					return nil, fmt.Errorf("core: assembling node %d output: %w", i, err)
+				}
+			}
+		}
+	}
+
+	cpu := make([]time.Duration, opts.Nodes)
+	io := make([]time.Duration, opts.Nodes)
+	for i, r := range perNode {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("core: node %d: %w", i, errs[i])
+		}
+		cpu[i] = r.workerCPU
+		io[i] = r.workerIO
+		res.Nodes[i] = WorkerStats{CPU: cpu[i], IO: io[i], Seeks: r.workerSeeks,
+			Groups: len(assign[i]), SubTrees: r.Stats.SubTrees}
+		res.Stats.Scans += r.Stats.Scans
+		res.Stats.Rounds += r.Stats.Rounds
+		res.Stats.SymbolsRead += r.Stats.SymbolsRead
+		res.Stats.SubTrees += r.Stats.SubTrees
+		res.Stats.TreeNodes += r.Stats.TreeNodes
+		res.Stats.BytesFetched += r.Stats.BytesFetched
+		res.Stats.SkipsTaken += r.Stats.SkipsTaken
+		if r.Stats.MinRange > 0 && r.Stats.MinRange < res.Stats.MinRange {
+			res.Stats.MinRange = r.Stats.MinRange
+		}
+		if r.Stats.MaxRange > res.Stats.MaxRange {
+			res.Stats.MaxRange = r.Stats.MaxRange
+		}
+	}
+	if res.Stats.MinRange > res.Stats.MaxRange {
+		res.Stats.MinRange = 0
+	}
+	res.ConstructionTime = sim.CombineSharedNothing(cpu, io)
+	res.TotalTime = transfer + vpTime + res.ConstructionTime
+	res.Stats.VirtualTime = res.TotalTime
+	return res, nil
+}
+
+// runNode processes the groups assigned to one cluster node on its private
+// disk copy of S.
+func runNode(f *seq.File, model sim.CostModel, layout MemoryLayout,
+	opts Options, groups []Group, id int, collect bool) (*Result, error) {
+
+	ioClock := new(sim.Clock)
+	cpuClock := new(sim.Clock)
+	sc, err := f.NewScanner(ioClock, seq.ScannerConfig{BufSize: int(layout.InputBuf), SkipSeek: opts.SkipSeek})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{collect: collect}
+	res.Stats.MinRange = int(^uint(0) >> 1)
+	for gi, g := range groups {
+		if err := processGroup(f, sc, cpuClock, model, layout, opts, g, gi, fmt.Sprintf("n%02d-", id), res); err != nil {
+			return nil, err
+		}
+	}
+	res.Stats.Scans = sc.Stats().Scans
+	res.Stats.BytesFetched = sc.Stats().BytesFetched
+	res.Stats.SkipsTaken = sc.Stats().Skips
+	res.workerCPU = cpuClock.Now()
+	res.workerIO = ioClock.Now()
+	res.workerSeeks = f.Disk().Stats().Seeks
+	if res.Stats.MinRange > res.Stats.MaxRange {
+		res.Stats.MinRange = 0
+	}
+	return res, nil
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"era/internal/diskio"
+	"era/internal/seq"
+	"era/internal/sim"
+	"era/internal/suffixtree"
+)
+
+// Method selects the horizontal partitioning variant (§4.2).
+type Method int
+
+const (
+	// StrMem is ERa-str+mem: SubTreePrepare + BuildSubTree, tuning both
+	// string and memory access (§4.2.2). The default.
+	StrMem Method = iota
+	// Str is ERa-str: ComputeSuffixSubTree/BranchEdge, tuning string access
+	// only (§4.2.1). Kept for the Fig. 7 comparison.
+	Str
+)
+
+func (m Method) String() string {
+	switch m {
+	case StrMem:
+		return "ERa-str+mem"
+	case Str:
+		return "ERa-str"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Options configure an ERA build.
+type Options struct {
+	// MemoryBudget is the total memory in bytes (the paper's 0.5–16 GB
+	// knob, scaled). Required.
+	MemoryBudget int64
+	// RSize overrides the next-symbols buffer size; 0 picks the §4.4
+	// default for the alphabet.
+	RSize int64
+	// StaticRange pins the per-round prefetch width in symbols, disabling
+	// the elastic range (Fig. 9(b) ablation). 0 = elastic.
+	StaticRange int
+	// SkipSeek enables the §4.4 disk block-skipping optimization.
+	SkipSeek bool
+	// NoGrouping disables virtual trees (Fig. 9(a) ablation).
+	NoGrouping bool
+	// Method selects ERa-str+mem (default) or ERa-str.
+	Method Method
+	// Assemble grafts all sub-trees under the top trie into one queryable
+	// tree. Requires memory for the whole tree, so benchmarks leave it off.
+	Assemble bool
+	// WriteTrees serializes every finished sub-tree to the disk (charged
+	// I/O), as the real system does.
+	WriteTrees bool
+	// Validate cross-checks every prepared sub-tree against the string
+	// (slow; tests only).
+	Validate bool
+}
+
+// Stats aggregates the accounted work of a build.
+type Stats struct {
+	VirtualTime  time.Duration // modeled end-to-end time
+	VPTime       time.Duration // vertical partitioning portion
+	Scans        int           // sequential passes over S
+	VPIterations int
+	Prefixes     int
+	Groups       int
+	SubTrees     int
+	TreeNodes    int64
+	Rounds       int // prepare rounds across all groups
+	SymbolsRead  int64
+	MinRange     int
+	MaxRange     int
+	BytesFetched int64
+	SkipsTaken   int
+}
+
+// Result of a serial ERA build.
+type Result struct {
+	Tree   *suffixtree.Tree // assembled tree when Options.Assemble
+	Groups []Group
+	Stats  Stats
+
+	// Per-worker demand components, filled by the parallel drivers.
+	workerCPU     time.Duration
+	workerIO      time.Duration
+	workerSeeks   int64
+	workerReadOps int64
+
+	// collect asks processGroup to retain finished sub-trees so a parallel
+	// master can assemble them.
+	collect  bool
+	subTrees []*suffixtree.Tree
+}
+
+// BuildSerial runs serial ERA (§4) over the on-disk string f.
+func BuildSerial(f *seq.File, opts Options) (*Result, error) {
+	clock := new(sim.Clock)
+	r, err := buildOn(f, opts, clock, "")
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// buildOn is the reusable driver: it runs the full serial pipeline on the
+// given clock. treePrefix namespaces serialized sub-tree files (used by the
+// parallel drivers to keep workers' outputs apart).
+func buildOn(f *seq.File, opts Options, clock *sim.Clock, treePrefix string) (*Result, error) {
+	if opts.MemoryBudget <= 0 {
+		return nil, fmt.Errorf("core: Options.MemoryBudget is required")
+	}
+	model := f.Disk().Model()
+	layout, err := PlanMemory(opts.MemoryBudget, opts.RSize, f.Alphabet().Bits())
+	if err != nil {
+		return nil, err
+	}
+	sc, err := f.NewScanner(clock, seq.ScannerConfig{
+		BufSize:  int(layout.InputBuf),
+		SkipSeek: opts.SkipSeek,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	groups, vstats, err := VerticalPartition(f, sc, clock, model, layout.FM, !opts.NoGrouping)
+	if err != nil {
+		return nil, err
+	}
+	vpTime := clock.Now()
+
+	res := &Result{Groups: groups}
+	res.Stats.VPTime = vpTime
+	res.Stats.VPIterations = vstats.Iterations
+	res.Stats.Prefixes = vstats.Prefixes
+	res.Stats.Groups = vstats.Groups
+	res.Stats.MinRange = int(^uint(0) >> 1)
+
+	if opts.Assemble {
+		view, err := f.View()
+		if err != nil {
+			return nil, err
+		}
+		res.Tree = suffixtree.New(view)
+	}
+
+	for gi, g := range groups {
+		if err := processGroup(f, sc, clock, model, layout, opts, g, gi, treePrefix, res); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Stats.VirtualTime = clock.Now()
+	res.Stats.Scans = sc.Stats().Scans
+	res.Stats.BytesFetched = sc.Stats().BytesFetched
+	res.Stats.SkipsTaken = sc.Stats().Skips
+	if res.Stats.MinRange > res.Stats.MaxRange {
+		res.Stats.MinRange = 0
+	}
+	return res, nil
+}
+
+// processGroup runs one virtual tree end to end: collect occurrence lists
+// (one scan shared by the group), prepare or branch, materialize, serialize,
+// and optionally graft.
+func processGroup(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel,
+	layout MemoryLayout, opts Options, g Group, gi int, treePrefix string, res *Result) error {
+
+	var trees []*suffixtree.Tree
+	var pstats PrepareStats
+	switch opts.Method {
+	case StrMem:
+		prepared, ps, err := GroupPrepare(f, sc, clock, model, g, layout.RSize, opts.StaticRange)
+		if err != nil {
+			return err
+		}
+		pstats = ps
+		view, err := f.View()
+		if err != nil {
+			return err
+		}
+		if opts.Validate {
+			for _, p := range prepared {
+				if err := VerifyPrepared(view, p); err != nil {
+					return fmt.Errorf("group %d: %w", gi, err)
+				}
+			}
+		}
+		for _, p := range prepared {
+			t, err := BuildSubTree(view, clock, model, p)
+			if err != nil {
+				return err
+			}
+			trees = append(trees, t)
+		}
+	case Str:
+		view, err := f.View()
+		if err != nil {
+			return err
+		}
+		trees, pstats, err = GroupBranch(f, view, sc, clock, model, g, layout.RSize, opts.StaticRange)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("core: unknown method %v", opts.Method)
+	}
+
+	res.Stats.Rounds += pstats.Rounds
+	res.Stats.SymbolsRead += pstats.SymbolsRead
+	if pstats.MinRange > 0 && pstats.MinRange < res.Stats.MinRange {
+		res.Stats.MinRange = pstats.MinRange
+	}
+	if pstats.MaxRange > res.Stats.MaxRange {
+		res.Stats.MaxRange = pstats.MaxRange
+	}
+
+	for ti, t := range trees {
+		res.Stats.SubTrees++
+		res.Stats.TreeNodes += int64(t.NumNodes() - 1) // exclude the local root
+		if opts.WriteTrees {
+			name := fmt.Sprintf("%strees/g%04d-p%02d.st", treePrefix, gi, ti)
+			w := f.Disk().Create(name, clock)
+			if _, err := t.WriteTo(w); err != nil {
+				return fmt.Errorf("serializing %s: %w", name, err)
+			}
+		}
+		if res.Tree != nil {
+			if err := res.Tree.Graft(t); err != nil {
+				return fmt.Errorf("grafting sub-tree %d of group %d: %w", ti, gi, err)
+			}
+		}
+		if res.collect {
+			res.subTrees = append(res.subTrees, t)
+		}
+	}
+	return nil
+}
+
+// CollectOccurrences streams S once and gathers, for every prefix of the
+// group, the positions at which it occurs, in appearance (string) order.
+// This is the scan that seeds array L (SubTreePrepare line 1); the group
+// shares it, which is the virtual-tree I/O amortization of §4.1.
+func CollectOccurrences(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel, g Group) ([][]int32, error) {
+	occs, _, _, err := CollectWithFill(f, sc, clock, model, g, 0)
+	return occs, err
+}
+
+// CollectWithFill is CollectOccurrences fused with the first fill round:
+// alongside each occurrence it captures the rng symbols that follow the
+// occurrence's prefix, in the same sequential pass. chunks[i][j] holds the
+// symbols for occurrence j of prefix i (nil when rng == 0); captured is the
+// total number of symbols captured.
+func CollectWithFill(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel, g Group, rng int) (occs [][]int32, chunks [][][]byte, captured int64, err error) {
+	n := f.Len()
+	byLabel := make(map[string]int, len(g.Prefixes))
+	maxLen := 0
+	lengthsSet := make(map[int]bool)
+	for i, p := range g.Prefixes {
+		byLabel[string(p.Label)] = i
+		if len(p.Label) > maxLen {
+			maxLen = len(p.Label)
+		}
+		lengthsSet[len(p.Label)] = true
+	}
+	lengths := make([]int, 0, len(lengthsSet))
+	for l := range lengthsSet {
+		lengths = append(lengths, l)
+	}
+	sort.Ints(lengths)
+
+	occs = make([][]int32, len(g.Prefixes))
+	chunks = make([][][]byte, len(g.Prefixes))
+	for i, p := range g.Prefixes {
+		occs[i] = make([]int32, 0, p.Freq)
+		if rng > 0 {
+			chunks[i] = make([][]byte, 0, p.Freq)
+		}
+	}
+
+	// Chunks whose tail lies beyond the current scan window are completed
+	// as later windows stream past.
+	type pendingFill struct {
+		buf  []byte
+		got  int
+		from int // absolute offset of buf[got]
+	}
+	var pend []pendingFill
+
+	sc.Reset()
+	const chunk = 64 * 1024
+	buf := make([]byte, chunk+maxLen-1)
+	var probes int64
+	for base := 0; base < n; base += chunk {
+		want := chunk + maxLen - 1
+		if base+want > n {
+			want = n - base
+		}
+		got, err := sc.Fetch(buf[:want], base)
+		if err != nil {
+			return nil, nil, captured, err
+		}
+		hi := base + got
+
+		// Top off chunks left incomplete by earlier windows.
+		if rng > 0 && len(pend) > 0 {
+			remain := pend[:0]
+			for _, pf := range pend {
+				if pf.from < hi {
+					c := copy(pf.buf[pf.got:], buf[pf.from-base:got])
+					pf.got += c
+					pf.from += c
+					captured += int64(c)
+				}
+				if pf.got < len(pf.buf) {
+					remain = append(remain, pf)
+				}
+			}
+			pend = remain
+		}
+
+		for i := base; i < base+chunk && i < n; i++ {
+			for _, l := range lengths {
+				if i+l > hi {
+					break
+				}
+				w := buf[i-base : i-base+l]
+				probes++
+				pi, ok := byLabel[string(w)]
+				if !ok {
+					continue
+				}
+				occs[pi] = append(occs[pi], int32(i))
+				if rng > 0 {
+					wantC := rng
+					if i+l+wantC > n {
+						wantC = n - i - l
+					}
+					cb := make([]byte, wantC)
+					c := copy(cb, buf[i+l-base:got])
+					captured += int64(c)
+					if c < wantC {
+						pend = append(pend, pendingFill{buf: cb, got: c, from: i + l + c})
+					}
+					chunks[pi] = append(chunks[pi], cb)
+				}
+				break // prefixes are prefix-free: at most one matches
+			}
+		}
+	}
+	if len(pend) > 0 {
+		return nil, nil, captured, fmt.Errorf("core: %d round-one chunks left incomplete after the scan", len(pend))
+	}
+	clock.Advance(model.CPUTime(probes + captured))
+
+	for i, p := range g.Prefixes {
+		if int64(len(occs[i])) != p.Freq {
+			return nil, nil, captured, fmt.Errorf("core: prefix %q: collected %d occurrences, expected %d", p.Label, len(occs[i]), p.Freq)
+		}
+	}
+	return occs, chunks, captured, nil
+}
+
+// diskStats is a convenience re-export used by drivers.
+func diskStats(f *seq.File) diskio.Stats { return f.Disk().Stats() }

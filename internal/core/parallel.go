@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"era/internal/diskio"
+	"era/internal/seq"
+	"era/internal/sim"
+	"era/internal/suffixtree"
+)
+
+// ParallelOptions configure the shared-memory, shared-disk parallel build
+// (§5). The memory budget is the machine total and is divided equally among
+// the workers, exactly as in the Fig. 12 experiments.
+type ParallelOptions struct {
+	Options
+	// Workers is the number of cores. Each gets MemoryBudget/Workers.
+	Workers int
+}
+
+// WorkerStats is the accounted demand of one worker.
+type WorkerStats struct {
+	CPU      time.Duration
+	IO       time.Duration
+	Seeks    int64
+	Groups   int
+	SubTrees int
+}
+
+// ParallelResult reports a parallel build.
+type ParallelResult struct {
+	Tree        *suffixtree.Tree // assembled tree when Options.Assemble
+	Stats       Stats            // aggregate counters (scans etc. summed)
+	ModeledTime time.Duration    // virtual completion incl. VP and contention
+	VPTime      time.Duration
+	WallTime    time.Duration // real elapsed time of the goroutine run
+	Workers     []WorkerStats
+}
+
+// BuildParallel runs ERA on a shared-memory, shared-disk machine: a master
+// performs vertical partitioning (not parallelized, §5), then the groups are
+// divided equally among Workers cores that build their virtual trees
+// independently against the shared disk. Real goroutines do the real work;
+// the modeled completion time combines per-worker demands with the
+// single-disk serialization bound (sim.CombineSharedDisk), and — matching
+// the Fig. 12(b) observation — charges extra arm travel when several workers
+// run the seek optimization concurrently.
+func BuildParallel(f *seq.File, opts ParallelOptions) (*ParallelResult, error) {
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("core: Workers must be ≥ 1, got %d", opts.Workers)
+	}
+	assemble := opts.Assemble
+	opts.Assemble = false // workers collect sub-trees; the master assembles
+	perCore := opts.MemoryBudget / int64(opts.Workers)
+	model := f.Disk().Model()
+
+	// Master: vertical partitioning with the per-core FM (every core must
+	// fit its virtual trees in its own share).
+	layout, err := PlanMemory(perCore, opts.RSize, f.Alphabet().Bits())
+	if err != nil {
+		return nil, err
+	}
+	masterClock := new(sim.Clock)
+	masterScan, err := f.NewScanner(masterClock, seq.ScannerConfig{BufSize: int(layout.InputBuf), SkipSeek: opts.SkipSeek})
+	if err != nil {
+		return nil, err
+	}
+	groups, vstats, err := VerticalPartition(f, masterScan, masterClock, model, layout.FM, !opts.NoGrouping)
+	if err != nil {
+		return nil, err
+	}
+	vpTime := masterClock.Now()
+
+	// Divide the groups equally among cores (round-robin preserves the
+	// frequency-descending balance of the grouping heuristic).
+	assign := make([][]Group, opts.Workers)
+	for i, g := range groups {
+		w := i % opts.Workers
+		assign[w] = append(assign[w], g)
+	}
+
+	raw, err := f.Disk().Bytes(f.Name())
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ParallelResult{VPTime: vpTime, Workers: make([]WorkerStats, opts.Workers)}
+	res.Stats.VPTime = vpTime
+	res.Stats.VPIterations = vstats.Iterations
+	res.Stats.Prefixes = vstats.Prefixes
+	res.Stats.Groups = vstats.Groups
+	res.Stats.MinRange = int(^uint(0) >> 1)
+
+	perWorker := make([]*Result, opts.Workers)
+	errs := make([]error, opts.Workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			perWorker[w], errs[w] = runWorker(raw, f, model, layout, opts.Options, assign[w], w, assemble)
+		}(w)
+	}
+	wg.Wait()
+	res.WallTime = time.Since(start)
+
+	if assemble {
+		view, err := f.View()
+		if err != nil {
+			return nil, err
+		}
+		res.Tree = suffixtree.New(view)
+		for w, r := range perWorker {
+			if errs[w] != nil {
+				continue // reported below
+			}
+			for _, st := range r.subTrees {
+				if err := res.Tree.Graft(st); err != nil {
+					return nil, fmt.Errorf("core: assembling worker %d output: %w", w, err)
+				}
+			}
+		}
+	}
+
+	cpu := make([]time.Duration, opts.Workers)
+	io := make([]time.Duration, opts.Workers)
+	for w, r := range perWorker {
+		if errs[w] != nil {
+			return nil, fmt.Errorf("core: worker %d: %w", w, errs[w])
+		}
+		// The worker's single clock accumulated CPU+I/O; split demands via
+		// its recorded components.
+		cpu[w] = r.workerCPU
+		io[w] = r.workerIO
+		if opts.SkipSeek && opts.Workers > 1 {
+			// Concurrent skip-seek patterns from independent cores swing
+			// the shared arm back and forth (§6.2): fine-grained skip-mode
+			// requests defeat the disk's readahead once they interleave
+			// with other cores' request streams, degrading each core's
+			// effective read bandwidth in proportion to its competitors.
+			// Sequential (no-seek) streams coexist via readahead and are
+			// not penalized.
+			io[w] += io[w] * time.Duration(16*(opts.Workers-1)) / 100
+		}
+		res.Workers[w] = WorkerStats{CPU: cpu[w], IO: io[w], Seeks: r.workerSeeks,
+			Groups: len(assign[w]), SubTrees: r.Stats.SubTrees}
+
+		res.Stats.Scans += r.Stats.Scans
+		res.Stats.Rounds += r.Stats.Rounds
+		res.Stats.SymbolsRead += r.Stats.SymbolsRead
+		res.Stats.SubTrees += r.Stats.SubTrees
+		res.Stats.TreeNodes += r.Stats.TreeNodes
+		res.Stats.BytesFetched += r.Stats.BytesFetched
+		res.Stats.SkipsTaken += r.Stats.SkipsTaken
+		if r.Stats.MinRange > 0 && r.Stats.MinRange < res.Stats.MinRange {
+			res.Stats.MinRange = r.Stats.MinRange
+		}
+		if r.Stats.MaxRange > res.Stats.MaxRange {
+			res.Stats.MaxRange = r.Stats.MaxRange
+		}
+	}
+	if res.Stats.MinRange > res.Stats.MaxRange {
+		res.Stats.MinRange = 0
+	}
+	res.ModeledTime = vpTime + sim.CombineSharedDisk(cpu, io)
+	res.Stats.VirtualTime = res.ModeledTime
+	return res, nil
+}
+
+// runWorker processes a set of groups on a private disk handle (same backing
+// bytes) with separate CPU and I/O clocks so the demands can be combined by
+// the contention model.
+func runWorker(raw []byte, orig *seq.File, model sim.CostModel, layout MemoryLayout,
+	opts Options, groups []Group, w int, collect bool) (*Result, error) {
+
+	disk := diskio.NewDisk(model)
+	disk.CreateFile(orig.Name(), raw)
+	f, err := seq.Attach(disk, orig.Name(), orig.Alphabet())
+	if err != nil {
+		return nil, err
+	}
+	ioClock := new(sim.Clock)
+	cpuClock := new(sim.Clock)
+	sc, err := f.NewScanner(ioClock, seq.ScannerConfig{BufSize: int(layout.InputBuf), SkipSeek: opts.SkipSeek})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{collect: collect}
+	res.Stats.MinRange = int(^uint(0) >> 1)
+	for gi, g := range groups {
+		if err := processGroup(f, sc, cpuClock, model, layout, opts, g, gi, fmt.Sprintf("w%02d-", w), res); err != nil {
+			return nil, err
+		}
+	}
+	res.Stats.Scans = sc.Stats().Scans
+	res.Stats.BytesFetched = sc.Stats().BytesFetched
+	res.Stats.SkipsTaken = sc.Stats().Skips
+	res.workerCPU = cpuClock.Now()
+	res.workerIO = ioClock.Now()
+	res.workerSeeks = disk.Stats().Seeks
+	res.workerReadOps = disk.Stats().ReadOps
+	if res.Stats.MinRange > res.Stats.MaxRange {
+		res.Stats.MinRange = 0
+	}
+	return res, nil
+}

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"era/internal/seq"
+	"era/internal/sim"
+)
+
+// BEntry is one branching triplet of array B (§4.2.2): the branches to
+// leaves L[i-1] and L[i] share Offset symbols from the suffix start, then
+// continue with symbols C1 and C2 respectively.
+type BEntry struct {
+	C1, C2 byte
+	Offset int32
+}
+
+// Prepared is the output of SubTreePrepare for one S-prefix: the leaf
+// positions in lexicographic suffix order and the branching information,
+// from which BuildSubTree materializes the sub-tree in one batch pass.
+type Prepared struct {
+	Prefix Prefix
+	L      []int32
+	B      []BEntry // B[0] is unused
+}
+
+// PrepareStats counts the work of the preparation step for one group.
+type PrepareStats struct {
+	Rounds      int   // while-loop iterations = scans of S (beyond the collect scan)
+	SymbolsRead int64 // symbols fetched into R
+	MinRange    int
+	MaxRange    int
+}
+
+// subState is the working state of Algorithm SubTreePrepare for one
+// sub-tree. The four auxiliary arrays mirror the paper exactly:
+//
+//	L    current order of leaf positions (progressively lex-sorted)
+//	P    appearance rank of the leaf at each current index
+//	I    appearance rank → current index (-1 once done); lets one
+//	     sequential pass of S fill R in string order
+//	area active-area id per index (-1 once done); equal adjacent ids form
+//	     one active area
+//	R    the chunk of next symbols fetched this round per index
+//	B    branching triplets; defined[i] tracks which are known
+type subState struct {
+	prefix  Prefix
+	L       []int32
+	P       []int32
+	I       []int32
+	area    []int32
+	R       [][]byte
+	B       []BEntry
+	defined []bool
+	pending int // undefined B entries
+	active  int // indices not yet done
+}
+
+func newSubState(prefix Prefix, occ []int32, areaID int32) *subState {
+	m := len(occ)
+	st := &subState{
+		prefix:  prefix,
+		L:       occ,
+		P:       make([]int32, m),
+		I:       make([]int32, m),
+		area:    make([]int32, m),
+		R:       make([][]byte, m),
+		B:       make([]BEntry, m),
+		defined: make([]bool, m),
+		pending: m - 1,
+		active:  m,
+	}
+	for i := 0; i < m; i++ {
+		st.P[i] = int32(i)
+		st.I[i] = int32(i)
+		st.area[i] = areaID
+	}
+	if m == 1 {
+		// A single leaf needs no branching information.
+		st.I[0] = -1
+		st.area[0] = -1
+		st.active = 0
+	}
+	return st
+}
+
+// markDone retires index i: its branch is fully separated from both
+// neighbours (Proposition 1, case 1 — the path to this leaf is unique).
+func (st *subState) markDone(i int32) {
+	if st.area[i] < 0 {
+		return
+	}
+	st.I[st.P[i]] = -1
+	st.area[i] = -1
+	st.R[i] = nil
+	st.active--
+}
+
+// GroupPrepare runs Algorithm SubTreePrepare (§4.2.2) for every S-prefix of
+// a virtual tree simultaneously, so each sequential pass over S feeds all
+// sub-trees in the group (§4.1, §4.2.1 optimization 3). The scan that seeds
+// the leaf array L (line 1) simultaneously captures each leaf's first chunk
+// of next symbols, so occurrence collection and round one share a single
+// pass. The range of symbols fetched per leaf and round is elastic:
+// |R| / (active leaves), growing as leaves resolve (§4.4); staticRange > 0
+// pins it (the Fig. 9(b) ablation).
+func GroupPrepare(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel,
+	group Group, rCap int64, staticRange int) ([]Prepared, PrepareStats, error) {
+
+	n := f.Len()
+	stats := PrepareStats{MinRange: int(^uint(0) >> 1)}
+
+	// Round-1 range from the known group frequency (the occurrence count
+	// is exactly Σ freq, so the elastic formula needs no second pass).
+	rng1 := roundRange(rCap, staticRange, activeUpfront(group), n)
+	occs, chunks, captured, err := CollectWithFill(f, sc, clock, model, group, rng1)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.SymbolsRead += captured
+	stats.Rounds++
+	stats.MinRange, stats.MaxRange = rng1, rng1
+
+	var nextArea int32
+	subs := make([]*subState, len(group.Prefixes))
+	for i, p := range group.Prefixes {
+		if int64(len(occs[i])) != p.Freq {
+			return nil, stats, fmt.Errorf("core: prefix %q: %d occurrences but frequency %d", p.Label, len(occs[i]), p.Freq)
+		}
+		subs[i] = newSubState(p, occs[i], nextArea)
+		nextArea++
+	}
+
+	// start is the global offset within every suffix of the symbols already
+	// consumed; it begins after the shared S-prefix. Prefix lengths differ
+	// across the group, so each sub-tree tracks its own start.
+	starts := make([]int, len(subs))
+	var cpuOps int64
+	for i, st := range subs {
+		starts[i] = len(st.prefix.Label)
+		// Inject the chunks captured by the collect scan as round one.
+		if st.active > 0 {
+			copy(st.R, chunks[i])
+			ops, err := st.round(int32(starts[i]), &nextArea)
+			if err != nil {
+				return nil, stats, err
+			}
+			cpuOps += ops
+		}
+		starts[i] += rng1
+	}
+	clock.Advance(model.CPUTime(cpuOps))
+	cpuOps = 0
+
+	type fill struct {
+		pos int   // absolute string offset to fetch from
+		sub int32 // sub-tree index
+		idx int32 // current index within the sub-tree arrays
+	}
+	var fills []fill
+
+	for {
+		activeTotal := 0
+		for _, st := range subs {
+			activeTotal += st.active
+		}
+		if activeTotal == 0 {
+			break
+		}
+
+		// Elastic range (§4.4): range = |R| / |L'|.
+		rng := staticRange
+		if rng <= 0 {
+			rng = int(rCap / int64(activeTotal))
+			if rng < 1 {
+				rng = 1
+			}
+			if rng > n {
+				rng = n
+			}
+		}
+		if rng < stats.MinRange {
+			stats.MinRange = rng
+		}
+		if rng > stats.MaxRange {
+			stats.MaxRange = rng
+		}
+		stats.Rounds++
+
+		// Gather the fill schedule in string order: the leaves of each
+		// sub-tree are visited via I in appearance order (increasing
+		// position); a k-way ordering across sub-trees keeps the whole
+		// pass sequential.
+		fills = fills[:0]
+		for si, st := range subs {
+			for r := 0; r < len(st.I); r++ {
+				idx := st.I[r]
+				if idx < 0 {
+					continue
+				}
+				fills = append(fills, fill{int(st.L[idx]) + starts[si], int32(si), idx})
+			}
+		}
+		sort.Slice(fills, func(a, b int) bool { return fills[a].pos < fills[b].pos })
+		cpuOps += int64(len(fills))
+
+		reqs := make([]seq.BatchRequest, len(fills))
+		for i, fl := range fills {
+			st := subs[fl.sub]
+			want := rng
+			if fl.pos+want > n {
+				want = n - fl.pos
+			}
+			if want <= 0 {
+				// The suffix is exhausted; this cannot happen for an
+				// active entry (the unique terminator forces divergence
+				// before the suffix ends).
+				return nil, stats, fmt.Errorf("core: active leaf %d of %q exhausted at start %d", fl.idx, st.prefix.Label, starts[fl.sub])
+			}
+			reqs[i] = seq.BatchRequest{Off: fl.pos, Dst: make([]byte, want)}
+		}
+		sc.Reset()
+		if err := sc.FetchBatch(reqs); err != nil {
+			return nil, stats, err
+		}
+		for i, fl := range fills {
+			subs[fl.sub].R[fl.idx] = reqs[i].Dst[:reqs[i].Got]
+			stats.SymbolsRead += int64(reqs[i].Got)
+		}
+
+		// Per sub-tree: sort active areas, split them, and extend B.
+		for si, st := range subs {
+			ops, err := st.round(int32(starts[si]), &nextArea)
+			if err != nil {
+				return nil, stats, err
+			}
+			cpuOps += ops
+			starts[si] += rng
+		}
+		clock.Advance(model.CPUTime(cpuOps))
+		cpuOps = 0
+	}
+
+	out := make([]Prepared, len(subs))
+	for i, st := range subs {
+		out[i] = Prepared{Prefix: st.prefix, L: st.L, B: st.B}
+	}
+	if stats.MinRange > stats.MaxRange {
+		stats.MinRange = 0
+	}
+	return out, stats, nil
+}
+
+// roundRange computes the per-leaf fetch width: the elastic |R|/|L'| of
+// §4.4, or the pinned static width for the Fig. 9(b) ablation.
+func roundRange(rCap int64, staticRange, active, n int) int {
+	if staticRange > 0 {
+		return staticRange
+	}
+	if active < 1 {
+		active = 1
+	}
+	rng := int(rCap / int64(active))
+	if rng < 1 {
+		rng = 1
+	}
+	if rng > n {
+		rng = n
+	}
+	return rng
+}
+
+// activeUpfront returns the number of leaves that will participate in round
+// one: every occurrence of prefixes with at least two occurrences
+// (single-leaf sub-trees are complete before any round runs).
+func activeUpfront(g Group) int {
+	a := 0
+	for _, p := range g.Prefixes {
+		if p.Freq >= 2 {
+			a += int(p.Freq)
+		}
+	}
+	return a
+}
+
+// round performs lines 13–23 of Algorithm SubTreePrepare for one sub-tree:
+// lexicographically reorder every active area by the fetched chunks
+// (maintaining I and P), split areas whose chunks diverge, define the newly
+// determined B entries, and retire indices separated from both neighbours.
+// It returns the number of symbol operations performed, for CPU accounting.
+func (st *subState) round(start int32, nextArea *int32) (int64, error) {
+	m := len(st.L)
+	var ops int64
+
+	// Reorder active areas (lines 13–15).
+	i := 0
+	for i < m {
+		if st.area[i] < 0 {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < m && st.area[j] == st.area[i] {
+			j++
+		}
+		if j-i > 1 {
+			ops += st.sortArea(i, j)
+		}
+		// Split into new areas by equal chunks.
+		k := i
+		for k < j {
+			e := k + 1
+			for e < j && bytesEqualCount(st.R[k], st.R[e], &ops) {
+				e++
+			}
+			if e-k >= 1 {
+				id := *nextArea
+				*nextArea++
+				for x := k; x < e; x++ {
+					st.area[x] = id
+				}
+			}
+			k = e
+		}
+		i = j
+	}
+
+	// Define B entries (lines 16–23).
+	for i := 1; i < m; i++ {
+		if st.defined[i] {
+			continue
+		}
+		a, b := st.R[i-1], st.R[i]
+		cs := 0
+		for cs < len(a) && cs < len(b) && a[cs] == b[cs] {
+			cs++
+		}
+		ops += int64(cs + 1)
+		if cs >= len(a) || cs >= len(b) {
+			if len(a) != len(b) {
+				// A clipped chunk ends at the terminator, which is unique,
+				// so one chunk can never be a proper prefix of its
+				// neighbour.
+				return ops, fmt.Errorf("core: chunk of leaf %d is a prefix of its neighbour (corrupt input?)", i)
+			}
+			continue // still together; next round extends the window
+		}
+		st.B[i] = BEntry{C1: a[cs], C2: b[cs], Offset: start + int32(cs)}
+		st.defined[i] = true
+		st.pending--
+		if i == 1 || st.defined[i-1] {
+			st.markDone(int32(i - 1))
+		}
+		if i == m-1 || st.defined[i+1] {
+			st.markDone(int32(i))
+		}
+	}
+	return ops, nil
+}
+
+// sortArea lexicographically sorts the triple (R, P, L) on R within the
+// contiguous index range [i, j), maintaining the inverse index I. It returns
+// the number of symbol comparisons for CPU accounting.
+func (st *subState) sortArea(i, j int) int64 {
+	idx := make([]int, j-i)
+	for k := range idx {
+		idx[k] = i + k
+	}
+	var ops int64
+	sort.SliceStable(idx, func(a, b int) bool {
+		x, y := st.R[idx[a]], st.R[idx[b]]
+		k := 0
+		for k < len(x) && k < len(y) && x[k] == y[k] {
+			k++
+		}
+		ops += int64(k + 1)
+		if k == len(x) || k == len(y) {
+			return len(x) < len(y)
+		}
+		return x[k] < y[k]
+	})
+	// Apply the permutation to L, P, R.
+	permL := make([]int32, j-i)
+	permP := make([]int32, j-i)
+	permR := make([][]byte, j-i)
+	for k, src := range idx {
+		permL[k] = st.L[src]
+		permP[k] = st.P[src]
+		permR[k] = st.R[src]
+	}
+	copy(st.L[i:j], permL)
+	copy(st.P[i:j], permP)
+	copy(st.R[i:j], permR)
+	for x := i; x < j; x++ {
+		st.I[st.P[x]] = int32(x)
+	}
+	return ops
+}
+
+// bytesEqualCount reports a == b, accumulating compared symbols into ops.
+func bytesEqualCount(a, b []byte, ops *int64) bool {
+	if len(a) != len(b) {
+		*ops++
+		return false
+	}
+	for i := range a {
+		*ops++
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

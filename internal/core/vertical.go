@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"era/internal/alphabet"
+	"era/internal/seq"
+	"era/internal/sim"
+)
+
+// Prefix is a variable-length S-prefix with its frequency in S (§2).
+type Prefix struct {
+	Label []byte
+	Freq  int64
+}
+
+// Group is a virtual tree: a set of S-prefixes whose sub-trees are built
+// together so every scan of S serves all of them (§4.1).
+type Group struct {
+	Prefixes []Prefix
+	Freq     int64 // Σ prefix frequencies; ≤ FM
+}
+
+// VerticalStats reports the work done by vertical partitioning.
+type VerticalStats struct {
+	Iterations int   // working-set refinement rounds (scans of S)
+	Prefixes   int   // final prefix count
+	Groups     int   // virtual trees after grouping
+	MaxFreq    int64 // largest single-prefix frequency
+}
+
+// VerticalPartition implements Algorithm VerticalPartitioning (§4.1): it
+// refines variable-length S-prefixes until every frequency is at most fm,
+// then groups them into virtual trees by the paper's first-fit heuristic on
+// the frequency-descending list. With grouping disabled each prefix becomes
+// its own group (the Fig. 9(a) ablation).
+//
+// Each refinement round performs one sequential scan of S through sc.
+// Because every prefix in round k has length k, one hash probe per window
+// position counts the whole working set in a single pass.
+func VerticalPartition(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel, fm int64, grouping bool) ([]Group, VerticalStats, error) {
+	if fm < 1 {
+		return nil, VerticalStats{}, fmt.Errorf("core: FM %d < 1", fm)
+	}
+	n := f.Len()
+	syms := f.Alphabet().Symbols()
+
+	// Working set for the current round, all prefixes of equal length.
+	working := make([][]byte, 0, len(syms))
+	for _, s := range syms {
+		working = append(working, []byte{s})
+	}
+	// The terminator-only suffix forms its own trivial sub-tree T$ (the
+	// paper's example splits the tree into TA, TC, TG, TTG and T$).
+	final := []Prefix{{Label: []byte{alphabet.Terminator}, Freq: 1}}
+
+	var stats VerticalStats
+	k := 1
+	for len(working) > 0 {
+		stats.Iterations++
+		counts := make(map[string]*int64, len(working))
+		for _, p := range working {
+			counts[string(p)] = new(int64)
+		}
+
+		// One sequential scan counting length-k windows. Windows containing
+		// the terminator are excluded: suffixes shorter than k are covered
+		// by the explicit p+"$" handling below. The scan also captures the
+		// final k symbols before the terminator so the p$ check below needs
+		// no extra I/O.
+		tail, err := scanCount(sc, clock, model, n, k, counts)
+		if err != nil {
+			return nil, stats, err
+		}
+
+		var next [][]byte
+		for _, p := range working {
+			fp := *counts[string(p)]
+			switch {
+			case fp == 0:
+				// Prefix does not occur; drop (paper: fTGT = 0).
+			case fp <= fm:
+				final = append(final, Prefix{Label: append([]byte(nil), p...), Freq: fp})
+			default:
+				// Extend by every symbol. The occurrence of p immediately
+				// before the terminator (suffix p$) is not covered by any
+				// single-symbol extension, so it is emitted directly; its
+				// frequency is necessarily 1 ≤ fm.
+				for _, s := range syms {
+					ext := make([]byte, k+1)
+					copy(ext, p)
+					ext[k] = s
+					next = append(next, ext)
+				}
+				if string(tail) == string(p) {
+					lbl := make([]byte, k+1)
+					copy(lbl, p)
+					lbl[k] = alphabet.Terminator
+					final = append(final, Prefix{Label: lbl, Freq: 1})
+				}
+			}
+		}
+		working = next
+		k++
+		if len(working) > 0 && k >= n {
+			return nil, stats, fmt.Errorf("core: prefix refinement reached string length; FM %d too small for string of length %d", fm, n)
+		}
+	}
+
+	stats.Prefixes = len(final)
+	for _, p := range final {
+		if p.Freq > stats.MaxFreq {
+			stats.MaxFreq = p.Freq
+		}
+	}
+
+	groups := groupPrefixes(final, fm, grouping)
+	stats.Groups = len(groups)
+	return groups, stats, nil
+}
+
+// scanCount streams S once, counts every length-k window present in counts,
+// and returns the k symbols immediately before the terminator (nil when the
+// string is shorter than k+1). CPU is charged per window probe.
+func scanCount(sc *seq.Scanner, clock *sim.Clock, model sim.CostModel, n, k int, counts map[string]*int64) ([]byte, error) {
+	sc.Reset()
+	const chunk = 64 * 1024
+	buf := make([]byte, chunk+k-1)
+	var tail []byte
+	// Windows start at 0..n-1-k; windows touching the terminator at n-1
+	// are excluded.
+	limit := n - k // exclusive bound on window start
+	if limit <= 0 {
+		return nil, nil
+	}
+	for base := 0; base < limit; base += chunk {
+		want := chunk + k - 1
+		if base+want > n {
+			want = n - base
+		}
+		got, err := sc.Fetch(buf[:want], base)
+		if err != nil {
+			return nil, err
+		}
+		end := base + got - k // last window start fully inside this fetch
+		for i := base; i <= end && i < limit; i++ {
+			w := buf[i-base : i-base+k]
+			if c, ok := counts[string(w)]; ok {
+				*c++
+			}
+		}
+		// Capture the tail S[n-1-k : n-1] once the fetch covers it.
+		if tail == nil && base+got >= n-1 && n-1-k >= base {
+			tail = append([]byte(nil), buf[n-1-k-base:n-1-base]...)
+		}
+	}
+	clock.Advance(model.CPUTime(int64(limit)))
+	return tail, nil
+}
+
+// groupPrefixes applies the §4.1 grouping heuristic: sort by descending
+// frequency; repeatedly start a group with the head and greedily add any
+// remaining prefix that keeps the group total within fm.
+func groupPrefixes(prefixes []Prefix, fm int64, grouping bool) []Group {
+	sorted := append([]Prefix(nil), prefixes...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Freq > sorted[j].Freq })
+
+	if !grouping {
+		groups := make([]Group, len(sorted))
+		for i, p := range sorted {
+			groups[i] = Group{Prefixes: []Prefix{p}, Freq: p.Freq}
+		}
+		return groups
+	}
+
+	var groups []Group
+	remaining := sorted
+	for len(remaining) > 0 {
+		g := Group{Prefixes: []Prefix{remaining[0]}, Freq: remaining[0].Freq}
+		rest := remaining[1:]
+		var keep []Prefix
+		for _, p := range rest {
+			if g.Freq+p.Freq <= fm {
+				g.Prefixes = append(g.Prefixes, p)
+				g.Freq += p.Freq
+			} else {
+				keep = append(keep, p)
+			}
+		}
+		groups = append(groups, g)
+		remaining = keep
+	}
+	return groups
+}

@@ -1,0 +1,245 @@
+package seq
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"era/internal/alphabet"
+	"era/internal/diskio"
+	"era/internal/sim"
+)
+
+func testFile(t testing.TB, data []byte) *File {
+	t.Helper()
+	m := sim.DefaultModel()
+	m.BlockSize = 64
+	disk := diskio.NewDisk(m)
+	f, err := Publish(disk, "s", alphabet.DNA, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func dna(n int) []byte {
+	out := make([]byte, n+1)
+	for i := 0; i < n; i++ {
+		out[i] = "ACGT"[(i*7+i/3)%4]
+	}
+	out[n] = alphabet.Terminator
+	return out
+}
+
+func TestMemString(t *testing.T) {
+	data := dna(100)
+	m, err := NewMem(alphabet.DNA, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 101 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	if m.At(100) != alphabet.Terminator {
+		t.Error("terminator lost")
+	}
+	if _, err := NewMem(alphabet.DNA, []byte("AXC$")); err == nil {
+		t.Error("invalid string accepted")
+	}
+}
+
+func TestScannerSequentialFetch(t *testing.T) {
+	data := dna(100000)
+	f := testFile(t, data)
+	sc, err := f.NewScanner(new(sim.Clock), ScannerConfig{BufSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Reset()
+	buf := make([]byte, 1000)
+	for off := 0; off < f.Len(); off += 999 {
+		want := 1000
+		if off+want > f.Len() {
+			want = f.Len() - off
+		}
+		got, err := sc.Fetch(buf[:want], off)
+		if err != nil {
+			t.Fatalf("Fetch at %d: %v", off, err)
+		}
+		if !bytes.Equal(buf[:got], data[off:off+got]) {
+			t.Fatalf("content mismatch at %d", off)
+		}
+	}
+	if sc.Stats().Scans != 1 {
+		t.Errorf("scans = %d, want 1", sc.Stats().Scans)
+	}
+}
+
+func TestScannerBackwardFetchPanics(t *testing.T) {
+	f := testFile(t, dna(1000))
+	sc, err := f.NewScanner(new(sim.Clock), ScannerConfig{BufSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Reset()
+	buf := make([]byte, 10)
+	if _, err := sc.Fetch(buf, 500); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("backward fetch without Reset should panic")
+		}
+	}()
+	_, _ = sc.Fetch(buf, 100)
+}
+
+func TestFetchBatchMatchesContent(t *testing.T) {
+	data := dna(50000)
+	f := testFile(t, data)
+	for _, skip := range []bool{false, true} {
+		sc, err := f.NewScanner(new(sim.Clock), ScannerConfig{BufSize: 1024, SkipSeek: skip})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs := []BatchRequest{
+			{Off: 10, Dst: make([]byte, 2000)},  // overlaps the next request
+			{Off: 500, Dst: make([]byte, 100)},  // nested inside the first
+			{Off: 30000, Dst: make([]byte, 64)}, // far gap (skippable)
+			{Off: 49995, Dst: make([]byte, 64)}, // clipped at end of string
+		}
+		sc.Reset()
+		if err := sc.FetchBatch(reqs); err != nil {
+			t.Fatalf("skip=%v: %v", skip, err)
+		}
+		for i, r := range reqs {
+			want := len(data) - r.Off
+			if want > len(r.Dst) {
+				want = len(r.Dst)
+			}
+			if r.Got != want {
+				t.Errorf("skip=%v req %d: got %d, want %d", skip, i, r.Got, want)
+			}
+			if !bytes.Equal(r.Dst[:r.Got], data[r.Off:r.Off+r.Got]) {
+				t.Errorf("skip=%v req %d: content mismatch", skip, i)
+			}
+		}
+	}
+}
+
+func TestFetchBatchSkipReducesIO(t *testing.T) {
+	data := dna(1 << 20)
+	reqs := func() []BatchRequest {
+		var out []BatchRequest
+		for off := 0; off < 1<<20; off += 64 * 1024 {
+			out = append(out, BatchRequest{Off: off, Dst: make([]byte, 32)})
+		}
+		return out
+	}
+	run := func(skip bool) int64 {
+		f := testFile(t, data)
+		sc, err := f.NewScanner(new(sim.Clock), ScannerConfig{BufSize: 4096, SkipSeek: skip})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Reset()
+		if err := sc.FetchBatch(reqs()); err != nil {
+			t.Fatal(err)
+		}
+		return sc.Stats().BytesFetched
+	}
+	with := run(true)
+	without := run(false)
+	if with*4 > without {
+		t.Errorf("skip fetched %d bytes, read-through %d; expected ≥4x reduction", with, without)
+	}
+}
+
+func TestFetchBatchValidation(t *testing.T) {
+	f := testFile(t, dna(100))
+	sc, err := f.NewScanner(new(sim.Clock), ScannerConfig{BufSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Reset()
+	if err := sc.FetchBatch([]BatchRequest{{Off: -1, Dst: make([]byte, 4)}}); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if err := sc.FetchBatch([]BatchRequest{{Off: 200, Dst: make([]byte, 4)}}); err == nil {
+		t.Error("offset past end accepted")
+	}
+	if err := sc.FetchBatch([]BatchRequest{
+		{Off: 50, Dst: make([]byte, 4)},
+		{Off: 10, Dst: make([]byte, 4)},
+	}); err == nil {
+		t.Error("unsorted batch accepted")
+	}
+	if err := sc.FetchBatch(nil); err != nil {
+		t.Errorf("empty batch rejected: %v", err)
+	}
+}
+
+func TestFetchBatchQuick(t *testing.T) {
+	data := dna(5000)
+	f := testFile(t, data)
+	cfg := quick.Config{MaxCount: 100}
+	prop := func(rawOffs []uint16, skip bool) bool {
+		sc, err := f.NewScanner(new(sim.Clock), ScannerConfig{BufSize: 512, SkipSeek: skip})
+		if err != nil {
+			return false
+		}
+		offs := make([]int, 0, len(rawOffs))
+		for _, o := range rawOffs {
+			offs = append(offs, int(o)%len(data))
+		}
+		if len(offs) == 0 {
+			return true
+		}
+		// Sort and build requests with varied lengths.
+		for i := 1; i < len(offs); i++ {
+			for j := i; j > 0 && offs[j] < offs[j-1]; j-- {
+				offs[j], offs[j-1] = offs[j-1], offs[j]
+			}
+		}
+		reqs := make([]BatchRequest, len(offs))
+		for i, o := range offs {
+			reqs[i] = BatchRequest{Off: o, Dst: make([]byte, 1+(o%97))}
+		}
+		sc.Reset()
+		if err := sc.FetchBatch(reqs); err != nil {
+			return false
+		}
+		for _, r := range reqs {
+			if !bytes.Equal(r.Dst[:r.Got], data[r.Off:r.Off+r.Got]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestView(t *testing.T) {
+	data := dna(1000)
+	f := testFile(t, data)
+	v, err := f.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != len(data) || v.At(5) != data[5] {
+		t.Error("view mismatch")
+	}
+	v2, err := f.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != v {
+		t.Error("View not cached")
+	}
+	// Views are accounting-free.
+	if got := f.Disk().Stats().BytesRead; got != 0 {
+		t.Errorf("view charged %d bytes", got)
+	}
+}

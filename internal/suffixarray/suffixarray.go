@@ -1,0 +1,241 @@
+// Package suffixarray builds suffix arrays with the SA-IS induced-sorting
+// algorithm and longest-common-prefix arrays with Kasai's algorithm.
+//
+// It is the substrate for the B²ST baseline (which sorts partitions into
+// suffix arrays + LCP arrays and merges them, per Barsky et al. CIKM'09 as
+// summarized in §3 of the ERA paper) and the ground-truth oracle for the
+// lexicographic leaf order of every suffix tree builder.
+//
+// The input must end with a terminator byte that is strictly smaller than
+// every other symbol (package alphabet guarantees '$' ranks below all
+// alphabet symbols), which is the sentinel SA-IS requires.
+package suffixarray
+
+import "fmt"
+
+// Build returns the suffix array of s: sa[k] is the start offset of the
+// k-th smallest suffix. s must be terminated (unique smallest last byte).
+// Runs in O(n) time and O(n) extra space.
+func Build(s []byte) ([]int32, error) {
+	n := len(s)
+	if n == 0 {
+		return nil, fmt.Errorf("suffixarray: empty string")
+	}
+	last := s[n-1]
+	for i := 0; i < n-1; i++ {
+		if s[i] <= last {
+			return nil, fmt.Errorf("suffixarray: byte %q at %d does not rank above terminator %q", s[i], i, last)
+		}
+	}
+	t := make([]int32, n)
+	for i, c := range s {
+		t[i] = int32(c)
+	}
+	sa := make([]int32, n)
+	sais(t, 256, sa)
+	return sa, nil
+}
+
+// sais computes the suffix array of s (alphabet size K, s[n-1] unique
+// smallest) into sa.
+func sais(s []int32, k int, sa []int32) {
+	n := len(s)
+	switch n {
+	case 0:
+		return
+	case 1:
+		sa[0] = 0
+		return
+	case 2:
+		if s[0] < s[1] {
+			sa[0], sa[1] = 0, 1
+		} else {
+			sa[0], sa[1] = 1, 0
+		}
+		return
+	}
+
+	// Classify suffixes: S-type (true) or L-type (false).
+	isS := make([]bool, n)
+	isS[n-1] = true
+	for i := n - 2; i >= 0; i-- {
+		isS[i] = s[i] < s[i+1] || (s[i] == s[i+1] && isS[i+1])
+	}
+	isLMS := func(i int) bool { return i > 0 && isS[i] && !isS[i-1] }
+
+	// Bucket boundaries by symbol.
+	bkt := make([]int32, k+1)
+	bucketBounds := func() {
+		for i := range bkt {
+			bkt[i] = 0
+		}
+		for _, c := range s {
+			bkt[c+1]++
+		}
+		for i := 0; i < k; i++ {
+			bkt[i+1] += bkt[i]
+		}
+	}
+
+	const empty = int32(-1)
+	clear := func() {
+		for i := range sa {
+			sa[i] = empty
+		}
+	}
+
+	// induce performs the two induced-sorting passes given LMS seeds in sa.
+	induce := func() {
+		// L-type from the left.
+		bucketBounds()
+		heads := make([]int32, k)
+		copy(heads, bkt[:k])
+		for i := 0; i < n; i++ {
+			j := sa[i]
+			if j <= 0 {
+				continue
+			}
+			if !isS[j-1] {
+				c := s[j-1]
+				sa[heads[c]] = j - 1
+				heads[c]++
+			}
+		}
+		// S-type from the right.
+		tails := make([]int32, k)
+		copy(tails, bkt[1:k+1])
+		for i := n - 1; i >= 0; i-- {
+			j := sa[i]
+			if j <= 0 {
+				continue
+			}
+			if isS[j-1] {
+				c := s[j-1]
+				tails[c]--
+				sa[tails[c]] = j - 1
+			}
+		}
+	}
+
+	// Step 1: place LMS suffixes at their bucket tails in text order and
+	// induce to sort LMS substrings.
+	clear()
+	bucketBounds()
+	tails := make([]int32, k)
+	copy(tails, bkt[1:k+1])
+	numLMS := 0
+	for i := 1; i < n; i++ {
+		if isLMS(i) {
+			c := s[i]
+			tails[c]--
+			sa[tails[c]] = int32(i)
+			numLMS++
+		}
+	}
+	induce()
+
+	// Step 2: name LMS substrings in their sorted order.
+	sorted := make([]int32, 0, numLMS)
+	for _, j := range sa {
+		if j > 0 && isLMS(int(j)) {
+			sorted = append(sorted, j)
+		}
+	}
+	names := make([]int32, n) // position -> name+1 (0 = not LMS)
+	name := int32(0)
+	var prev int32 = -1
+	// lmsEqual compares the LMS substrings starting at a and b (both LMS
+	// positions), inclusive of their terminating LMS position. The unique
+	// sentinel guarantees comparisons terminate in bounds.
+	lmsEqual := func(a, b int32) bool {
+		for d := 0; ; d++ {
+			ai, bi := int(a)+d, int(b)+d
+			if s[ai] != s[bi] {
+				return false
+			}
+			aL := d > 0 && isLMS(ai)
+			bL := d > 0 && isLMS(bi)
+			if aL && bL {
+				return true
+			}
+			if aL != bL {
+				return false
+			}
+		}
+	}
+	for _, j := range sorted {
+		if prev >= 0 && !lmsEqual(prev, j) {
+			name++
+		}
+		names[j] = name + 1
+		prev = j
+	}
+
+	// Step 3: if names are not unique, recurse on the reduced string.
+	lmsPos := make([]int32, 0, numLMS)
+	for i := 1; i < n; i++ {
+		if isLMS(i) {
+			lmsPos = append(lmsPos, int32(i))
+		}
+	}
+	reduced := make([]int32, len(lmsPos))
+	for i, p := range lmsPos {
+		reduced[i] = names[p] - 1
+	}
+	var lmsSorted []int32
+	if int(name)+1 < len(lmsPos) {
+		subSA := make([]int32, len(reduced))
+		sais(reduced, int(name)+1, subSA)
+		lmsSorted = make([]int32, len(lmsPos))
+		for i, r := range subSA {
+			lmsSorted[i] = lmsPos[r]
+		}
+	} else {
+		// Names unique: order is determined directly.
+		lmsSorted = make([]int32, len(lmsPos))
+		for i, p := range lmsPos {
+			lmsSorted[reduced[i]] = p
+		}
+	}
+
+	// Step 4: final induce from correctly sorted LMS suffixes.
+	clear()
+	bucketBounds()
+	copy(tails, bkt[1:k+1])
+	for i := len(lmsSorted) - 1; i >= 0; i-- {
+		j := lmsSorted[i]
+		c := s[j]
+		tails[c]--
+		sa[tails[c]] = j
+	}
+	induce()
+}
+
+// LCP computes the longest-common-prefix array with Kasai's algorithm:
+// lcp[k] is the length of the common prefix of the suffixes at sa[k-1] and
+// sa[k]; lcp[0] is 0. Runs in O(n).
+func LCP(s []byte, sa []int32) []int32 {
+	n := len(s)
+	rank := make([]int32, n)
+	for i, p := range sa {
+		rank[p] = int32(i)
+	}
+	lcp := make([]int32, n)
+	var h int32
+	for i := 0; i < n; i++ {
+		r := rank[i]
+		if r == 0 {
+			h = 0
+			continue
+		}
+		j := int(sa[r-1])
+		for i+int(h) < n && j+int(h) < n && s[i+int(h)] == s[j+int(h)] {
+			h++
+		}
+		lcp[r] = h
+		if h > 0 {
+			h--
+		}
+	}
+	return lcp
+}

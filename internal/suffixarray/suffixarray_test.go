@@ -1,0 +1,169 @@
+package suffixarray
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"era/internal/workload"
+)
+
+// naiveSA sorts suffixes directly — the O(n² log n) oracle.
+func naiveSA(s []byte) []int32 {
+	sa := make([]int32, len(s))
+	for i := range sa {
+		sa[i] = int32(i)
+	}
+	sort.Slice(sa, func(i, j int) bool {
+		return bytes.Compare(s[sa[i]:], s[sa[j]:]) < 0
+	})
+	return sa
+}
+
+func naiveLCP(s []byte, sa []int32) []int32 {
+	lcp := make([]int32, len(sa))
+	for k := 1; k < len(sa); k++ {
+		a, b := s[sa[k-1]:], s[sa[k]:]
+		var h int32
+		for int(h) < len(a) && int(h) < len(b) && a[h] == b[h] {
+			h++
+		}
+		lcp[k] = h
+	}
+	return lcp
+}
+
+func terminated(core []byte) []byte {
+	// Map arbitrary bytes into 'A'..'D' and terminate, so the sentinel
+	// invariant holds.
+	out := make([]byte, len(core)+1)
+	for i, c := range core {
+		out[i] = 'A' + c%4
+	}
+	out[len(core)] = '$'
+	return out
+}
+
+func TestBuildSmall(t *testing.T) {
+	cases := []string{
+		"$",
+		"A$",
+		"AA$",
+		"AB$",
+		"BA$",
+		"BANANA$",
+		"AAAAAAAA$",
+		"ABABABAB$",
+		"MISSISSIPPI$",
+		"TGGTGGTGGTGCGGTGATGGTGC$", // the paper's running example (Fig. 2)
+	}
+	for _, c := range cases {
+		s := []byte(c)
+		got, err := Build(s)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", c, err)
+		}
+		want := naiveSA(s)
+		if !equal32(got, want) {
+			t.Errorf("Build(%q) = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestBuildRejectsBadSentinel(t *testing.T) {
+	if _, err := Build([]byte("")); err == nil {
+		t.Error("Build of empty string: expected error")
+	}
+	if _, err := Build([]byte("A$A")); err == nil {
+		t.Error("Build with interior terminator: expected error")
+	}
+	if _, err := Build([]byte("ABC")); err == nil {
+		// 'C' is the last byte but 'A' < 'C'... actually A > C is false;
+		// bytes before the last must rank ABOVE it, and 'A' < 'C' violates it.
+		t.Error("Build without unique smallest last byte: expected error")
+	}
+}
+
+func TestBuildQuick(t *testing.T) {
+	f := func(core []byte) bool {
+		s := terminated(core)
+		got, err := Build(s)
+		if err != nil {
+			return false
+		}
+		return equal32(got, naiveSA(s))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLCPQuick(t *testing.T) {
+	f := func(core []byte) bool {
+		s := terminated(core)
+		sa, err := Build(s)
+		if err != nil {
+			return false
+		}
+		return equal32(LCP(s, sa), naiveLCP(s, sa))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildWorkloads(t *testing.T) {
+	for _, k := range workload.Kinds {
+		s := workload.MustGenerate(k, 2000, 42)
+		got, err := Build(s)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if want := naiveSA(s); !equal32(got, want) {
+			t.Errorf("%s: SA mismatch", k)
+		}
+	}
+}
+
+func TestBuildLongRepetitive(t *testing.T) {
+	// Deep recursion path for SA-IS: long runs and periodic structure.
+	rng := rand.New(rand.NewSource(7))
+	s := make([]byte, 0, 5001)
+	for len(s) < 5000 {
+		r := rng.Intn(3)
+		switch r {
+		case 0:
+			for i := 0; i < 50; i++ {
+				s = append(s, 'A')
+			}
+		case 1:
+			for i := 0; i < 30; i++ {
+				s = append(s, "AB"[i%2])
+			}
+		default:
+			s = append(s, byte('A'+rng.Intn(4)))
+		}
+	}
+	s = append(s, '$')
+	got, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := naiveSA(s); !equal32(got, want) {
+		t.Error("SA mismatch on repetitive input")
+	}
+}
+
+func equal32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,96 @@
+package suffixtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"era/internal/seq"
+)
+
+// Serialization format (little endian):
+//
+//	magic   uint32  'ERAT'
+//	version uint32  1
+//	strLen  uint32  length of S the tree was built over (consistency check)
+//	nNodes  uint32
+//	nodes   nNodes × 6 × int32 (start, end, parent, firstChild, nextSib, suffix)
+//
+// The string itself is not serialized; the reader supplies it. This mirrors
+// the paper's layout where the tree and the string are separate disk files.
+const (
+	magic   = 0x45524154 // "ERAT"
+	version = 1
+)
+
+// WriteTo serializes the tree. It satisfies io.WriterTo.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], version)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(t.s.Len()))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(t.nodes)))
+	var total int64
+	n, err := w.Write(hdr)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+
+	// Chunked node encoding to keep allocations bounded.
+	const chunk = 4096
+	buf := make([]byte, 0, chunk*NodeSize)
+	for i, nd := range t.nodes {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(nd.start))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(nd.end))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(nd.parent))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(nd.firstChild))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(nd.nextSib))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(nd.suffix))
+		if len(buf) == cap(buf) || i == len(t.nodes)-1 {
+			n, err := w.Write(buf)
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+			buf = buf[:0]
+		}
+	}
+	return total, nil
+}
+
+// Read deserializes a tree previously written with WriteTo. The supplied
+// string must have the same length as the one the tree was built over.
+func Read(r io.Reader, s seq.String) (*Tree, error) {
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("suffixtree: reading header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != magic {
+		return nil, fmt.Errorf("suffixtree: bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version {
+		return nil, fmt.Errorf("suffixtree: unsupported version %d", v)
+	}
+	if l := binary.LittleEndian.Uint32(hdr[8:]); int(l) != s.Len() {
+		return nil, fmt.Errorf("suffixtree: tree built over string of length %d, got %d", l, s.Len())
+	}
+	nNodes := binary.LittleEndian.Uint32(hdr[12:])
+
+	t := &Tree{s: s, nodes: make([]node, nNodes)}
+	buf := make([]byte, NodeSize)
+	for i := range t.nodes {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("suffixtree: reading node %d: %w", i, err)
+		}
+		t.nodes[i] = node{
+			start:      int32(binary.LittleEndian.Uint32(buf[0:])),
+			end:        int32(binary.LittleEndian.Uint32(buf[4:])),
+			parent:     int32(binary.LittleEndian.Uint32(buf[8:])),
+			firstChild: int32(binary.LittleEndian.Uint32(buf[12:])),
+			nextSib:    int32(binary.LittleEndian.Uint32(buf[16:])),
+			suffix:     int32(binary.LittleEndian.Uint32(buf[20:])),
+		}
+	}
+	return t, nil
+}

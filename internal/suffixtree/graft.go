@@ -1,0 +1,92 @@
+package suffixtree
+
+import "fmt"
+
+// Graft merges a sub-tree into t.
+//
+// ERA and WaveFront build one independent sub-tree per variable-length
+// S-prefix and assemble them under a small trie at the top (§4, Fig. 3).
+// Graft performs that assembly: st must be built over the same string as t
+// and have a root with exactly one outgoing edge (the sub-tree root edge,
+// whose label starts with the sub-tree's S-prefix). The edge is walked
+// against t's existing top trie, splitting where it diverges, and the
+// sub-tree's nodes are adopted wholesale.
+//
+// Because the S-prefix set produced by vertical partitioning is prefix-free,
+// the walk always terminates strictly inside the grafted edge's label.
+func (t *Tree) Graft(st *Tree) error {
+	if st.s.Len() != t.s.Len() {
+		return fmt.Errorf("suffixtree: graft across different strings (lengths %d and %d)", st.s.Len(), t.s.Len())
+	}
+	e := st.nodes[st.Root()].firstChild
+	if e == None {
+		return fmt.Errorf("suffixtree: grafted sub-tree is empty")
+	}
+	if st.nodes[e].nextSib != None {
+		return fmt.Errorf("suffixtree: grafted sub-tree root has more than one edge")
+	}
+
+	labelStart, labelEnd := st.nodes[e].start, st.nodes[e].end
+	cur := t.Root()
+	var d int32 // symbols of the grafted edge label matched so far
+	for {
+		if labelStart+d >= labelEnd {
+			return fmt.Errorf("suffixtree: grafted edge label exhausted during walk (prefix set not prefix-free?)")
+		}
+		sym := t.s.At(int(labelStart + d))
+		c := t.Child(cur, sym)
+		if c == None {
+			adopted := t.adopt(st, e, d)
+			return t.AttachSorted(cur, adopted)
+		}
+		// Match along c's edge label.
+		cs, ce := t.nodes[c].start, t.nodes[c].end
+		k := int32(0)
+		for cs+k < ce && labelStart+d+k < labelEnd && t.s.At(int(cs+k)) == t.s.At(int(labelStart+d+k)) {
+			k++
+		}
+		switch {
+		case cs+k == ce:
+			// Whole trie edge matched; descend.
+			cur = c
+			d += k
+		case labelStart+d+k == labelEnd:
+			return fmt.Errorf("suffixtree: grafted edge label is a prefix of an existing path")
+		default:
+			// Diverged inside c's edge: split and attach.
+			m := t.SplitEdge(c, k)
+			adopted := t.adopt(st, e, d+k)
+			return t.AttachSorted(m, adopted)
+		}
+	}
+}
+
+// adopt copies every node of st except its root into t, remapping ids, and
+// returns the new id of node e (the sub-tree root edge's child) with its
+// edge start advanced by trim symbols. The returned node is detached; the
+// caller links it.
+func (t *Tree) adopt(st *Tree, e int32, trim int32) int32 {
+	base := int32(len(t.nodes)) - 1 // old id i (≥1) becomes base+i
+	remap := func(id int32) int32 {
+		if id == None || id == 0 {
+			return None
+		}
+		return base + id
+	}
+	for i := 1; i < len(st.nodes); i++ {
+		n := st.nodes[i]
+		t.nodes = append(t.nodes, node{
+			start:      n.start,
+			end:        n.end,
+			parent:     remap(n.parent),
+			firstChild: remap(n.firstChild),
+			nextSib:    remap(n.nextSib),
+			suffix:     n.suffix,
+		})
+	}
+	ne := remap(e)
+	t.nodes[ne].start += trim
+	t.nodes[ne].parent = None
+	t.nodes[ne].nextSib = None
+	return ne
+}

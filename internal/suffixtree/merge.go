@@ -1,0 +1,129 @@
+package suffixtree
+
+import "fmt"
+
+// Merge folds src into dst. Both trees must be built over the same string
+// and index disjoint suffix sets (the TRELLIS situation: one sub-tree per
+// string partition, merged pairwise into the final tree). Edges are split
+// where paths diverge and whole sub-trees are adopted where dst has no
+// competing path.
+//
+// It returns the number of node-touch operations performed — the quantity
+// TRELLIS pays random I/O for when the trees exceed memory (§3: "the merging
+// phase generates a lot of random disk I/Os").
+func (t *Tree) Merge(src *Tree) (int64, error) {
+	if src.s.Len() != t.s.Len() {
+		return 0, fmt.Errorf("suffixtree: merge across different strings (lengths %d and %d)", src.s.Len(), t.s.Len())
+	}
+	var ops int64
+	// Insert every child edge of src's root.
+	for c := src.nodes[src.Root()].firstChild; c != None; c = src.nodes[c].nextSib {
+		n, err := t.insertSubtreeAt(src, c, 0, t.Root())
+		ops += n
+		if err != nil {
+			return ops, err
+		}
+	}
+	return ops, nil
+}
+
+// insertSubtreeAt inserts src's node e (with `trim` symbols of its edge
+// label already consumed) into t, walking down from dst node at. Where the
+// label diverges from an existing edge, the edge is split; where the walk
+// falls off the tree, e's remaining subtree is adopted wholesale; where e's
+// label ends exactly at an existing node, e's children are merged
+// recursively.
+func (t *Tree) insertSubtreeAt(src *Tree, e int32, trim int32, at int32) (int64, error) {
+	var ops int64
+	labelStart := src.nodes[e].start + trim
+	labelEnd := src.nodes[e].end
+	cur := at
+	for {
+		ops++
+		sym := t.s.At(int(labelStart))
+		d := t.Child(cur, sym)
+		if d == None {
+			adopted := t.adoptDeep(src, e, labelStart-src.nodes[e].start, &ops)
+			return ops, t.AttachSorted(cur, adopted)
+		}
+		ds, de := t.nodes[d].start, t.nodes[d].end
+		k := int32(0)
+		for ds+k < de && labelStart+k < labelEnd && t.s.At(int(ds+k)) == t.s.At(int(labelStart+k)) {
+			k++
+			ops++
+		}
+		switch {
+		case ds+k == de && labelStart+k == labelEnd:
+			if src.IsLeaf(e) {
+				return ops, fmt.Errorf("suffixtree: duplicate suffix %d during merge", src.nodes[e].suffix)
+			}
+			for c := src.nodes[e].firstChild; c != None; c = src.nodes[c].nextSib {
+				n, err := t.insertSubtreeAt(src, c, 0, d)
+				ops += n
+				if err != nil {
+					return ops, err
+				}
+			}
+			return ops, nil
+		case ds+k == de:
+			cur = d
+			labelStart += k
+		case labelStart+k == labelEnd:
+			m := t.SplitEdge(d, k)
+			ops++
+			if src.IsLeaf(e) {
+				return ops, fmt.Errorf("suffixtree: leaf label is a prefix of an existing path (non-terminated string?)")
+			}
+			for c := src.nodes[e].firstChild; c != None; c = src.nodes[c].nextSib {
+				n, err := t.insertSubtreeAt(src, c, 0, m)
+				ops += n
+				if err != nil {
+					return ops, err
+				}
+			}
+			return ops, nil
+		default:
+			m := t.SplitEdge(d, k)
+			ops++
+			adopted := t.adoptDeep(src, e, labelStart+k-src.nodes[e].start, &ops)
+			return ops, t.AttachSorted(m, adopted)
+		}
+	}
+}
+
+// adoptDeep copies the subtree rooted at src node e into t, trimming the
+// first `trim` symbols of e's edge label, and returns the new (detached)
+// node id.
+func (t *Tree) adoptDeep(src *Tree, e int32, trim int32, ops *int64) int32 {
+	type item struct {
+		srcID  int32
+		dstPar int32 // None for the subtree root
+	}
+	root := int32(None)
+	stack := []item{{e, None}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := src.nodes[it.srcID]
+		start := n.start
+		if it.srcID == e {
+			start += trim
+		}
+		id := t.NewNode(start, n.end, n.suffix)
+		*ops++
+		if it.dstPar == None {
+			root = id
+		} else {
+			t.AttachLast(it.dstPar, id)
+		}
+		// Push children in reverse so AttachLast preserves sibling order.
+		var kids []int32
+		for c := n.firstChild; c != None; c = src.nodes[c].nextSib {
+			kids = append(kids, c)
+		}
+		for i := len(kids) - 1; i >= 0; i-- {
+			stack = append(stack, item{kids[i], id})
+		}
+	}
+	return root
+}

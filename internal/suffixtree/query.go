@@ -1,0 +1,131 @@
+package suffixtree
+
+// Locus is the position reached by matching a pattern into the tree: the
+// node whose edge the match ends on, and how many symbols of that node's
+// edge label were consumed.
+type Locus struct {
+	Node  int32
+	Depth int32 // symbols consumed on Node's edge label (0 < Depth ≤ EdgeLen except at root)
+}
+
+// Find matches pattern from the root and returns the locus where the match
+// ends, or ok=false if the pattern does not occur in S.
+func (t *Tree) Find(pattern []byte) (Locus, bool) {
+	cur := t.Root()
+	i := 0
+	for i < len(pattern) {
+		c := t.Child(cur, pattern[i])
+		if c == None {
+			return Locus{}, false
+		}
+		cs, ce := t.nodes[c].start, t.nodes[c].end
+		k := int32(0)
+		for cs+k < ce && i < len(pattern) {
+			if t.s.At(int(cs+k)) != pattern[i] {
+				return Locus{}, false
+			}
+			k++
+			i++
+		}
+		if i == len(pattern) {
+			return Locus{Node: c, Depth: k}, true
+		}
+		cur = c
+	}
+	return Locus{Node: cur, Depth: t.EdgeLen(cur)}, true
+}
+
+// Contains reports whether pattern occurs in S. With the tree built, this is
+// the O(|P|) search the paper motivates in §1.
+func (t *Tree) Contains(pattern []byte) bool {
+	_, ok := t.Find(pattern)
+	return ok
+}
+
+// Occurrences returns the start offsets of every occurrence of pattern in S,
+// in lexicographic order of the suffixes that extend it. Returns nil if the
+// pattern does not occur.
+func (t *Tree) Occurrences(pattern []byte) []int32 {
+	loc, ok := t.Find(pattern)
+	if !ok {
+		return nil
+	}
+	return t.Leaves(loc.Node)
+}
+
+// Count returns the number of occurrences of pattern in S.
+func (t *Tree) Count(pattern []byte) int {
+	loc, ok := t.Find(pattern)
+	if !ok {
+		return 0
+	}
+	return t.CountLeaves(loc.Node)
+}
+
+// LongestRepeatedSubstring returns the longest substring of S occurring at
+// least twice, with the offsets of its occurrences. Ties break toward the
+// lexicographically smallest. It is the path label of the deepest internal
+// node.
+func (t *Tree) LongestRepeatedSubstring() ([]byte, []int32) {
+	best, bestDepth := None, int32(0)
+	t.WalkDFS(t.Root(), func(id, depth int32) bool {
+		if !t.IsLeaf(id) && id != t.Root() && depth > bestDepth {
+			best, bestDepth = id, depth
+		}
+		return true
+	})
+	if best == None {
+		return nil, nil
+	}
+	return t.PathLabel(best), t.Leaves(best)
+}
+
+// MaximalRepeats calls fn for every internal node whose path label has
+// length ≥ minLen and occurs at least minOcc times, passing the label depth
+// and occurrence count. Traversal order is DFS. If fn returns false the
+// subtree is skipped. Used by the time-series motif example.
+func (t *Tree) MaximalRepeats(minLen int32, minOcc int, fn func(node int32, depth int32, occ int) bool) {
+	// Precompute leaf counts bottom-up to avoid quadratic re-counting.
+	counts := make([]int, len(t.nodes))
+	t.countLeavesInto(counts)
+	t.WalkDFS(t.Root(), func(id, depth int32) bool {
+		if id == t.Root() || t.IsLeaf(id) {
+			return true
+		}
+		if depth >= minLen && counts[id] >= minOcc {
+			return fn(id, depth, counts[id])
+		}
+		return true
+	})
+}
+
+// countLeavesInto fills counts[u] with the number of leaves below u, for all u.
+func (t *Tree) countLeavesInto(counts []int) {
+	// Iterative post-order over the node array: children have larger ids
+	// than parents only for builder-emitted trees, which is not guaranteed
+	// after grafting, so walk explicitly.
+	type frame struct {
+		id      int32
+		visited bool
+	}
+	stack := []frame{{t.Root(), false}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.visited {
+			n := 0
+			if t.IsLeaf(f.id) {
+				n = 1
+			}
+			for c := t.nodes[f.id].firstChild; c != None; c = t.nodes[c].nextSib {
+				n += counts[c]
+			}
+			counts[f.id] = n
+			continue
+		}
+		stack = append(stack, frame{f.id, true})
+		for c := t.nodes[f.id].firstChild; c != None; c = t.nodes[c].nextSib {
+			stack = append(stack, frame{c, false})
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package suffixtree
+
+import "fmt"
+
+// Validate checks the structural suffix-tree invariants from §2 of the paper
+// against the underlying string:
+//
+//  1. links are consistent (parent/child/sibling agree, no cycles, every
+//     node except the root reachable exactly once);
+//  2. every internal node other than the root has ≥ 2 children;
+//  3. sibling edges start with strictly increasing symbols;
+//  4. every edge label is a real substring occurrence: for a leaf with
+//     suffix offset o, the concatenated root-to-leaf labels spell exactly
+//     S[o:]; internal edges are consistent with every leaf below them.
+//
+// If full is true it additionally checks the tree indexes *all* suffixes:
+// exactly Len(S) leaves whose offsets are a permutation of 0..Len(S)-1.
+// Sub-trees (one S-prefix) are validated with full=false.
+func (t *Tree) Validate(full bool) error {
+	n := t.s.Len()
+	seen := make([]bool, len(t.nodes))
+	var leafOffsets []int32
+
+	type frame struct {
+		id    int32
+		depth int32
+	}
+	stack := []frame{{t.Root(), 0}}
+	seen[t.Root()] = true
+	if t.EdgeLen(t.Root()) != 0 {
+		return fmt.Errorf("suffixtree: root has a non-empty edge label")
+	}
+
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		u := f.id
+
+		nchild := 0
+		prevSym := -1
+		for c := t.nodes[u].firstChild; c != None; c = t.nodes[c].nextSib {
+			if c < 0 || int(c) >= len(t.nodes) {
+				return fmt.Errorf("suffixtree: node %d links to out-of-range child %d", u, c)
+			}
+			if seen[c] {
+				return fmt.Errorf("suffixtree: node %d reached twice", c)
+			}
+			seen[c] = true
+			if t.nodes[c].parent != u {
+				return fmt.Errorf("suffixtree: node %d has parent %d, expected %d", c, t.nodes[c].parent, u)
+			}
+			if t.EdgeLen(c) <= 0 {
+				return fmt.Errorf("suffixtree: node %d has empty edge label", c)
+			}
+			if t.nodes[c].start < 0 || int(t.nodes[c].end) > n {
+				return fmt.Errorf("suffixtree: node %d edge [%d,%d) outside string of length %d",
+					c, t.nodes[c].start, t.nodes[c].end, n)
+			}
+			sym := int(t.firstSymbol(c))
+			if sym <= prevSym {
+				return fmt.Errorf("suffixtree: children of node %d not in strictly increasing symbol order", u)
+			}
+			prevSym = sym
+			nchild++
+			stack = append(stack, frame{c, f.depth + t.EdgeLen(c)})
+		}
+
+		switch {
+		case t.IsLeaf(u) && u != t.Root():
+			o := t.nodes[u].suffix
+			if o < 0 || int(o) >= n {
+				return fmt.Errorf("suffixtree: leaf %d has invalid suffix offset %d", u, o)
+			}
+			if int(o)+int(f.depth) != n {
+				return fmt.Errorf("suffixtree: leaf %d for suffix %d has path length %d, expected %d",
+					u, o, f.depth, n-int(o))
+			}
+			if err := t.checkPathSpells(u, o); err != nil {
+				return err
+			}
+			leafOffsets = append(leafOffsets, o)
+		case u != t.Root() && nchild < 2:
+			return fmt.Errorf("suffixtree: internal node %d has %d children (needs ≥ 2)", u, nchild)
+		case !t.IsLeaf(u) && t.nodes[u].suffix >= 0:
+			return fmt.Errorf("suffixtree: internal node %d carries suffix label %d", u, t.nodes[u].suffix)
+		}
+	}
+
+	for id, ok := range seen {
+		if !ok {
+			return fmt.Errorf("suffixtree: node %d unreachable from root", id)
+		}
+	}
+
+	if full {
+		if len(leafOffsets) != n {
+			return fmt.Errorf("suffixtree: %d leaves, expected %d", len(leafOffsets), n)
+		}
+		present := make([]bool, n)
+		for _, o := range leafOffsets {
+			if present[o] {
+				return fmt.Errorf("suffixtree: suffix %d indexed twice", o)
+			}
+			present[o] = true
+		}
+	}
+	return nil
+}
+
+// checkPathSpells verifies that the root-to-leaf concatenated edge labels
+// equal S[o:], by walking up from the leaf.
+func (t *Tree) checkPathSpells(leaf int32, o int32) error {
+	n := int32(t.s.Len())
+	end := n
+	for u := leaf; u != t.Root(); u = t.nodes[u].parent {
+		l := t.EdgeLen(u)
+		from := end - l
+		// Compare edge label against the corresponding window of suffix o.
+		for i := int32(0); i < l; i++ {
+			want := t.s.At(int(from + i))
+			got := t.s.At(int(t.nodes[u].start + i))
+			if got != want {
+				return fmt.Errorf("suffixtree: leaf %d suffix %d: edge of node %d mismatches at path offset %d: %q != %q",
+					leaf, o, u, from+i-o, got, want)
+			}
+		}
+		end = from
+	}
+	if end != o {
+		return fmt.Errorf("suffixtree: leaf %d: path spells S[%d:], expected S[%d:]", leaf, end, o)
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+// Package trellis implements the TRELLIS baseline (Phoophakdee & Zaki,
+// SIGMOD'07), the semi-disk-based competitor in the ERA paper's evaluation.
+//
+// TRELLIS partitions the input string, builds the suffix sub-tree of each
+// partition's suffixes independently in memory, stores the sub-trees on
+// disk, and merges them into the final tree in a second phase. It performs
+// well while the string fits in memory, but the merge phase touches the
+// stored sub-trees — roughly 26× the input size — in random order, which is
+// why it collapses when memory is short (§3; the Fig. 10(a) plot only starts
+// at 4 GB, the smallest memory that holds the genome).
+package trellis
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"era/internal/seq"
+	"era/internal/sim"
+	"era/internal/suffixtree"
+)
+
+// ErrStringTooLarge is returned when the input string does not fit in the
+// memory budget; TRELLIS fundamentally needs the string resident (§3).
+var ErrStringTooLarge = errors.New("trellis: input string exceeds the memory budget")
+
+// Options configure a TRELLIS build.
+type Options struct {
+	// MemoryBudget in bytes; must hold the whole (packed) string plus one
+	// partition's sub-tree.
+	MemoryBudget int64
+	// Assemble keeps the merged tree for queries/validation.
+	Assemble bool
+}
+
+// Stats reports the accounted work.
+type Stats struct {
+	VirtualTime time.Duration
+	Partitions  int
+	TreeNodes   int64
+	MergeOps    int64 // node touches during the merge phase
+	MergeFaults int64 // modeled random block loads during the merge
+}
+
+// Result of a TRELLIS build.
+type Result struct {
+	Tree  *suffixtree.Tree
+	Stats Stats
+}
+
+// BuildSerial runs TRELLIS over the on-disk string f.
+func BuildSerial(f *seq.File, opts Options) (*Result, error) {
+	if opts.MemoryBudget <= 0 {
+		return nil, fmt.Errorf("trellis: Options.MemoryBudget is required")
+	}
+	model := f.Disk().Model()
+	clock := new(sim.Clock)
+	n := f.Len()
+
+	// The string must be memory-resident. The released TRELLIS
+	// implementation stores it unpacked (one byte per symbol), which is why
+	// the paper's genome runs only start at 4 GB of RAM (Fig. 10(a)).
+	residentString := int64(n)
+	if residentString > opts.MemoryBudget {
+		return nil, fmt.Errorf("%w: %d resident bytes > budget %d", ErrStringTooLarge, residentString, opts.MemoryBudget)
+	}
+	budgetForTree := opts.MemoryBudget - residentString
+	if budgetForTree < 4*suffixtree.NodeSize {
+		return nil, fmt.Errorf("%w: no room for any sub-tree", ErrStringTooLarge)
+	}
+
+	// Load the string into memory: one sequential read of S.
+	sc, err := f.NewScanner(clock, seq.ScannerConfig{BufSize: 1 << 20})
+	if err != nil {
+		return nil, err
+	}
+	if err := readThrough(sc, n); err != nil {
+		return nil, err
+	}
+	view, err := f.View()
+	if err != nil {
+		return nil, err
+	}
+
+	// Partition so each sub-tree (~2 nodes/suffix) fits in what memory the
+	// string leaves over.
+	suffixesPerPart := int(budgetForTree / (2 * suffixtree.NodeSize))
+	if suffixesPerPart < 1 {
+		return nil, ErrStringTooLarge
+	}
+	k := (n + suffixesPerPart - 1) / suffixesPerPart
+	res := &Result{}
+	res.Stats.Partitions = k
+
+	// Phase 1: per-partition sub-trees, built in memory by suffix
+	// insertion, then serialized (sequential writes).
+	var parts []*suffixtree.Tree
+	var treeBytes int64
+	var cpuOps int64
+	for p := 0; p < k; p++ {
+		lo := p * suffixesPerPart
+		hi := lo + suffixesPerPart
+		if hi > n {
+			hi = n
+		}
+		t := suffixtree.New(view)
+		for o := lo; o < hi; o++ {
+			ops, err := insertSuffix(t, view, int32(o), int32(n))
+			cpuOps += ops
+			if err != nil {
+				return nil, err
+			}
+		}
+		name := fmt.Sprintf("trellis-part%04d.st", p)
+		w := f.Disk().Create(name, clock)
+		if _, err := t.WriteTo(w); err != nil {
+			return nil, err
+		}
+		treeBytes += t.SizeBytes()
+		parts = append(parts, t)
+	}
+	clock.Advance(model.RandomCPUTime(cpuOps)) // tree insertion chases pointers
+
+	// Phase 2: merge the stored sub-trees. The merge walks nodes of all
+	// sub-trees in an order driven by the tree shape, not the disk layout:
+	// every touch beyond what the memory can cache is a random block load.
+	final := parts[0]
+	var mergeOps int64
+	for p := 1; p < len(parts); p++ {
+		ops, err := final.Merge(parts[p])
+		mergeOps += ops
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Stats.MergeOps = mergeOps
+	clock.Advance(model.RandomCPUTime(mergeOps))
+
+	// Modeled merge I/O: all sub-tree bytes are re-read and the final tree
+	// written; the portion of the working set that exceeds memory is loaded
+	// with one seek per block (the random-I/O collapse of §3).
+	missRatio := 1.0 - float64(budgetForTree)/float64(treeBytes+1)
+	if missRatio < 0 {
+		missRatio = 0
+	}
+	blocks := treeBytes / int64(model.BlockSize)
+	faults := int64(float64(blocks) * missRatio)
+	res.Stats.MergeFaults = faults
+	clock.Advance(model.SeqReadTime(treeBytes))
+	clock.Advance(time.Duration(faults) * model.SeekLatency)
+	clock.Advance(model.SeqWriteTime(final.SizeBytes()))
+
+	res.Stats.TreeNodes = int64(final.NumNodes() - 1)
+	if opts.Assemble {
+		res.Tree = final
+	}
+	for p := 0; p < k; p++ {
+		f.Disk().RemoveFile(fmt.Sprintf("trellis-part%04d.st", p))
+	}
+	res.Stats.VirtualTime = clock.Now()
+	return res, nil
+}
+
+// readThrough streams the whole string once (loading it into memory).
+func readThrough(sc *seq.Scanner, n int) error {
+	sc.Reset()
+	buf := make([]byte, 64*1024)
+	for base := 0; base < n; base += len(buf) {
+		want := len(buf)
+		if base+want > n {
+			want = n - base
+		}
+		if _, err := sc.Fetch(buf[:want], base); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// insertSuffix adds suffix o to t by top-down insertion, returning the node
+// touches performed.
+func insertSuffix(t *suffixtree.Tree, view seq.String, o, n int32) (int64, error) {
+	var ops int64
+	cur := t.Root()
+	i := o
+	for {
+		ops++
+		c := t.Child(cur, view.At(int(i)))
+		if c == suffixtree.None {
+			leaf := t.NewNode(i, n, o)
+			return ops, t.AttachSorted(cur, leaf)
+		}
+		cs, ce := t.EdgeStart(c), t.EdgeEnd(c)
+		k := int32(0)
+		for cs+k < ce && view.At(int(cs+k)) == view.At(int(i+k)) {
+			k++
+			ops++
+		}
+		if cs+k == ce {
+			cur = c
+			i += k
+			continue
+		}
+		m := t.SplitEdge(c, k)
+		leaf := t.NewNode(i+k, n, o)
+		return ops, t.AttachSorted(m, leaf)
+	}
+}

@@ -1,0 +1,92 @@
+package trellis
+
+import (
+	"errors"
+	"testing"
+
+	"era/internal/alphabet"
+	"era/internal/diskio"
+	"era/internal/seq"
+	"era/internal/sim"
+	"era/internal/ukkonen"
+	"era/internal/workload"
+)
+
+func publish(t testing.TB, a *alphabet.Alphabet, data []byte) *seq.File {
+	t.Helper()
+	disk := diskio.NewDisk(sim.DefaultModel())
+	f, err := seq.Publish(disk, "input.seq", a, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestBuildSerialMatchesOracle(t *testing.T) {
+	for _, k := range workload.Kinds {
+		k := k
+		t.Run(string(k), func(t *testing.T) {
+			a, err := workload.AlphabetOf(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := workload.MustGenerate(k, 2000, 9)
+			f := publish(t, a, data)
+			res, err := BuildSerial(f, Options{MemoryBudget: 16 * 1024, Assemble: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Tree.Validate(true); err != nil {
+				t.Fatal(err)
+			}
+			m, err := seq.NewMem(a, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle, err := ukkonen.Build(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := res.Tree.NumNodes(), oracle.NumNodes(); got != want {
+				t.Errorf("node count %d, want %d", got, want)
+			}
+			gl, ol := res.Tree.Leaves(res.Tree.Root()), oracle.Leaves(oracle.Root())
+			for i := range gl {
+				if gl[i] != ol[i] {
+					t.Fatalf("leaf order differs at %d: %d vs %d", i, gl[i], ol[i])
+				}
+			}
+			if res.Stats.Partitions < 2 {
+				t.Errorf("expected multiple partitions, got %d", res.Stats.Partitions)
+			}
+		})
+	}
+}
+
+func TestRejectsStringLargerThanMemory(t *testing.T) {
+	data := workload.MustGenerate(workload.DNA, 8000, 2)
+	f := publish(t, alphabet.DNA, data)
+	// 8000 DNA symbols pack to 2000 bytes; a 1 KB budget cannot hold them.
+	_, err := BuildSerial(f, Options{MemoryBudget: 1024})
+	if !errors.Is(err, ErrStringTooLarge) {
+		t.Fatalf("expected ErrStringTooLarge, got %v", err)
+	}
+}
+
+func TestMergeFaultsGrowWhenMemoryShrinks(t *testing.T) {
+	data := workload.MustGenerate(workload.DNA, 6000, 4)
+	tight, err := BuildSerial(publish(t, alphabet.DNA, data), Options{MemoryBudget: 8 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roomy, err := BuildSerial(publish(t, alphabet.DNA, data), Options{MemoryBudget: 512 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Stats.MergeFaults <= roomy.Stats.MergeFaults {
+		t.Errorf("merge faults: tight %d should exceed roomy %d", tight.Stats.MergeFaults, roomy.Stats.MergeFaults)
+	}
+	if tight.Stats.VirtualTime <= roomy.Stats.VirtualTime {
+		t.Errorf("modeled time: tight %v should exceed roomy %v", tight.Stats.VirtualTime, roomy.Stats.VirtualTime)
+	}
+}

@@ -1,0 +1,63 @@
+// Package ukkonen provides the in-memory suffix tree builders from the
+// paper's taxonomy (Table 2): Ukkonen's O(n) online algorithm, and a naive
+// O(n²) suffix-insertion builder in the style of Hunt's algorithm. Both are
+// baselines and correctness oracles for the out-of-core builders: they touch
+// the string randomly and hold the whole tree in memory, which is exactly
+// the behaviour the paper's §3 identifies as prohibitive beyond memory
+// scale.
+package ukkonen
+
+import (
+	"fmt"
+
+	"era/internal/seq"
+	"era/internal/suffixtree"
+)
+
+// BuildNaive constructs the suffix tree of s by inserting each suffix
+// top-down from the root (O(n²) worst case). It is the simplest correct
+// builder and serves as the oracle for everything else.
+func BuildNaive(s seq.String) (*suffixtree.Tree, error) {
+	n := s.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("ukkonen: empty string")
+	}
+	t := suffixtree.New(s)
+	for o := 0; o < n; o++ {
+		if err := insertSuffix(t, s, int32(o)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// insertSuffix walks S[o:] down the tree, splitting an edge at the first
+// divergence and attaching a new leaf. The unique terminator guarantees no
+// suffix is a prefix of another, so the walk always diverges.
+func insertSuffix(t *suffixtree.Tree, s seq.String, o int32) error {
+	n := int32(s.Len())
+	cur := t.Root()
+	i := o // next unmatched symbol of the suffix
+	for {
+		c := t.Child(cur, s.At(int(i)))
+		if c == suffixtree.None {
+			leaf := t.NewNode(i, n, o)
+			return t.AttachSorted(cur, leaf)
+		}
+		cs, ce := t.EdgeStart(c), t.EdgeEnd(c)
+		k := int32(0)
+		for cs+k < ce && s.At(int(cs+k)) == s.At(int(i+k)) {
+			k++
+		}
+		if cs+k == ce {
+			// Full edge matched; descend.
+			cur = c
+			i += k
+			continue
+		}
+		// Diverged inside the edge.
+		m := t.SplitEdge(c, k)
+		leaf := t.NewNode(i+k, n, o)
+		return t.AttachSorted(m, leaf)
+	}
+}

@@ -1,0 +1,180 @@
+package ukkonen
+
+import (
+	"fmt"
+	"sort"
+
+	"era/internal/seq"
+	"era/internal/suffixtree"
+)
+
+// Build constructs the suffix tree of s with Ukkonen's online algorithm
+// (O(n) time for constant alphabets). The returned tree uses the shared
+// suffixtree.Tree representation with children in canonical sorted order.
+//
+// This is the paper's archetypal in-memory algorithm (Table 2): linear time
+// but poor locality of reference — node accesses follow suffix links across
+// the whole tree, which is why it degrades once the tree exceeds memory.
+func Build(s seq.String) (*suffixtree.Tree, error) {
+	n := s.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("ukkonen: empty string")
+	}
+	u := &builder{s: s, n: int32(n)}
+	u.run()
+	return u.convert()
+}
+
+// unode is a node in Ukkonen's working representation: children keyed by
+// first symbol, open-ended leaf edges, suffix links.
+type unode struct {
+	start    int32
+	end      int32 // -1 = open (leaf edge, extends to the current phase end)
+	children map[byte]int32
+	link     int32
+}
+
+type builder struct {
+	s     seq.String
+	n     int32
+	nodes []unode
+
+	// Active point.
+	activeNode int32
+	activeEdge int32 // offset in s of the active edge's first symbol
+	activeLen  int32
+
+	remainder int32
+	leafEnd   int32
+	needLink  int32
+}
+
+func (u *builder) newNode(start, end int32) int32 {
+	u.nodes = append(u.nodes, unode{start: start, end: end, link: 0})
+	return int32(len(u.nodes) - 1)
+}
+
+func (u *builder) edgeLen(v int32) int32 {
+	nd := &u.nodes[v]
+	end := nd.end
+	if end == -1 {
+		end = u.leafEnd + 1
+	}
+	return end - nd.start
+}
+
+func (u *builder) child(v int32, c byte) (int32, bool) {
+	w, ok := u.nodes[v].children[c]
+	return w, ok
+}
+
+func (u *builder) setChild(v int32, c byte, w int32) {
+	if u.nodes[v].children == nil {
+		u.nodes[v].children = make(map[byte]int32)
+	}
+	u.nodes[v].children[c] = w
+}
+
+func (u *builder) addLink(v int32) {
+	if u.needLink > 0 {
+		u.nodes[u.needLink].link = v
+	}
+	u.needLink = v
+}
+
+func (u *builder) run() {
+	u.newNode(0, 0) // root = 0
+	u.activeNode = 0
+
+	for i := int32(0); i < u.n; i++ {
+		u.leafEnd = i
+		u.remainder++
+		u.needLink = 0
+		c := u.s.At(int(i))
+
+		for u.remainder > 0 {
+			if u.activeLen == 0 {
+				u.activeEdge = i
+			}
+			edgeSym := u.s.At(int(u.activeEdge))
+			next, ok := u.child(u.activeNode, edgeSym)
+			if !ok {
+				// Rule 2: new leaf from activeNode.
+				leaf := u.newNode(i, -1)
+				u.setChild(u.activeNode, edgeSym, leaf)
+				u.addLink(u.activeNode)
+			} else {
+				// Walk down if the active length spills past this edge.
+				if el := u.edgeLen(next); u.activeLen >= el {
+					u.activeNode = next
+					u.activeEdge += el
+					u.activeLen -= el
+					continue
+				}
+				if u.s.At(int(u.nodes[next].start+u.activeLen)) == c {
+					// Rule 3: already present; move the active point and stop.
+					u.activeLen++
+					u.addLink(u.activeNode)
+					break
+				}
+				// Rule 2 with split.
+				split := u.newNode(u.nodes[next].start, u.nodes[next].start+u.activeLen)
+				u.setChild(u.activeNode, edgeSym, split)
+				leaf := u.newNode(i, -1)
+				u.setChild(split, c, leaf)
+				u.nodes[next].start += u.activeLen
+				u.setChild(split, u.s.At(int(u.nodes[next].start)), next)
+				u.addLink(split)
+			}
+			u.remainder--
+			if u.activeNode == 0 && u.activeLen > 0 {
+				u.activeLen--
+				u.activeEdge = i - u.remainder + 1
+			} else if u.activeNode != 0 {
+				u.activeNode = u.nodes[u.activeNode].link
+			}
+		}
+	}
+}
+
+// convert rewrites the working representation into the canonical
+// suffixtree.Tree, closing open edges at n, ordering children by symbol, and
+// assigning leaf suffix offsets from path depth.
+func (u *builder) convert() (*suffixtree.Tree, error) {
+	t := suffixtree.New(u.s)
+	type frame struct {
+		src   int32 // node in u
+		dst   int32 // node in t
+		depth int32
+	}
+	stack := []frame{{0, t.Root(), 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		syms := make([]byte, 0, len(u.nodes[f.src].children))
+		for c := range u.nodes[f.src].children {
+			syms = append(syms, c)
+		}
+		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+		// Reverse push so the smallest symbol is processed first; order in
+		// the destination is maintained by AttachLast.
+		for _, c := range syms {
+			src := u.nodes[f.src].children[c]
+			start := u.nodes[src].start
+			end := u.nodes[src].end
+			if end == -1 {
+				end = u.n
+			}
+			depth := f.depth + (end - start)
+			suffix := int32(-1)
+			if len(u.nodes[src].children) == 0 {
+				suffix = u.n - depth
+			}
+			dst := t.NewNode(start, end, suffix)
+			t.AttachLast(f.dst, dst)
+			stack = append(stack, frame{src, dst, depth})
+		}
+	}
+	return t, nil
+}

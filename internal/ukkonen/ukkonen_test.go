@@ -1,0 +1,210 @@
+package ukkonen
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"era/internal/alphabet"
+	"era/internal/seq"
+	"era/internal/suffixarray"
+	"era/internal/suffixtree"
+	"era/internal/workload"
+)
+
+func memString(t *testing.T, s string) *seq.Mem {
+	t.Helper()
+	m, err := seq.NewMem(alphabet.DNA, []byte(s))
+	if err != nil {
+		t.Fatalf("NewMem(%q): %v", s, err)
+	}
+	return m
+}
+
+func TestBuildNaiveValidates(t *testing.T) {
+	for _, c := range []string{"$", "A$", "ACGT$", "AAAA$", "GATTACA$", "TGGTGGTGGTGCGGTGATGGTGC$"} {
+		tr, err := BuildNaive(memString(t, c))
+		if err != nil {
+			t.Fatalf("BuildNaive(%q): %v", c, err)
+		}
+		if err := tr.Validate(true); err != nil {
+			t.Errorf("BuildNaive(%q): %v", c, err)
+		}
+	}
+}
+
+func TestUkkonenValidates(t *testing.T) {
+	for _, c := range []string{"$", "A$", "ACGT$", "AAAA$", "GATTACA$", "TGGTGGTGGTGCGGTGATGGTGC$"} {
+		tr, err := Build(memString(t, c))
+		if err != nil {
+			t.Fatalf("Build(%q): %v", c, err)
+		}
+		if err := tr.Validate(true); err != nil {
+			t.Errorf("Build(%q): %v", c, err)
+		}
+	}
+}
+
+// TreesEquivalent reports whether two trees over the same string have
+// identical shape: same DFS structure, edge labels, and leaf labels.
+func TreesEquivalent(a, b *suffixtree.Tree) bool {
+	type sig struct {
+		depth  int32
+		label  string
+		suffix int32
+	}
+	collect := func(t *suffixtree.Tree) []sig {
+		var out []sig
+		t.WalkDFS(t.Root(), func(id, depth int32) bool {
+			out = append(out, sig{depth, string(t.Label(id)), t.Suffix(id)})
+			return true
+		})
+		return out
+	}
+	sa, sb := collect(a), collect(b)
+	if len(sa) != len(sb) {
+		return false
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUkkonenMatchesNaive(t *testing.T) {
+	for _, k := range workload.Kinds {
+		a, err := workload.AlphabetOf(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := workload.MustGenerate(k, 1500, 99)
+		m, err := seq.NewMem(a, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn, err := BuildNaive(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tu, err := Build(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !TreesEquivalent(tn, tu) {
+			t.Errorf("%s: Ukkonen tree differs from naive tree", k)
+		}
+	}
+}
+
+func TestUkkonenQuick(t *testing.T) {
+	f := func(core []byte) bool {
+		data := make([]byte, len(core)+1)
+		for i, c := range core {
+			data[i] = "ACGT"[c%4]
+		}
+		data[len(core)] = alphabet.Terminator
+		m, err := seq.NewMem(alphabet.DNA, data)
+		if err != nil {
+			return false
+		}
+		tu, err := Build(m)
+		if err != nil {
+			return false
+		}
+		if tu.Validate(true) != nil {
+			return false
+		}
+		// Leaf order must equal the suffix array.
+		sa, err := suffixarray.Build(data)
+		if err != nil {
+			return false
+		}
+		leaves := tu.Leaves(tu.Root())
+		if len(leaves) != len(sa) {
+			return false
+		}
+		for i := range sa {
+			if leaves[i] != sa[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueries(t *testing.T) {
+	data := []byte("TGGTGGTGGTGCGGTGATGGTGC$")
+	m, err := seq.NewMem(alphabet.DNA, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := tr.Count([]byte("TG")); got != 7 {
+		t.Errorf("Count(TG) = %d, want 7 (paper Table 1)", got)
+	}
+	occ := tr.Occurrences([]byte("TG"))
+	want := map[int32]bool{0: true, 3: true, 6: true, 9: true, 14: true, 17: true, 20: true}
+	if len(occ) != len(want) {
+		t.Fatalf("Occurrences(TG) = %v, want offsets %v", occ, want)
+	}
+	for _, o := range occ {
+		if !want[o] {
+			t.Errorf("unexpected occurrence %d", o)
+		}
+	}
+	if !tr.Contains([]byte("GGTGATG")) {
+		t.Error("Contains(GGTGATG) = false, want true")
+	}
+	if tr.Contains([]byte("TGT")) {
+		t.Error("Contains(TGT) = true, want false (paper: fTGT = 0)")
+	}
+	if tr.Count([]byte("")) != m.Len() {
+		t.Errorf("Count(empty) = %d, want %d", tr.Count([]byte("")), m.Len())
+	}
+
+	lrs, occs := tr.LongestRepeatedSubstring()
+	// TGGTGGTG occurs at 0 and 3 (paper: B[6] offset 8 under our order).
+	if !bytes.Equal(lrs, []byte("TGGTGGTG")) {
+		t.Errorf("LongestRepeatedSubstring = %q, want TGGTGGTG", lrs)
+	}
+	if len(occs) != 2 {
+		t.Errorf("LRS occurrences = %v, want 2 entries", occs)
+	}
+}
+
+func BenchmarkUkkonen(b *testing.B) {
+	data := workload.MustGenerate(workload.DNA, 100_000, 7)
+	m, err := seq.NewMem(alphabet.DNA, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNaive(b *testing.B) {
+	data := workload.MustGenerate(workload.DNA, 100_000, 7)
+	m, err := seq.NewMem(alphabet.DNA, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildNaive(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

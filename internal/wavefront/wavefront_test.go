@@ -1,0 +1,165 @@
+package wavefront
+
+import (
+	"testing"
+	"testing/quick"
+
+	"era/internal/alphabet"
+	"era/internal/diskio"
+	"era/internal/seq"
+	"era/internal/sim"
+	"era/internal/suffixtree"
+	"era/internal/ukkonen"
+	"era/internal/workload"
+)
+
+func publish(t testing.TB, a *alphabet.Alphabet, data []byte) *seq.File {
+	t.Helper()
+	disk := diskio.NewDisk(sim.DefaultModel())
+	f, err := seq.Publish(disk, "input.seq", a, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func oracle(t testing.TB, a *alphabet.Alphabet, data []byte) *suffixtree.Tree {
+	t.Helper()
+	m, err := seq.NewMem(a, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ukkonen.Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func treesEqual(a, b *suffixtree.Tree) bool {
+	type sig struct {
+		depth  int32
+		label  string
+		suffix int32
+	}
+	collect := func(t *suffixtree.Tree) []sig {
+		var out []sig
+		t.WalkDFS(t.Root(), func(id, depth int32) bool {
+			out = append(out, sig{depth, string(t.Label(id)), t.Suffix(id)})
+			return true
+		})
+		return out
+	}
+	sa, sb := collect(a), collect(b)
+	if len(sa) != len(sb) {
+		return false
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBuildSerialMatchesOracle(t *testing.T) {
+	for _, k := range workload.Kinds {
+		k := k
+		t.Run(string(k), func(t *testing.T) {
+			a, err := workload.AlphabetOf(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := workload.MustGenerate(k, 2500, 13)
+			f := publish(t, a, data)
+			res, err := BuildSerial(f, Options{MemoryBudget: 32 * 1024, Assemble: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Tree.Validate(true); err != nil {
+				t.Fatal(err)
+			}
+			if !treesEqual(res.Tree, oracle(t, a, data)) {
+				t.Error("WaveFront tree differs from Ukkonen oracle")
+			}
+		})
+	}
+}
+
+func TestBuildSerialQuick(t *testing.T) {
+	f := func(core []byte) bool {
+		data := make([]byte, len(core)+1)
+		for i, c := range core {
+			data[i] = "ACGT"[c%4]
+		}
+		data[len(core)] = alphabet.Terminator
+		file := publish(t, alphabet.DNA, data)
+		res, err := BuildSerial(file, Options{MemoryBudget: 8 * 1024, Assemble: true})
+		if err != nil {
+			return false
+		}
+		if res.Tree.Validate(true) != nil {
+			return false
+		}
+		m, err := seq.NewMem(alphabet.DNA, data)
+		if err != nil {
+			return false
+		}
+		o, err := ukkonen.Build(m)
+		if err != nil {
+			return false
+		}
+		return treesEqual(res.Tree, o)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelAgreesWithSerialStats(t *testing.T) {
+	data := workload.MustGenerate(workload.DNA, 3000, 31)
+	f := publish(t, alphabet.DNA, data)
+	serial, err := BuildSerial(f, Options{MemoryBudget: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := publish(t, alphabet.DNA, data)
+	par, err := BuildParallel(f2, Options{MemoryBudget: 64 * 1024}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Stats.SubTrees == 0 || serial.Stats.SubTrees == 0 {
+		t.Fatal("no sub-trees built")
+	}
+	// With budget/4 per core the parallel run has more (smaller) sub-trees.
+	if par.Stats.SubTrees < serial.Stats.SubTrees {
+		t.Errorf("parallel built %d sub-trees, serial %d; per-core memory division should not reduce the count",
+			par.Stats.SubTrees, serial.Stats.SubTrees)
+	}
+	if par.ModeledTime <= 0 {
+		t.Error("modeled time not positive")
+	}
+}
+
+func TestDistributedSpeedsUp(t *testing.T) {
+	data := workload.MustGenerate(workload.DNA, 4000, 77)
+	f1 := publish(t, alphabet.DNA, data)
+	one, err := BuildDistributed(f1, Options{MemoryBudget: 16 * 1024}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4 := publish(t, alphabet.DNA, data)
+	four, err := BuildDistributed(f4, Options{MemoryBudget: 16 * 1024}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.ConstructionTime >= one.ConstructionTime {
+		t.Errorf("4 nodes (%v) not faster than 1 node (%v)", four.ConstructionTime, one.ConstructionTime)
+	}
+	if four.TransferTime == 0 {
+		t.Error("multi-node run should pay the string broadcast")
+	}
+	if one.TransferTime != 0 {
+		t.Error("single-node run should not pay the broadcast")
+	}
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"era/internal/alphabet"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, k := range Kinds {
+		a := MustGenerate(k, 5000, 42)
+		b := MustGenerate(k, 5000, 42)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: not deterministic", k)
+		}
+		c := MustGenerate(k, 5000, 43)
+		if bytes.Equal(a, c) {
+			t.Errorf("%s: different seeds produced identical data", k)
+		}
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	for _, k := range Kinds {
+		al, err := AlphabetOf(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := MustGenerate(k, 3000, 7)
+		if len(data) != 3001 {
+			t.Errorf("%s: length %d, want 3001", k, len(data))
+		}
+		if err := al.Validate(data); err != nil {
+			t.Errorf("%s: %v", k, err)
+		}
+	}
+}
+
+func TestGenerateEdgeCases(t *testing.T) {
+	if _, err := Generate(Kind("plasma"), 10, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := Generate(DNA, -1, 1); err == nil {
+		t.Error("negative length accepted")
+	}
+	z := MustGenerate(DNA, 0, 1)
+	if len(z) != 1 || z[0] != alphabet.Terminator {
+		t.Errorf("zero-length generate = %q", z)
+	}
+}
+
+// TestRepeatStructure verifies that the generators produce the long repeats
+// the paper's datasets have — the property that drives tree depth and ERA's
+// round counts. A uniform random string of this length would have a longest
+// repeat of ~log₄(n²) ≈ 12 symbols; the generators must far exceed that.
+func TestRepeatStructure(t *testing.T) {
+	longest := func(data []byte) int {
+		best := 0
+		// O(n²) scan is fine at this size: compare every pair of starts.
+		for w := 16; w < 512; w *= 2 {
+			found := false
+			seen := map[string]bool{}
+			for i := 0; i+w <= len(data); i++ {
+				s := string(data[i : i+w])
+				if seen[s] {
+					found = true
+					break
+				}
+				seen[s] = true
+			}
+			if found {
+				best = w
+			} else {
+				break
+			}
+		}
+		return best
+	}
+	genome := longest(MustGenerate(Genome, 20000, 3))
+	if genome < 32 {
+		t.Errorf("genome longest repeat ≈ %d, want ≥ 32", genome)
+	}
+	// §6.1: the protein corpus has a longer longest-repeat than English.
+	prot := longest(MustGenerate(Protein, 20000, 3))
+	eng := longest(MustGenerate(English, 20000, 3))
+	if prot < eng {
+		t.Errorf("protein longest repeat (%d) should be ≥ English (%d)", prot, eng)
+	}
+}
+
+// TestSymbolSkew verifies protein/English draw from skewed distributions
+// while DNA is near uniform.
+func TestSymbolSkew(t *testing.T) {
+	counts := func(k Kind) map[byte]int {
+		data := MustGenerate(k, 50000, 9)
+		c := map[byte]int{}
+		for _, b := range data[:len(data)-1] {
+			c[b]++
+		}
+		return c
+	}
+	eng := counts(English)
+	if eng['e'] <= eng['z']*3 {
+		t.Errorf("English skew missing: e=%d z=%d", eng['e'], eng['z'])
+	}
+	dna := counts(DNA)
+	if dna['A'] > dna['T']*3 || dna['T'] > dna['A']*3 {
+		t.Errorf("DNA unexpectedly skewed: A=%d T=%d", dna['A'], dna['T'])
+	}
+}

@@ -1,0 +1,143 @@
+package era
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"era/internal/alphabet"
+	"era/internal/seq"
+	"era/internal/suffixtree"
+)
+
+// Index file format (little endian):
+//
+//	magic    uint32 'ERAI'
+//	version  uint32 1
+//	alphaLen uint32, alphabet symbols
+//	nDocs    uint32, doc end offsets (uint32 each)
+//	dataLen  uint32, string bytes (terminator included)
+//	tree     suffixtree serialization
+const (
+	indexMagic   = 0x45524149
+	indexVersion = 1
+)
+
+// WriteTo serializes the index (string, document map and tree) so it can be
+// reopened with ReadIndex without rebuilding. It satisfies io.WriterTo.
+func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	put32 := func(v uint32) error {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		n, err := bw.Write(b[:])
+		total += int64(n)
+		return err
+	}
+	if err := put32(indexMagic); err != nil {
+		return total, err
+	}
+	if err := put32(indexVersion); err != nil {
+		return total, err
+	}
+	syms := x.alpha.Symbols()
+	if err := put32(uint32(len(syms))); err != nil {
+		return total, err
+	}
+	n, err := bw.Write(syms)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	if err := put32(uint32(len(x.docEnds))); err != nil {
+		return total, err
+	}
+	for _, e := range x.docEnds {
+		if err := put32(uint32(e)); err != nil {
+			return total, err
+		}
+	}
+	if err := put32(uint32(len(x.data))); err != nil {
+		return total, err
+	}
+	n, err = bw.Write(x.data)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	if err := bw.Flush(); err != nil {
+		return total, err
+	}
+	tn, err := x.tree.WriteTo(w)
+	total += tn
+	return total, err
+}
+
+// ReadIndex deserializes an index written with WriteTo.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	get32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	m, err := get32()
+	if err != nil {
+		return nil, fmt.Errorf("era: reading index header: %w", err)
+	}
+	if m != indexMagic {
+		return nil, fmt.Errorf("era: bad index magic %#x", m)
+	}
+	v, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if v != indexVersion {
+		return nil, fmt.Errorf("era: unsupported index version %d", v)
+	}
+	nSyms, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	syms := make([]byte, nSyms)
+	if _, err := io.ReadFull(br, syms); err != nil {
+		return nil, err
+	}
+	alpha, err := alphabet.New("stored", syms)
+	if err != nil {
+		return nil, err
+	}
+	nDocs, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	docEnds := make([]int32, nDocs)
+	for i := range docEnds {
+		e, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		docEnds[i] = int32(e)
+	}
+	dataLen, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, dataLen)
+	if _, err := io.ReadFull(br, data); err != nil {
+		return nil, err
+	}
+	mem, err := seq.NewMem(alpha, data)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := suffixtree.Read(br, mem)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{tree: tree, data: data, alpha: alpha, docEnds: docEnds}, nil
+}

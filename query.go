@@ -1,0 +1,199 @@
+package era
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Contains reports whether pattern occurs in the indexed string — the
+// O(|P|) search that motivates suffix trees (§1 of the paper). For corpus
+// indexes, matches spanning a document boundary are still reported by
+// Contains; use DocOccurrences for per-document semantics.
+func (x *Index) Contains(pattern []byte) bool {
+	return x.tree.Contains(pattern)
+}
+
+// Count returns the number of occurrences of pattern.
+func (x *Index) Count(pattern []byte) int {
+	return x.tree.Count(pattern)
+}
+
+// Occurrences returns the start offsets of every occurrence of pattern in
+// the concatenated input, sorted ascending.
+func (x *Index) Occurrences(pattern []byte) []int {
+	occ := x.tree.Occurrences(pattern)
+	out := make([]int, len(occ))
+	for i, o := range occ {
+		out[i] = int(o)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DocHit locates a pattern occurrence within a document.
+type DocHit struct {
+	Doc    int // document index as passed to BuildCorpus
+	Offset int // offset within that document
+}
+
+// DocOccurrences returns the per-document occurrences of pattern, excluding
+// matches that cross document boundaries (the standard generalized suffix
+// tree discipline when documents are concatenated without separators).
+func (x *Index) DocOccurrences(pattern []byte) []DocHit {
+	occ := x.tree.Occurrences(pattern)
+	hits := make([]DocHit, 0, len(occ))
+	for _, o := range occ {
+		if o >= x.docEnds[len(x.docEnds)-1] {
+			continue // the terminator's own suffix
+		}
+		doc, start := x.docOf(o)
+		if int(o)+len(pattern) <= int(x.docEnds[doc]) {
+			hits = append(hits, DocHit{Doc: doc, Offset: int(o) - start})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Doc != hits[j].Doc {
+			return hits[i].Doc < hits[j].Doc
+		}
+		return hits[i].Offset < hits[j].Offset
+	})
+	return hits
+}
+
+// docOf returns the document containing absolute offset o and the
+// document's start offset.
+func (x *Index) docOf(o int32) (int, int) {
+	d := sort.Search(len(x.docEnds), func(i int) bool { return x.docEnds[i] > o })
+	start := 0
+	if d > 0 {
+		start = int(x.docEnds[d-1])
+	}
+	return d, start
+}
+
+// LongestRepeatedSubstring returns the longest substring occurring at least
+// twice, with its occurrence offsets.
+func (x *Index) LongestRepeatedSubstring() ([]byte, []int) {
+	lbl, occ := x.tree.LongestRepeatedSubstring()
+	out := make([]int, len(occ))
+	for i, o := range occ {
+		out[i] = int(o)
+	}
+	sort.Ints(out)
+	return lbl, out
+}
+
+// Repeat is a repeated substring found by Repeats.
+type Repeat struct {
+	Pattern     []byte
+	Occurrences []int
+}
+
+// Repeats enumerates maximal repeated substrings of length ≥ minLen that
+// occur at least minOcc times, longest first. Each reported repeat is
+// right-maximal (extending it by one symbol loses occurrences). This powers
+// the time-series motif discovery example (the paper's §1 motivates suffix
+// trees for exactly such periodicity mining [15]).
+func (x *Index) Repeats(minLen, minOcc int) []Repeat {
+	var out []Repeat
+	x.tree.MaximalRepeats(int32(minLen), minOcc, func(node int32, depth int32, occ int) bool {
+		label := x.tree.PathLabel(node)
+		leaves := x.tree.Leaves(node)
+		positions := make([]int, len(leaves))
+		for i, l := range leaves {
+			positions[i] = int(l)
+		}
+		sort.Ints(positions)
+		out = append(out, Repeat{Pattern: label, Occurrences: positions})
+		return true
+	})
+	sort.SliceStable(out, func(i, j int) bool { return len(out[i].Pattern) > len(out[j].Pattern) })
+	return out
+}
+
+// LongestCommonSubstring returns the longest substring common to documents
+// a and b of a corpus index, with one occurrence offset in each. Crossing
+// matches are excluded. Corpus indexes with more than 64 documents are not
+// supported by this query.
+func (x *Index) LongestCommonSubstring(a, b int) ([]byte, int, int, error) {
+	if len(x.docEnds) > 64 {
+		return nil, 0, 0, fmt.Errorf("era: LongestCommonSubstring supports at most 64 documents, corpus has %d", len(x.docEnds))
+	}
+	if a < 0 || a >= len(x.docEnds) || b < 0 || b >= len(x.docEnds) {
+		return nil, 0, 0, fmt.Errorf("era: document index out of range")
+	}
+	best, bestDepth := int32(-1), int32(0)
+	x.walkDocSlacks(func(node, depth int32, slack []int32) {
+		if depth > bestDepth && slack[a] >= depth && slack[b] >= depth {
+			best, bestDepth = node, depth
+		}
+	})
+	if best < 0 {
+		return nil, 0, 0, nil
+	}
+	label := x.tree.PathLabel(best)
+	offA, offB := -1, -1
+	for _, l := range x.tree.Leaves(best) {
+		doc, start := x.docOf(l)
+		if int(l)+len(label) > int(x.docEnds[doc]) {
+			continue
+		}
+		if doc == a && offA < 0 {
+			offA = int(l) - start
+		}
+		if doc == b && offB < 0 {
+			offB = int(l) - start
+		}
+	}
+	return label, offA, offB, nil
+}
+
+// walkDocSlacks computes, for every internal node and document d, the
+// largest path depth at which the node still has a non-crossing occurrence
+// in d ("slack": max over its leaves in d of docEnd − leafOffset; −1 when d
+// has no leaf below). A node's path label occurs inside document d exactly
+// when its depth ≤ slack[d]. fn is invoked post-order on internal nodes.
+func (x *Index) walkDocSlacks(fn func(node, depth int32, slack []int32)) {
+	t := x.tree
+	nd := len(x.docEnds)
+	type frame struct {
+		id      int32
+		depth   int32
+		visited bool
+	}
+	slacks := make(map[int32][]int32)
+	stack := []frame{{t.Root(), 0, false}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !f.visited {
+			stack = append(stack, frame{f.id, f.depth, true})
+			for c := t.FirstChild(f.id); c != -1; c = t.NextSibling(c) {
+				stack = append(stack, frame{c, f.depth + t.EdgeLen(c), false})
+			}
+			continue
+		}
+		s := make([]int32, nd)
+		for i := range s {
+			s[i] = -1
+		}
+		if t.IsLeaf(f.id) {
+			if o := t.Suffix(f.id); o >= 0 && o < x.docEnds[nd-1] {
+				doc, _ := x.docOf(o)
+				s[doc] = x.docEnds[doc] - o
+			}
+		} else {
+			for c := t.FirstChild(f.id); c != -1; c = t.NextSibling(c) {
+				cs := slacks[c]
+				for i := range s {
+					if cs[i] > s[i] {
+						s[i] = cs[i]
+					}
+				}
+				delete(slacks, c)
+			}
+			fn(f.id, f.depth, s)
+		}
+		slacks[f.id] = s
+	}
+}
