@@ -1,0 +1,254 @@
+package era
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"era/internal/workload"
+)
+
+// randomOps draws a mixed pool of present and absent patterns over data.
+func randomOps(data []byte, n int, seed int64) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]Op, n)
+	for i := range ops {
+		var p []byte
+		switch i % 3 {
+		case 0, 1: // substring of the corpus (possibly empty)
+			l := rng.Intn(8)
+			off := rng.Intn(len(data) - l)
+			p = data[off : off+l]
+		case 2: // random pattern, usually absent for longer lengths
+			p = make([]byte, 1+rng.Intn(10))
+			for j := range p {
+				p[j] = "ACGT"[rng.Intn(4)]
+			}
+		}
+		ops[i] = Op{Kind: OpKind(rng.Intn(3)), Pattern: p, MaxOccurrences: rng.Intn(4)}
+	}
+	return ops
+}
+
+func TestBatchMatchesSingleQueries(t *testing.T) {
+	data := workload.MustGenerate(workload.DNA, 4000, 3)
+	data = data[:len(data)-1]
+	idx, err := Build(data, &Config{MemoryBudget: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ops := randomOps(data, 300, 17)
+	results := idx.Batch(ops)
+	if len(results) != len(ops) {
+		t.Fatalf("got %d results for %d ops", len(results), len(ops))
+	}
+	for i, op := range ops {
+		r := results[i]
+		if r.Found != idx.Contains(op.Pattern) {
+			t.Fatalf("op %d (%s %q): Found = %v, want %v", i, op.Kind, op.Pattern, r.Found, idx.Contains(op.Pattern))
+		}
+		if op.Kind == OpContains {
+			continue
+		}
+		if want := idx.Count(op.Pattern); r.Count != want && r.Found {
+			t.Fatalf("op %d (%s %q): Count = %d, want %d", i, op.Kind, op.Pattern, r.Count, want)
+		}
+		if op.Kind != OpOccurrences {
+			continue
+		}
+		want := idx.Occurrences(op.Pattern)
+		if op.MaxOccurrences > 0 && len(want) > op.MaxOccurrences {
+			want = want[:op.MaxOccurrences]
+		}
+		if len(r.Occurrences) != len(want) {
+			t.Fatalf("op %d (%q, max %d): Occurrences = %v, want %v", i, op.Pattern, op.MaxOccurrences, r.Occurrences, want)
+		}
+		for j := range want {
+			if r.Occurrences[j] != want[j] {
+				t.Fatalf("op %d (%q): Occurrences = %v, want %v", i, op.Pattern, r.Occurrences, want)
+			}
+		}
+	}
+}
+
+func TestBatchEdgeCases(t *testing.T) {
+	idx, err := Build([]byte("TGGTGGTGGTGCGGTGATGGTGC"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Batch(nil); len(got) != 0 {
+		t.Errorf("Batch(nil) = %v", got)
+	}
+	res := idx.Batch([]Op{
+		{Kind: OpCount, Pattern: nil},                                                   // empty pattern matches everywhere
+		{Kind: OpCount, Pattern: []byte("TG")},                                          // paper Table 1
+		{Kind: OpCount, Pattern: []byte("TG")},                                          // duplicate
+		{Kind: OpContains, Pattern: []byte("TGT")},                                      // fTGT = 0
+		{Kind: OpOccurrences, Pattern: []byte("TGGTGGTG")},                              // the LRS
+		{Kind: OpContains, Pattern: bytes.Repeat([]byte("TGGTGGTGGTGCGGTGATGGTGC"), 2)}, // longer than S
+	})
+	if res[0].Count != idx.Len() { // every position incl. terminator starts a suffix
+		t.Errorf("Count(empty) = %d, want %d", res[0].Count, idx.Len())
+	}
+	if res[1].Count != 7 || res[2].Count != 7 {
+		t.Errorf("Count(TG) = %d/%d, want 7", res[1].Count, res[2].Count)
+	}
+	if res[3].Found {
+		t.Error("Contains(TGT) = true")
+	}
+	if len(res[4].Occurrences) != 2 {
+		t.Errorf("Occurrences(TGGTGGTG) = %v, want 2 offsets", res[4].Occurrences)
+	}
+	if res[5].Found {
+		t.Error("pattern longer than S reported found")
+	}
+}
+
+// TestConcurrentQueries pins the documented guarantee that one Index may be
+// queried from many goroutines with no synchronization (run under -race in
+// CI): 8 goroutines issue every query kind, including Batch, and check the
+// answers against a serial pass.
+func TestConcurrentQueries(t *testing.T) {
+	data := workload.MustGenerate(workload.DNA, 3000, 9)
+	data = data[:len(data)-1]
+	idx, err := Build(data, &Config{MemoryBudget: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := randomOps(data, 100, 23)
+	want := idx.Batch(ops)
+	wantLRS, _ := idx.LongestRepeatedSubstring()
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 20; round++ {
+				got := idx.Batch(ops)
+				for i := range want {
+					if got[i].Found != want[i].Found || got[i].Count != want[i].Count {
+						t.Errorf("goroutine %d: result %d = %+v, want %+v", g, i, got[i], want[i])
+						return
+					}
+				}
+				op := ops[(g*7+round)%len(ops)]
+				if idx.Contains(op.Pattern) != want[(g*7+round)%len(ops)].Found {
+					t.Errorf("goroutine %d: Contains(%q) diverged", g, op.Pattern)
+					return
+				}
+				if lrs, _ := idx.LongestRepeatedSubstring(); !bytes.Equal(lrs, wantLRS) {
+					t.Errorf("goroutine %d: LRS diverged", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+func TestPersistNamedRoundTrip(t *testing.T) {
+	idx, err := Build([]byte("GATTACA"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.SetName("tiny-genome")
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "tiny-genome" {
+		t.Errorf("Name = %q, want tiny-genome", got.Name())
+	}
+	if got.Alphabet().Name() != idx.Alphabet().Name() {
+		t.Errorf("alphabet name %q not preserved (want %q)", got.Alphabet().Name(), idx.Alphabet().Name())
+	}
+}
+
+// TestReadV1Index pins backward compatibility: indexes written by the
+// version-1 format (no name blocks) still load, with the empty name.
+func TestReadV1Index(t *testing.T) {
+	idx, err := Build([]byte("GATTACA"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if _, err := idx.WriteTo(&v2); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the v2 stream as v1: patch the version field and drop the two
+	// name blocks (corpus name and alphabet name) that follow it.
+	raw := v2.Bytes()
+	nameLen := binary.LittleEndian.Uint32(raw[8:12])
+	aNameLen := binary.LittleEndian.Uint32(raw[12+nameLen : 16+nameLen])
+	body := 16 + int(nameLen) + int(aNameLen)
+	var v1 bytes.Buffer
+	v1.Write(raw[0:4]) // magic
+	binary.Write(&v1, binary.LittleEndian, uint32(1))
+	v1.Write(raw[body:])
+	got, err := ReadIndex(&v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "" {
+		t.Errorf("v1 index Name = %q, want empty", got.Name())
+	}
+	if got.Count([]byte("TA")) != idx.Count([]byte("TA")) {
+		t.Error("v1 index answers differ")
+	}
+}
+
+// TestReadIndexCorruptHeader pins that hostile or truncated length fields
+// fail cleanly instead of attempting giant allocations.
+func TestReadIndexCorruptHeader(t *testing.T) {
+	idx, err := Build([]byte("GATTACA"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	corrupt := func(off int) []byte {
+		c := append([]byte(nil), raw...)
+		binary.LittleEndian.PutUint32(c[off:], 0xFFFFFFFF)
+		return c
+	}
+	// v2 length-field offsets for this index (unnamed, alphabet name "DNA",
+	// 4 symbols, 1 document): nameLen at 8, aNameLen at 12, alphaLen at 19,
+	// nDocs at 27, dataLen at 35.
+	for _, off := range []int{8, 12, 19, 27, 35} {
+		if _, err := ReadIndex(bytes.NewReader(corrupt(off))); err == nil {
+			t.Errorf("corrupt length at offset %d accepted", off)
+		}
+	}
+	if _, err := ReadIndex(bytes.NewReader(raw[:20])); err == nil {
+		t.Error("truncated index accepted")
+	}
+}
+
+func TestOpKindWireNames(t *testing.T) {
+	for _, k := range []OpKind{OpContains, OpCount, OpOccurrences} {
+		parsed, err := ParseOpKind(k.String())
+		if err != nil || parsed != k {
+			t.Errorf("ParseOpKind(%s) = %v, %v", k, parsed, err)
+		}
+	}
+	if _, err := ParseOpKind("frobnicate"); err == nil {
+		t.Error("unknown op kind accepted")
+	}
+}

@@ -7,14 +7,28 @@
 //	era build -gen dna -n 500000 -out dna.idx
 //	era query -index dna.idx -pattern GGTGATG
 //	era stats -index dna.idx
+//	era serve -addr :8329 dna.idx genome.idx
+//	era serve -addr :8329 -dir indexes/
+//
+// serve exposes the indexes over a JSON HTTP API (see internal/server):
+//
+//	curl -s localhost:8329/v1/indexes
+//	curl -s -d '{"index":"dna","op":"count","pattern":"GGTGATG"}' localhost:8329/v1/query
+//	curl -s -d '{"index":"dna","ops":[{"op":"contains","pattern":"TG"},{"op":"occurrences","pattern":"GGT","max":10}]}' localhost:8329/v1/batch
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
 	"os"
+	"path/filepath"
+	"strings"
+	"time"
 
 	"era"
+	"era/internal/server"
 	"era/internal/workload"
 )
 
@@ -29,6 +43,8 @@ func main() {
 		query(os.Args[2:])
 	case "stats":
 		stats(os.Args[2:])
+	case "serve":
+		serve(os.Args[2:])
 	default:
 		usage()
 	}
@@ -38,8 +54,68 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   era build -in FILE | -gen KIND -n N [-out FILE] [-mem BYTES] [-mode serial|shared-disk|shared-nothing] [-workers N] [-skipseek]
   era query -index FILE -pattern P [-max N]
-  era stats -index FILE`)
+  era stats -index FILE
+  era serve [-addr HOST:PORT] [-cache N] [-dir DIR] [INDEX.idx ...]`)
 	os.Exit(2)
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr  = fs.String("addr", ":8329", "listen address")
+		dir   = fs.String("dir", "", "load every *.idx file in this directory")
+		cache = fs.Int("cache", 4096, "query result cache capacity (0 disables)")
+	)
+	fs.Parse(args)
+	if *dir == "" && fs.NArg() == 0 {
+		fatal(fmt.Errorf("serve needs -dir or at least one index file"))
+	}
+
+	engine := server.NewEngine(*cache)
+	// Engine.Load treats a repeated name as a hot reload; at startup that
+	// would silently shadow one file's corpus with another's, so duplicate
+	// names across -dir and positional files are an error here.
+	seen := make(map[string]bool)
+	checkDup := func(name string) {
+		if seen[name] {
+			fatal(fmt.Errorf("two index files carry the name %q; rebuild one with a distinct `era build -name` (unnamed files use their base name)", name))
+		}
+		seen[name] = true
+	}
+	if *dir != "" {
+		names, err := engine.LoadDir(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		for _, name := range names {
+			checkDup(name)
+		}
+		log.Printf("loaded %d indexes from %s: %v", len(names), *dir, names)
+	}
+	for _, path := range fs.Args() {
+		name, err := engine.LoadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		checkDup(name)
+		idx, _ := engine.Get(name)
+		log.Printf("loaded %s as %q (%d symbols, %d tree nodes)", path, name, idx.Len(), idx.TreeNodes())
+	}
+
+	log.Printf("serving %d indexes on %s", len(engine.Names()), *addr)
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: server.NewHandler(engine),
+		// Bound header dribble and idle keep-alives so stalled clients
+		// cannot park goroutines and fds forever. No WriteTimeout: large
+		// occurrence responses on slow links are legitimate.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		fatal(err)
+	}
 }
 
 func build(args []string) {
@@ -50,6 +126,7 @@ func build(args []string) {
 		n       = fs.Int("n", 1<<20, "symbols to generate with -gen")
 		seed    = fs.Int64("seed", 42, "generator seed")
 		out     = fs.String("out", "index.idx", "output index file")
+		name    = fs.String("name", "", "corpus name stored in the index (default: -out base name); era serve addresses indexes by it")
 		mem     = fs.Int64("mem", 64<<20, "construction memory budget in bytes")
 		mode    = fs.String("mode", "serial", "serial, shared-disk or shared-nothing")
 		workers = fs.Int("workers", 4, "cores/nodes for the parallel modes")
@@ -93,18 +170,16 @@ func build(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		fatal(err)
+	if *name == "" {
+		base := filepath.Base(*out)
+		*name = strings.TrimSuffix(base, filepath.Ext(base))
 	}
-	if _, err := idx.WriteTo(f); err != nil {
-		fatal(err)
-	}
-	if err := f.Close(); err != nil {
+	idx.SetName(*name)
+	if err := idx.WriteFile(*out); err != nil {
 		fatal(err)
 	}
 	s := idx.Stats()
-	fmt.Printf("indexed %d symbols (alphabet %s) into %s\n", idx.Len()-1, idx.Alphabet().Name(), *out)
+	fmt.Printf("indexed %d symbols (alphabet %s) into %s as %q\n", idx.Len()-1, idx.Alphabet().Name(), *out, *name)
 	fmt.Printf("modeled time %v, %d scans, %d prefixes, %d virtual trees, %d sub-trees, %d tree nodes\n",
 		s.ModeledTime, s.Scans, s.Prefixes, s.Groups, s.SubTrees, s.TreeNodes)
 }
@@ -152,12 +227,7 @@ func stats(args []string) {
 }
 
 func load(path string) *era.Index {
-	f, err := os.Open(path)
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-	idx, err := era.ReadIndex(f)
+	idx, err := era.OpenIndex(path)
 	if err != nil {
 		fatal(err)
 	}

@@ -10,7 +10,10 @@
 // budget, serially or in parallel, and answers the classic suffix tree
 // queries: substring search, occurrence listing and counting, longest
 // repeated substring, longest common substring, and repeat (motif)
-// enumeration.
+// enumeration. Indexes persist to disk (WriteFile/OpenIndex), answer
+// batched queries with amortized tree descents (Batch), and are safe for
+// concurrent readers; internal/server and the `era serve` subcommand put
+// them behind a JSON HTTP API.
 //
 // Quick start:
 //
@@ -82,7 +85,10 @@ type BuildStats struct {
 }
 
 // Index is a queryable suffix tree over a string or document corpus.
+// Once built (or read back), an Index is immutable apart from SetName and
+// safe for concurrent queries from any number of goroutines.
 type Index struct {
+	name    string
 	tree    *suffixtree.Tree
 	data    []byte
 	alpha   *alphabet.Alphabet
@@ -235,6 +241,16 @@ func detectAlphabet(data []byte) (*alphabet.Alphabet, error) {
 	return alphabet.New("custom", distinct)
 }
 
+// Name returns the corpus name the index was saved under ("" until SetName
+// or for indexes written before the named format).
+func (x *Index) Name() string { return x.name }
+
+// SetName labels the index with a corpus name; WriteTo persists it and the
+// query server addresses loaded indexes by it. Unlike the query methods,
+// SetName is not safe to call concurrently with other use of the Index —
+// name the index before sharing it.
+func (x *Index) SetName(name string) { x.name = name }
+
 // Stats returns the construction statistics.
 func (x *Index) Stats() BuildStats { return x.stats }
 
@@ -246,3 +262,8 @@ func (x *Index) Len() int { return len(x.data) }
 
 // NumDocs returns the number of documents (1 for a plain Build).
 func (x *Index) NumDocs() int { return len(x.docEnds) }
+
+// TreeNodes returns the node count of the suffix tree (root excluded).
+// Unlike Stats — which only a fresh build populates — this is also valid
+// for indexes reopened with ReadIndex.
+func (x *Index) TreeNodes() int64 { return int64(x.tree.NumNodes() - 1) }

@@ -1,0 +1,109 @@
+package era
+
+import (
+	"bytes"
+	"testing"
+
+	"era/internal/alphabet"
+	"era/internal/seq"
+	"era/internal/ukkonen"
+)
+
+// fuzzAlphabets are the symbol sets FuzzBuildQuery maps raw fuzz bytes
+// onto: the paper's three alphabet classes plus a binary one (small
+// alphabets stress vertical partitioning hardest).
+var fuzzAlphabets = []string{
+	"ACGT",
+	"ACDEFGHIKLMNPQRSTVWY",
+	"abcdefghijklmnopqrstuvwxyz",
+	"01",
+}
+
+// FuzzBuildQuery builds an ERA index over fuzzer-chosen data and
+// cross-checks every query kind — Contains, Count, Occurrences and the
+// batched path — against a naive suffix tree from internal/ukkonen, the
+// repository's correctness oracle.
+func FuzzBuildQuery(f *testing.F) {
+	f.Add([]byte("TGGTGGTGGTGCGGTGATGGTGC"), []byte("TG"), byte(0))
+	f.Add([]byte("GATTACA"), []byte("TTTT"), byte(0))
+	f.Add([]byte("mississippi"), []byte("issi"), byte(2))
+	f.Add([]byte{0, 1, 0, 1, 1}, []byte{1, 1}, byte(3))
+	f.Add([]byte("AAAAAAAAAAAAAAAA"), []byte("AAA"), byte(0))
+
+	f.Fuzz(func(t *testing.T, core, patRaw []byte, alphaSel byte) {
+		syms := fuzzAlphabets[int(alphaSel)%len(fuzzAlphabets)]
+		if len(core) == 0 || len(core) > 4096 {
+			t.Skip()
+		}
+		if len(patRaw) > 24 {
+			patRaw = patRaw[:24]
+		}
+		data := make([]byte, len(core))
+		for i, b := range core {
+			data[i] = syms[int(b)%len(syms)]
+		}
+		pat := make([]byte, len(patRaw))
+		for i, b := range patRaw {
+			pat[i] = syms[int(b)%len(syms)]
+		}
+
+		// A tight budget forces real vertical partitioning even on small
+		// fuzz inputs.
+		idx, err := Build(data, &Config{MemoryBudget: 4 * 1024})
+		if err != nil {
+			t.Fatalf("Build(%q): %v", data, err)
+		}
+
+		// The oracle: a naive O(n²) suffix tree over the same string.
+		terminated := append(append([]byte(nil), data...), alphabet.Terminator)
+		mem, err := seq.NewMem(idx.Alphabet(), terminated)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := ukkonen.BuildNaive(mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, p := range [][]byte{pat, data, nil} {
+			wantContains := oracle.Contains(p)
+			if got := idx.Contains(p); got != wantContains {
+				t.Errorf("Contains(%q) = %v, oracle says %v (data %q)", p, got, wantContains, data)
+			}
+			wantCount := oracle.Count(p)
+			if got := idx.Count(p); got != wantCount {
+				t.Errorf("Count(%q) = %d, oracle says %d (data %q)", p, got, wantCount, data)
+			}
+			wantOcc := oracle.Occurrences(p)
+			gotOcc := idx.Occurrences(p)
+			if len(gotOcc) != len(wantOcc) {
+				t.Errorf("Occurrences(%q): %d offsets, oracle has %d (data %q)", p, len(gotOcc), len(wantOcc), data)
+			}
+
+			// The batched path must agree with the single-query path.
+			res := idx.Batch([]Op{
+				{Kind: OpContains, Pattern: p},
+				{Kind: OpCount, Pattern: p},
+				{Kind: OpOccurrences, Pattern: p},
+			})
+			if res[0].Found != wantContains || res[1].Count != wantCount || len(res[2].Occurrences) != len(wantOcc) {
+				t.Errorf("Batch(%q) = %+v, oracle: found %v count %d occ %d", p, res, wantContains, wantCount, len(wantOcc))
+			}
+		}
+
+		// The longest repeated substring must occur at least twice and be
+		// confirmed by the oracle.
+		lrs, occ := idx.LongestRepeatedSubstring()
+		if len(lrs) > 0 {
+			if len(occ) < 2 {
+				t.Errorf("LRS %q has %d occurrences", lrs, len(occ))
+			}
+			if oracle.Count(lrs) != len(occ) {
+				t.Errorf("LRS %q: %d occurrences, oracle says %d", lrs, len(occ), oracle.Count(lrs))
+			}
+		} else if bytes.ContainsFunc(data[1:], func(r rune) bool { return byte(r) == data[0] }) && len(data) > 1 {
+			// Any repeated single symbol implies a non-empty LRS.
+			t.Errorf("empty LRS but %q repeats symbols", data)
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module era
+
+go 1.24

@@ -31,10 +31,12 @@ type Scale struct {
 	Unit int
 }
 
-// Predefined scales. Small keeps `go test -bench .` fast; Medium is the
-// default for cmd/era-bench; Large stresses the simulator.
+// Predefined scales. Small keeps the full (non -short) test run and
+// `go test -bench .` tolerable; Medium is the default for cmd/era-bench;
+// Large stresses the simulator. The shape tests in bench_test.go hold at
+// every scale; bigger scales separate the competitors more cleanly.
 var (
-	Small  = Scale{Name: "small", Unit: 48 * 1024}
+	Small  = Scale{Name: "small", Unit: 24 * 1024}
 	Medium = Scale{Name: "medium", Unit: 192 * 1024}
 	Large  = Scale{Name: "large", Unit: 768 * 1024}
 )

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"container/list"
+	"hash/maphash"
+	"strings"
+	"sync"
+
+	"era"
+)
+
+// queryCache is a sharded LRU over query results. Shards bound lock
+// contention: concurrent readers hash to different shards and only
+// serialize against readers of the same shard, never against the engine's
+// index catalog (which is lock-free to read). A nil *queryCache disables
+// caching.
+type queryCache struct {
+	seed   maphash.Seed
+	shards []cacheShard
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List               // front = most recently used
+	m   map[string]*list.Element // key -> element holding *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	res era.Result
+}
+
+const cacheShards = 16
+
+// newQueryCache returns a cache holding up to capacity results in total, or
+// nil (caching disabled) when capacity is 0.
+func newQueryCache(capacity int) *queryCache {
+	if capacity <= 0 {
+		return nil
+	}
+	perShard := (capacity + cacheShards - 1) / cacheShards
+	c := &queryCache{
+		seed:   maphash.MakeSeed(),
+		shards: make([]cacheShard, cacheShards),
+	}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			max: perShard,
+			ll:  list.New(),
+			m:   make(map[string]*list.Element, perShard),
+		}
+	}
+	return c
+}
+
+func (c *queryCache) shard(key string) *cacheShard {
+	return &c.shards[maphash.String(c.seed, key)%cacheShards]
+}
+
+// get returns the cached result for key. The caller must treat
+// res.Occurrences as read-only: it is shared with every other hit.
+func (c *queryCache) get(key string) (era.Result, bool) {
+	if c == nil {
+		return era.Result{}, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		return era.Result{}, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores res under key, evicting the shard's least recently used entry
+// when full.
+func (c *queryCache) put(key string, res era.Result) {
+	if c == nil {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		s.ll.MoveToFront(el)
+		return
+	}
+	if s.ll.Len() >= s.max {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.m, oldest.Value.(*cacheEntry).key)
+	}
+	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, res: res})
+}
+
+// purgePrefix drops every entry whose key starts with prefix. The engine
+// calls it with an index's epoch prefix when that index is unloaded or
+// replaced, so dead results free their memory immediately instead of
+// lingering until LRU eviction.
+func (c *queryCache) purgePrefix(prefix string) {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for key, el := range s.m {
+			if strings.HasPrefix(key, prefix) {
+				s.ll.Remove(el)
+				delete(s.m, key)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// len returns the number of cached results (for tests).
+func (c *queryCache) len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,280 @@
+// Package server is the concurrent query-serving layer over era indexes:
+// a thread-safe multi-index Engine answering the classic suffix tree
+// queries, an LRU result cache, and a JSON-over-HTTP front end (http.go).
+//
+// The ERA paper builds suffix trees because of the O(|P|) queries they
+// enable (§1); this package is where those queries meet traffic. The hot
+// read path takes no lock at all: the index catalog is an immutable map
+// swapped atomically by writers (copy-on-write), and an Index itself is
+// immutable once built, so any number of goroutines descend the trees in
+// parallel. Only the result cache — which must mutate recency state on a
+// hit — takes a (sharded) mutex.
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"era"
+	"era/internal/alphabet"
+)
+
+// Engine serves queries against a set of named indexes. Construct with
+// NewEngine; all methods are safe for concurrent use.
+type Engine struct {
+	// catalog is copy-on-write: readers load the current map and never
+	// block; writers clone it under mu and swap the pointer.
+	catalog atomic.Pointer[map[string]*catalogEntry]
+	mu      sync.Mutex // serializes catalog writers (Load/Unload)
+
+	cache *queryCache
+
+	queries     atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	nextEpoch   atomic.Uint64
+}
+
+// catalogEntry pairs an index with its load epoch. The epoch is part of
+// every cache key, so reloading a corpus under the same name orphans the
+// stale cached results instead of serving them.
+type catalogEntry struct {
+	idx   *era.Index
+	epoch uint64
+}
+
+// NewEngine returns an engine whose result cache holds up to cacheSize
+// query results (0 disables caching).
+func NewEngine(cacheSize int) *Engine {
+	e := &Engine{cache: newQueryCache(cacheSize)}
+	e.catalog.Store(&map[string]*catalogEntry{})
+	return e
+}
+
+// Load registers idx under its name, replacing any index already loaded
+// under it (hot reload). The index must be named (era.Index.SetName, or
+// loaded through era.OpenIndex which names unnamed files).
+func (e *Engine) Load(idx *era.Index) error {
+	name := idx.Name()
+	if name == "" {
+		return fmt.Errorf("server: index has no name; call SetName before Load")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := *e.catalog.Load()
+	next := make(map[string]*catalogEntry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	replaced := old[name]
+	next[name] = &catalogEntry{idx: idx, epoch: e.nextEpoch.Add(1)}
+	e.catalog.Store(&next)
+	if replaced != nil {
+		e.cache.purgePrefix(epochPrefix(replaced.epoch))
+	}
+	return nil
+}
+
+// LoadFile opens the index file at path and registers it.
+func (e *Engine) LoadFile(path string) (string, error) {
+	idx, err := era.OpenIndex(path)
+	if err != nil {
+		return "", err
+	}
+	return idx.Name(), e.Load(idx)
+}
+
+// LoadDir registers every *.idx file in dir and returns the names loaded.
+func (e *Engine) LoadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".idx") {
+			continue
+		}
+		name, err := e.LoadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			return names, err
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("server: no *.idx files in %s", dir)
+	}
+	return names, nil
+}
+
+// Unload removes the index named name, reporting whether it was loaded.
+func (e *Engine) Unload(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := *e.catalog.Load()
+	ent, ok := old[name]
+	if !ok {
+		return false
+	}
+	next := make(map[string]*catalogEntry, len(old)-1)
+	for k, v := range old {
+		if k != name {
+			next[k] = v
+		}
+	}
+	e.catalog.Store(&next)
+	e.cache.purgePrefix(epochPrefix(ent.epoch))
+	return true
+}
+
+// Get returns the index named name.
+func (e *Engine) Get(name string) (*era.Index, bool) {
+	ent, ok := (*e.catalog.Load())[name]
+	if !ok {
+		return nil, false
+	}
+	return ent.idx, true
+}
+
+// Names returns the loaded index names, sorted.
+func (e *Engine) Names() []string {
+	cat := *e.catalog.Load()
+	names := make([]string, 0, len(cat))
+	for name := range cat {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Query answers one op against the index named index. Results may be served
+// from the cache; treat Result.Occurrences as read-only.
+func (e *Engine) Query(index string, op era.Op) (era.Result, error) {
+	res, err := e.Batch(index, []era.Op{op})
+	if err != nil {
+		return era.Result{}, err
+	}
+	return res[0], nil
+}
+
+// Batch answers ops against the index named index, in order. Cached results
+// are served directly; the remaining ops share one era.Index.Batch call, so
+// tree descents for related patterns are amortized. Treat the Occurrences
+// of every result as read-only.
+func (e *Engine) Batch(index string, ops []era.Op) ([]era.Result, error) {
+	ent, ok := (*e.catalog.Load())[index]
+	if !ok {
+		return nil, fmt.Errorf("server: no index named %q loaded", index)
+	}
+	e.queries.Add(int64(len(ops)))
+
+	// Patterns containing the reserved terminator byte can only "match"
+	// the sentinel the builder appends internally — never corpus content —
+	// so they are answered not-found without consulting the tree. Clients
+	// must not see phantom occurrences of the internal '$'.
+	sane := func(op era.Op) bool {
+		return bytes.IndexByte(op.Pattern, alphabet.Terminator) < 0
+	}
+
+	if e.cache == nil {
+		results := make([]era.Result, len(ops))
+		var liveOps []era.Op
+		var liveAt []int
+		for i, op := range ops {
+			if sane(op) {
+				liveOps = append(liveOps, op)
+				liveAt = append(liveAt, i)
+			}
+		}
+		for j, r := range ent.idx.Batch(liveOps) {
+			results[liveAt[j]] = r
+		}
+		return results, nil
+	}
+
+	results := make([]era.Result, len(ops))
+	keys := make([]string, len(ops))
+	var missOps []era.Op
+	var missAt []int
+	var hits int64
+	for i, op := range ops {
+		if !sane(op) {
+			continue // results[i] stays the zero Result: not found
+		}
+		keys[i] = cacheKey(ent.epoch, op)
+		if r, ok := e.cache.get(keys[i]); ok {
+			results[i] = r
+			hits++
+			continue
+		}
+		missOps = append(missOps, op)
+		missAt = append(missAt, i)
+	}
+	e.cacheHits.Add(hits)
+	e.cacheMisses.Add(int64(len(missOps)))
+	if len(missOps) == 0 {
+		return results, nil
+	}
+	for j, r := range ent.idx.Batch(missOps) {
+		results[missAt[j]] = r
+		// The cache is bounded in entries, so huge occurrence lists (an
+		// unlimited-max query on a frequent pattern can return O(corpus)
+		// offsets) would make its memory unbounded; serve them uncached.
+		if len(r.Occurrences) <= maxCachedOccurrences {
+			e.cache.put(keys[missAt[j]], r)
+		}
+	}
+	return results, nil
+}
+
+// maxCachedOccurrences bounds the size of one cached result; entries × this
+// bounds the cache's worst-case memory.
+const maxCachedOccurrences = 1024
+
+// epochPrefix is the cache-key prefix shared by every result of one index
+// load; purging it evicts exactly that load's entries.
+func epochPrefix(epoch uint64) string {
+	return strconv.FormatUint(epoch, 36) + "|"
+}
+
+// cacheKey encodes everything a result depends on: which load of which
+// corpus (epoch — unique per Load), the operation, its occurrence cap and
+// the pattern.
+func cacheKey(epoch uint64, op era.Op) string {
+	var sb strings.Builder
+	sb.Grow(24 + len(op.Pattern))
+	sb.WriteString(epochPrefix(epoch))
+	sb.WriteString(strconv.Itoa(int(op.Kind)))
+	sb.WriteByte('|')
+	sb.WriteString(strconv.Itoa(op.MaxOccurrences))
+	sb.WriteByte('|')
+	sb.Write(op.Pattern)
+	return sb.String()
+}
+
+// Stats is a snapshot of engine activity.
+type Stats struct {
+	Indexes     int   `json:"indexes"`
+	Queries     int64 `json:"queries"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheSize   int   `json:"cache_size"`
+}
+
+// Stats returns a snapshot of engine activity.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Indexes:     len(*e.catalog.Load()),
+		Queries:     e.queries.Load(),
+		CacheHits:   e.cacheHits.Load(),
+		CacheMisses: e.cacheMisses.Load(),
+		CacheSize:   e.cache.len(),
+	}
+}

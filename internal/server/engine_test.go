@@ -1,0 +1,416 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"era"
+	"era/internal/workload"
+)
+
+// buildIndex builds a DNA index of n symbols named name.
+func buildIndex(t testing.TB, name string, n int, seed int64) *era.Index {
+	t.Helper()
+	data := workload.MustGenerate(workload.DNA, n, seed)
+	data = data[:len(data)-1] // Build appends its own terminator
+	idx, err := era.Build(data, &era.Config{MemoryBudget: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.SetName(name)
+	return idx
+}
+
+func TestEngineQueryKinds(t *testing.T) {
+	idx := buildIndex(t, "dna", 2000, 1)
+	e := NewEngine(128)
+	if err := e.Load(idx); err != nil {
+		t.Fatal(err)
+	}
+
+	pat := []byte("TGA")
+	res, err := e.Query("dna", era.Op{Kind: era.OpContains, Pattern: pat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found != idx.Contains(pat) {
+		t.Errorf("Contains(%s) = %v, want %v", pat, res.Found, idx.Contains(pat))
+	}
+
+	res, err = e.Query("dna", era.Op{Kind: era.OpCount, Pattern: pat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != idx.Count(pat) {
+		t.Errorf("Count(%s) = %d, want %d", pat, res.Count, idx.Count(pat))
+	}
+
+	res, err = e.Query("dna", era.Op{Kind: era.OpOccurrences, Pattern: pat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := idx.Occurrences(pat)
+	if len(res.Occurrences) != len(want) {
+		t.Fatalf("Occurrences(%s) = %v, want %v", pat, res.Occurrences, want)
+	}
+	for i := range want {
+		if res.Occurrences[i] != want[i] {
+			t.Fatalf("Occurrences(%s) = %v, want %v", pat, res.Occurrences, want)
+		}
+	}
+
+	if _, err := e.Query("nope", era.Op{Kind: era.OpCount, Pattern: pat}); err == nil {
+		t.Error("query against unloaded index succeeded")
+	}
+	unnamed := buildIndex(t, "", 100, 2)
+	if err := e.Load(unnamed); err == nil {
+		t.Error("Load accepted an unnamed index")
+	}
+}
+
+func TestEngineCacheHitAndHotReload(t *testing.T) {
+	e := NewEngine(128)
+	if err := e.Load(buildIndex(t, "dna", 2000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	op := era.Op{Kind: era.OpCount, Pattern: []byte("AC")}
+	first, err := e.Query("dna", op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := e.Query("dna", op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Found != again.Found || first.Count != again.Count {
+		t.Errorf("cached result %+v differs from first %+v", again, first)
+	}
+	st := e.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+
+	// Hot reload under the same name: the next query must see the new
+	// corpus, not the stale cached result (cache keys carry the epoch).
+	fresh := buildIndex(t, "dna", 2000, 99)
+	if err := e.Load(fresh); err != nil {
+		t.Fatal(err)
+	}
+	after, err := e.Query("dna", op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Count != fresh.Count(op.Pattern) {
+		t.Errorf("post-reload Count = %d, want %d (stale cache served?)", after.Count, fresh.Count(op.Pattern))
+	}
+}
+
+func TestEngineCacheEviction(t *testing.T) {
+	e := NewEngine(cacheShards) // one entry per shard
+	if err := e.Load(buildIndex(t, "dna", 1000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10*cacheShards; i++ {
+		pat := []byte(fmt.Sprintf("A%d", i))
+		if _, err := e.Query("dna", era.Op{Kind: era.OpContains, Pattern: pat}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := e.cache.len(); n > cacheShards {
+		t.Errorf("cache holds %d entries, capacity %d", n, cacheShards)
+	}
+}
+
+// TestEngineSkipsCachingHugeOccurrenceLists pins the cache memory bound:
+// results whose occurrence lists exceed maxCachedOccurrences are served but
+// not cached (the entry-counted LRU would otherwise hold O(corpus) slices).
+func TestEngineSkipsCachingHugeOccurrenceLists(t *testing.T) {
+	idx := buildIndex(t, "dna", 20000, 5)
+	e := NewEngine(64)
+	if err := e.Load(idx); err != nil {
+		t.Fatal(err)
+	}
+	big := era.Op{Kind: era.OpOccurrences, Pattern: []byte("A")} // ~5000 offsets
+	res, err := e.Query("dna", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Occurrences) <= maxCachedOccurrences {
+		t.Skipf("pattern only has %d occurrences; test needs > %d", len(res.Occurrences), maxCachedOccurrences)
+	}
+	if n := e.cache.len(); n != 0 {
+		t.Errorf("huge occurrence list was cached (%d entries)", n)
+	}
+	small := era.Op{Kind: era.OpCount, Pattern: []byte("ACGTACGT")}
+	if _, err := e.Query("dna", small); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.cache.len(); n != 1 {
+		t.Errorf("bounded result not cached (%d entries)", n)
+	}
+}
+
+func TestEngineBatch(t *testing.T) {
+	idx := buildIndex(t, "dna", 3000, 7)
+	e := NewEngine(0) // no cache: exercise the raw batch path
+	if err := e.Load(idx); err != nil {
+		t.Fatal(err)
+	}
+	ops := []era.Op{
+		{Kind: era.OpCount, Pattern: []byte("TG")},
+		{Kind: era.OpContains, Pattern: []byte("TGGTTACGT")},
+		{Kind: era.OpOccurrences, Pattern: []byte("ACG"), MaxOccurrences: 3},
+		{Kind: era.OpCount, Pattern: []byte("TG")}, // duplicate: shared descent
+		{Kind: era.OpContains, Pattern: nil},       // empty pattern: always found
+	}
+	results, err := e.Batch("dna", ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Count != idx.Count([]byte("TG")) || results[3].Count != results[0].Count {
+		t.Errorf("batched Count(TG) = %+v / %+v, want %d twice", results[0], results[3], idx.Count([]byte("TG")))
+	}
+	if results[1].Found != idx.Contains([]byte("TGGTTACGT")) {
+		t.Errorf("batched Contains = %v", results[1].Found)
+	}
+	occ := idx.Occurrences([]byte("ACG"))
+	if results[2].Count != len(occ) {
+		t.Errorf("batched Occurrences count = %d, want %d", results[2].Count, len(occ))
+	}
+	if len(occ) > 3 && len(results[2].Occurrences) != 3 {
+		t.Errorf("MaxOccurrences not applied: got %d offsets", len(results[2].Occurrences))
+	}
+	for i, o := range results[2].Occurrences {
+		if o != occ[i] {
+			t.Errorf("occurrence %d = %d, want %d", i, o, occ[i])
+		}
+	}
+	if !results[4].Found {
+		t.Error("empty pattern not found")
+	}
+}
+
+// TestEngineRejectsTerminatorPatterns pins that patterns containing the
+// reserved '$' byte never surface the builder's internal sentinel: they are
+// answered not-found instead of matching the appended terminator.
+func TestEngineRejectsTerminatorPatterns(t *testing.T) {
+	idx, err := era.Build([]byte("TGGTGC"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.SetName("dna")
+	for _, cacheSize := range []int{0, 64} {
+		e := NewEngine(cacheSize)
+		if err := e.Load(idx); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Batch("dna", []era.Op{
+			{Kind: era.OpOccurrences, Pattern: []byte("GC$")}, // would match only via the sentinel
+			{Kind: era.OpCount, Pattern: []byte("$")},
+			{Kind: era.OpContains, Pattern: []byte("GC")}, // sane op in the same batch
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].Found || res[0].Count != 0 || len(res[0].Occurrences) != 0 {
+			t.Errorf("cache %d: pattern with terminator matched: %+v", cacheSize, res[0])
+		}
+		if res[1].Found {
+			t.Errorf("cache %d: bare terminator matched", cacheSize)
+		}
+		if !res[2].Found {
+			t.Errorf("cache %d: sane op in mixed batch lost", cacheSize)
+		}
+	}
+}
+
+// TestEngineUnloadPurgesCache pins that unloading (or replacing) an index
+// immediately evicts its cached results instead of leaving them to age out.
+func TestEngineUnloadPurgesCache(t *testing.T) {
+	e := NewEngine(128)
+	if err := e.Load(buildIndex(t, "dna", 1000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load(buildIndex(t, "other", 1000, 2)); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"A", "C", "G", "T", "AC", "GT"} {
+		if _, err := e.Query("dna", era.Op{Kind: era.OpCount, Pattern: []byte(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Query("other", era.Op{Kind: era.OpCount, Pattern: []byte("A")}); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.cache.len(); n != 7 {
+		t.Fatalf("cache holds %d entries before unload, want 7", n)
+	}
+	e.Unload("dna")
+	if n := e.cache.len(); n != 1 {
+		t.Errorf("cache holds %d entries after unload, want 1 (only \"other\")", n)
+	}
+	// Replacing an index purges the old load's entries the same way.
+	if err := e.Load(buildIndex(t, "other", 1000, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.cache.len(); n != 0 {
+		t.Errorf("cache holds %d entries after hot reload, want 0", n)
+	}
+}
+
+func TestEngineLoadDirAndUnload(t *testing.T) {
+	dir := t.TempDir()
+	named := buildIndex(t, "genome", 1500, 3)
+	if err := named.WriteFile(filepath.Join(dir, "a.idx")); err != nil {
+		t.Fatal(err)
+	}
+	// An unnamed index (as written by pre-v2 tooling) adopts its file name.
+	legacy := buildIndex(t, "", 800, 4)
+	if err := legacy.WriteFile(filepath.Join(dir, "legacy.idx")); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("ignored"), 0o644)
+
+	e := NewEngine(16)
+	names, err := e.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("LoadDir loaded %v, want 2 indexes", names)
+	}
+	got := e.Names()
+	want := []string{"genome", "legacy"}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	if !e.Unload("legacy") {
+		t.Error("Unload(legacy) = false")
+	}
+	if e.Unload("legacy") {
+		t.Error("second Unload(legacy) = true")
+	}
+	if _, err := e.Query("legacy", era.Op{Kind: era.OpContains, Pattern: []byte("A")}); err == nil {
+		t.Error("query against unloaded index succeeded")
+	}
+	if _, err := e.LoadDir(t.TempDir()); err == nil {
+		t.Error("LoadDir on an empty directory succeeded")
+	}
+}
+
+// TestConcurrentQueries is the acceptance test for the lock-free read path:
+// 16 goroutines hammer one engine with mixed single and batched queries
+// while a writer hot-reloads a second index, all under -race in CI. Answers
+// are checked against results computed up front on the immutable index.
+func TestConcurrentQueries(t *testing.T) {
+	idx := buildIndex(t, "dna", 4000, 11)
+	e := NewEngine(256)
+	if err := e.Load(idx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Precompute expected answers for a pool of patterns (some absent).
+	patterns := make([][]byte, 0, 64)
+	data := workload.MustGenerate(workload.DNA, 4000, 11)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 56; i++ {
+		off := rng.Intn(len(data) - 9)
+		patterns = append(patterns, data[off:off+2+rng.Intn(7)])
+	}
+	for i := 0; i < 8; i++ {
+		patterns = append(patterns, bytes.Repeat([]byte("ACGT"), 3+i)) // likely absent
+	}
+	type expect struct {
+		found bool
+		count int
+		occ   []int
+	}
+	expected := make([]expect, len(patterns))
+	for i, p := range patterns {
+		expected[i] = expect{idx.Contains(p), idx.Count(p), idx.Occurrences(p)}
+	}
+
+	const clients = 16
+	const rounds = 200
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for r := 0; r < rounds; r++ {
+				pi := rng.Intn(len(patterns))
+				p, want := patterns[pi], expected[pi]
+				switch r % 4 {
+				case 0:
+					res, err := e.Query("dna", era.Op{Kind: era.OpContains, Pattern: p})
+					if err != nil || res.Found != want.found {
+						errc <- fmt.Errorf("client %d: Contains(%s) = %v, %v; want %v", c, p, res.Found, err, want.found)
+						return
+					}
+				case 1:
+					res, err := e.Query("dna", era.Op{Kind: era.OpCount, Pattern: p})
+					if err != nil || res.Count != want.count {
+						errc <- fmt.Errorf("client %d: Count(%s) = %d, %v; want %d", c, p, res.Count, err, want.count)
+						return
+					}
+				case 2:
+					res, err := e.Query("dna", era.Op{Kind: era.OpOccurrences, Pattern: p})
+					if err != nil || len(res.Occurrences) != len(want.occ) {
+						errc <- fmt.Errorf("client %d: Occurrences(%s) = %v, %v; want %v", c, p, res.Occurrences, err, want.occ)
+						return
+					}
+					for i := range want.occ {
+						if res.Occurrences[i] != want.occ[i] {
+							errc <- fmt.Errorf("client %d: Occurrences(%s)[%d] = %d, want %d", c, p, i, res.Occurrences[i], want.occ[i])
+							return
+						}
+					}
+				case 3:
+					qi := rng.Intn(len(patterns))
+					ops := []era.Op{
+						{Kind: era.OpCount, Pattern: p},
+						{Kind: era.OpCount, Pattern: patterns[qi]},
+					}
+					res, err := e.Batch("dna", ops)
+					if err != nil || res[0].Count != want.count || res[1].Count != expected[qi].count {
+						errc <- fmt.Errorf("client %d: Batch = %+v, %v; want counts %d, %d", c, res, err, want.count, expected[qi].count)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+
+	// A writer churns the catalog concurrently: queries against "dna" must
+	// be completely isolated from loads/unloads of "other".
+	other := buildIndex(t, "other", 500, 23)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := e.Load(other); err != nil {
+				errc <- err
+				return
+			}
+			e.Unload("other")
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if st := e.Stats(); st.Queries == 0 {
+		t.Error("no queries recorded")
+	}
+}

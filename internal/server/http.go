@@ -1,0 +1,207 @@
+// JSON-over-HTTP front end for the query engine.
+//
+// Endpoints:
+//
+//	GET  /healthz             liveness probe
+//	GET  /v1/stats            engine counters (queries, cache hits/misses)
+//	GET  /v1/indexes          loaded indexes with summary metadata
+//	GET  /v1/indexes/{name}   one index's metadata
+//	POST /v1/query            one query: {"index","op","pattern"[,"max"]}
+//	POST /v1/batch            many queries: {"index","ops":[{"op","pattern"[,"max"]},...]}
+//
+// Patterns travel as JSON strings; the indexed alphabets (DNA, protein,
+// English text) are all byte-per-symbol printable, so no escaping layer is
+// needed beyond JSON's own.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"era"
+)
+
+// MaxBatchOps bounds one /v1/batch request, so a single client cannot park
+// an arbitrary amount of work on one connection.
+const MaxBatchOps = 10000
+
+// maxBodyBytes bounds request bodies; patterns are tiny compared to this.
+const maxBodyBytes = 1 << 20
+
+// NewHandler returns the HTTP API over engine.
+func NewHandler(engine *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, engine.Stats())
+	})
+	mux.HandleFunc("GET /v1/indexes", func(w http.ResponseWriter, r *http.Request) {
+		names := engine.Names()
+		infos := make([]indexInfo, 0, len(names))
+		for _, name := range names {
+			if idx, ok := engine.Get(name); ok {
+				infos = append(infos, describe(name, idx))
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"indexes": infos})
+	})
+	mux.HandleFunc("GET /v1/indexes/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		idx, ok := engine.Get(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("no index named %q loaded", name))
+			return
+		}
+		writeJSON(w, http.StatusOK, describe(name, idx))
+	})
+	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		var req queryRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		op, err := req.op()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		res, err := engine.Query(req.Index, op)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, toWire(op, res))
+	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if len(req.Ops) == 0 {
+			writeError(w, http.StatusBadRequest, "batch has no ops")
+			return
+		}
+		if len(req.Ops) > MaxBatchOps {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d ops exceeds the limit of %d", len(req.Ops), MaxBatchOps))
+			return
+		}
+		ops := make([]era.Op, len(req.Ops))
+		for i, q := range req.Ops {
+			op, err := q.op()
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("op %d: %v", i, err))
+				return
+			}
+			ops[i] = op
+		}
+		results, err := engine.Batch(req.Index, ops)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		wire := make([]queryResponse, len(results))
+		for i, res := range results {
+			wire[i] = toWire(ops[i], res)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": wire})
+	})
+	return mux
+}
+
+// queryOp is the wire form of one operation.
+type queryOp struct {
+	Op      string `json:"op"`
+	Pattern string `json:"pattern"`
+	Max     int    `json:"max,omitempty"`
+}
+
+func (q *queryOp) op() (era.Op, error) {
+	kind, err := era.ParseOpKind(q.Op)
+	if err != nil {
+		return era.Op{}, err
+	}
+	if q.Max < 0 {
+		return era.Op{}, fmt.Errorf("max must be ≥ 0, got %d", q.Max)
+	}
+	return era.Op{Kind: kind, Pattern: []byte(q.Pattern), MaxOccurrences: q.Max}, nil
+}
+
+type queryRequest struct {
+	Index string `json:"index"`
+	queryOp
+}
+
+type batchRequest struct {
+	Index string    `json:"index"`
+	Ops   []queryOp `json:"ops"`
+}
+
+// queryResponse is the wire form of one result. Count and Occurrences are
+// present only when the op asked for them.
+type queryResponse struct {
+	Found       bool  `json:"found"`
+	Count       *int  `json:"count,omitempty"`
+	Occurrences []int `json:"occurrences,omitempty"`
+	Truncated   bool  `json:"truncated,omitempty"`
+}
+
+func toWire(op era.Op, res era.Result) queryResponse {
+	out := queryResponse{Found: res.Found}
+	if op.Kind == era.OpCount || op.Kind == era.OpOccurrences {
+		c := res.Count
+		out.Count = &c
+	}
+	if op.Kind == era.OpOccurrences && res.Found {
+		out.Occurrences = res.Occurrences
+		if out.Occurrences == nil {
+			out.Occurrences = []int{}
+		}
+		out.Truncated = len(res.Occurrences) < res.Count
+	}
+	return out
+}
+
+type indexInfo struct {
+	Name      string `json:"name"`
+	Symbols   int    `json:"symbols"` // indexed length incl. terminator
+	Documents int    `json:"documents"`
+	Alphabet  string `json:"alphabet"`
+	TreeNodes int64  `json:"tree_nodes"`
+}
+
+func describe(name string, idx *era.Index) indexInfo {
+	return indexInfo{
+		Name:      name,
+		Symbols:   idx.Len(),
+		Documents: idx.NumDocs(),
+		Alphabet:  idx.Alphabet().Name(),
+		TreeNodes: idx.TreeNodes(),
+	}
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	// The engine's not-found error mentions the index name; anything else
+	// on that path would also be a client addressing problem.
+	writeJSON(w, status, map[string]string{"error": strings.TrimPrefix(msg, "server: ")})
+}

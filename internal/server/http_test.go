@@ -1,0 +1,282 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"era"
+)
+
+// newTestServer starts the HTTP API over a fresh engine with one 2000-symbol
+// DNA index named "dna".
+func newTestServer(t *testing.T) (*httptest.Server, *era.Index) {
+	t.Helper()
+	idx := buildIndex(t, "dna", 2000, 1)
+	e := NewEngine(256)
+	if err := e.Load(idx); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(e))
+	t.Cleanup(ts.Close)
+	return ts, idx
+}
+
+func postJSON(t *testing.T, url string, body any) (int, map[string]any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestHTTPQuery(t *testing.T) {
+	ts, idx := newTestServer(t)
+
+	status, out := postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"index": "dna", "op": "count", "pattern": "TG",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %v", status, out)
+	}
+	if int(out["count"].(float64)) != idx.Count([]byte("TG")) {
+		t.Errorf("count = %v, want %d", out["count"], idx.Count([]byte("TG")))
+	}
+
+	status, out = postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"index": "dna", "op": "occurrences", "pattern": "ACGT", "max": 2,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %v", status, out)
+	}
+	occ := idx.Occurrences([]byte("ACGT"))
+	if got := out["occurrences"].([]any); len(occ) >= 2 && len(got) != 2 {
+		t.Errorf("occurrences = %v, want 2 capped offsets of %v", got, occ)
+	}
+	if len(occ) > 2 && out["truncated"] != true {
+		t.Error("truncated flag not set")
+	}
+}
+
+func TestHTTPBatch(t *testing.T) {
+	ts, idx := newTestServer(t)
+	status, out := postJSON(t, ts.URL+"/v1/batch", map[string]any{
+		"index": "dna",
+		"ops": []map[string]any{
+			{"op": "contains", "pattern": "TG"},
+			{"op": "count", "pattern": "GATTACAGATTACA"},
+			{"op": "occurrences", "pattern": "AC"},
+		},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %v", status, out)
+	}
+	results := out["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	first := results[0].(map[string]any)
+	if first["found"] != idx.Contains([]byte("TG")) {
+		t.Errorf("batch contains = %v", first["found"])
+	}
+	third := results[2].(map[string]any)
+	if int(third["count"].(float64)) != idx.Count([]byte("AC")) {
+		t.Errorf("batch occurrences count = %v, want %d", third["count"], idx.Count([]byte("AC")))
+	}
+}
+
+func TestHTTPIndexListingAndHealth(t *testing.T) {
+	ts, idx := newTestServer(t)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/v1/indexes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Indexes []indexInfo `json:"indexes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listing.Indexes) != 1 || listing.Indexes[0].Name != "dna" {
+		t.Fatalf("indexes = %+v", listing.Indexes)
+	}
+	if listing.Indexes[0].Symbols != idx.Len() || listing.Indexes[0].TreeNodes != idx.TreeNodes() {
+		t.Errorf("index info = %+v", listing.Indexes[0])
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/indexes/dna")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/indexes/dna: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/stats: %v %v", resp.StatusCode, err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Indexes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	status, out := postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"index": "nope", "op": "count", "pattern": "TG",
+	})
+	if status != http.StatusNotFound {
+		t.Errorf("unknown index: status %d, want 404 (%v)", status, out)
+	}
+
+	status, _ = postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"index": "dna", "op": "frobnicate", "pattern": "TG",
+	})
+	if status != http.StatusBadRequest {
+		t.Errorf("bad op: status %d, want 400", status)
+	}
+
+	status, _ = postJSON(t, ts.URL+"/v1/batch", map[string]any{
+		"index": "dna", "ops": []map[string]any{},
+	})
+	if status != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", status)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/indexes/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown index detail: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHTTPConcurrentClients drives the full serve path with 8 concurrent
+// HTTP clients issuing mixed single and batch queries (the acceptance bar:
+// ≥ 8 clients, correct answers, clean under -race).
+func TestHTTPConcurrentClients(t *testing.T) {
+	ts, idx := newTestServer(t)
+
+	pats := []string{"TG", "AC", "ACG", "GATT", "TTTTTTTTTTTT", "CG", "A", "GGC"}
+	wantCount := make([]int, len(pats))
+	for i, p := range pats {
+		wantCount[i] = idx.Count([]byte(p))
+	}
+
+	const clients = 8
+	const rounds = 40
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				pi := (c + r) % len(pats)
+				raw, _ := json.Marshal(map[string]any{
+					"index": "dna", "op": "count", "pattern": pats[pi],
+				})
+				resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					errc <- err
+					return
+				}
+				var out struct {
+					Found bool `json:"found"`
+					Count *int `json:"count"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if out.Count == nil || *out.Count != wantCount[pi] {
+					errc <- fmt.Errorf("client %d: count(%s) = %v, want %d", c, pats[pi], out.Count, wantCount[pi])
+					return
+				}
+
+				// Every 8th round, a batch mixing all patterns.
+				if r%8 == 0 {
+					ops := make([]map[string]any, len(pats))
+					for i, p := range pats {
+						ops[i] = map[string]any{"op": "count", "pattern": p}
+					}
+					raw, _ := json.Marshal(map[string]any{"index": "dna", "ops": ops})
+					resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(raw))
+					if err != nil {
+						errc <- err
+						return
+					}
+					var bout struct {
+						Results []struct {
+							Count *int `json:"count"`
+						} `json:"results"`
+					}
+					err = json.NewDecoder(resp.Body).Decode(&bout)
+					resp.Body.Close()
+					if err != nil {
+						errc <- err
+						return
+					}
+					if len(bout.Results) != len(pats) {
+						errc <- fmt.Errorf("client %d: %d batch results, want %d", c, len(bout.Results), len(pats))
+						return
+					}
+					for i := range pats {
+						if bout.Results[i].Count == nil || *bout.Results[i].Count != wantCount[i] {
+							errc <- fmt.Errorf("client %d: batch count(%s) = %v, want %d", c, pats[i], bout.Results[i].Count, wantCount[i])
+							return
+						}
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

@@ -1,5 +1,12 @@
 package suffixtree
 
+// The methods in this file are pure reads: they never mutate the tree, its
+// node array, or the underlying string. Any number of goroutines may run
+// them concurrently on the same Tree (without synchronization) as long as no
+// goroutine mutates the tree via the builder API at the same time. The
+// concurrent query server (internal/server) and the Index.Batch fast path
+// rely on this.
+
 // Locus is the position reached by matching a pattern into the tree: the
 // node whose edge the match ends on, and how many symbols of that node's
 // edge label were consumed.
@@ -33,6 +40,47 @@ func (t *Tree) Find(pattern []byte) (Locus, bool) {
 		cur = c
 	}
 	return Locus{Node: cur, Depth: t.EdgeLen(cur)}, true
+}
+
+// MatchTrace matches pattern against the tree, recording in trace[d] the
+// locus reached after consuming pattern[:d+1]. The descent resumes from
+// trace[from-1] — which must hold the locus of pattern[:from], recorded by a
+// previous MatchTrace whose pattern shared that prefix — or from the root
+// when from is 0. trace must have length ≥ len(pattern).
+//
+// It returns the number of symbols matched: matched == len(pattern) means
+// the whole pattern occurs in S (its locus is in trace[len(pattern)-1]);
+// trace[from:matched] is valid either way, so a failed match still seeds
+// prefix reuse for the next pattern. Batched queries exploit this: patterns
+// sorted lexicographically walk only the suffix they do not share with their
+// predecessor.
+func (t *Tree) MatchTrace(pattern []byte, from int, trace []Locus) int {
+	i := from
+	cur := t.Root()
+	var depth int32 // symbols consumed on cur's edge
+	if i > 0 {
+		cur, depth = trace[i-1].Node, trace[i-1].Depth
+	}
+	for i < len(pattern) {
+		if depth == t.EdgeLen(cur) {
+			c := t.Child(cur, pattern[i])
+			if c == None {
+				return i
+			}
+			cur, depth = c, 0
+		}
+		cs, ce := t.nodes[cur].start+depth, t.nodes[cur].end
+		for cs < ce && i < len(pattern) {
+			if t.s.At(int(cs)) != pattern[i] {
+				return i
+			}
+			cs++
+			depth++
+			trace[i] = Locus{Node: cur, Depth: depth}
+			i++
+		}
+	}
+	return i
 }
 
 // Contains reports whether pattern occurs in S. With the tree built, this is

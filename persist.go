@@ -5,6 +5,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"era/internal/alphabet"
 	"era/internal/seq"
@@ -13,20 +16,37 @@ import (
 
 // Index file format (little endian):
 //
-//	magic    uint32 'ERAI'
-//	version  uint32 1
-//	alphaLen uint32, alphabet symbols
-//	nDocs    uint32, doc end offsets (uint32 each)
-//	dataLen  uint32, string bytes (terminator included)
-//	tree     suffixtree serialization
+//	magic     uint32 'ERAI'
+//	version   uint32 2
+//	nameLen   uint32, corpus name bytes    (version ≥ 2 only)
+//	aNameLen  uint32, alphabet name bytes  (version ≥ 2 only)
+//	alphaLen  uint32, alphabet symbols
+//	nDocs     uint32, doc end offsets (uint32 each)
+//	dataLen   uint32, string bytes (terminator included)
+//	tree      suffixtree serialization
+//
+// Version 1 files (written before indexes carried names) are identical
+// minus the two name blocks; ReadIndex accepts both and gives v1 indexes
+// the empty corpus name and the alphabet name "stored". The query server
+// falls back to the file's base name then, so old index files stay
+// hot-loadable.
 const (
 	indexMagic   = 0x45524149
-	indexVersion = 1
+	indexVersion = 2
+	// maxNameLen bounds the corpus and alphabet name fields. WriteTo
+	// enforces it so every written index is readable; ReadIndex enforces it
+	// so a corrupt or hostile length field fails cleanly instead of
+	// demanding a giant allocation.
+	maxNameLen = 64 << 10
 )
 
-// WriteTo serializes the index (string, document map and tree) so it can be
-// reopened with ReadIndex without rebuilding. It satisfies io.WriterTo.
+// WriteTo serializes the index (name, string, document map and tree) so it
+// can be reopened with ReadIndex without rebuilding. It satisfies
+// io.WriterTo.
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	if len(x.name) > maxNameLen || len(x.alpha.Name()) > maxNameLen {
+		return 0, fmt.Errorf("era: index name longer than %d bytes", maxNameLen)
+	}
 	bw := bufio.NewWriter(w)
 	var total int64
 	put32 := func(v uint32) error {
@@ -40,6 +60,22 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 		return total, err
 	}
 	if err := put32(indexVersion); err != nil {
+		return total, err
+	}
+	if err := put32(uint32(len(x.name))); err != nil {
+		return total, err
+	}
+	n0, err := bw.WriteString(x.name)
+	total += int64(n0)
+	if err != nil {
+		return total, err
+	}
+	if err := put32(uint32(len(x.alpha.Name()))); err != nil {
+		return total, err
+	}
+	n0, err = bw.WriteString(x.alpha.Name())
+	total += int64(n0)
+	if err != nil {
 		return total, err
 	}
 	syms := x.alpha.Symbols()
@@ -96,18 +132,50 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	if v != indexVersion {
+	if v < 1 || v > indexVersion {
 		return nil, fmt.Errorf("era: unsupported index version %d", v)
 	}
+	getString := func() (string, error) {
+		n, err := get32()
+		if err != nil {
+			return "", err
+		}
+		if n > maxNameLen {
+			return "", fmt.Errorf("era: corrupt index: name field of %d bytes", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	var name string
+	alphaName := "stored"
+	if v >= 2 {
+		if name, err = getString(); err != nil {
+			return nil, err
+		}
+		if alphaName, err = getString(); err != nil {
+			return nil, err
+		}
+	}
+	// The remaining length fields also come from the (possibly corrupt)
+	// file, so nothing is allocated proportionally to them up front:
+	// symbols are bounded by the alphabet invariant, and doc ends / string
+	// bytes are read incrementally so a truncated or hostile header fails
+	// on the missing bytes instead of attempting a giant allocation.
 	nSyms, err := get32()
 	if err != nil {
 		return nil, err
+	}
+	if nSyms > 256 {
+		return nil, fmt.Errorf("era: corrupt index: alphabet of %d symbols", nSyms)
 	}
 	syms := make([]byte, nSyms)
 	if _, err := io.ReadFull(br, syms); err != nil {
 		return nil, err
 	}
-	alpha, err := alphabet.New("stored", syms)
+	alpha, err := alphabet.New(alphaName, syms)
 	if err != nil {
 		return nil, err
 	}
@@ -115,21 +183,29 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	docEnds := make([]int32, nDocs)
-	for i := range docEnds {
+	docEnds := make([]int32, 0, min(nDocs, 1<<16))
+	for i := uint32(0); i < nDocs; i++ {
 		e, err := get32()
 		if err != nil {
 			return nil, err
 		}
-		docEnds[i] = int32(e)
+		docEnds = append(docEnds, int32(e))
 	}
 	dataLen, err := get32()
 	if err != nil {
 		return nil, err
 	}
-	data := make([]byte, dataLen)
-	if _, err := io.ReadFull(br, data); err != nil {
-		return nil, err
+	data := make([]byte, 0, min(dataLen, 1<<24))
+	var chunk [64 << 10]byte
+	for uint32(len(data)) < dataLen {
+		want := dataLen - uint32(len(data))
+		if want > uint32(len(chunk)) {
+			want = uint32(len(chunk))
+		}
+		if _, err := io.ReadFull(br, chunk[:want]); err != nil {
+			return nil, err
+		}
+		data = append(data, chunk[:want]...)
 	}
 	mem, err := seq.NewMem(alpha, data)
 	if err != nil {
@@ -139,5 +215,39 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{tree: tree, data: data, alpha: alpha, docEnds: docEnds}, nil
+	return &Index{name: name, tree: tree, data: data, alpha: alpha, docEnds: docEnds}, nil
+}
+
+// WriteFile saves the index to path.
+func (x *Index) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := x.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// OpenIndex reads an index file written by WriteFile (or WriteTo). Indexes
+// saved without a name adopt the file's base name (extension stripped), so
+// every index loaded from disk is addressable.
+func OpenIndex(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	idx, err := ReadIndex(f)
+	if err != nil {
+		// ReadIndex errors already carry the package prefix.
+		return nil, fmt.Errorf("reading index %s: %w", path, err)
+	}
+	if idx.name == "" {
+		base := filepath.Base(path)
+		idx.name = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	return idx, nil
 }

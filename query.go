@@ -1,9 +1,20 @@
 package era
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
+
+	"era/internal/suffixtree"
 )
+
+// Concurrency: every query method on Index (Contains, Count, Occurrences,
+// DocOccurrences, LongestRepeatedSubstring, Repeats, LongestCommonSubstring,
+// Batch, WriteTo) is a pure read of the immutable tree and string built by
+// Build/BuildCorpus/ReadIndex. Any number of goroutines may query one Index
+// concurrently without synchronization; the concurrent query server in
+// internal/server relies on this, and TestConcurrentQueries pins it under
+// the race detector.
 
 // Contains reports whether pattern occurs in the indexed string — the
 // O(|P|) search that motivates suffix trees (§1 of the paper). For corpus
@@ -28,6 +39,170 @@ func (x *Index) Occurrences(pattern []byte) []int {
 	}
 	sort.Ints(out)
 	return out
+}
+
+// OpKind selects the operation a batched query performs.
+type OpKind int
+
+const (
+	// OpContains answers Result.Found only.
+	OpContains OpKind = iota
+	// OpCount fills Result.Count (and Found).
+	OpCount
+	// OpOccurrences fills Result.Occurrences (and Count, Found).
+	OpOccurrences
+)
+
+// String returns the wire name of the kind ("contains", "count",
+// "occurrences"), as used by the JSON query API.
+func (k OpKind) String() string {
+	switch k {
+	case OpContains:
+		return "contains"
+	case OpCount:
+		return "count"
+	case OpOccurrences:
+		return "occurrences"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// ParseOpKind resolves a wire name to an OpKind.
+func ParseOpKind(s string) (OpKind, error) {
+	switch s {
+	case "contains":
+		return OpContains, nil
+	case "count":
+		return OpCount, nil
+	case "occurrences":
+		return OpOccurrences, nil
+	}
+	return 0, fmt.Errorf("era: unknown query op %q (want contains, count or occurrences)", s)
+}
+
+// Op is one query of a batch.
+type Op struct {
+	Kind    OpKind
+	Pattern []byte
+	// MaxOccurrences caps the offsets returned for OpOccurrences;
+	// 0 returns all of them.
+	MaxOccurrences int
+}
+
+// Result answers one Op. Fields beyond what the Op's kind requires are left
+// at their zero value.
+type Result struct {
+	Found       bool
+	Count       int
+	Occurrences []int
+}
+
+// Batch answers many queries in one call, amortizing tree descents:
+// patterns are processed in lexicographic order and each descent resumes
+// from the longest common prefix it shares with its predecessor, so a batch
+// of similar or duplicate patterns costs far less than one Find each.
+// Results are returned in the order of ops. Like the single-query methods,
+// Batch is safe for any number of concurrent callers on one Index. Ops
+// landing on the same tree locus share one Occurrences backing array —
+// treat returned Occurrences as read-only.
+func (x *Index) Batch(ops []Op) []Result {
+	results := make([]Result, len(ops))
+	if len(ops) == 0 {
+		return results
+	}
+
+	order := make([]int, len(ops))
+	maxLen := 0
+	for i, op := range ops {
+		order[i] = i
+		if len(op.Pattern) > maxLen {
+			maxLen = len(op.Pattern)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return bytes.Compare(ops[order[a]].Pattern, ops[order[b]].Pattern) < 0
+	})
+
+	t := x.tree
+	trace := make([]suffixtree.Locus, maxLen)
+	var prev []byte
+	prevMatched := 0
+	// Leaf counts and sorted occurrence lists below a locus node are shared
+	// by every op that lands on it; memoize them so duplicate
+	// Count/Occurrences patterns pay once.
+	var counts map[int32]int
+	var occLists map[int32][]int
+
+	for _, oi := range order {
+		op := &ops[oi]
+		p := op.Pattern
+
+		// Longest prefix shared with the previous pattern whose trace is
+		// still valid (a failed match only vouches for its matched part).
+		l := lcp(p, prev)
+		if l > prevMatched {
+			l = prevMatched
+		}
+		matched := t.MatchTrace(p, l, trace)
+		prev, prevMatched = p, matched
+
+		if matched != len(p) {
+			continue // results[oi] stays the zero Result: not found
+		}
+		loc := suffixtree.Locus{Node: t.Root()}
+		if len(p) > 0 {
+			loc = trace[len(p)-1]
+		}
+		r := &results[oi]
+		r.Found = true
+		if op.Kind == OpContains {
+			continue
+		}
+		if counts == nil {
+			counts = make(map[int32]int)
+		}
+		c, ok := counts[loc.Node]
+		if !ok {
+			c = t.CountLeaves(loc.Node)
+			counts[loc.Node] = c
+		}
+		r.Count = c
+		if op.Kind == OpOccurrences {
+			if occLists == nil {
+				occLists = make(map[int32][]int)
+			}
+			out, ok := occLists[loc.Node]
+			if !ok {
+				occ := t.Leaves(loc.Node)
+				out = make([]int, len(occ))
+				for i, o := range occ {
+					out[i] = int(o)
+				}
+				sort.Ints(out)
+				occLists[loc.Node] = out
+			}
+			// The memoized slice is shared across results; ops only ever
+			// re-slice it, so every result views the same backing array.
+			if op.MaxOccurrences > 0 && len(out) > op.MaxOccurrences {
+				out = out[:op.MaxOccurrences]
+			}
+			r.Occurrences = out
+		}
+	}
+	return results
+}
+
+// lcp returns the length of the longest common prefix of a and b.
+func lcp(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
 }
 
 // DocHit locates a pattern occurrence within a document.
