@@ -6,26 +6,57 @@
 //	era-bench -list
 //	era-bench -exp fig10a
 //	era-bench -exp all -scale medium
+//	era-bench -exp fig10a -json BENCH_2.json
 //
 // Times are virtual (a deterministic disk/cluster cost model prices the
 // real counted work), so output is machine-independent; see EXPERIMENTS.md
-// for the comparison against the paper's reported results.
+// for the comparison against the paper's reported results. The -json mode
+// additionally writes a machine-readable record of every run — scenario,
+// regenerated table (virtual times), wall time and allocation counts — so
+// the repository's perf trajectory can be tracked across PRs (the CI
+// uploads one BENCH_<n>.json per run).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"era/internal/bench"
 )
 
+// jsonReport is the -json file layout. Wall time and allocations are
+// machine-dependent (unlike the virtual times inside the tables), so the
+// host context is recorded alongside.
+type jsonReport struct {
+	Schema      int              `json:"schema"`
+	Scale       string           `json:"scale"`
+	Unit        int              `json:"unit"` // symbols per paper-GB
+	GoVersion   string           `json:"go_version"`
+	GOOS        string           `json:"goos"`
+	GOARCH      string           `json:"goarch"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID         string       `json:"id"`
+	Paper      string       `json:"paper"`
+	Title      string       `json:"title"`
+	WallMillis float64      `json:"wall_ms"`
+	Allocs     uint64       `json:"allocs"`
+	AllocBytes uint64       `json:"alloc_bytes"`
+	Table      *bench.Table `json:"table"`
+}
+
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		scale = flag.String("scale", "small", "workload scale: small, medium or large")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale    = flag.String("scale", "small", "workload scale: small, medium or large")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		jsonPath = flag.String("json", "", "also write a machine-readable report (e.g. BENCH_2.json)")
 	)
 	flag.Parse()
 
@@ -53,15 +84,49 @@ func main() {
 		exps = []bench.Experiment{e}
 	}
 
+	report := jsonReport{
+		Schema:    1,
+		Scale:     sc.Name,
+		Unit:      sc.Unit,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+
 	fmt.Printf("scale=%s (1 paper-GB = %d symbols)\n\n", sc.Name, sc.Unit)
 	for _, e := range exps {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		tbl, err := e.Run(sc)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
 		tbl.Fprint(os.Stdout)
-		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, wall.Round(time.Millisecond))
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			ID:         e.ID,
+			Paper:      e.Paper,
+			Title:      e.Title,
+			WallMillis: float64(wall) / float64(time.Millisecond),
+			Allocs:     after.Mallocs - before.Mallocs,
+			AllocBytes: after.TotalAlloc - before.TotalAlloc,
+			Table:      tbl,
+		})
+	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }
 

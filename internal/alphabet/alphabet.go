@@ -25,6 +25,7 @@ type Alphabet struct {
 	name    string
 	symbols []byte
 	rank    [256]int16 // symbol -> index, -1 if absent
+	codes   [256]int16 // symbol -> packed code (terminator 0), -1 if absent
 	bits    uint       // bits per symbol when packed
 }
 
@@ -53,9 +54,12 @@ func New(name string, symbols []byte) (*Alphabet, error) {
 	a := &Alphabet{name: name, symbols: uniq}
 	for i := range a.rank {
 		a.rank[i] = -1
+		a.codes[i] = -1
 	}
+	a.codes[Terminator] = 0
 	for i, s := range uniq {
 		a.rank[s] = int16(i)
+		a.codes[s] = int16(i) + 1
 	}
 	a.bits = bitsFor(len(uniq))
 	return a, nil
@@ -113,6 +117,13 @@ func (a *Alphabet) Rank(s byte) int { return int(a.rank[s]) }
 
 // Contains reports whether s is a member of the alphabet.
 func (a *Alphabet) Contains(s byte) bool { return a.rank[s] >= 0 }
+
+// CodeTable returns the byte→packed-code mapping used by the bit-packed
+// encoding and the construction hot-path matchers: the terminator maps to
+// code 0, symbol i to code i+1, and bytes outside the alphabet to -1. Each
+// code fits in Bits() bits, so a window of w symbols packs injectively into
+// a w·Bits()-bit integer. The returned array must not be modified.
+func (a *Alphabet) CodeTable() *[256]int16 { return &a.codes }
 
 // Validate checks that the string s consists of alphabet symbols and ends
 // with exactly one terminator.

@@ -26,13 +26,7 @@ func Pack(a *Alphabet, s []byte) (*BitPacked, error) {
 		n:     len(s),
 	}
 	for i, sym := range s {
-		var code uint64
-		if sym == Terminator {
-			code = 0
-		} else {
-			code = uint64(a.rank[sym]) + 1
-		}
-		p.set(i, code, bits)
+		p.set(i, uint64(a.codes[sym]), bits)
 	}
 	return p, nil
 }

@@ -1,0 +1,118 @@
+package core
+
+// This file provides the allocation amortizers for the construction round
+// loops: a grow-only byte arena that replaces the per-leaf-per-round
+// make([]byte, want) chunk allocations, and a binary min-heap that merges
+// the per-sub-tree appearance-ordered fill runs into one sequential schedule
+// — replacing the per-round sort.Slice over data that is already a k-way
+// union of sorted runs.
+
+// byteArena hands out sub-slices of large blocks. Slices stay valid after
+// further grabs (growth chains a new block instead of moving old ones);
+// reset reuses the largest block seen, so a loop that resets every round
+// stops allocating once the first round has sized it.
+type byteArena struct {
+	block []byte
+	off   int
+	spill [][]byte // earlier, smaller blocks still referenced by callers
+}
+
+// arenaMinBlock is the smallest block the arena allocates.
+const arenaMinBlock = 64 * 1024
+
+// grab returns a slice of n bytes carved from the arena. Freshly allocated
+// blocks are zeroed; reused blocks (after reset) still hold prior contents,
+// so callers must overwrite the slice fully before reading it.
+func (a *byteArena) grab(n int) []byte {
+	if a.off+n > len(a.block) {
+		size := 2 * len(a.block)
+		if size < arenaMinBlock {
+			size = arenaMinBlock
+		}
+		if size < n {
+			size = n
+		}
+		if a.block != nil {
+			a.spill = append(a.spill, a.block)
+		}
+		a.block = make([]byte, size)
+		a.off = 0
+	}
+	s := a.block[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// ensure grows the current block to at least n bytes. Called right after
+// reset, it makes the round's grabs (totalling ≤ n bytes) contiguous and
+// allocation-free once the loop reaches its steady-state size.
+func (a *byteArena) ensure(n int) {
+	if len(a.block) < n {
+		a.block = make([]byte, n)
+		a.spill = nil
+		a.off = 0
+	}
+}
+
+// reset invalidates every outstanding grab and reuses the current block.
+func (a *byteArena) reset() {
+	a.off = 0
+	a.spill = nil
+}
+
+// mergeHead is one source run in a k-way merge of fill schedules, keyed by
+// string position. The payload identifies the source: for GroupPrepare, sub
+// and the appearance rank a; for GroupBranch, sub, open-edge index a and
+// occurrence index b within the edge.
+type mergeHead struct {
+	pos  int
+	sub  int32
+	a, b int32
+}
+
+// fillHeap is a binary min-heap of run heads ordered by pos. The caller owns
+// the backing slice and reuses it across rounds.
+type fillHeap []mergeHead
+
+func (h fillHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// replaceMin overwrites the minimum with its source's next element and
+// restores heap order.
+func (h fillHeap) replaceMin(m mergeHead) {
+	h[0] = m
+	h.siftDown(0)
+}
+
+// popMin removes the minimum (its source run is exhausted) and returns the
+// shrunk heap.
+func (h fillHeap) popMin() fillHeap {
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	if len(h) > 1 {
+		h.siftDown(0)
+	}
+	return h
+}
+
+func (h fillHeap) siftDown(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && h[r].pos < h[l].pos {
+			m = r
+		}
+		if h[i].pos <= h[m].pos {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"era/internal/seq"
 	"era/internal/sim"
@@ -15,12 +14,20 @@ import (
 // edges in place, which costs random memory accesses per update (the paper's
 // stated reason for superseding it with SubTreePrepare/BuildSubTree, §4.2.2).
 // It is kept as a first-class builder because Fig. 7 compares the two.
+//
+// Chunk state is a flat per-sub-tree slice indexed by occurrence appearance
+// rank (each open edge carries its occurrences' ranks), so the innermost
+// symbol-comparison loop costs one array index instead of a hash-map probe;
+// the chunk bytes live in a per-round arena and the round's fill schedule is
+// a k-way merge of the per-edge appearance-ordered runs.
 
 // openEdge is an edge still under construction: all suffixes in occs pass
-// through node's edge end at string depth depth.
+// through node's edge end at string depth depth. ranks[k] is the appearance
+// rank of occs[k] within its sub-tree — the index of its chunk.
 type openEdge struct {
 	node  int32
 	occs  []int32
+	ranks []int32
 	depth int32 // symbols of each suffix consumed so far
 }
 
@@ -29,7 +36,30 @@ type strState struct {
 	prefix Prefix
 	tree   *suffixtree.Tree
 	open   []openEdge
-	active int // total occurrences on open edges
+	// spare is last round's consumed open list, reused as the next round's
+	// append target. The two buffers alternate: re-queued edges must never
+	// land in the array still being iterated (edges would be clobbered and
+	// duplicated mid-round, silently corrupting the sub-tree).
+	spare  []openEdge
+	active int      // total occurrences on open edges
+	chunks [][]byte // appearance rank → this round's chunk
+
+	// processEdge scratch, reused across rounds.
+	stack     []branchJob
+	occTmp    []int32
+	rankTmp   []int32
+	symCounts [256]int32
+	symStarts [256]int32
+	symList   []byte
+}
+
+// branchJob is one pending stretch of BranchEdge work within processEdge.
+type branchJob struct {
+	node     int32
+	occs     []int32
+	ranks    []int32
+	depth    int32 // suffix depth at the node's edge end
+	consumed int32 // symbols of this round's chunk already used
 }
 
 // GroupBranch builds every sub-tree of a virtual tree with the ERa-str
@@ -53,7 +83,7 @@ func GroupBranch(f *seq.File, view seq.String, sc *seq.Scanner, clock *sim.Clock
 	subs := make([]*strState, len(group.Prefixes))
 	for i, p := range group.Prefixes {
 		if len(occs[i]) == 0 {
-			return nil, PrepareStats{}, fmt.Errorf("core: prefix %q has no occurrences", p.Label)
+			return nil, stats, fmt.Errorf("core: prefix %q has no occurrences", p.Label)
 		}
 		t := suffixtree.New(view)
 		st := &strState{prefix: p, tree: t}
@@ -67,7 +97,11 @@ func GroupBranch(f *seq.File, view seq.String, sc *seq.Scanner, clock *sim.Clock
 		} else {
 			u := t.NewNode(first, first+plen, -1)
 			t.AttachLast(t.Root(), u)
-			st.open = append(st.open, openEdge{node: u, occs: occs[i], depth: plen})
+			ranks := make([]int32, len(occs[i]))
+			for r := range ranks {
+				ranks[r] = int32(r)
+			}
+			st.open = append(st.open, openEdge{node: u, occs: occs[i], ranks: ranks, depth: plen})
 			st.active = len(occs[i])
 		}
 		subs[i] = st
@@ -76,12 +110,15 @@ func GroupBranch(f *seq.File, view seq.String, sc *seq.Scanner, clock *sim.Clock
 	var cpuSeq, cpuRand int64
 
 	type fill struct {
-		pos int
-		sub int32
-		occ int32 // occurrence position identifies the chunk
+		pos  int
+		sub  int32
+		rank int32 // appearance rank identifies the chunk slot
 	}
+	// Round-loop scratch, reused every round.
 	var fills []fill
-	chunks := make(map[int64][]byte) // (sub<<32 | occ) -> chunk
+	var heap fillHeap
+	var reqs []seq.BatchRequest
+	var chunkArena byteArena
 	firstRound := true
 
 	for {
@@ -106,45 +143,70 @@ func GroupBranch(f *seq.File, view seq.String, sc *seq.Scanner, clock *sim.Clock
 		}
 		stats.Rounds++
 
-		for k := range chunks {
-			delete(chunks, k)
-		}
 		if firstRound {
-			// Round one uses the chunks captured by the collect scan.
+			// Round one uses the chunks captured by the collect scan, which
+			// arrive already indexed by appearance rank.
 			firstRound = false
 			for si := range subs {
-				for j, o := range occs[si] {
-					chunks[int64(si)<<32|int64(uint32(o))] = round1[si][j]
-				}
+				subs[si].chunks = round1[si]
 			}
 		} else {
 			// One sequential pass fetches the next chunk for every
-			// unresolved suffix of every sub-tree in the group.
+			// unresolved suffix of every sub-tree in the group. Every open
+			// edge's occurrences are in appearance order, so the schedule
+			// is a k-way merge of per-edge runs.
 			fills = fills[:0]
+			heap = heap[:0]
 			for si, st := range subs {
-				for _, oe := range st.open {
-					for _, o := range oe.occs {
-						fills = append(fills, fill{int(o) + int(oe.depth), int32(si), o})
+				for ei, oe := range st.open {
+					if len(oe.occs) > 0 {
+						heap = append(heap, mergeHead{pos: int(oe.occs[0]) + int(oe.depth), sub: int32(si), a: int32(ei)})
 					}
 				}
 			}
-			sort.Slice(fills, func(a, b int) bool { return fills[a].pos < fills[b].pos })
+			heap.init()
+			for len(heap) > 0 {
+				hd := heap[0]
+				oe := &subs[hd.sub].open[hd.a]
+				fills = append(fills, fill{hd.pos, hd.sub, oe.ranks[hd.b]})
+				if nb := hd.b + 1; int(nb) < len(oe.occs) {
+					heap.replaceMin(mergeHead{pos: int(oe.occs[nb]) + int(oe.depth), sub: hd.sub, a: hd.a, b: nb})
+				} else {
+					heap = heap.popMin()
+				}
+			}
 			cpuSeq += int64(len(fills))
 
-			sc.Reset()
-			reqs := make([]seq.BatchRequest, len(fills))
+			total := 0
+			for _, fl := range fills {
+				want := rng
+				if fl.pos+want > n {
+					want = n - fl.pos
+				}
+				if want <= 0 {
+					// The suffix is exhausted; this cannot happen for an
+					// open edge (the unique terminator forces divergence
+					// before the suffix ends).
+					return nil, stats, fmt.Errorf("core: open edge of %q exhausted at %d (string length %d)", subs[fl.sub].prefix.Label, fl.pos, n)
+				}
+				total += want
+			}
+			chunkArena.reset()
+			chunkArena.ensure(total)
+			reqs = seq.GrowBatch(reqs, len(fills))
 			for i, fl := range fills {
 				want := rng
 				if fl.pos+want > n {
 					want = n - fl.pos
 				}
-				reqs[i] = seq.BatchRequest{Off: fl.pos, Dst: make([]byte, want)}
+				reqs[i] = seq.BatchRequest{Off: fl.pos, Dst: chunkArena.grab(want)}
 			}
+			sc.Reset()
 			if err := sc.FetchBatch(reqs); err != nil {
 				return nil, stats, err
 			}
 			for i, fl := range fills {
-				chunks[int64(fl.sub)<<32|int64(uint32(fl.occ))] = reqs[i].Dst[:reqs[i].Got]
+				subs[fl.sub].chunks[fl.rank] = reqs[i].Dst[:reqs[i].Got]
 				stats.SymbolsRead += int64(reqs[i].Got)
 			}
 		}
@@ -154,12 +216,13 @@ func GroupBranch(f *seq.File, view seq.String, sc *seq.Scanner, clock *sim.Clock
 		// the non-sequential, non-local memory accesses that §4.2.2 calls
 		// out as ERa-str's bottleneck — so the whole of it is charged at
 		// the random-access rate.
-		for si, st := range subs {
+		for _, st := range subs {
 			open := st.open
-			st.open = st.open[:0]
+			st.open = st.spare[:0]
+			st.spare = open
 			st.active = 0
 			for _, oe := range open {
-				seqOps, randOps, err := st.processEdge(oe, chunks, int64(si), int32(n))
+				seqOps, randOps, err := st.processEdge(oe, int32(n))
 				if err != nil {
 					return nil, stats, err
 				}
@@ -187,17 +250,10 @@ func GroupBranch(f *seq.File, view seq.String, sc *seq.Scanner, clock *sim.Clock
 // (case 1). Unresolved branches are re-queued for the next round. Tree
 // mutations are counted as random-access operations, symbol comparisons as
 // sequential ones.
-func (st *strState) processEdge(oe openEdge, chunks map[int64][]byte, si int64, n int32) (seqOps, randOps int64, err error) {
+func (st *strState) processEdge(oe openEdge, n int32) (seqOps, randOps int64, err error) {
 	t := st.tree
-	type job struct {
-		node     int32
-		occs     []int32
-		depth    int32 // suffix depth at the node's edge end
-		consumed int32 // symbols of this round's chunk already used
-	}
-	stack := []job{{oe.node, oe.occs, oe.depth, 0}}
-
-	chunk := func(o int32) []byte { return chunks[si<<32|int64(uint32(o))] }
+	chunks := st.chunks
+	stack := append(st.stack[:0], branchJob{oe.node, oe.occs, oe.ranks, oe.depth, 0})
 
 	for len(stack) > 0 {
 		j := stack[len(stack)-1]
@@ -213,11 +269,10 @@ func (st *strState) processEdge(oe openEdge, chunks map[int64][]byte, si int64, 
 		}
 
 		// Common extension across all suffixes within the fetched window.
-		first := chunk(j.occs[0])
+		first := chunks[j.ranks[0]]
 		limit := int32(len(first)) - j.consumed
-		for _, o := range j.occs[1:] {
-			c := chunk(o)
-			if l := int32(len(c)) - j.consumed; l < limit {
+		for _, r := range j.ranks[1:] {
+			if l := int32(len(chunks[r])) - j.consumed; l < limit {
 				limit = l
 			}
 		}
@@ -225,9 +280,9 @@ func (st *strState) processEdge(oe openEdge, chunks map[int64][]byte, si int64, 
 		for cs < limit {
 			sym := first[j.consumed+cs]
 			same := true
-			for _, o := range j.occs[1:] {
+			for _, r := range j.ranks[1:] {
 				seqOps++
-				if chunk(o)[j.consumed+cs] != sym {
+				if chunks[r][j.consumed+cs] != sym {
 					same = false
 					break
 				}
@@ -246,31 +301,67 @@ func (st *strState) processEdge(oe openEdge, chunks map[int64][]byte, si int64, 
 
 		if cs == limit {
 			// Window exhausted with no divergence: stay open.
-			st.open = append(st.open, openEdge{node: j.node, occs: j.occs, depth: newDepth})
+			st.open = append(st.open, openEdge{node: j.node, occs: j.occs, ranks: j.ranks, depth: newDepth})
 			st.active += len(j.occs)
 			continue
 		}
 
-		// Divergence: group occurrences by their next symbol.
-		groupsBySym := make(map[byte][]int32)
-		for _, o := range j.occs {
-			sym := chunk(o)[newConsumed]
-			groupsBySym[sym] = append(groupsBySym[sym], o)
+		// Divergence: stably partition the occurrences in place by their
+		// next symbol, so every child is a sub-slice of the parent's
+		// occurrence (and rank) storage — no per-branch allocation.
+		m := len(j.occs)
+		if cap(st.occTmp) < m {
+			st.occTmp = make([]int32, m)
+			st.rankTmp = make([]int32, m)
+		}
+		present := st.symList[:0]
+		for _, r := range j.ranks {
+			sym := chunks[r][newConsumed]
+			if st.symCounts[sym] == 0 {
+				present = append(present, sym)
+			}
+			st.symCounts[sym]++
 			seqOps++
 		}
-		syms := make([]byte, 0, len(groupsBySym))
-		for s := range groupsBySym {
-			syms = append(syms, s)
+		for a := 1; a < len(present); a++ {
+			for b := a; b > 0 && present[b] < present[b-1]; b-- {
+				present[b], present[b-1] = present[b-1], present[b]
+			}
 		}
-		sort.Slice(syms, func(a, b int) bool { return syms[a] < syms[b] })
-		for _, s := range syms {
-			g := groupsBySym[s]
+		off := int32(0)
+		for _, s := range present {
+			st.symStarts[s] = off
+			st.symCounts[s], off = off, off+st.symCounts[s]
+		}
+		occTmp := st.occTmp[:m]
+		rankTmp := st.rankTmp[:m]
+		copy(occTmp, j.occs)
+		copy(rankTmp, j.ranks)
+		for k := 0; k < m; k++ {
+			sym := chunks[rankTmp[k]][newConsumed]
+			d := st.symCounts[sym]
+			st.symCounts[sym]++
+			j.occs[d] = occTmp[k]
+			j.ranks[d] = rankTmp[k]
+		}
+		for ci, s := range present {
+			lo := st.symStarts[s]
+			hi := int32(m)
+			if ci+1 < len(present) {
+				hi = st.symStarts[present[ci+1]]
+			}
+			g, gr := j.occs[lo:hi], j.ranks[lo:hi]
 			o := g[0]
 			child := t.NewNode(o+newDepth, o+newDepth+1, -1)
 			t.AttachLast(j.node, child)
 			randOps++
-			stack = append(stack, job{child, g, newDepth + 1, newConsumed + 1})
+			stack = append(stack, branchJob{child, g, gr, newDepth + 1, newConsumed + 1})
 		}
+		for _, s := range present {
+			st.symCounts[s] = 0
+		}
+		st.symList = present[:0]
 	}
+	st.stack = stack[:0]
 	return seqOps, randOps, nil
 }

@@ -255,13 +255,19 @@ func CollectOccurrences(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model si
 // occurrence's prefix, in the same sequential pass. chunks[i][j] holds the
 // symbols for occurrence j of prefix i (nil when rng == 0); captured is the
 // total number of symbols captured.
+//
+// The group's prefix-free label set resolves through a shortest-match code
+// trie (collectMatcher) whose first levels are collapsed into one rolling
+// root-table probe, with the chunk buffers carved from a shared arena. The
+// root fold is capped at a cache-resident size, so the trie handles labels
+// of any length and needs no fallback; the original map scan below remains
+// as the reference the equivalence tests replay, with identical probe and
+// capture accounting.
 func CollectWithFill(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel, g Group, rng int) (occs [][]int32, chunks [][][]byte, captured int64, err error) {
 	n := f.Len()
-	byLabel := make(map[string]int, len(g.Prefixes))
 	maxLen := 0
 	lengthsSet := make(map[int]bool)
-	for i, p := range g.Prefixes {
-		byLabel[string(p.Label)] = i
+	for _, p := range g.Prefixes {
 		if len(p.Label) > maxLen {
 			maxLen = len(p.Label)
 		}
@@ -282,12 +288,157 @@ func CollectWithFill(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.C
 		}
 	}
 
-	// Chunks whose tail lies beyond the current scan window are completed
-	// as later windows stream past.
-	type pendingFill struct {
-		buf  []byte
-		got  int
-		from int // absolute offset of buf[got]
+	m := newCollectMatcher(f.Alphabet(), g, lengths, maxLen)
+	captured, err = collectScanTrie(m, sc, clock, model, n, rng, occs, chunks)
+	if err != nil {
+		return nil, nil, captured, err
+	}
+
+	for i, p := range g.Prefixes {
+		if int64(len(occs[i])) != p.Freq {
+			return nil, nil, captured, fmt.Errorf("core: prefix %q: collected %d occurrences, expected %d", p.Label, len(occs[i]), p.Freq)
+		}
+	}
+	return occs, chunks, captured, nil
+}
+
+// pendingFill is a chunk whose tail lies beyond the current scan window; it
+// is completed as later windows stream past.
+type pendingFill struct {
+	buf  []byte
+	got  int
+	from int // absolute offset of buf[got]
+}
+
+// collectScanTrie is the hash-free collect scan: each position resolves the
+// rolling packed code of its next rootLen symbols with one dense root-table
+// probe, walking the shortest-match code trie's child blocks only for
+// labels longer than the root fold. Probe accounting replays the
+// reference's length-by-length loop: a match at length l costs its rank
+// among the distinct lengths, a miss costs every length that fits in the
+// window (zero for the tail positions too short for any label, which is why
+// they need no walk at all).
+func collectScanTrie(m *collectMatcher, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel, n, rng int, occs [][]int32, chunks [][][]byte) (captured int64, err error) {
+	maxLen := m.maxLen
+	var pend []pendingFill
+	var arena byteArena
+
+	sc.Reset()
+	const chunk = 64 * 1024
+	buf := make([]byte, chunk+maxLen-1)
+	root, trie, codes := m.root, m.trie, m.codes
+	bits, rootLen := m.bits, m.rootLen
+	mask := len(root) - 1
+	var probes int64
+	for base := 0; base < n; base += chunk {
+		want := chunk + maxLen - 1
+		if base+want > n {
+			want = n - base
+		}
+		got, err := sc.Fetch(buf[:want], base)
+		if err != nil {
+			return captured, err
+		}
+		hi := base + got
+
+		// Top off chunks left incomplete by earlier windows.
+		if rng > 0 && len(pend) > 0 {
+			remain := pend[:0]
+			for _, pf := range pend {
+				if pf.from < hi {
+					c := copy(pf.buf[pf.got:], buf[pf.from-base:got])
+					pf.got += c
+					pf.from += c
+					captured += int64(c)
+				}
+				if pf.got < len(pf.buf) {
+					remain = append(remain, pf)
+				}
+			}
+			pend = remain
+		}
+
+		// Positions with fewer than rootLen symbols before hi can match no
+		// label (rootLen ≤ every label length) and contribute no probes
+		// (fitCount is zero below the shortest length), so the loop ends at
+		// the last position with a full root window.
+		end := base + chunk
+		if e := hi - rootLen + 1; e < end {
+			end = e
+		}
+		code := 0
+		for t := 0; t < rootLen-1 && t < got; t++ {
+			code = code<<bits | int(codes[buf[t]])
+		}
+		for i := base; i < end; i++ {
+			code = (code<<bits | int(codes[buf[i-base+rootLen-1]])) & mask
+			v := root[code]
+			if v == 0 {
+				avail := hi - i
+				if avail > maxLen {
+					avail = maxLen
+				}
+				probes += int64(m.fitCount[avail])
+				continue
+			}
+			l := rootLen
+			if v > 0 {
+				// Walk the deep blocks for the labels longer than the fold.
+				avail := hi - i
+				if avail > maxLen {
+					avail = maxLen
+				}
+				node := v
+				v = 0
+				for d := rootLen; d < avail; d++ {
+					w := trie[node+int32(codes[buf[i-base+d]])]
+					if w == 0 {
+						break
+					}
+					if w < 0 {
+						v, l = w, d+1
+						break
+					}
+					node = w
+				}
+				if v == 0 {
+					probes += int64(m.fitCount[avail])
+					continue
+				}
+			}
+			// Mark: the label of length l matches at i.
+			pi := -v - 1
+			probes += int64(m.probesByLen[l])
+			occs[pi] = append(occs[pi], int32(i))
+			if rng > 0 {
+				wantC := rng
+				if i+l+wantC > n {
+					wantC = n - i - l
+				}
+				cb := arena.grab(wantC)
+				c := copy(cb, buf[i+l-base:got])
+				captured += int64(c)
+				if c < wantC {
+					pend = append(pend, pendingFill{buf: cb, got: c, from: i + l + c})
+				}
+				chunks[pi] = append(chunks[pi], cb)
+			}
+		}
+	}
+	if len(pend) > 0 {
+		return captured, fmt.Errorf("core: %d round-one chunks left incomplete after the scan", len(pend))
+	}
+	clock.Advance(model.CPUTime(probes + captured))
+	return captured, nil
+}
+
+// collectScanMap is the original map-probe collect scan, kept as the
+// reference implementation the equivalence tests check collectScanTrie
+// against (outputs, probe accounting and scanner traffic must all agree).
+func collectScanMap(g Group, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel, n, maxLen int, lengths []int, rng int, occs [][]int32, chunks [][][]byte) (captured int64, err error) {
+	byLabel := make(map[string]int, len(g.Prefixes))
+	for i, p := range g.Prefixes {
+		byLabel[string(p.Label)] = i
 	}
 	var pend []pendingFill
 
@@ -302,7 +453,7 @@ func CollectWithFill(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.C
 		}
 		got, err := sc.Fetch(buf[:want], base)
 		if err != nil {
-			return nil, nil, captured, err
+			return captured, err
 		}
 		hi := base + got
 
@@ -353,16 +504,10 @@ func CollectWithFill(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.C
 		}
 	}
 	if len(pend) > 0 {
-		return nil, nil, captured, fmt.Errorf("core: %d round-one chunks left incomplete after the scan", len(pend))
+		return captured, fmt.Errorf("core: %d round-one chunks left incomplete after the scan", len(pend))
 	}
 	clock.Advance(model.CPUTime(probes + captured))
-
-	for i, p := range g.Prefixes {
-		if int64(len(occs[i])) != p.Freq {
-			return nil, nil, captured, fmt.Errorf("core: prefix %q: collected %d occurrences, expected %d", p.Label, len(occs[i]), p.Freq)
-		}
-	}
-	return occs, chunks, captured, nil
+	return captured, nil
 }
 
 // diskStats is a convenience re-export used by drivers.

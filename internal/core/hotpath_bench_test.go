@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"era/internal/alphabet"
+	"era/internal/diskio"
+	"era/internal/seq"
+	"era/internal/sim"
+	"era/internal/workload"
+)
+
+// The hot-path benchmarks pin the construction inner loops: the vertical
+// partitioning window scan, the fused collect+fill scan, and the per-round
+// fill/branch loops of the two horizontal builders. Run with -benchmem; the
+// AllocsPerRun regression tests in matcher_test.go keep the steady-state
+// loops allocation-free.
+
+type benchEnv struct {
+	f     *seq.File
+	model sim.CostModel
+	group Group
+	fm    int64
+}
+
+func newBenchEnv(b *testing.B, n int, fm int64) *benchEnv {
+	b.Helper()
+	data := workload.MustGenerate(workload.DNA, n, 42)
+	disk := diskio.NewDisk(sim.DefaultModel())
+	f, err := seq.Publish(disk, "bench.seq", alphabet.DNA, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := &benchEnv{f: f, model: sim.DefaultModel(), fm: fm}
+	clock := new(sim.Clock)
+	sc, err := f.NewScanner(clock, seq.ScannerConfig{BufSize: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups, _, err := VerticalPartition(f, sc, clock, env.model, fm, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The largest group exercises the round loops hardest.
+	env.group = groups[0]
+	for _, g := range groups {
+		if len(g.Prefixes) > len(env.group.Prefixes) {
+			env.group = g
+		}
+	}
+	return env
+}
+
+func (e *benchEnv) scanner(b *testing.B) (*seq.Scanner, *sim.Clock) {
+	b.Helper()
+	clock := new(sim.Clock)
+	sc, err := e.f.NewScanner(clock, seq.ScannerConfig{BufSize: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc, clock
+}
+
+// BenchmarkWindowScan is the vertical partitioning hot loop: one hash/table
+// probe per window position per refinement round (§4.1).
+func BenchmarkWindowScan(b *testing.B) {
+	env := newBenchEnv(b, 1<<18, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, clock := env.scanner(b)
+		if _, _, err := VerticalPartition(env.f, sc, clock, env.model, env.fm, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectFill is the fused occurrence-collection + first fill round
+// scan shared by a whole virtual tree (§4.1, §4.2.2 line 1).
+func BenchmarkCollectFill(b *testing.B) {
+	env := newBenchEnv(b, 1<<18, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, clock := env.scanner(b)
+		if _, _, _, err := CollectWithFill(env.f, sc, clock, env.model, env.group, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundFill is SubTreePrepare (ERa-str+mem, §4.2.2) for one virtual
+// tree: the per-round fill schedule, batch fetch and area refinement. The
+// static range forces many rounds so per-round costs dominate.
+func BenchmarkRoundFill(b *testing.B) {
+	env := newBenchEnv(b, 1<<18, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, clock := env.scanner(b)
+		if _, _, err := GroupPrepare(env.f, sc, clock, env.model, env.group, 1<<20, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBranchRounds is ERa-str (§4.2.1) for the same virtual tree: the
+// per-round chunk table and the in-tree branching loop.
+func BenchmarkBranchRounds(b *testing.B) {
+	env := newBenchEnv(b, 1<<18, 1024)
+	view, err := env.f.View()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, clock := env.scanner(b)
+		if _, _, err := GroupBranch(env.f, view, sc, clock, env.model, env.group, 1<<20, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"era/internal/alphabet"
+	"era/internal/seq"
+	"era/internal/sim"
+	"era/internal/ukkonen"
+	"era/internal/workload"
+)
+
+// These tests pin the hash-free hot paths to the map-based references that
+// remain in vertical.go / era.go: byte-identical outputs AND byte-identical
+// virtual-time accounting, on top of the fuzz oracles that already check the
+// end results against naive counting and Ukkonen.
+
+func matcherScanner(t testing.TB, f *seq.File) (*seq.Scanner, *sim.Clock) {
+	t.Helper()
+	clock := new(sim.Clock)
+	sc, err := f.NewScanner(clock, seq.ScannerConfig{BufSize: 16 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, clock
+}
+
+// TestScanCountDenseMatchesMap compares the rolling-code dense counter
+// against the map scan: same frequencies, same tail, same clock, same
+// scanner traffic — across workloads, window lengths and string lengths
+// (including lengths around the chunking and tail boundaries).
+func TestScanCountDenseMatchesMap(t *testing.T) {
+	model := sim.DefaultModel()
+	for _, kind := range workload.Kinds {
+		a, err := workload.AlphabetOf(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{2, 3, 17, 1000, 4099} {
+			data := workload.MustGenerate(kind, n, int64(n))
+			for _, k := range []int{1, 2, 3, 5, 9} {
+				if k >= len(data) {
+					continue
+				}
+				// Working set: every k-mer that occurs at a sampled set of
+				// positions, plus windows that cannot occur.
+				seen := map[string]bool{}
+				var working [][]byte
+				for i := 0; i+k < len(data); i += 1 + i/3 {
+					w := string(data[i : i+k])
+					if !seen[w] {
+						seen[w] = true
+						working = append(working, []byte(w))
+					}
+				}
+				absent := bytes.Repeat(a.Symbols()[:1], k)
+				if !seen[string(absent)] {
+					working = append(working, absent)
+				}
+
+				vc := newVertCounter(a)
+				counts := vc.table(k, len(data))
+				if counts == nil {
+					continue // too wide for the dense path at this size
+				}
+				freqsD := make([]int64, len(working))
+				freqsM := make([]int64, len(working))
+				// Fresh files: the simulated disk arm is stateful, so each
+				// run must see identical disk history for clocks to agree.
+				scD, clockD := matcherScanner(t, publish(t, a, data))
+				tailD, err := scanCountDense(vc, counts, scD, clockD, model, len(data), k, working, freqsD)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scM, clockM := matcherScanner(t, publish(t, a, data))
+				tailM, err := scanCountMap(scM, clockM, model, len(data), k, working, freqsM)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for wi := range working {
+					if freqsD[wi] != freqsM[wi] {
+						t.Errorf("%s n=%d k=%d: freq(%q) dense %d, map %d", kind, n, k, working[wi], freqsD[wi], freqsM[wi])
+					}
+				}
+				if !bytes.Equal(tailD, tailM) {
+					t.Errorf("%s n=%d k=%d: tail dense %q, map %q", kind, n, k, tailD, tailM)
+				}
+				if clockD.Now() != clockM.Now() {
+					t.Errorf("%s n=%d k=%d: clock dense %v, map %v", kind, n, k, clockD.Now(), clockM.Now())
+				}
+				if scD.Stats() != scM.Stats() {
+					t.Errorf("%s n=%d k=%d: scanner stats dense %+v, map %+v", kind, n, k, scD.Stats(), scM.Stats())
+				}
+			}
+		}
+	}
+}
+
+// TestCollectTrieMatchesMap compares the shortest-match code trie scan
+// against the map scan on real vertical partitions (variable-length label
+// sets including the p$ and $ labels): identical occurrences, chunks,
+// captured counts, clocks and scanner traffic.
+func TestCollectTrieMatchesMap(t *testing.T) {
+	model := sim.DefaultModel()
+	for _, kind := range workload.Kinds {
+		a, err := workload.AlphabetOf(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seed := range []int64{1, 2, 3} {
+			data := workload.MustGenerate(kind, 3000, seed)
+			f := publish(t, a, data)
+			sc, clock := matcherScanner(t, f)
+			groups, _, err := VerticalPartition(f, sc, clock, model, 64, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for gi, g := range groups {
+				for _, rng := range []int{0, 7, 64} {
+					prep := func() (occs [][]int32, chunks [][][]byte) {
+						occs = make([][]int32, len(g.Prefixes))
+						chunks = make([][][]byte, len(g.Prefixes))
+						for i, p := range g.Prefixes {
+							occs[i] = make([]int32, 0, p.Freq)
+							if rng > 0 {
+								chunks[i] = make([][]byte, 0, p.Freq)
+							}
+						}
+						return occs, chunks
+					}
+					maxLen := 0
+					lengthsSet := map[int]bool{}
+					for _, p := range g.Prefixes {
+						if len(p.Label) > maxLen {
+							maxLen = len(p.Label)
+						}
+						lengthsSet[len(p.Label)] = true
+					}
+					lengths := make([]int, 0, len(lengthsSet))
+					for l := 1; l <= maxLen; l++ {
+						if lengthsSet[l] {
+							lengths = append(lengths, l)
+						}
+					}
+
+					occsT, chunksT := prep()
+					scT, clockT := matcherScanner(t, publish(t, a, data))
+					m := newCollectMatcher(a, g, lengths, maxLen)
+					capT, err := collectScanTrie(m, scT, clockT, model, len(data), rng, occsT, chunksT)
+					if err != nil {
+						t.Fatal(err)
+					}
+					occsM, chunksM := prep()
+					scM, clockM := matcherScanner(t, publish(t, a, data))
+					capM, err := collectScanMap(g, scM, clockM, model, len(data), maxLen, lengths, rng, occsM, chunksM)
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					if capT != capM {
+						t.Errorf("%s seed %d group %d rng %d: captured trie %d, map %d", kind, seed, gi, rng, capT, capM)
+					}
+					if clockT.Now() != clockM.Now() {
+						t.Errorf("%s seed %d group %d rng %d: clock trie %v, map %v", kind, seed, gi, rng, clockT.Now(), clockM.Now())
+					}
+					if scT.Stats() != scM.Stats() {
+						t.Errorf("%s seed %d group %d rng %d: scanner stats trie %+v, map %+v", kind, seed, gi, rng, scT.Stats(), scM.Stats())
+					}
+					for i := range g.Prefixes {
+						if !equal32(occsT[i], occsM[i]) {
+							t.Errorf("%s seed %d group %d: occs of %q trie %v, map %v", kind, seed, gi, g.Prefixes[i].Label, occsT[i], occsM[i])
+						}
+						if rng > 0 {
+							for j := range chunksM[i] {
+								if j < len(chunksT[i]) && !bytes.Equal(chunksT[i][j], chunksM[i][j]) {
+									t.Errorf("%s seed %d group %d: chunk %d of %q trie %q, map %q", kind, seed, gi, j, g.Prefixes[i].Label, chunksT[i][j], chunksM[i][j])
+								}
+							}
+							if len(chunksT[i]) != len(chunksM[i]) {
+								t.Errorf("%s seed %d group %d: %q chunk counts trie %d, map %d", kind, seed, gi, g.Prefixes[i].Label, len(chunksT[i]), len(chunksM[i]))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRoundLoopsSteadyStateAllocFree pins the arena-backed round loops:
+// extra rounds must not cost extra allocations. The same group is prepared
+// with a wide and a narrow static range; the narrow run does many times the
+// rounds, and the allocation difference per extra round must be ≈ 0.
+func TestRoundLoopsSteadyStateAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is load-sensitive")
+	}
+	model := sim.DefaultModel()
+	data := workload.MustGenerate(workload.Genome, 20000, 7)
+	f := publish(t, alphabet.DNA, data)
+	sc, clock := matcherScanner(t, f)
+	groups, _, err := VerticalPartition(f, sc, clock, model, 512, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := groups[0]
+	for _, cand := range groups {
+		if cand.Freq > g.Freq {
+			g = cand
+		}
+	}
+	view, err := f.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measure := func(name string, static int) (float64, int) {
+		var rounds int
+		allocs := testing.AllocsPerRun(3, func() {
+			scR, clockR := matcherScanner(t, f)
+			switch name {
+			case "prepare":
+				_, stats, err := GroupPrepare(f, scR, clockR, model, g, 1<<20, static)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rounds = stats.Rounds
+			case "branch":
+				_, stats, err := GroupBranch(f, view, scR, clockR, model, g, 1<<20, static)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rounds = stats.Rounds
+			}
+		})
+		return allocs, rounds
+	}
+
+	// Both runs do several rounds so one-time capacity growth cancels; the
+	// narrow run roughly triples the rounds. The map-based loops allocated
+	// ~2 per leaf per round (hundreds per round for this group), so the
+	// 2-per-round bound pins the regression with a wide margin.
+	for _, name := range []string{"prepare", "branch"} {
+		aWide, rWide := measure(name, 9)
+		aNarrow, rNarrow := measure(name, 3)
+		if rNarrow <= rWide {
+			t.Fatalf("%s: narrow range did not add rounds (%d vs %d)", name, rNarrow, rWide)
+		}
+		perRound := (aNarrow - aWide) / float64(rNarrow-rWide)
+		if perRound > 2 {
+			t.Errorf("%s: %.2f allocations per extra round (wide %0.f over %d rounds, narrow %0.f over %d rounds); round loop must be allocation-free in the steady state",
+				name, perRound, aWide, rWide, aNarrow, rNarrow)
+		}
+	}
+}
+
+// TestMatcherPrimitivesAllocFree pins the reusable building blocks at zero
+// steady-state allocations once warm: the byte arena's reset/ensure/grab
+// cycle, batch-request reuse, and the dense counter's per-round table reuse.
+func TestMatcherPrimitivesAllocFree(t *testing.T) {
+	var arena byteArena
+	var reqs []seq.BatchRequest
+	arena.ensure(1 << 14)
+	reqs = seq.GrowBatch(reqs, 64)
+	if n := testing.AllocsPerRun(50, func() {
+		arena.reset()
+		arena.ensure(1 << 14)
+		for i := 0; i < 64; i++ {
+			arena.grab(256)
+		}
+		reqs = seq.GrowBatch(reqs, 64)
+	}); n != 0 {
+		t.Errorf("arena/batch round cycle allocates %v times per round, want 0", n)
+	}
+
+	vc := newVertCounter(alphabet.DNA)
+	vc.table(8, 1<<20)
+	vc.scanBuf(64*1024 + 7)
+	if n := testing.AllocsPerRun(50, func() {
+		if vc.table(8, 1<<20) == nil {
+			t.Fatal("dense table unexpectedly unavailable")
+		}
+		vc.scanBuf(64*1024 + 7)
+	}); n != 0 {
+		t.Errorf("vertical counter round cycle allocates %v times per round, want 0", n)
+	}
+}
+
+// TestStrMethodDeepRepeats is the regression test for the open-edge clobber
+// bug: on highly repetitive strings, ERa-str re-queues several edges of one
+// sub-tree in one round; the re-queue must not overwrite edges still being
+// processed (the seed's round loop appended into the array it was
+// iterating, duplicating edges, corrupting sub-trees and eventually running
+// past the end of the string). The Str build must agree with Ukkonen and
+// with ERa-str+mem node for node.
+func TestStrMethodDeepRepeats(t *testing.T) {
+	data := workload.MustGenerate(workload.Genome, 4000, 7)
+	f := publish(t, alphabet.DNA, data)
+	// The Ukkonen comparison below is the full correctness check; the
+	// per-suffix Validate pass would only repeat it much more slowly.
+	opts := Options{MemoryBudget: 64 * 1024, Method: Str, Assemble: true}
+	res, err := BuildSerial(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := seq.NewMem(alphabet.DNA, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := ukkonen.Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !treesEqual(res.Tree, oracle) {
+		t.Error("ERa-str tree differs from Ukkonen oracle on deep repeats")
+	}
+
+	f2 := publish(t, alphabet.DNA, data)
+	opts2 := Options{MemoryBudget: 64 * 1024}
+	res2, err := BuildSerial(f2, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TreeNodes != res2.Stats.TreeNodes {
+		t.Errorf("ERa-str built %d nodes, ERa-str+mem %d; the two methods must build the same tree", res.Stats.TreeNodes, res2.Stats.TreeNodes)
+	}
+}

@@ -55,6 +55,13 @@ type subState struct {
 	defined []bool
 	pending int // undefined B entries
 	active  int // indices not yet done
+
+	// sortArea scratch, grown to the largest area sorted so far and reused
+	// so the round loop stays allocation-free in the steady state.
+	sorter areaSorter
+	permL  []int32
+	permP  []int32
+	permR  [][]byte
 }
 
 func newSubState(prefix Prefix, occ []int32, areaID int32) *subState {
@@ -83,6 +90,19 @@ func newSubState(prefix Prefix, occ []int32, areaID int32) *subState {
 		st.active = 0
 	}
 	return st
+}
+
+// nextActive returns the lowest appearance rank ≥ r whose leaf is still
+// active, or -1 when none remains. Because appearance rank follows string
+// order, iterating ranks through nextActive yields this sub-tree's fill run
+// in increasing string position.
+func (st *subState) nextActive(r int) int {
+	for ; r < len(st.I); r++ {
+		if st.I[r] >= 0 {
+			return r
+		}
+	}
+	return -1
 }
 
 // markDone retires index i: its branch is fully separated from both
@@ -158,7 +178,13 @@ func GroupPrepare(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.Cost
 		sub int32 // sub-tree index
 		idx int32 // current index within the sub-tree arrays
 	}
+	// Round-loop scratch, reused every round: the fill schedule, the merge
+	// heap, the batch requests and the chunk arena. After the first round
+	// has sized them, the loop allocates nothing.
 	var fills []fill
+	var heap fillHeap
+	var reqs []seq.BatchRequest
+	var chunkArena byteArena
 
 	for {
 		activeTotal := 0
@@ -190,24 +216,35 @@ func GroupPrepare(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.Cost
 
 		// Gather the fill schedule in string order: the leaves of each
 		// sub-tree are visited via I in appearance order (increasing
-		// position); a k-way ordering across sub-trees keeps the whole
-		// pass sequential.
+		// position), so each sub-tree contributes one already-sorted run; a
+		// k-way heap merge unions the runs into one sequential pass without
+		// re-sorting them.
 		fills = fills[:0]
+		heap = heap[:0]
 		for si, st := range subs {
-			for r := 0; r < len(st.I); r++ {
-				idx := st.I[r]
-				if idx < 0 {
-					continue
-				}
-				fills = append(fills, fill{int(st.L[idx]) + starts[si], int32(si), idx})
+			if r := st.nextActive(0); r >= 0 {
+				heap = append(heap, mergeHead{pos: int(st.L[st.I[r]]) + starts[si], sub: int32(si), a: int32(r)})
 			}
 		}
-		sort.Slice(fills, func(a, b int) bool { return fills[a].pos < fills[b].pos })
+		heap.init()
+		for len(heap) > 0 {
+			hd := heap[0]
+			st := subs[hd.sub]
+			fills = append(fills, fill{hd.pos, hd.sub, st.I[hd.a]})
+			if r := st.nextActive(int(hd.a) + 1); r >= 0 {
+				heap.replaceMin(mergeHead{pos: int(st.L[st.I[r]]) + starts[hd.sub], sub: hd.sub, a: int32(r)})
+			} else {
+				heap = heap.popMin()
+			}
+		}
 		cpuOps += int64(len(fills))
 
-		reqs := make([]seq.BatchRequest, len(fills))
-		for i, fl := range fills {
-			st := subs[fl.sub]
+		// One arena block per round backs every leaf's chunk; FetchBatch
+		// overwrites each Dst fully, so reuse across rounds is safe (prior
+		// rounds' chunks are dead: active leaves are refilled every round
+		// and retired ones had R nilled).
+		total := 0
+		for _, fl := range fills {
 			want := rng
 			if fl.pos+want > n {
 				want = n - fl.pos
@@ -216,9 +253,19 @@ func GroupPrepare(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.Cost
 				// The suffix is exhausted; this cannot happen for an
 				// active entry (the unique terminator forces divergence
 				// before the suffix ends).
-				return nil, stats, fmt.Errorf("core: active leaf %d of %q exhausted at start %d", fl.idx, st.prefix.Label, starts[fl.sub])
+				return nil, stats, fmt.Errorf("core: active leaf %d of %q exhausted at start %d", fl.idx, subs[fl.sub].prefix.Label, starts[fl.sub])
 			}
-			reqs[i] = seq.BatchRequest{Off: fl.pos, Dst: make([]byte, want)}
+			total += want
+		}
+		chunkArena.reset()
+		chunkArena.ensure(total)
+		reqs = seq.GrowBatch(reqs, len(fills))
+		for i, fl := range fills {
+			want := rng
+			if fl.pos+want > n {
+				want = n - fl.pos
+			}
+			reqs[i] = seq.BatchRequest{Off: fl.pos, Dst: chunkArena.grab(want)}
 		}
 		sc.Reset()
 		if err := sc.FetchBatch(reqs); err != nil {
@@ -359,31 +406,56 @@ func (st *subState) round(start int32, nextArea *int32) (int64, error) {
 	return ops, nil
 }
 
+// areaSorter stably sorts an index window over a subState's R chunks,
+// accumulating compared symbols into ops. A pointer to the subState's own
+// instance goes to sort.Stable, so sorting allocates nothing.
+type areaSorter struct {
+	st  *subState
+	idx []int32
+	ops int64
+}
+
+func (s *areaSorter) Len() int { return len(s.idx) }
+
+func (s *areaSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+func (s *areaSorter) Less(a, b int) bool {
+	x, y := s.st.R[s.idx[a]], s.st.R[s.idx[b]]
+	k := 0
+	for k < len(x) && k < len(y) && x[k] == y[k] {
+		k++
+	}
+	s.ops += int64(k + 1)
+	if k == len(x) || k == len(y) {
+		return len(x) < len(y)
+	}
+	return x[k] < y[k]
+}
+
 // sortArea lexicographically sorts the triple (R, P, L) on R within the
 // contiguous index range [i, j), maintaining the inverse index I. It returns
-// the number of symbol comparisons for CPU accounting.
+// the number of symbol comparisons for CPU accounting. The permutation
+// scratch lives on the subState and is reused across rounds.
 func (st *subState) sortArea(i, j int) int64 {
-	idx := make([]int, j-i)
-	for k := range idx {
-		idx[k] = i + k
+	m := j - i
+	if cap(st.permL) < m {
+		st.sorter.idx = make([]int32, m)
+		st.permL = make([]int32, m)
+		st.permP = make([]int32, m)
+		st.permR = make([][]byte, m)
 	}
-	var ops int64
-	sort.SliceStable(idx, func(a, b int) bool {
-		x, y := st.R[idx[a]], st.R[idx[b]]
-		k := 0
-		for k < len(x) && k < len(y) && x[k] == y[k] {
-			k++
-		}
-		ops += int64(k + 1)
-		if k == len(x) || k == len(y) {
-			return len(x) < len(y)
-		}
-		return x[k] < y[k]
-	})
+	idx := st.sorter.idx[:m]
+	for k := range idx {
+		idx[k] = int32(i + k)
+	}
+	st.sorter.st = st
+	st.sorter.idx = idx
+	st.sorter.ops = 0
+	sort.Stable(&st.sorter)
 	// Apply the permutation to L, P, R.
-	permL := make([]int32, j-i)
-	permP := make([]int32, j-i)
-	permR := make([][]byte, j-i)
+	permL := st.permL[:m]
+	permP := st.permP[:m]
+	permR := st.permR[:m]
 	for k, src := range idx {
 		permL[k] = st.L[src]
 		permP[k] = st.P[src]
@@ -395,7 +467,7 @@ func (st *subState) sortArea(i, j int) int64 {
 	for x := i; x < j; x++ {
 		st.I[st.P[x]] = int32(x)
 	}
-	return ops
+	return st.sorter.ops
 }
 
 // bytesEqualCount reports a == b, accumulating compared symbols into ops.

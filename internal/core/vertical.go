@@ -37,14 +37,18 @@ type VerticalStats struct {
 // its own group (the Fig. 9(a) ablation).
 //
 // Each refinement round performs one sequential scan of S through sc.
-// Because every prefix in round k has length k, one hash probe per window
-// position counts the whole working set in a single pass.
+// Because every prefix in round k has length k, one table probe per window
+// position counts the whole working set in a single pass: the window is kept
+// as a packed integer code updated in O(1) per position and counted in a
+// dense direct-indexed table (falling back to a hash map only when the
+// window is too wide to index densely).
 func VerticalPartition(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel, fm int64, grouping bool) ([]Group, VerticalStats, error) {
 	if fm < 1 {
 		return nil, VerticalStats{}, fmt.Errorf("core: FM %d < 1", fm)
 	}
 	n := f.Len()
 	syms := f.Alphabet().Symbols()
+	vc := newVertCounter(f.Alphabet())
 
 	// Working set for the current round, all prefixes of equal length.
 	working := make([][]byte, 0, len(syms))
@@ -56,45 +60,49 @@ func VerticalPartition(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim
 	final := []Prefix{{Label: []byte{alphabet.Terminator}, Freq: 1}}
 
 	var stats VerticalStats
+	var freqs []int64
+	var labels byteArena // backs every prefix label; never reset
 	k := 1
 	for len(working) > 0 {
 		stats.Iterations++
-		counts := make(map[string]*int64, len(working))
-		for _, p := range working {
-			counts[string(p)] = new(int64)
+		if cap(freqs) < len(working) {
+			freqs = make([]int64, len(working))
 		}
+		freqs = freqs[:len(working)]
 
 		// One sequential scan counting length-k windows. Windows containing
 		// the terminator are excluded: suffixes shorter than k are covered
 		// by the explicit p+"$" handling below. The scan also captures the
 		// final k symbols before the terminator so the p$ check below needs
 		// no extra I/O.
-		tail, err := scanCount(sc, clock, model, n, k, counts)
+		tail, err := scanCount(vc, sc, clock, model, n, k, working, freqs)
 		if err != nil {
 			return nil, stats, err
 		}
 
 		var next [][]byte
-		for _, p := range working {
-			fp := *counts[string(p)]
+		for wi, p := range working {
+			fp := freqs[wi]
 			switch {
 			case fp == 0:
 				// Prefix does not occur; drop (paper: fTGT = 0).
 			case fp <= fm:
-				final = append(final, Prefix{Label: append([]byte(nil), p...), Freq: fp})
+				lbl := labels.grab(k)
+				copy(lbl, p)
+				final = append(final, Prefix{Label: lbl, Freq: fp})
 			default:
 				// Extend by every symbol. The occurrence of p immediately
 				// before the terminator (suffix p$) is not covered by any
 				// single-symbol extension, so it is emitted directly; its
 				// frequency is necessarily 1 ≤ fm.
 				for _, s := range syms {
-					ext := make([]byte, k+1)
+					ext := labels.grab(k + 1)
 					copy(ext, p)
 					ext[k] = s
 					next = append(next, ext)
 				}
 				if string(tail) == string(p) {
-					lbl := make([]byte, k+1)
+					lbl := labels.grab(k + 1)
 					copy(lbl, p)
 					lbl[k] = alphabet.Terminator
 					final = append(final, Prefix{Label: lbl, Freq: 1})
@@ -120,17 +128,83 @@ func VerticalPartition(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim
 	return groups, stats, nil
 }
 
-// scanCount streams S once, counts every length-k window present in counts,
-// and returns the k symbols immediately before the terminator (nil when the
-// string is shorter than k+1). CPU is charged per window probe.
-func scanCount(sc *seq.Scanner, clock *sim.Clock, model sim.CostModel, n, k int, counts map[string]*int64) ([]byte, error) {
+// scanCount streams S once, fills freqs[i] with the number of length-k
+// windows equal to working[i], and returns the k symbols immediately before
+// the terminator (nil when the string is shorter than k+1). CPU is charged
+// per window probe — identically on both paths, so virtual time does not
+// depend on which one runs.
+func scanCount(vc *vertCounter, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel, n, k int, working [][]byte, freqs []int64) ([]byte, error) {
+	clear(freqs)
+	if counts := vc.table(k, n); counts != nil {
+		return scanCountDense(vc, counts, sc, clock, model, n, k, working, freqs)
+	}
+	return scanCountMap(sc, clock, model, n, k, working, freqs)
+}
+
+// scanCountDense is the hash-free scan: the length-k window is a packed
+// integer of rank codes, rolled forward by one shift-or per position and
+// counted with one array increment. Every window of S is counted (windows
+// matching no working prefix land in entries nobody reads; code injectivity
+// rules out collisions), and the working set's frequencies are read off at
+// the end. No counted window can contain the terminator — starts are
+// bounded by n-k — so the rank code space never sees it.
+func scanCountDense(vc *vertCounter, counts []int64, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel, n, k int, working [][]byte, freqs []int64) ([]byte, error) {
 	sc.Reset()
 	const chunk = 64 * 1024
-	buf := make([]byte, chunk+k-1)
+	buf := vc.scanBuf(chunk + k - 1)
 	var tail []byte
 	// Windows start at 0..n-1-k; windows touching the terminator at n-1
 	// are excluded.
 	limit := n - k // exclusive bound on window start
+	if limit <= 0 {
+		return nil, nil
+	}
+	bits, codes := vc.bits, &vc.rcodes
+	mask := len(counts) - 1
+	for base := 0; base < limit; base += chunk {
+		want := chunk + k - 1
+		if base+want > n {
+			want = n - base
+		}
+		got, err := sc.Fetch(buf[:want], base)
+		if err != nil {
+			return nil, err
+		}
+		end := base + got - k // last window start fully inside this fetch
+		code := 0
+		for t := 0; t < k-1 && t < got; t++ {
+			code = code<<bits | int(codes[buf[t]])
+		}
+		for i := base; i <= end && i < limit; i++ {
+			code = (code<<bits | int(codes[buf[i-base+k-1]])) & mask
+			counts[code]++
+		}
+		// Capture the tail S[n-1-k : n-1] once the fetch covers it.
+		if tail == nil && base+got >= n-1 && n-1-k >= base {
+			tail = append([]byte(nil), buf[n-1-k-base:n-1-base]...)
+		}
+	}
+	clock.Advance(model.CPUTime(int64(limit)))
+	for wi, p := range working {
+		freqs[wi] = counts[packRanks(vc, p)]
+	}
+	return tail, nil
+}
+
+// scanCountMap is the original map-probe scan. It is the fallback for
+// windows too wide to index densely and the reference implementation the
+// equivalence tests check scanCountDense against.
+func scanCountMap(sc *seq.Scanner, clock *sim.Clock, model sim.CostModel, n, k int, working [][]byte, freqs []int64) ([]byte, error) {
+	counts := make(map[string]int, len(working))
+	for wi, p := range working {
+		counts[string(p)] = wi
+		freqs[wi] = 0
+	}
+	sc.Reset()
+	const chunk = 64 * 1024
+	buf := make([]byte, chunk+k-1)
+	var tail []byte
+	limit := n - k
 	if limit <= 0 {
 		return nil, nil
 	}
@@ -146,11 +220,10 @@ func scanCount(sc *seq.Scanner, clock *sim.Clock, model sim.CostModel, n, k int,
 		end := base + got - k // last window start fully inside this fetch
 		for i := base; i <= end && i < limit; i++ {
 			w := buf[i-base : i-base+k]
-			if c, ok := counts[string(w)]; ok {
-				*c++
+			if wi, ok := counts[string(w)]; ok {
+				freqs[wi]++
 			}
 		}
-		// Capture the tail S[n-1-k : n-1] once the fetch covers it.
 		if tail == nil && base+got >= n-1 && n-1-k >= base {
 			tail = append([]byte(nil), buf[n-1-k-base:n-1-base]...)
 		}
@@ -176,11 +249,22 @@ func groupPrefixes(prefixes []Prefix, fm int64, grouping bool) []Group {
 
 	var groups []Group
 	remaining := sorted
+	spare := make([]Prefix, 0, len(sorted)) // double buffer for the leftovers
 	for len(remaining) > 0 {
-		g := Group{Prefixes: []Prefix{remaining[0]}, Freq: remaining[0].Freq}
-		rest := remaining[1:]
-		var keep []Prefix
-		for _, p := range rest {
+		// First pass sizes the group exactly (same greedy as the fill).
+		total := remaining[0].Freq
+		cnt := 1
+		for _, p := range remaining[1:] {
+			if total+p.Freq <= fm {
+				total += p.Freq
+				cnt++
+			}
+		}
+		g := Group{Prefixes: make([]Prefix, 0, cnt)}
+		g.Prefixes = append(g.Prefixes, remaining[0])
+		g.Freq = remaining[0].Freq
+		keep := spare[:0]
+		for _, p := range remaining[1:] {
 			if g.Freq+p.Freq <= fm {
 				g.Prefixes = append(g.Prefixes, p)
 				g.Freq += p.Freq
@@ -189,6 +273,7 @@ func groupPrefixes(prefixes []Prefix, fm int64, grouping bool) []Group {
 			}
 		}
 		groups = append(groups, g)
+		spare = remaining[:0]
 		remaining = keep
 	}
 	return groups

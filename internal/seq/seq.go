@@ -227,6 +227,20 @@ type BatchRequest struct {
 	Got int
 }
 
+// GrowBatch returns a request slice of length n backed by the capacity of
+// reqs when it suffices, allocating only on growth. Every element is zeroed
+// so offsets, buffers and Got counts cannot leak between rounds; callers
+// that refill the same batch every round (the construction round loops) are
+// allocation-free in the steady state.
+func GrowBatch(reqs []BatchRequest, n int) []BatchRequest {
+	if cap(reqs) < n {
+		return make([]BatchRequest, n)
+	}
+	reqs = reqs[:n]
+	clear(reqs)
+	return reqs
+}
+
 // FetchBatch fills every request in one sequential pass over S. Requests
 // must be sorted by Off. This is how the R buffer of the paper's
 // SubTreePrepare is populated: as the scan streams past, every leaf whose
