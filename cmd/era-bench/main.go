@@ -6,7 +6,9 @@
 //	era-bench -list
 //	era-bench -exp fig10a
 //	era-bench -exp all -scale medium
-//	era-bench -exp fig10a -json BENCH_2.json
+//	era-bench -exp fig10a,scaling -json BENCH_3.json
+//	era-bench -exp scaling -workers 1,2,4,8
+//	era-bench -exp fig10a,scaling -json BENCH_new.json -compare BENCH_3.json
 //
 // Times are virtual (a deterministic disk/cluster cost model prices the
 // real counted work), so output is machine-independent; see EXPERIMENTS.md
@@ -15,6 +17,11 @@
 // regenerated table (virtual times), wall time and allocation counts — so
 // the repository's perf trajectory can be tracked across PRs (the CI
 // uploads one BENCH_<n>.json per run).
+//
+// -compare diffs the fresh run against a committed record: virtual-time
+// table cells must match exactly (they are deterministic, so any drift is a
+// real behavior change), while wall-time cells and the per-experiment wall
+// clock tolerate -tolerance percent of regression (wall is host-dependent).
 package main
 
 import (
@@ -23,6 +30,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"era/internal/bench"
@@ -53,17 +62,20 @@ type jsonExperiment struct {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		scale    = flag.String("scale", "small", "workload scale: small, medium or large")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		jsonPath = flag.String("json", "", "also write a machine-readable report (e.g. BENCH_2.json)")
+		exp       = flag.String("exp", "all", "experiment ids (see -list), comma-separated, or 'all'")
+		scale     = flag.String("scale", "small", "workload scale: small, medium or large")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		jsonPath  = flag.String("json", "", "also write a machine-readable report (e.g. BENCH_3.json)")
+		workers   = flag.String("workers", "", "worker-count sweep for the scaling experiment (e.g. 1,2,4,8)")
+		compare   = flag.String("compare", "", "diff this run against a previous -json record; exit non-zero on regression")
+		tolerance = flag.Float64("tolerance", 25, "allowed wall-time regression in percent for -compare")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Printf("%-8s %-11s %s\n", "ID", "PAPER", "TITLE")
+		fmt.Printf("%-8s %-15s %s\n", "ID", "PAPER", "TITLE")
 		for _, e := range bench.All {
-			fmt.Printf("%-8s %-11s %s\n", e.ID, e.Paper, e.Title)
+			fmt.Printf("%-8s %-15s %s\n", e.ID, e.Paper, e.Title)
 		}
 		return
 	}
@@ -72,20 +84,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *workers != "" {
+		ws, err := parseWorkers(*workers)
+		if err != nil {
+			fatal(err)
+		}
+		bench.ScalingWorkers = ws
+	}
 
 	var exps []bench.Experiment
 	if *exp == "all" {
 		exps = bench.All
 	} else {
-		e, err := bench.ByID(*exp)
-		if err != nil {
-			fatal(err)
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := bench.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			exps = append(exps, e)
 		}
-		exps = []bench.Experiment{e}
 	}
 
 	report := jsonReport{
-		Schema:    1,
+		Schema:    2,
 		Scale:     sc.Name,
 		Unit:      sc.Unit,
 		GoVersion: runtime.Version(),
@@ -128,6 +149,140 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
+
+	if *compare != "" {
+		if err := compareReports(report, *compare, *tolerance); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("no regression against %s (wall tolerance %.0f%%)\n", *compare, *tolerance)
+	}
+}
+
+// compareReports diffs the fresh report against a stored record. Experiments
+// present in both are checked: deterministic table cells must match exactly;
+// wall clocks are host-dependent, so they are first normalized by the two
+// runs' total wall over the compared experiments (a uniformly slower or
+// faster host cancels out) and then checked per scenario against the
+// tolerance — what fails the gate is one scenario's *share* of the run
+// regressing, not the host being slow.
+func compareReports(fresh jsonReport, path string, tolerance float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var old jsonReport
+	if err := json.Unmarshal(buf, &old); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if old.Scale != fresh.Scale || old.Unit != fresh.Unit {
+		return fmt.Errorf("%s: scale %s/%d does not match this run's %s/%d", path, old.Scale, old.Unit, fresh.Scale, fresh.Unit)
+	}
+	oldByID := map[string]jsonExperiment{}
+	for _, e := range old.Experiments {
+		oldByID[e.ID] = e
+	}
+	// Host-speed normalization factor: the smallest per-scenario wall ratio.
+	// The least-regressed scenario defines how fast this host is relative to
+	// the recorder's; scenarios above that baseline by more than the
+	// tolerance regressed relative to the rest of the run. (A sum- or
+	// mean-based factor would let a dominant scenario's regression inflate
+	// the factor and hide itself.)
+	compared := 0
+	hostFactor := 0.0
+	for _, ne := range fresh.Experiments {
+		oe, ok := oldByID[ne.ID]
+		if !ok {
+			continue
+		}
+		compared++
+		if oe.WallMillis > wallCellFloorMS && ne.WallMillis > 0 {
+			if r := ne.WallMillis / oe.WallMillis; hostFactor == 0 || r < hostFactor {
+				hostFactor = r
+			}
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("%s: no overlapping experiments to compare", path)
+	}
+	if hostFactor == 0 {
+		hostFactor = 1.0
+	}
+
+	var problems []string
+	for _, ne := range fresh.Experiments {
+		oe, ok := oldByID[ne.ID]
+		if !ok {
+			continue // new scenario; nothing to diff against
+		}
+		if want := oe.WallMillis * hostFactor; oe.WallMillis > 0 && ne.WallMillis > want*(1+tolerance/100) {
+			problems = append(problems, fmt.Sprintf("%s: wall %.1fms regressed >%.0f%% over recorded %.1fms (host-normalized %.1fms)",
+				ne.ID, ne.WallMillis, tolerance, oe.WallMillis, want))
+		}
+		problems = append(problems, diffTables(ne.ID, oe.Table, ne.Table, tolerance, hostFactor)...)
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("regressions vs %s:\n  %s", path, strings.Join(problems, "\n  "))
+	}
+	return nil
+}
+
+// wallCellFloorMS is the smallest host-normalized wall cell worth gating on:
+// below it, scheduler jitter dwarfs any real signal at small scales.
+const wallCellFloorMS = 10
+
+// diffTables compares two regenerated tables cell by cell. Virtual-time
+// cells are deterministic and must match exactly; cells under a column
+// whose header mentions "wall" are host-dependent and only checked for
+// >tolerance% regression after host-speed normalization.
+func diffTables(id string, old, fresh *bench.Table, tolerance, hostFactor float64) []string {
+	if old == nil || fresh == nil {
+		return nil
+	}
+	if len(old.Rows) != len(fresh.Rows) || strings.Join(old.Header, "|") != strings.Join(fresh.Header, "|") {
+		return []string{fmt.Sprintf("%s: table layout changed (%d×%d vs %d×%d)", id,
+			len(old.Rows), len(old.Header), len(fresh.Rows), len(fresh.Header))}
+	}
+	var problems []string
+	for r := range fresh.Rows {
+		for c := range fresh.Rows[r] {
+			if c >= len(old.Rows[r]) || c >= len(fresh.Header) {
+				continue // ragged row; the header row defines the comparable width
+			}
+			ov, nv := old.Rows[r][c], fresh.Rows[r][c]
+			if strings.Contains(strings.ToLower(fresh.Header[c]), "wall") {
+				of, err1 := strconv.ParseFloat(ov, 64)
+				nf, err2 := strconv.ParseFloat(nv, 64)
+				if err1 == nil && err2 == nil && of > 0 {
+					want := of * hostFactor
+					if nf > want*(1+tolerance/100) && nf > wallCellFloorMS {
+						problems = append(problems, fmt.Sprintf("%s row %d: wall %sms regressed >%.0f%% over recorded %sms (host-normalized %.1fms)",
+							id, r, nv, tolerance, ov, want))
+					}
+				}
+				continue
+			}
+			if ov != nv {
+				problems = append(problems, fmt.Sprintf("%s row %d col %q: %s != recorded %s (virtual times are deterministic; this is a behavior change)",
+					id, r, fresh.Header[c], nv, ov))
+			}
+		}
+	}
+	return problems
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var ws []int
+	for _, part := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("era-bench: bad -workers entry %q", part)
+		}
+		ws = append(ws, w)
+	}
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("era-bench: empty -workers list")
+	}
+	return ws, nil
 }
 
 func fatal(err error) {

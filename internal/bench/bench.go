@@ -156,6 +156,7 @@ var All = []Experiment{
 	{"fig12b", "Fig. 12(b)", "shared-disk scalability and seek optimization, DNA", RunFig12b},
 	{"table3", "Table 3", "shared-nothing strong scalability, genome", RunTable3},
 	{"fig13", "Fig. 13", "shared-nothing weak scalability, DNA", RunFig13},
+	{"scaling", "Fig. 12 (repro)", "scale-out: chunked VP + work-stealing scheduler", RunScaling},
 }
 
 // ByID finds an experiment.

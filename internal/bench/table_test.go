@@ -65,8 +65,8 @@ func TestByIDCoversAll(t *testing.T) {
 			t.Errorf("%s has no runner", e.ID)
 		}
 	}
-	if len(All) != 15 {
-		t.Errorf("expected 15 experiments (every table and figure), got %d", len(All))
+	if len(All) != 16 {
+		t.Errorf("expected 16 experiments (every paper table and figure, plus the scale-out repro), got %d", len(All))
 	}
 	if _, err := ByID("fig99"); err == nil {
 		t.Error("unknown experiment accepted")

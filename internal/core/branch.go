@@ -66,15 +66,19 @@ type branchJob struct {
 // method, sharing each scan of S across the whole group exactly like
 // GroupPrepare. Chunks of `range` symbols per unresolved suffix are fetched
 // per round (optimizations 1–3 of §4.2.1); the occurrence-collection scan
-// doubles as round one.
-func GroupBranch(f *seq.File, view seq.String, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel,
+// doubles as round one. A non-nil ctx supplies the shared round-loop scratch
+// (see GroupPrepare).
+func GroupBranch(ctx *buildContext, f *seq.File, view seq.String, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel,
 	group Group, rCap int64, staticRange int) ([]*suffixtree.Tree, PrepareStats, error) {
 
+	if ctx == nil {
+		ctx = new(buildContext)
+	}
 	n := f.Len()
 	stats := PrepareStats{MinRange: int(^uint(0) >> 1)}
 
 	rng1 := roundRange(rCap, staticRange, activeUpfront(group), n)
-	occs, round1, captured, err := CollectWithFill(f, sc, clock, model, group, rng1)
+	occs, round1, captured, err := CollectWithFill(ctx, f, sc, clock, model, group, rng1)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -109,16 +113,12 @@ func GroupBranch(f *seq.File, view seq.String, sc *seq.Scanner, clock *sim.Clock
 
 	var cpuSeq, cpuRand int64
 
-	type fill struct {
-		pos  int
-		sub  int32
-		rank int32 // appearance rank identifies the chunk slot
-	}
-	// Round-loop scratch, reused every round.
-	var fills []fill
-	var heap fillHeap
-	var reqs []seq.BatchRequest
-	var chunkArena byteArena
+	// Round-loop scratch, reused every round (and across groups via the
+	// context). For this builder a fillReq's idx is the occurrence's
+	// appearance rank, which identifies the chunk slot.
+	fills, heap, reqs := ctx.fills, ctx.heap, ctx.reqs
+	chunkArena := &ctx.roundArena
+	defer func() { ctx.fills, ctx.heap, ctx.reqs = fills[:0], heap[:0], reqs }()
 	firstRound := true
 
 	for {
@@ -168,7 +168,7 @@ func GroupBranch(f *seq.File, view seq.String, sc *seq.Scanner, clock *sim.Clock
 			for len(heap) > 0 {
 				hd := heap[0]
 				oe := &subs[hd.sub].open[hd.a]
-				fills = append(fills, fill{hd.pos, hd.sub, oe.ranks[hd.b]})
+				fills = append(fills, fillReq{hd.pos, hd.sub, oe.ranks[hd.b]})
 				if nb := hd.b + 1; int(nb) < len(oe.occs) {
 					heap.replaceMin(mergeHead{pos: int(oe.occs[nb]) + int(oe.depth), sub: hd.sub, a: hd.a, b: nb})
 				} else {
@@ -206,7 +206,7 @@ func GroupBranch(f *seq.File, view seq.String, sc *seq.Scanner, clock *sim.Clock
 				return nil, stats, err
 			}
 			for i, fl := range fills {
-				subs[fl.sub].chunks[fl.rank] = reqs[i].Dst[:reqs[i].Got]
+				subs[fl.sub].chunks[fl.idx] = reqs[i].Dst[:reqs[i].Got]
 				stats.SymbolsRead += int64(reqs[i].Got)
 			}
 		}

@@ -21,12 +21,9 @@ func BuildSubTree(view seq.String, clock *sim.Clock, model sim.CostModel, p Prep
 	if m == 0 {
 		return nil, fmt.Errorf("core: prefix %q has no occurrences", p.Prefix.Label)
 	}
-	lcp := make([]int32, m)
-	for i := 1; i < m; i++ {
-		if p.B[i].Offset <= 0 {
-			return nil, fmt.Errorf("core: prefix %q: B[%d] undefined", p.Prefix.Label, i)
-		}
-		lcp[i] = p.B[i].Offset
+	lcp, err := fillLCP(p, make([]int32, m))
+	if err != nil {
+		return nil, err
 	}
 	t, err := suffixtree.FromSortedSuffixes(view, p.L, lcp)
 	if err != nil {
@@ -35,6 +32,44 @@ func BuildSubTree(view seq.String, clock *sim.Clock, model sim.CostModel, p Prep
 	// One stack pass touching 2m nodes, sequential access.
 	clock.Advance(model.CPUTime(int64(2 * m)))
 	return t, nil
+}
+
+// buildSubTreeInto is BuildSubTree recycling a caller-owned tree and LCP
+// scratch: the tree is Reset and rebuilt in place, so only callers that drop
+// each sub-tree after accounting (no grafting, no collection) may use it.
+// Accounting is identical to BuildSubTree.
+func buildSubTreeInto(tree *suffixtree.Tree, lcp []int32, view seq.String, clock *sim.Clock, model sim.CostModel, p Prepared) (*suffixtree.Tree, error) {
+	m := len(p.L)
+	if m == 0 {
+		return nil, fmt.Errorf("core: prefix %q has no occurrences", p.Prefix.Label)
+	}
+	lcp, err := fillLCP(p, lcp)
+	if err != nil {
+		return nil, err
+	}
+	tree.Reset()
+	tree.EnsureCap(2 * m)
+	t, err := suffixtree.FromSortedSuffixesInto(tree, p.L, lcp)
+	if err != nil {
+		return nil, fmt.Errorf("core: prefix %q: %w", p.Prefix.Label, err)
+	}
+	clock.Advance(model.CPUTime(int64(2 * m)))
+	return t, nil
+}
+
+// fillLCP translates the B offsets of a Prepared into the pairwise LCP array
+// FromSortedSuffixes consumes. lcp must have length len(p.L).
+func fillLCP(p Prepared, lcp []int32) ([]int32, error) {
+	if len(lcp) > 0 {
+		lcp[0] = 0
+	}
+	for i := 1; i < len(lcp); i++ {
+		if p.B[i].Offset <= 0 {
+			return nil, fmt.Errorf("core: prefix %q: B[%d] undefined", p.Prefix.Label, i)
+		}
+		lcp[i] = p.B[i].Offset
+	}
+	return lcp, nil
 }
 
 // VerifyPrepared cross-checks the B triplets against the string view: the

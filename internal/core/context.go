@@ -1,0 +1,112 @@
+package core
+
+import (
+	"era/internal/diskio"
+	"era/internal/seq"
+	"era/internal/sim"
+	"era/internal/suffixtree"
+)
+
+// buildContext is the reusable state of one construction worker. Everything
+// a group build needs beyond its inputs lives here — the rolling-code window
+// counter, the round-loop scratch, the collect-scan buffers and a recycled
+// sub-tree — so the steady state allocates nothing per round and only
+// per-group bookkeeping per group. The serial driver owns one context; the
+// parallel drivers create one per worker and keep it across vertical
+// partitioning and every group the worker pulls from the queue.
+//
+// A context is single-threaded: it must only ever be used by one goroutine
+// at a time.
+type buildContext struct {
+	// Worker plumbing, set by the parallel drivers (nil/zero for plain
+	// scratch contexts): a private handle onto the shared input bytes, the
+	// group-scan and chunked-VP scanners, and the worker's demand clocks.
+	f    *seq.File
+	sc   *seq.Scanner // group scans; charges io
+	vpsc *seq.Scanner // VP chunk scans; skip-enabled so a chunk opens with one positioning seek
+	cpu  *sim.Clock
+	io   *sim.Clock
+
+	// Rolling-code window counter: one per worker, reused across every VP
+	// iteration and available to the worker's later group rounds (its scan
+	// buffer doubles as the chunk-scan buffer).
+	vc *vertCounter
+
+	// Round-loop scratch shared by GroupPrepare and GroupBranch.
+	fills      []fillReq
+	heap       fillHeap
+	reqs       []seq.BatchRequest
+	roundArena byteArena
+
+	// Collect-scan scratch: the streaming window buffer and the arena
+	// backing the round-one chunks (live until the first round consumes
+	// them, so it is reset at the next collect, not per round).
+	collectBuf   []byte
+	collectArena byteArena
+
+	// Sub-tree materialization: a recycled arena-backed tree — used only
+	// when finished sub-trees are dropped after accounting — plus the LCP
+	// scratch feeding FromSortedSuffixesInto.
+	tree *suffixtree.Tree
+	lcp  []int32
+}
+
+// fillReq is one entry of a round's fill schedule: fetch the next chunk for
+// entry idx of sub-tree sub starting at string offset pos. idx is the
+// current index within the sub-tree arrays for GroupPrepare and the
+// occurrence's appearance rank for GroupBranch.
+type fillReq struct {
+	pos int
+	sub int32
+	idx int32
+}
+
+// scanBuf returns the reusable collect-scan buffer of at least n bytes.
+func (ctx *buildContext) scanBuf(n int) []byte {
+	if cap(ctx.collectBuf) < n {
+		ctx.collectBuf = make([]byte, n)
+	}
+	return ctx.collectBuf[:n]
+}
+
+// lcpBuf returns the reusable LCP scratch of length n.
+func (ctx *buildContext) lcpBuf(n int) []int32 {
+	if cap(ctx.lcp) < n {
+		ctx.lcp = make([]int32, n)
+	}
+	return ctx.lcp[:n]
+}
+
+// newWorkerContext gives a shared-disk worker its private handle onto the
+// input bytes (same backing array, separate simulated arm — cross-worker
+// interference is modeled analytically by sim.CombineSharedDisk) and wraps
+// it in a context.
+func newWorkerContext(orig *seq.File, raw []byte, model sim.CostModel, layout MemoryLayout, opts Options) (*buildContext, error) {
+	disk := diskio.NewDisk(model)
+	disk.CreateFile(orig.Name(), raw)
+	f, err := seq.Attach(disk, orig.Name(), orig.Alphabet())
+	if err != nil {
+		return nil, err
+	}
+	return newNodeContext(f, layout, opts)
+}
+
+// newNodeContext wraps a file that already lives on a private disk (a
+// shared-disk worker handle or a cluster node's local copy) in a worker
+// context with fresh demand clocks.
+func newNodeContext(f *seq.File, layout MemoryLayout, opts Options) (*buildContext, error) {
+	ioClock, cpuClock := new(sim.Clock), new(sim.Clock)
+	sc, err := f.NewScanner(ioClock, seq.ScannerConfig{BufSize: int(layout.InputBuf), SkipSeek: opts.SkipSeek})
+	if err != nil {
+		return nil, err
+	}
+	vpsc, err := f.NewScanner(ioClock, seq.ScannerConfig{BufSize: int(layout.InputBuf), SkipSeek: true})
+	if err != nil {
+		return nil, err
+	}
+	return &buildContext{
+		f: f, sc: sc, vpsc: vpsc,
+		cpu: cpuClock, io: ioClock,
+		vc: newVertCounter(f.Alphabet()),
+	}, nil
+}

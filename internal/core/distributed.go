@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"era/internal/cluster"
@@ -23,23 +22,26 @@ type DistributedOptions struct {
 
 // DistributedResult reports a shared-nothing build with the component times
 // the paper's Table 3 separates: string transfer, vertical partitioning
-// (serial on the master), and tree construction.
+// (chunked across the nodes), and tree construction.
 type DistributedResult struct {
 	Tree             *suffixtree.Tree // assembled tree when Options.Assemble
 	Stats            Stats
 	TransferTime     time.Duration // broadcast of S to all nodes
-	VPTime           time.Duration // serial vertical partitioning
-	ConstructionTime time.Duration // max over nodes (independent work)
+	VPTime           time.Duration // chunked vertical partitioning
+	ConstructionTime time.Duration // slowest node under the modeled LPT schedule
 	TotalTime        time.Duration // everything
 	WallTime         time.Duration
 	Nodes            []WorkerStats
 }
 
 // BuildDistributed runs ERA on a simulated shared-nothing cluster: the
-// master broadcasts S, performs vertical partitioning serially, divides the
-// groups equally among nodes, and every node builds its virtual trees
-// entirely locally. Completion is the slowest node (no merge phase — the
-// property that makes ERA "easily parallelizable", §5).
+// master broadcasts S, every node counts one chunk of the vertical
+// partitioning scans against its local copy (the master merges the count
+// tables, priced per round), and the groups then feed the shared cost-sorted
+// queue — in a real cluster the master hands groups to idle nodes with
+// control messages; every node builds its virtual trees entirely locally.
+// Completion is the slowest node (no merge phase — the property that makes
+// ERA "easily parallelizable", §5).
 func BuildDistributed(f *seq.File, opts DistributedOptions) (*DistributedResult, error) {
 	if opts.Nodes < 1 {
 		return nil, fmt.Errorf("core: Nodes must be ≥ 1, got %d", opts.Nodes)
@@ -61,43 +63,40 @@ func BuildDistributed(f *seq.File, opts DistributedOptions) (*DistributedResult,
 		return nil, err
 	}
 
-	// Vertical partitioning: serial, on the master's local copy.
-	masterClock := new(sim.Clock)
-	masterScan, err := cl.Node(0).NewScanner(masterClock, seq.ScannerConfig{BufSize: int(layout.InputBuf), SkipSeek: opts.SkipSeek})
+	ctxs := make([]*buildContext, opts.Nodes)
+	for i := range ctxs {
+		if ctxs[i], err = newNodeContext(cl.Node(i), layout, opts.Options); err != nil {
+			return nil, err
+		}
+	}
+	// Per-round count-table exchange: every node ships one counter per
+	// working prefix through the switch (a single pipelined gather).
+	var mergeCost func(working int) time.Duration
+	if opts.Nodes > 1 {
+		mergeCost = func(working int) time.Duration { return model.NetTime(8 * int64(working)) }
+	}
+	groups, vstats, vpTime, err := verticalPartitionChunked(ctxs, f.Len(), model, layout.FM, !opts.NoGrouping, sim.CombineSharedNothing, mergeCost)
 	if err != nil {
 		return nil, err
 	}
-	groups, vstats, err := VerticalPartition(cl.Node(0), masterScan, masterClock, model, layout.FM, !opts.NoGrouping)
-	if err != nil {
-		return nil, err
-	}
-	vpTime := masterClock.Now()
 
-	assign := make([][]Group, opts.Nodes)
-	for i, g := range groups {
-		assign[i%opts.Nodes] = append(assign[i%opts.Nodes], g)
-	}
-
-	res := &DistributedResult{TransferTime: transfer, VPTime: vpTime, Nodes: make([]WorkerStats, opts.Nodes)}
+	res := &DistributedResult{TransferTime: transfer, VPTime: vpTime}
 	res.Stats.VPTime = vpTime
 	res.Stats.VPIterations = vstats.Iterations
 	res.Stats.Prefixes = vstats.Prefixes
 	res.Stats.Groups = vstats.Groups
 	res.Stats.MinRange = int(^uint(0) >> 1)
 
-	perNode := make([]*Result, opts.Nodes)
-	errs := make([]error, opts.Nodes)
+	jobs := scheduleGroups(groups)
 	start := time.Now()
-	var wg sync.WaitGroup
-	for i := 0; i < opts.Nodes; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			perNode[i], errs[i] = runNode(cl.Node(i), model, layout, opts.Options, assign[i], i, assemble)
-		}(i)
+	runs, err := runGroupQueue(ctxs, jobs, model, layout, opts.Options, assemble)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	res.WallTime = time.Since(start)
+
+	cpu, io, ws, byGi := foldRuns(jobs, runs, opts.Nodes, &res.Stats)
+	res.Nodes = ws
 
 	if assemble {
 		view, err := f.View()
@@ -105,77 +104,17 @@ func BuildDistributed(f *seq.File, opts DistributedOptions) (*DistributedResult,
 			return nil, err
 		}
 		res.Tree = suffixtree.New(view)
-		for i, r := range perNode {
-			if errs[i] != nil {
-				continue // reported below
-			}
-			for _, st := range r.subTrees {
+		for gi := range byGi {
+			for ti, st := range runs[byGi[gi]].trees {
 				if err := res.Tree.Graft(st); err != nil {
-					return nil, fmt.Errorf("core: assembling node %d output: %w", i, err)
+					return nil, fmt.Errorf("core: assembling sub-tree %d of group %d: %w", ti, gi, err)
 				}
 			}
 		}
 	}
 
-	cpu := make([]time.Duration, opts.Nodes)
-	io := make([]time.Duration, opts.Nodes)
-	for i, r := range perNode {
-		if errs[i] != nil {
-			return nil, fmt.Errorf("core: node %d: %w", i, errs[i])
-		}
-		cpu[i] = r.workerCPU
-		io[i] = r.workerIO
-		res.Nodes[i] = WorkerStats{CPU: cpu[i], IO: io[i], Seeks: r.workerSeeks,
-			Groups: len(assign[i]), SubTrees: r.Stats.SubTrees}
-		res.Stats.Scans += r.Stats.Scans
-		res.Stats.Rounds += r.Stats.Rounds
-		res.Stats.SymbolsRead += r.Stats.SymbolsRead
-		res.Stats.SubTrees += r.Stats.SubTrees
-		res.Stats.TreeNodes += r.Stats.TreeNodes
-		res.Stats.BytesFetched += r.Stats.BytesFetched
-		res.Stats.SkipsTaken += r.Stats.SkipsTaken
-		if r.Stats.MinRange > 0 && r.Stats.MinRange < res.Stats.MinRange {
-			res.Stats.MinRange = r.Stats.MinRange
-		}
-		if r.Stats.MaxRange > res.Stats.MaxRange {
-			res.Stats.MaxRange = r.Stats.MaxRange
-		}
-	}
-	if res.Stats.MinRange > res.Stats.MaxRange {
-		res.Stats.MinRange = 0
-	}
 	res.ConstructionTime = sim.CombineSharedNothing(cpu, io)
 	res.TotalTime = transfer + vpTime + res.ConstructionTime
 	res.Stats.VirtualTime = res.TotalTime
-	return res, nil
-}
-
-// runNode processes the groups assigned to one cluster node on its private
-// disk copy of S.
-func runNode(f *seq.File, model sim.CostModel, layout MemoryLayout,
-	opts Options, groups []Group, id int, collect bool) (*Result, error) {
-
-	ioClock := new(sim.Clock)
-	cpuClock := new(sim.Clock)
-	sc, err := f.NewScanner(ioClock, seq.ScannerConfig{BufSize: int(layout.InputBuf), SkipSeek: opts.SkipSeek})
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{collect: collect}
-	res.Stats.MinRange = int(^uint(0) >> 1)
-	for gi, g := range groups {
-		if err := processGroup(f, sc, cpuClock, model, layout, opts, g, gi, fmt.Sprintf("n%02d-", id), res); err != nil {
-			return nil, err
-		}
-	}
-	res.Stats.Scans = sc.Stats().Scans
-	res.Stats.BytesFetched = sc.Stats().BytesFetched
-	res.Stats.SkipsTaken = sc.Stats().Skips
-	res.workerCPU = cpuClock.Now()
-	res.workerIO = ioClock.Now()
-	res.workerSeeks = f.Disk().Stats().Seeks
-	if res.Stats.MinRange > res.Stats.MaxRange {
-		res.Stats.MinRange = 0
-	}
 	return res, nil
 }

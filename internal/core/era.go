@@ -85,12 +85,6 @@ type Result struct {
 	Groups []Group
 	Stats  Stats
 
-	// Per-worker demand components, filled by the parallel drivers.
-	workerCPU     time.Duration
-	workerIO      time.Duration
-	workerSeeks   int64
-	workerReadOps int64
-
 	// collect asks processGroup to retain finished sub-trees so a parallel
 	// master can assemble them.
 	collect  bool
@@ -100,7 +94,7 @@ type Result struct {
 // BuildSerial runs serial ERA (§4) over the on-disk string f.
 func BuildSerial(f *seq.File, opts Options) (*Result, error) {
 	clock := new(sim.Clock)
-	r, err := buildOn(f, opts, clock, "")
+	r, err := buildOn(f, opts, clock)
 	if err != nil {
 		return nil, err
 	}
@@ -108,9 +102,8 @@ func BuildSerial(f *seq.File, opts Options) (*Result, error) {
 }
 
 // buildOn is the reusable driver: it runs the full serial pipeline on the
-// given clock. treePrefix namespaces serialized sub-tree files (used by the
-// parallel drivers to keep workers' outputs apart).
-func buildOn(f *seq.File, opts Options, clock *sim.Clock, treePrefix string) (*Result, error) {
+// given clock.
+func buildOn(f *seq.File, opts Options, clock *sim.Clock) (*Result, error) {
 	if opts.MemoryBudget <= 0 {
 		return nil, fmt.Errorf("core: Options.MemoryBudget is required")
 	}
@@ -148,8 +141,9 @@ func buildOn(f *seq.File, opts Options, clock *sim.Clock, treePrefix string) (*R
 		res.Tree = suffixtree.New(view)
 	}
 
+	ctx := new(buildContext)
 	for gi, g := range groups {
-		if err := processGroup(f, sc, clock, model, layout, opts, g, gi, treePrefix, res); err != nil {
+		if err := processGroup(ctx, f, sc, clock, clock, model, layout, opts, g, gi, res); err != nil {
 			return nil, err
 		}
 	}
@@ -166,15 +160,48 @@ func buildOn(f *seq.File, opts Options, clock *sim.Clock, treePrefix string) (*R
 
 // processGroup runs one virtual tree end to end: collect occurrence lists
 // (one scan shared by the group), prepare or branch, materialize, serialize,
-// and optionally graft.
-func processGroup(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel,
-	layout MemoryLayout, opts Options, g Group, gi int, treePrefix string, res *Result) error {
+// and optionally graft. gi is the group's global index — sub-tree file names
+// derive from it alone, so serialized output is identical whichever worker
+// of whichever driver processes the group. CPU work is charged to cpuClock
+// and serialized-tree writes to ioClock (the serial driver passes the same
+// clock twice); the scanner carries its own clock.
+//
+// When sub-trees are dropped right after accounting (no assembly, no
+// collection) the ERa-str+mem path recycles the context's arena-backed tree
+// across sub-trees instead of allocating a fresh one each time.
+func processGroup(ctx *buildContext, f *seq.File, sc *seq.Scanner, cpuClock, ioClock *sim.Clock, model sim.CostModel,
+	layout MemoryLayout, opts Options, g Group, gi int, res *Result) error {
 
-	var trees []*suffixtree.Tree
+	if ctx == nil {
+		ctx = new(buildContext)
+	}
+	discard := res.Tree == nil && !res.collect
+
+	account := func(t *suffixtree.Tree, ti int) error {
+		res.Stats.SubTrees++
+		res.Stats.TreeNodes += int64(t.NumNodes() - 1) // exclude the local root
+		if opts.WriteTrees {
+			name := fmt.Sprintf("trees/g%04d-p%02d.st", gi, ti)
+			w := f.Disk().Create(name, ioClock)
+			if _, err := t.WriteTo(w); err != nil {
+				return fmt.Errorf("serializing %s: %w", name, err)
+			}
+		}
+		if res.Tree != nil {
+			if err := res.Tree.Graft(t); err != nil {
+				return fmt.Errorf("grafting sub-tree %d of group %d: %w", ti, gi, err)
+			}
+		}
+		if res.collect {
+			res.subTrees = append(res.subTrees, t)
+		}
+		return nil
+	}
+
 	var pstats PrepareStats
 	switch opts.Method {
 	case StrMem:
-		prepared, ps, err := GroupPrepare(f, sc, clock, model, g, layout.RSize, opts.StaticRange)
+		prepared, ps, err := GroupPrepare(ctx, f, sc, cpuClock, model, g, layout.RSize, opts.StaticRange)
 		if err != nil {
 			return err
 		}
@@ -190,21 +217,42 @@ func processGroup(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.Cost
 				}
 			}
 		}
-		for _, p := range prepared {
-			t, err := BuildSubTree(view, clock, model, p)
+		if discard {
+			// Pre-size the recycled tree once from the group's leaf count
+			// (≤ 2·leaves nodes plus the local root across all sub-trees).
+			if ctx.tree == nil {
+				ctx.tree = suffixtree.New(view)
+			}
+			ctx.tree.EnsureCap(2*int(g.Freq) + 1)
+		}
+		for ti, p := range prepared {
+			var t *suffixtree.Tree
+			if discard {
+				t, err = buildSubTreeInto(ctx.tree, ctx.lcpBuf(len(p.L)), view, cpuClock, model, p)
+			} else {
+				t, err = BuildSubTree(view, cpuClock, model, p)
+			}
 			if err != nil {
 				return err
 			}
-			trees = append(trees, t)
+			if err := account(t, ti); err != nil {
+				return err
+			}
 		}
 	case Str:
 		view, err := f.View()
 		if err != nil {
 			return err
 		}
-		trees, pstats, err = GroupBranch(f, view, sc, clock, model, g, layout.RSize, opts.StaticRange)
+		trees, ps, err := GroupBranch(ctx, f, view, sc, cpuClock, model, g, layout.RSize, opts.StaticRange)
 		if err != nil {
 			return err
+		}
+		pstats = ps
+		for ti, t := range trees {
+			if err := account(t, ti); err != nil {
+				return err
+			}
 		}
 	default:
 		return fmt.Errorf("core: unknown method %v", opts.Method)
@@ -218,26 +266,6 @@ func processGroup(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.Cost
 	if pstats.MaxRange > res.Stats.MaxRange {
 		res.Stats.MaxRange = pstats.MaxRange
 	}
-
-	for ti, t := range trees {
-		res.Stats.SubTrees++
-		res.Stats.TreeNodes += int64(t.NumNodes() - 1) // exclude the local root
-		if opts.WriteTrees {
-			name := fmt.Sprintf("%strees/g%04d-p%02d.st", treePrefix, gi, ti)
-			w := f.Disk().Create(name, clock)
-			if _, err := t.WriteTo(w); err != nil {
-				return fmt.Errorf("serializing %s: %w", name, err)
-			}
-		}
-		if res.Tree != nil {
-			if err := res.Tree.Graft(t); err != nil {
-				return fmt.Errorf("grafting sub-tree %d of group %d: %w", ti, gi, err)
-			}
-		}
-		if res.collect {
-			res.subTrees = append(res.subTrees, t)
-		}
-	}
 	return nil
 }
 
@@ -246,7 +274,7 @@ func processGroup(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.Cost
 // This is the scan that seeds array L (SubTreePrepare line 1); the group
 // shares it, which is the virtual-tree I/O amortization of §4.1.
 func CollectOccurrences(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel, g Group) ([][]int32, error) {
-	occs, _, _, err := CollectWithFill(f, sc, clock, model, g, 0)
+	occs, _, _, err := CollectWithFill(nil, f, sc, clock, model, g, 0)
 	return occs, err
 }
 
@@ -262,8 +290,9 @@ func CollectOccurrences(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model si
 // root fold is capped at a cache-resident size, so the trie handles labels
 // of any length and needs no fallback; the original map scan below remains
 // as the reference the equivalence tests replay, with identical probe and
-// capture accounting.
-func CollectWithFill(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel, g Group, rng int) (occs [][]int32, chunks [][][]byte, captured int64, err error) {
+// capture accounting. A non-nil ctx supplies the reusable scan buffer and
+// chunk arena (nil allocates throwaway ones).
+func CollectWithFill(ctx *buildContext, f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel, g Group, rng int) (occs [][]int32, chunks [][][]byte, captured int64, err error) {
 	n := f.Len()
 	maxLen := 0
 	lengthsSet := make(map[int]bool)
@@ -289,7 +318,7 @@ func CollectWithFill(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.C
 	}
 
 	m := newCollectMatcher(f.Alphabet(), g, lengths, maxLen)
-	captured, err = collectScanTrie(m, sc, clock, model, n, rng, occs, chunks)
+	captured, err = collectScanTrie(ctx, m, sc, clock, model, n, rng, occs, chunks)
 	if err != nil {
 		return nil, nil, captured, err
 	}
@@ -317,15 +346,26 @@ type pendingFill struct {
 // reference's length-by-length loop: a match at length l costs its rank
 // among the distinct lengths, a miss costs every length that fits in the
 // window (zero for the tail positions too short for any label, which is why
-// they need no walk at all).
-func collectScanTrie(m *collectMatcher, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel, n, rng int, occs [][]int32, chunks [][][]byte) (captured int64, err error) {
+// they need no walk at all). A non-nil ctx backs the scan buffer and the
+// round-one chunks with the context's reusable storage; the chunk arena is
+// reset here — its previous group's chunks are dead by the time the next
+// collect starts.
+func collectScanTrie(ctx *buildContext, m *collectMatcher, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel, n, rng int, occs [][]int32, chunks [][][]byte) (captured int64, err error) {
 	maxLen := m.maxLen
 	var pend []pendingFill
-	var arena byteArena
 
 	sc.Reset()
 	const chunk = 64 * 1024
-	buf := make([]byte, chunk+maxLen-1)
+	var buf []byte
+	var arena *byteArena
+	if ctx != nil {
+		buf = ctx.scanBuf(chunk + maxLen - 1)
+		arena = &ctx.collectArena
+		arena.reset()
+	} else {
+		buf = make([]byte, chunk+maxLen-1)
+		arena = new(byteArena)
+	}
 	root, trie, codes := m.root, m.trie, m.codes
 	bits, rootLen := m.bits, m.rootLen
 	mask := len(root) - 1

@@ -112,7 +112,7 @@ func TestSubTreePreparePaperTrace(t *testing.T) {
 	}
 
 	// Static range of 4 symbols mirrors the example's Trace 1–3.
-	prepared, stats, err := GroupPrepare(f, sc, clock, sim.DefaultModel(), g, 1<<20, 4)
+	prepared, stats, err := GroupPrepare(nil, f, sc, clock, sim.DefaultModel(), g, 1<<20, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

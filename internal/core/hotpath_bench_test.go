@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"testing"
 
 	"era/internal/alphabet"
@@ -83,7 +85,7 @@ func BenchmarkCollectFill(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sc, clock := env.scanner(b)
-		if _, _, _, err := CollectWithFill(env.f, sc, clock, env.model, env.group, 32); err != nil {
+		if _, _, _, err := CollectWithFill(nil, env.f, sc, clock, env.model, env.group, 32); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -98,7 +100,7 @@ func BenchmarkRoundFill(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sc, clock := env.scanner(b)
-		if _, _, err := GroupPrepare(env.f, sc, clock, env.model, env.group, 1<<20, 8); err != nil {
+		if _, _, err := GroupPrepare(nil, env.f, sc, clock, env.model, env.group, 1<<20, 8); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -116,8 +118,44 @@ func BenchmarkBranchRounds(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sc, clock := env.scanner(b)
-		if _, _, err := GroupBranch(env.f, view, sc, clock, env.model, env.group, 1<<20, 8); err != nil {
+		if _, _, err := GroupBranch(nil, env.f, view, sc, clock, env.model, env.group, 1<<20, 8); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBuildParallel is the end-to-end scale-out scenario on a skewed
+// input (heavily skewed symbol distribution → uneven group costs): chunked
+// VP, the work-stealing scheduler and the per-worker build contexts all in
+// play. Memory is fixed per core so every worker count builds the identical
+// group set; modeled (virtual) speedups for the same sweep are recorded by
+// `era-bench -exp scaling`, machine-independently. Wall-clock scaling here
+// additionally needs real cores (GOMAXPROCS ≥ workers).
+func BenchmarkBuildParallel(b *testing.B) {
+	data := workload.MustGenerate(workload.English, 1<<17, 12003)
+	a, err := workload.AlphabetOf(workload.English)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			disk := diskio.NewDisk(sim.DefaultModel())
+			f, err := seq.Publish(disk, "bench.seq", a, data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := BuildParallel(f, ParallelOptions{
+					Options: Options{MemoryBudget: int64(workers) * 96 * 1024},
+					Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = res
+			}
+		})
 	}
 }

@@ -147,7 +147,7 @@ func TestCollectTrieMatchesMap(t *testing.T) {
 					occsT, chunksT := prep()
 					scT, clockT := matcherScanner(t, publish(t, a, data))
 					m := newCollectMatcher(a, g, lengths, maxLen)
-					capT, err := collectScanTrie(m, scT, clockT, model, len(data), rng, occsT, chunksT)
+					capT, err := collectScanTrie(nil, m, scT, clockT, model, len(data), rng, occsT, chunksT)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -221,13 +221,13 @@ func TestRoundLoopsSteadyStateAllocFree(t *testing.T) {
 			scR, clockR := matcherScanner(t, f)
 			switch name {
 			case "prepare":
-				_, stats, err := GroupPrepare(f, scR, clockR, model, g, 1<<20, static)
+				_, stats, err := GroupPrepare(nil, f, scR, clockR, model, g, 1<<20, static)
 				if err != nil {
 					t.Fatal(err)
 				}
 				rounds = stats.Rounds
 			case "branch":
-				_, stats, err := GroupBranch(f, view, scR, clockR, model, g, 1<<20, static)
+				_, stats, err := GroupBranch(nil, f, view, scR, clockR, model, g, 1<<20, static)
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -2,10 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
-	"era/internal/diskio"
 	"era/internal/seq"
 	"era/internal/sim"
 	"era/internal/suffixtree"
@@ -20,7 +18,9 @@ type ParallelOptions struct {
 	Workers int
 }
 
-// WorkerStats is the accounted demand of one worker.
+// WorkerStats is the accounted demand of one worker under the modeled LPT
+// schedule (deterministic — independent of which goroutine really ran which
+// group).
 type WorkerStats struct {
 	CPU      time.Duration
 	IO       time.Duration
@@ -39,14 +39,18 @@ type ParallelResult struct {
 	Workers     []WorkerStats
 }
 
-// BuildParallel runs ERA on a shared-memory, shared-disk machine: a master
-// performs vertical partitioning (not parallelized, §5), then the groups are
-// divided equally among Workers cores that build their virtual trees
-// independently against the shared disk. Real goroutines do the real work;
-// the modeled completion time combines per-worker demands with the
-// single-disk serialization bound (sim.CombineSharedDisk), and — matching
-// the Fig. 12(b) observation — charges extra arm travel when several workers
-// run the seek optimization concurrently.
+// BuildParallel runs ERA on a shared-memory, shared-disk machine. Every
+// phase scales with the cores: vertical partitioning's counting scans are
+// chunked across the workers (one rolling-code counter each, merged dense
+// tables, max-chunk modeled time), and the groups then feed a shared
+// cost-sorted queue that idle workers pull from (LPT + work stealing) with
+// every worker reusing one persistent build context across all its groups.
+// Real goroutines do the real work; the modeled completion combines
+// per-worker demands with the single-disk serialization bound
+// (sim.CombineSharedDisk), and — matching the Fig. 12(b) observation —
+// charges extra arm travel when several workers run the seek optimization
+// concurrently. Trees, serialized sub-trees and every Stats counter except
+// the modeled times are byte-identical across worker counts.
 func BuildParallel(f *seq.File, opts ParallelOptions) (*ParallelResult, error) {
 	if opts.Workers < 1 {
 		return nil, fmt.Errorf("core: Workers must be ≥ 1, got %d", opts.Workers)
@@ -56,56 +60,43 @@ func BuildParallel(f *seq.File, opts ParallelOptions) (*ParallelResult, error) {
 	perCore := opts.MemoryBudget / int64(opts.Workers)
 	model := f.Disk().Model()
 
-	// Master: vertical partitioning with the per-core FM (every core must
-	// fit its virtual trees in its own share).
+	// Vertical partitioning with the per-core FM (every core must fit its
+	// virtual trees in its own share), chunked across the workers.
 	layout, err := PlanMemory(perCore, opts.RSize, f.Alphabet().Bits())
 	if err != nil {
 		return nil, err
 	}
-	masterClock := new(sim.Clock)
-	masterScan, err := f.NewScanner(masterClock, seq.ScannerConfig{BufSize: int(layout.InputBuf), SkipSeek: opts.SkipSeek})
-	if err != nil {
-		return nil, err
-	}
-	groups, vstats, err := VerticalPartition(f, masterScan, masterClock, model, layout.FM, !opts.NoGrouping)
-	if err != nil {
-		return nil, err
-	}
-	vpTime := masterClock.Now()
-
-	// Divide the groups equally among cores (round-robin preserves the
-	// frequency-descending balance of the grouping heuristic).
-	assign := make([][]Group, opts.Workers)
-	for i, g := range groups {
-		w := i % opts.Workers
-		assign[w] = append(assign[w], g)
-	}
-
 	raw, err := f.Disk().Bytes(f.Name())
 	if err != nil {
 		return nil, err
 	}
+	ctxs := make([]*buildContext, opts.Workers)
+	for w := range ctxs {
+		if ctxs[w], err = newWorkerContext(f, raw, model, layout, opts.Options); err != nil {
+			return nil, err
+		}
+	}
+	groups, vstats, vpTime, err := verticalPartitionChunked(ctxs, f.Len(), model, layout.FM, !opts.NoGrouping, sim.CombineSharedDisk, nil)
+	if err != nil {
+		return nil, err
+	}
 
-	res := &ParallelResult{VPTime: vpTime, Workers: make([]WorkerStats, opts.Workers)}
+	res := &ParallelResult{VPTime: vpTime}
 	res.Stats.VPTime = vpTime
 	res.Stats.VPIterations = vstats.Iterations
 	res.Stats.Prefixes = vstats.Prefixes
 	res.Stats.Groups = vstats.Groups
 	res.Stats.MinRange = int(^uint(0) >> 1)
 
-	perWorker := make([]*Result, opts.Workers)
-	errs := make([]error, opts.Workers)
+	jobs := scheduleGroups(groups)
 	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			perWorker[w], errs[w] = runWorker(raw, f, model, layout, opts.Options, assign[w], w, assemble)
-		}(w)
+	runs, err := runGroupQueue(ctxs, jobs, model, layout, opts.Options, assemble)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	res.WallTime = time.Since(start)
+
+	cpu, io, ws, byGi := foldRuns(jobs, runs, opts.Workers, &res.Stats)
 
 	if assemble {
 		view, err := f.View()
@@ -113,97 +104,29 @@ func BuildParallel(f *seq.File, opts ParallelOptions) (*ParallelResult, error) {
 			return nil, err
 		}
 		res.Tree = suffixtree.New(view)
-		for w, r := range perWorker {
-			if errs[w] != nil {
-				continue // reported below
-			}
-			for _, st := range r.subTrees {
+		for gi := range byGi {
+			for ti, st := range runs[byGi[gi]].trees {
 				if err := res.Tree.Graft(st); err != nil {
-					return nil, fmt.Errorf("core: assembling worker %d output: %w", w, err)
+					return nil, fmt.Errorf("core: assembling sub-tree %d of group %d: %w", ti, gi, err)
 				}
 			}
 		}
 	}
 
-	cpu := make([]time.Duration, opts.Workers)
-	io := make([]time.Duration, opts.Workers)
-	for w, r := range perWorker {
-		if errs[w] != nil {
-			return nil, fmt.Errorf("core: worker %d: %w", w, errs[w])
-		}
-		// The worker's single clock accumulated CPU+I/O; split demands via
-		// its recorded components.
-		cpu[w] = r.workerCPU
-		io[w] = r.workerIO
-		if opts.SkipSeek && opts.Workers > 1 {
-			// Concurrent skip-seek patterns from independent cores swing
-			// the shared arm back and forth (§6.2): fine-grained skip-mode
-			// requests defeat the disk's readahead once they interleave
-			// with other cores' request streams, degrading each core's
-			// effective read bandwidth in proportion to its competitors.
-			// Sequential (no-seek) streams coexist via readahead and are
-			// not penalized.
+	if opts.SkipSeek && opts.Workers > 1 {
+		// Concurrent skip-seek patterns from independent cores swing the
+		// shared arm back and forth (§6.2): fine-grained skip-mode requests
+		// defeat the disk's readahead once they interleave with other cores'
+		// request streams, degrading each core's effective read bandwidth in
+		// proportion to its competitors. Sequential (no-seek) streams
+		// coexist via readahead and are not penalized.
+		for w := range io {
 			io[w] += io[w] * time.Duration(16*(opts.Workers-1)) / 100
-		}
-		res.Workers[w] = WorkerStats{CPU: cpu[w], IO: io[w], Seeks: r.workerSeeks,
-			Groups: len(assign[w]), SubTrees: r.Stats.SubTrees}
-
-		res.Stats.Scans += r.Stats.Scans
-		res.Stats.Rounds += r.Stats.Rounds
-		res.Stats.SymbolsRead += r.Stats.SymbolsRead
-		res.Stats.SubTrees += r.Stats.SubTrees
-		res.Stats.TreeNodes += r.Stats.TreeNodes
-		res.Stats.BytesFetched += r.Stats.BytesFetched
-		res.Stats.SkipsTaken += r.Stats.SkipsTaken
-		if r.Stats.MinRange > 0 && r.Stats.MinRange < res.Stats.MinRange {
-			res.Stats.MinRange = r.Stats.MinRange
-		}
-		if r.Stats.MaxRange > res.Stats.MaxRange {
-			res.Stats.MaxRange = r.Stats.MaxRange
+			ws[w].IO = io[w]
 		}
 	}
-	if res.Stats.MinRange > res.Stats.MaxRange {
-		res.Stats.MinRange = 0
-	}
+	res.Workers = ws
 	res.ModeledTime = vpTime + sim.CombineSharedDisk(cpu, io)
 	res.Stats.VirtualTime = res.ModeledTime
-	return res, nil
-}
-
-// runWorker processes a set of groups on a private disk handle (same backing
-// bytes) with separate CPU and I/O clocks so the demands can be combined by
-// the contention model.
-func runWorker(raw []byte, orig *seq.File, model sim.CostModel, layout MemoryLayout,
-	opts Options, groups []Group, w int, collect bool) (*Result, error) {
-
-	disk := diskio.NewDisk(model)
-	disk.CreateFile(orig.Name(), raw)
-	f, err := seq.Attach(disk, orig.Name(), orig.Alphabet())
-	if err != nil {
-		return nil, err
-	}
-	ioClock := new(sim.Clock)
-	cpuClock := new(sim.Clock)
-	sc, err := f.NewScanner(ioClock, seq.ScannerConfig{BufSize: int(layout.InputBuf), SkipSeek: opts.SkipSeek})
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{collect: collect}
-	res.Stats.MinRange = int(^uint(0) >> 1)
-	for gi, g := range groups {
-		if err := processGroup(f, sc, cpuClock, model, layout, opts, g, gi, fmt.Sprintf("w%02d-", w), res); err != nil {
-			return nil, err
-		}
-	}
-	res.Stats.Scans = sc.Stats().Scans
-	res.Stats.BytesFetched = sc.Stats().BytesFetched
-	res.Stats.SkipsTaken = sc.Stats().Skips
-	res.workerCPU = cpuClock.Now()
-	res.workerIO = ioClock.Now()
-	res.workerSeeks = disk.Stats().Seeks
-	res.workerReadOps = disk.Stats().ReadOps
-	if res.Stats.MinRange > res.Stats.MaxRange {
-		res.Stats.MinRange = 0
-	}
 	return res, nil
 }

@@ -125,16 +125,24 @@ func (st *subState) markDone(i int32) {
 // pass. The range of symbols fetched per leaf and round is elastic:
 // |R| / (active leaves), growing as leaves resolve (§4.4); staticRange > 0
 // pins it (the Fig. 9(b) ablation).
-func GroupPrepare(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel,
+//
+// A non-nil ctx supplies the round-loop scratch (fill schedule, merge heap,
+// batch requests, chunk arena), so consecutive groups on one worker share it
+// and the steady state allocates nothing per round; nil uses throwaway
+// scratch with identical behavior.
+func GroupPrepare(ctx *buildContext, f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel,
 	group Group, rCap int64, staticRange int) ([]Prepared, PrepareStats, error) {
 
+	if ctx == nil {
+		ctx = new(buildContext)
+	}
 	n := f.Len()
 	stats := PrepareStats{MinRange: int(^uint(0) >> 1)}
 
 	// Round-1 range from the known group frequency (the occurrence count
 	// is exactly Σ freq, so the elastic formula needs no second pass).
 	rng1 := roundRange(rCap, staticRange, activeUpfront(group), n)
-	occs, chunks, captured, err := CollectWithFill(f, sc, clock, model, group, rng1)
+	occs, chunks, captured, err := CollectWithFill(ctx, f, sc, clock, model, group, rng1)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -173,18 +181,12 @@ func GroupPrepare(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.Cost
 	clock.Advance(model.CPUTime(cpuOps))
 	cpuOps = 0
 
-	type fill struct {
-		pos int   // absolute string offset to fetch from
-		sub int32 // sub-tree index
-		idx int32 // current index within the sub-tree arrays
-	}
-	// Round-loop scratch, reused every round: the fill schedule, the merge
-	// heap, the batch requests and the chunk arena. After the first round
-	// has sized them, the loop allocates nothing.
-	var fills []fill
-	var heap fillHeap
-	var reqs []seq.BatchRequest
-	var chunkArena byteArena
+	// Round-loop scratch, reused every round (and, through the context,
+	// across groups): the fill schedule, the merge heap, the batch requests
+	// and the chunk arena. Once sized, the loop allocates nothing.
+	fills, heap, reqs := ctx.fills, ctx.heap, ctx.reqs
+	chunkArena := &ctx.roundArena
+	defer func() { ctx.fills, ctx.heap, ctx.reqs = fills[:0], heap[:0], reqs }()
 
 	for {
 		activeTotal := 0
@@ -230,7 +232,7 @@ func GroupPrepare(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.Cost
 		for len(heap) > 0 {
 			hd := heap[0]
 			st := subs[hd.sub]
-			fills = append(fills, fill{hd.pos, hd.sub, st.I[hd.a]})
+			fills = append(fills, fillReq{hd.pos, hd.sub, st.I[hd.a]})
 			if r := st.nextActive(int(hd.a) + 1); r >= 0 {
 				heap.replaceMin(mergeHead{pos: int(st.L[st.I[r]]) + starts[hd.sub], sub: hd.sub, a: int32(r)})
 			} else {

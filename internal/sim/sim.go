@@ -91,6 +91,32 @@ func CombineSharedDisk(cpu, io []time.Duration) time.Duration {
 	return worst
 }
 
+// AssignLPT distributes jobs, taken in the given order, each to the worker
+// with the least accumulated load (ties to the lowest worker id). With jobs
+// pre-sorted by descending cost this is the classic longest-processing-time
+// schedule, and it is exactly what a shared queue served by idle workers
+// converges to in virtual time: the next job goes to whichever worker frees
+// up first. It returns the per-job worker assignment; per-worker loads are
+// the sums of their jobs' durations.
+func AssignLPT(durations []time.Duration, workers int) []int {
+	if workers < 1 {
+		workers = 1
+	}
+	assign := make([]int, len(durations))
+	load := make([]time.Duration, workers)
+	for j, d := range durations {
+		w := 0
+		for i := 1; i < workers; i++ {
+			if load[i] < load[w] {
+				w = i
+			}
+		}
+		assign[j] = w
+		load[w] += d
+	}
+	return assign
+}
+
 // CombineSharedNothing folds per-node CPU and disk demands into a completion
 // time for a cluster: nodes are fully independent, so the slowest node wins.
 func CombineSharedNothing(cpu, io []time.Duration) time.Duration {

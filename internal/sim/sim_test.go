@@ -132,3 +132,46 @@ func TestBroadcastTime(t *testing.T) {
 		t.Error("broadcast time must grow with size")
 	}
 }
+
+func TestAssignLPT(t *testing.T) {
+	d := func(ms int) time.Duration { return time.Duration(ms) * time.Millisecond }
+	// Skewed jobs in descending order: LPT must beat round-robin dealing.
+	jobs := []time.Duration{d(10), d(9), d(2), d(2), d(2), d(2), d(2), d(1)}
+	assign := AssignLPT(jobs, 2)
+	if len(assign) != len(jobs) {
+		t.Fatalf("got %d assignments, want %d", len(assign), len(jobs))
+	}
+	makespan := func(asg []int) time.Duration {
+		load := map[int]time.Duration{}
+		var worst time.Duration
+		for j, w := range asg {
+			load[w] += jobs[j]
+			if load[w] > worst {
+				worst = load[w]
+			}
+		}
+		return worst
+	}
+	rr := make([]int, len(jobs))
+	for j := range rr {
+		rr[j] = j % 2
+	}
+	if got, naive := makespan(assign), makespan(rr); got > naive {
+		t.Errorf("LPT makespan %v worse than round-robin %v", got, naive)
+	}
+	// First job goes to worker 0 (ties break to the lowest id); assignment
+	// is deterministic.
+	if assign[0] != 0 {
+		t.Errorf("first job assigned to worker %d, want 0", assign[0])
+	}
+	again := AssignLPT(jobs, 2)
+	for j := range assign {
+		if assign[j] != again[j] {
+			t.Fatalf("assignment not deterministic at job %d", j)
+		}
+	}
+	// Degenerate worker counts.
+	if a := AssignLPT(jobs, 0); len(a) != len(jobs) {
+		t.Errorf("workers=0 clamp failed")
+	}
+}

@@ -43,6 +43,10 @@ type node struct {
 type Tree struct {
 	s     seq.String
 	nodes []node
+	// path is the rightmost-path stack reused by FromSortedSuffixesInto, so
+	// a build context that recycles one Tree across many sub-trees performs
+	// zero allocations per build in the steady state.
+	path []int32
 }
 
 // New returns a tree over s containing only the root.
@@ -50,6 +54,27 @@ func New(s seq.String) *Tree {
 	t := &Tree{s: s}
 	t.nodes = append(t.nodes, node{parent: None, firstChild: None, nextSib: None, suffix: -1})
 	return t
+}
+
+// Reset truncates t back to a lone root, keeping the node array's capacity.
+// Any node ids or sub-tree references handed out before the reset become
+// invalid; builders that recycle one tree across sub-trees may only do so
+// when the previous sub-tree is no longer referenced (not grafted, not
+// collected).
+func (t *Tree) Reset() {
+	t.nodes = t.nodes[:1]
+	t.nodes[0] = node{parent: None, firstChild: None, nextSib: None, suffix: -1}
+}
+
+// EnsureCap grows the node array's capacity to hold at least n nodes without
+// further allocation. Existing nodes are preserved.
+func (t *Tree) EnsureCap(n int) {
+	if cap(t.nodes) >= n {
+		return
+	}
+	nodes := make([]node, len(t.nodes), n)
+	copy(nodes, t.nodes)
+	t.nodes = nodes
 }
 
 // String returns the underlying string.
@@ -218,20 +243,32 @@ func (t *Tree) PathLen(u int32) int32 {
 // Label materializes u's edge label. Intended for tests and small trees.
 func (t *Tree) Label(u int32) []byte {
 	n := t.nodes[u]
-	out := make([]byte, 0, n.end-n.start)
-	for i := n.start; i < n.end; i++ {
-		out = append(out, t.s.At(int(i)))
+	out := make([]byte, n.end-n.start)
+	for i := range out {
+		out[i] = t.s.At(int(n.start) + i)
 	}
 	return out
 }
 
-// PathLabel materializes the concatenated edge labels from the root to u.
+// PathLabel materializes the concatenated edge labels from the root to u:
+// one exactly-sized buffer, filled back to front walking the parent chain
+// (the recursive per-level version re-allocated and re-copied the growing
+// prefix at every level, quadratic on deep paths).
 func (t *Tree) PathLabel(u int32) []byte {
 	if u == 0 {
 		return nil
 	}
-	parent := t.PathLabel(t.nodes[u].parent)
-	return append(parent, t.Label(u)...)
+	out := make([]byte, t.PathLen(u))
+	end := len(out)
+	for v := u; v != 0; v = t.nodes[v].parent {
+		n := t.nodes[v]
+		l := int(n.end - n.start)
+		end -= l
+		for i := 0; i < l; i++ {
+			out[end+i] = t.s.At(int(n.start) + i)
+		}
+	}
+	return out
 }
 
 // WalkDFS visits every node reachable from u in depth-first order, children
@@ -242,29 +279,38 @@ func (t *Tree) WalkDFS(u int32, fn func(id, depth int32) bool) {
 		id    int32
 		depth int32
 	}
-	stack := []frame{{u, t.EdgeLen(u)}}
+	stack := make([]frame, 0, 64)
+	stack = append(stack, frame{u, t.EdgeLen(u)})
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if !fn(f.id, f.depth) {
 			continue
 		}
-		// Push children in reverse sibling order so the first child pops
-		// first.
-		var kids []frame
+		// Push children onto the stack, then reverse the pushed run so the
+		// first child pops first (no per-node scratch slice).
+		mark := len(stack)
 		for c := t.nodes[f.id].firstChild; c != None; c = t.nodes[c].nextSib {
-			kids = append(kids, frame{c, f.depth + t.EdgeLen(c)})
+			stack = append(stack, frame{c, f.depth + t.EdgeLen(c)})
 		}
-		for i := len(kids) - 1; i >= 0; i-- {
-			stack = append(stack, kids[i])
+		for i, j := mark, len(stack)-1; i < j; i, j = i+1, j-1 {
+			stack[i], stack[j] = stack[j], stack[i]
 		}
 	}
 }
 
 // Leaves returns the suffix offsets of the leaves below u in DFS (and hence
-// lexicographic) order.
+// lexicographic) order. The output is sized by a counting pass first, so the
+// result holds exactly its contents instead of append-growth capacity.
 func (t *Tree) Leaves(u int32) []int32 {
-	var out []int32
+	n := 0
+	t.WalkDFS(u, func(id, _ int32) bool {
+		if t.IsLeaf(id) && t.nodes[id].suffix >= 0 {
+			n++
+		}
+		return true
+	})
+	out := make([]int32, 0, n)
 	t.WalkDFS(u, func(id, _ int32) bool {
 		if t.IsLeaf(id) && t.nodes[id].suffix >= 0 {
 			out = append(out, t.nodes[id].suffix)

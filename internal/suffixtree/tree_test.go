@@ -297,3 +297,88 @@ func TestQueriesOnGrafted(t *testing.T) {
 		t.Error("Find(GGTT) should fail")
 	}
 }
+
+// pathLabelRecursive is the original recursive PathLabel, kept as the
+// reference the iterative implementation is checked against.
+func pathLabelRecursive(t *Tree, u int32) []byte {
+	if u == 0 {
+		return nil
+	}
+	parent := pathLabelRecursive(t, t.nodes[u].parent)
+	return append(parent, t.Label(u)...)
+}
+
+// TestPathLabelIterative checks the single-buffer PathLabel against the
+// recursive reference on every node of several trees, including a deep
+// degenerate path (AAAA...$ chains maximally deep suffix links), and pins
+// it to exactly one allocation per call.
+func TestPathLabelIterative(t *testing.T) {
+	inputs := []string{"$", "A$", "GATTACA$", "TGGTGGTGGTGCGGTGATGGTGC$",
+		string(bytes.Repeat([]byte("A"), 400)) + "$"}
+	for _, s := range inputs {
+		m := mem(t, s)
+		tr := buildFromSA(t, m)
+		tr.WalkDFS(tr.Root(), func(id, _ int32) bool {
+			want := pathLabelRecursive(tr, id)
+			got := tr.PathLabel(id)
+			if !bytes.Equal(got, want) {
+				t.Errorf("%q node %d: PathLabel %q, want %q", s, id, got, want)
+			}
+			if id != 0 {
+				if allocs := testing.AllocsPerRun(10, func() { tr.PathLabel(id) }); allocs > 1 {
+					t.Errorf("%q node %d: PathLabel allocates %v times, want ≤ 1", s, id, allocs)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// TestResetAndBuildInto exercises the recycled-tree path: one tree, Reset
+// between builds, must reproduce the same structure as fresh builds, with
+// zero steady-state allocations once the node array has grown.
+func TestResetAndBuildInto(t *testing.T) {
+	inputs := []string{"ACGT$", "GATTACA$", "TGGTGGTGGTGCGGTGATGGTGC$"}
+	var recycled *Tree
+	for _, s := range inputs {
+		m := mem(t, s)
+		sa, err := suffixarray.Build(m.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lcp := suffixarray.LCP(m.Bytes(), sa)
+		fresh, err := FromSortedSuffixes(m, sa, lcp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recycled = New(m)
+		recycled.EnsureCap(2 * len(sa))
+		got, err := FromSortedSuffixesInto(recycled, sa, lcp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumNodes() != fresh.NumNodes() {
+			t.Fatalf("%q: recycled build has %d nodes, fresh %d", s, got.NumNodes(), fresh.NumNodes())
+		}
+		if err := got.Validate(true); err != nil {
+			t.Fatalf("%q: recycled build invalid: %v", s, err)
+		}
+		// Rebuilding after Reset must be allocation-free and identical.
+		if allocs := testing.AllocsPerRun(10, func() {
+			recycled.Reset()
+			if _, err := FromSortedSuffixesInto(recycled, sa, lcp); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("%q: Reset+rebuild allocates %v times, want 0", s, allocs)
+		}
+		if err := recycled.Validate(true); err != nil {
+			t.Fatalf("%q: rebuilt tree invalid: %v", s, err)
+		}
+	}
+
+	// A dirty target is rejected.
+	if _, err := FromSortedSuffixesInto(recycled, []int32{0}, []int32{0}); err == nil {
+		t.Error("FromSortedSuffixesInto accepted a non-empty target tree")
+	}
+}
