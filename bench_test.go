@@ -1,4 +1,4 @@
-package era
+package era_test
 
 // One testing.B benchmark per table and figure of the paper's evaluation
 // (§6). Each iteration regenerates the experiment's full sweep at Small
@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"testing"
 
+	"era"
 	"era/internal/bench"
 )
 
@@ -111,7 +112,7 @@ func BenchmarkBuildSerial(b *testing.B) {
 	b.SetBytes(int64(len(data)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Build(data, &Config{MemoryBudget: 1 << 20}); err != nil {
+		if _, err := era.Build(data, &era.Config{MemoryBudget: 1 << 20}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -120,7 +121,7 @@ func BenchmarkBuildSerial(b *testing.B) {
 // BenchmarkQuery measures pattern search on a prebuilt megabase index.
 func BenchmarkQuery(b *testing.B) {
 	data := mustDNA(1 << 20)
-	idx, err := Build(data, &Config{MemoryBudget: 1 << 20})
+	idx, err := era.Build(data, &era.Config{MemoryBudget: 1 << 20})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -5,10 +5,17 @@
 //
 //	era build -in genome.seq -out genome.idx -mem 67108864 -mode serial
 //	era build -gen dna -n 500000 -out dna.idx
+//	era shard -in corpus.txt -shards 4 -out corpus.idx
+//	era shard -gen english -n 2000000 -docs 64 -shards 8 -out text.idx
 //	era query -index dna.idx -pattern GGTGATG
 //	era stats -index dna.idx
 //	era serve -addr :8329 dna.idx genome.idx
 //	era serve -addr :8329 -dir indexes/
+//
+// shard splits a document corpus at document boundaries into size-balanced
+// shards and persists one sharded index file (format v3); serve loads it
+// like any other index and answers the same JSON queries, fanned out and
+// merged across the shards.
 //
 // serve exposes the indexes over a JSON HTTP API (see internal/server):
 //
@@ -18,6 +25,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
@@ -39,6 +47,8 @@ func main() {
 	switch os.Args[1] {
 	case "build":
 		build(os.Args[2:])
+	case "shard":
+		shard(os.Args[2:])
 	case "query":
 		query(os.Args[2:])
 	case "stats":
@@ -53,6 +63,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   era build -in FILE | -gen KIND -n N [-out FILE] [-mem BYTES] [-mode serial|shared-disk|shared-nothing] [-workers N] [-skipseek]
+  era shard -in FILE | -gen KIND -n N -docs D [-shards K] [-out FILE] [-name NAME] [-mem BYTES] [-workers N]
   era query -index FILE -pattern P [-max N]
   era stats -index FILE
   era serve [-addr HOST:PORT] [-cache N] [-dir DIR] [INDEX.idx ...]`)
@@ -83,9 +94,14 @@ func serve(args []string) {
 		seen[name] = true
 	}
 	if *dir != "" {
+		// LoadDir skips unreadable files and reports them joined; a partial
+		// catalog still serves, but every failure is logged by file.
 		names, err := engine.LoadDir(*dir)
-		if err != nil {
+		if err != nil && len(names) == 0 {
 			fatal(err)
+		}
+		if err != nil {
+			log.Printf("warning: some index files failed to load:\n%v", err)
 		}
 		for _, name := range names {
 			checkDup(name)
@@ -105,7 +121,7 @@ func serve(args []string) {
 	log.Printf("serving %d indexes on %s", len(engine.Names()), *addr)
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: server.NewHandler(engine),
+		Handler: server.NewHandlerWithLog(engine, log.Default()),
 		// Bound header dribble and idle keep-alives so stalled clients
 		// cannot park goroutines and fds forever. No WriteTimeout: large
 		// occurrence responses on slow links are legitimate.
@@ -184,6 +200,77 @@ func build(args []string) {
 		s.ModeledTime, s.Scans, s.Prefixes, s.Groups, s.SubTrees, s.TreeNodes)
 }
 
+// shard builds a document-aligned sharded index (format v3). Documents come
+// from -in (one per line) or -gen (generated symbols sliced into -docs
+// equal documents); each shard is built with the parallel shared-disk path.
+func shard(args []string) {
+	fs := flag.NewFlagSet("shard", flag.ExitOnError)
+	var (
+		in      = fs.String("in", "", "input file, one document per line")
+		gen     = fs.String("gen", "", "generate a synthetic corpus instead: genome, dna, protein, english")
+		n       = fs.Int("n", 1<<20, "symbols to generate with -gen")
+		nDocs   = fs.Int("docs", 64, "documents to slice a generated corpus into")
+		seed    = fs.Int64("seed", 42, "generator seed")
+		shards  = fs.Int("shards", 4, "number of document-aligned shards")
+		out     = fs.String("out", "index.idx", "output index file")
+		name    = fs.String("name", "", "corpus name stored in the index (default: -out base name)")
+		mem     = fs.Int64("mem", 64<<20, "per-shard construction memory budget in bytes")
+		workers = fs.Int("workers", 4, "cores per shard build")
+	)
+	fs.Parse(args)
+
+	var docs [][]byte
+	switch {
+	case *gen != "":
+		data, err := workload.Generate(workload.Kind(*gen), *n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		data = data[:len(data)-1] // the builder appends its own terminator
+		if docs, err = workload.SliceDocs(data, *nDocs); err != nil {
+			fatal(err)
+		}
+	case *in != "":
+		raw, err := os.ReadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+		for _, line := range bytes.Split(raw, []byte{'\n'}) {
+			if len(line) > 0 {
+				docs = append(docs, line)
+			}
+		}
+		if len(docs) == 0 {
+			fatal(fmt.Errorf("%s holds no non-empty lines", *in))
+		}
+	default:
+		fatal(fmt.Errorf("one of -in or -gen is required"))
+	}
+
+	sx, err := era.BuildShardedCorpus(docs, &era.ShardConfig{
+		Shards: *shards,
+		Build:  &era.Config{Mode: era.SharedDisk, MemoryBudget: *mem, Workers: *workers},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *name == "" {
+		base := filepath.Base(*out)
+		*name = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	sx.SetName(*name)
+	if err := sx.WriteFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sharded %d documents (%d symbols, alphabet %s) into %s as %q\n",
+		sx.NumDocs(), sx.Len()-1, sx.Alphabet().Name(), *out, *name)
+	for i := 0; i < sx.NumShards(); i++ {
+		sh, firstDoc := sx.Shard(i)
+		fmt.Printf("  shard %d: docs %d–%d, %d symbols, %d tree nodes\n",
+			i, firstDoc, firstDoc+sh.NumDocs()-1, sh.Len()-1, sh.TreeNodes())
+	}
+}
+
 func query(args []string) {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	var (
@@ -215,18 +302,28 @@ func stats(args []string) {
 		fatal(fmt.Errorf("-index is required"))
 	}
 	idx := load(*index)
-	lrs, occ := idx.LongestRepeatedSubstring()
 	fmt.Printf("string length: %d symbols (terminator included)\n", idx.Len())
 	fmt.Printf("alphabet: %s (%d symbols)\n", idx.Alphabet().Name(), idx.Alphabet().Size())
 	fmt.Printf("documents: %d\n", idx.NumDocs())
-	show := lrs
-	if len(show) > 60 {
-		show = show[:60]
+	switch x := idx.(type) {
+	case *era.Index:
+		lrs, occ := x.LongestRepeatedSubstring()
+		show := lrs
+		if len(show) > 60 {
+			show = show[:60]
+		}
+		fmt.Printf("longest repeated substring: %d symbols (%q...), %d occurrences\n", len(lrs), show, len(occ))
+	case *era.ShardedIndex:
+		fmt.Printf("shards: %d (%d tree nodes total)\n", x.NumShards(), x.TreeNodes())
+		for i := 0; i < x.NumShards(); i++ {
+			sh, firstDoc := x.Shard(i)
+			fmt.Printf("  shard %d: docs %d–%d, %d symbols, %d tree nodes\n",
+				i, firstDoc, firstDoc+sh.NumDocs()-1, sh.Len()-1, sh.TreeNodes())
+		}
 	}
-	fmt.Printf("longest repeated substring: %d symbols (%q...), %d occurrences\n", len(lrs), show, len(occ))
 }
 
-func load(path string) *era.Index {
+func load(path string) era.Queryable {
 	idx, err := era.OpenIndex(path)
 	if err != nil {
 		fatal(err)

@@ -220,6 +220,13 @@ func detectAlphabet(data []byte) (*alphabet.Alphabet, error) {
 	for _, b := range data {
 		seen[b] = true
 	}
+	return alphabetFromSeen(&seen)
+}
+
+// alphabetFromSeen resolves the byte-presence set to a predefined or custom
+// alphabet; BuildShardedCorpus uses it to detect one alphabet over all
+// documents without concatenating them.
+func alphabetFromSeen(seen *[256]bool) (*alphabet.Alphabet, error) {
 	distinct := make([]byte, 0, 64)
 	for b := 0; b < 256; b++ {
 		if seen[b] {

@@ -50,7 +50,25 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 2. Hot-load both index files and serve them, as `era serve -dir` would.
+	// A corpus too big for one index shards at document boundaries (as
+	// `era shard` would); it persists as one v3 file, loads as one catalog
+	// entry, and answers the same JSON queries — fan-out and merge across
+	// the shards included, with answers identical to a monolithic index.
+	sharded, err := era.BuildShardedCorpus([][]byte{
+		[]byte("GATTACAGATTACA"),
+		[]byte("CATTAGACATTAGA"),
+		[]byte("TTTTGATTTT"),
+		[]byte("ACACATTACA"),
+	}, &era.ShardConfig{Shards: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sharded.SetName("genomes")
+	if err := sharded.WriteFile(filepath.Join(dir, "genomes.idx")); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Hot-load the index files and serve them, as `era serve -dir` would.
 	engine := server.NewEngine(1024)
 	names, err := engine.LoadDir(dir)
 	if err != nil {
@@ -85,6 +103,11 @@ func main() {
 			{"op": "occurrences", "pattern": "quick", "max": 5},
 			{"op": "contains", "pattern": "slowbrown"},
 		},
+	})
+
+	fmt.Println("\n-- POST /v1/query: the sharded corpus answers through the same API --")
+	post(base+"/v1/query", map[string]any{
+		"index": "genomes", "op": "occurrences", "pattern": "ATTA", "max": 5,
 	})
 
 	// The repeated query is answered from the LRU cache — /v1/stats shows

@@ -157,6 +157,7 @@ var All = []Experiment{
 	{"table3", "Table 3", "shared-nothing strong scalability, genome", RunTable3},
 	{"fig13", "Fig. 13", "shared-nothing weak scalability, DNA", RunFig13},
 	{"scaling", "Fig. 12 (repro)", "scale-out: chunked VP + work-stealing scheduler", RunScaling},
+	{"shardq", "§1 (serving)", "sharded corpus query throughput vs shard count", RunShardQ},
 }
 
 // ByID finds an experiment.

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"era"
+	"era/internal/workload"
+)
+
+// ShardQCounts is the shard-count sweep of the "shardq" experiment.
+var ShardQCounts = []int{1, 2, 4, 8}
+
+// RunShardQ is the serving-side scenario next to the paper's construction
+// tables: one document corpus is built monolithically and as a
+// document-aligned ShardedIndex at each shard count, then a fixed batched
+// query workload (hits, misses, occurrence listings with caps) is replayed
+// against each. Wall time and throughput are host-dependent (real
+// goroutines, no cost model); the "identical" column is the deterministic
+// cell — every sharded answer is verified byte-identical to the monolithic
+// index, which is the contract that makes sharding transparent to clients.
+func RunShardQ(s Scale) (*Table, error) {
+	t := &Table{ID: "shardq", Paper: "§1 (serving)", Title: "sharded corpus query throughput vs shard count; English text, 64 documents",
+		Header: []string{"shards", "wall-build(ms)", "wall-query(ms)", "wall-kq/s", "identical"}}
+
+	n := s.GB(2)
+	data, err := workload.Generate(workload.English, n, 12007)
+	if err != nil {
+		return nil, err
+	}
+	data = data[:len(data)-1] // builders append their own terminator
+	const nDocs = 64
+	docs, err := workload.SliceDocs(data, nDocs)
+	if err != nil {
+		return nil, err
+	}
+
+	mono, err := era.BuildCorpus(docs, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// A deterministic query mix: corpus substrings of assorted lengths
+	// (some straddling document boundaries), synthetic misses, and every op
+	// kind with and without occurrence caps.
+	var ops []era.Op
+	for i := 0; i < 640; i++ {
+		off := (i * 997) % (len(data) - 24)
+		l := 3 + i%12
+		p := data[off : off+l]
+		switch i % 4 {
+		case 0:
+			ops = append(ops, era.Op{Kind: era.OpContains, Pattern: p})
+		case 1:
+			ops = append(ops, era.Op{Kind: era.OpCount, Pattern: p})
+		case 2:
+			ops = append(ops, era.Op{Kind: era.OpOccurrences, Pattern: p, MaxOccurrences: 16})
+		case 3:
+			miss := append(append([]byte(nil), p...), "zzzzqqqq"[i%8])
+			ops = append(ops, era.Op{Kind: era.OpCount, Pattern: miss})
+		}
+	}
+	want := mono.Batch(ops)
+
+	const rounds = 4
+	for _, k := range ShardQCounts {
+		buildStart := time.Now()
+		sx, err := era.BuildShardedCorpus(docs, &era.ShardConfig{Shards: k})
+		if err != nil {
+			return nil, err
+		}
+		buildWall := time.Since(buildStart)
+
+		queryStart := time.Now()
+		var got []era.Result
+		for r := 0; r < rounds; r++ {
+			got = sx.Batch(ops)
+		}
+		queryWall := time.Since(queryStart)
+
+		for i := range want {
+			if got[i].Found != want[i].Found || got[i].Count != want[i].Count || len(got[i].Occurrences) != len(want[i].Occurrences) {
+				return nil, fmt.Errorf("shardq: K=%d op %d diverged from the monolithic index: %+v != %+v", k, i, got[i], want[i])
+			}
+		}
+
+		qps := float64(rounds*len(ops)) / queryWall.Seconds() / 1000
+		t.AddRow(itoa(k), ms(buildWall), ms(queryWall), fmt.Sprintf("%.1f", qps), "yes")
+	}
+	t.Notes = append(t.Notes,
+		"wall cells are host-dependent (real fan-out goroutines, no cost model); 'identical' is the deterministic contract",
+		fmt.Sprintf("workload: %d ops × %d rounds (contains/count/occurrences+cap/miss mix) over a %d-symbol corpus", len(ops), rounds, n))
+	return t, nil
+}

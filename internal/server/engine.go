@@ -13,6 +13,7 @@ package server
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -25,6 +26,15 @@ import (
 	"era"
 	"era/internal/alphabet"
 )
+
+// ErrUnknownIndex reports a query addressed to an index name that is not
+// loaded. The HTTP layer maps it — and only it — to 404; any other engine
+// error is a server-side problem and surfaces as 500.
+var ErrUnknownIndex = errors.New("unknown index")
+
+// ErrBadPattern reports a pattern BatchChecked rejected against the target
+// index's alphabet. The HTTP layer maps it to 400.
+var ErrBadPattern = errors.New("invalid pattern")
 
 // Engine serves queries against a set of named indexes. Construct with
 // NewEngine; all methods are safe for concurrent use.
@@ -42,11 +52,13 @@ type Engine struct {
 	nextEpoch   atomic.Uint64
 }
 
-// catalogEntry pairs an index with its load epoch. The epoch is part of
-// every cache key, so reloading a corpus under the same name orphans the
-// stale cached results instead of serving them.
+// catalogEntry pairs an index — monolithic or sharded, anything behind
+// era.Queryable — with its load epoch. The epoch is part of every cache
+// key, so reloading a corpus under the same name orphans the stale cached
+// results instead of serving them; a sharded index reloads (and purges) as
+// one unit.
 type catalogEntry struct {
-	idx   *era.Index
+	idx   era.Queryable
 	epoch uint64
 }
 
@@ -61,7 +73,7 @@ func NewEngine(cacheSize int) *Engine {
 // Load registers idx under its name, replacing any index already loaded
 // under it (hot reload). The index must be named (era.Index.SetName, or
 // loaded through era.OpenIndex which names unnamed files).
-func (e *Engine) Load(idx *era.Index) error {
+func (e *Engine) Load(idx era.Queryable) error {
 	name := idx.Name()
 	if name == "" {
 		return fmt.Errorf("server: index has no name; call SetName before Load")
@@ -92,26 +104,34 @@ func (e *Engine) LoadFile(path string) (string, error) {
 }
 
 // LoadDir registers every *.idx file in dir and returns the names loaded.
+// A file that fails to load (corrupt, truncated, unreadable) no longer
+// aborts the directory: the rest load, and the per-file failures come back
+// joined into one error alongside the loaded names — so a startup can both
+// serve the healthy catalog and report exactly which files need attention.
 func (e *Engine) LoadDir(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	var names []string
+	var errs []error
+	matched := false
 	for _, ent := range entries {
 		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".idx") {
 			continue
 		}
+		matched = true
 		name, err := e.LoadFile(filepath.Join(dir, ent.Name()))
 		if err != nil {
-			return names, err
+			errs = append(errs, fmt.Errorf("server: loading %s: %w", ent.Name(), err))
+			continue
 		}
 		names = append(names, name)
 	}
-	if len(names) == 0 {
+	if !matched {
 		return nil, fmt.Errorf("server: no *.idx files in %s", dir)
 	}
-	return names, nil
+	return names, errors.Join(errs...)
 }
 
 // Unload removes the index named name, reporting whether it was loaded.
@@ -135,7 +155,7 @@ func (e *Engine) Unload(name string) bool {
 }
 
 // Get returns the index named name.
-func (e *Engine) Get(name string) (*era.Index, bool) {
+func (e *Engine) Get(name string) (era.Queryable, bool) {
 	ent, ok := (*e.catalog.Load())[name]
 	if !ok {
 		return nil, false
@@ -171,8 +191,44 @@ func (e *Engine) Query(index string, op era.Op) (era.Result, error) {
 func (e *Engine) Batch(index string, ops []era.Op) ([]era.Result, error) {
 	ent, ok := (*e.catalog.Load())[index]
 	if !ok {
-		return nil, fmt.Errorf("server: no index named %q loaded", index)
+		return nil, fmt.Errorf("server: %w: no index named %q loaded", ErrUnknownIndex, index)
 	}
+	return e.batchEntry(ent, ops), nil
+}
+
+// BatchChecked is Batch with pattern validation: empty patterns and
+// patterns holding bytes outside the index's alphabet are rejected with an
+// error wrapping ErrBadPattern that names the offending byte (and the op,
+// for multi-op batches). Validation and execution use one catalog
+// snapshot, so a concurrent hot reload cannot slip a pattern past a check
+// made against a different index's alphabet. The HTTP layer serves through
+// this; Batch keeps the lenient library semantics.
+func (e *Engine) BatchChecked(index string, ops []era.Op) ([]era.Result, error) {
+	ent, ok := (*e.catalog.Load())[index]
+	if !ok {
+		return nil, fmt.Errorf("server: %w: no index named %q loaded", ErrUnknownIndex, index)
+	}
+	a := ent.idx.Alphabet()
+	for i, op := range ops {
+		prefix := ""
+		if len(ops) > 1 {
+			prefix = fmt.Sprintf("op %d: ", i)
+		}
+		if len(op.Pattern) == 0 {
+			return nil, fmt.Errorf("server: %w: %sempty pattern", ErrBadPattern, prefix)
+		}
+		for j, b := range op.Pattern {
+			if !a.Contains(b) {
+				return nil, fmt.Errorf("server: %w: %spattern byte %q at offset %d is not in the index's %s alphabet",
+					ErrBadPattern, prefix, b, j, a.Name())
+			}
+		}
+	}
+	return e.batchEntry(ent, ops), nil
+}
+
+// batchEntry answers ops against one resolved catalog entry.
+func (e *Engine) batchEntry(ent *catalogEntry, ops []era.Op) []era.Result {
 	e.queries.Add(int64(len(ops)))
 
 	// Patterns containing the reserved terminator byte can only "match"
@@ -196,7 +252,7 @@ func (e *Engine) Batch(index string, ops []era.Op) ([]era.Result, error) {
 		for j, r := range ent.idx.Batch(liveOps) {
 			results[liveAt[j]] = r
 		}
-		return results, nil
+		return results
 	}
 
 	results := make([]era.Result, len(ops))
@@ -220,7 +276,7 @@ func (e *Engine) Batch(index string, ops []era.Op) ([]era.Result, error) {
 	e.cacheHits.Add(hits)
 	e.cacheMisses.Add(int64(len(missOps)))
 	if len(missOps) == 0 {
-		return results, nil
+		return results
 	}
 	for j, r := range ent.idx.Batch(missOps) {
 		results[missAt[j]] = r
@@ -231,7 +287,7 @@ func (e *Engine) Batch(index string, ops []era.Op) ([]era.Result, error) {
 			e.cache.put(keys[missAt[j]], r)
 		}
 	}
-	return results, nil
+	return results
 }
 
 // maxCachedOccurrences bounds the size of one cached result; entries × this

@@ -2,10 +2,12 @@ package server
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -412,5 +414,148 @@ func TestConcurrentQueries(t *testing.T) {
 	}
 	if st := e.Stats(); st.Queries == 0 {
 		t.Error("no queries recorded")
+	}
+}
+
+// buildShardedIndex builds a small sharded DNA corpus index named name.
+func buildShardedIndex(t testing.TB, name string, nDocs, docLen int, seed int64) *era.ShardedIndex {
+	t.Helper()
+	docs := make([][]byte, nDocs)
+	for i := range docs {
+		d := workload.MustGenerate(workload.DNA, docLen, seed+int64(i))
+		docs[i] = d[:len(d)-1]
+	}
+	sx, err := era.BuildShardedCorpus(docs, &era.ShardConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx.SetName(name)
+	return sx
+}
+
+// TestEngineServesShardedIndex pins that a ShardedIndex is one catalog
+// entry answering through the same engine paths as a monolithic index.
+func TestEngineServesShardedIndex(t *testing.T) {
+	sx := buildShardedIndex(t, "corpus", 8, 500, 17)
+	e := NewEngine(64)
+	if err := e.Load(sx); err != nil {
+		t.Fatal(err)
+	}
+	pat := []byte("TGA")
+	res, err := e.Query("corpus", era.Op{Kind: era.OpCount, Pattern: pat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != sx.Count(pat) {
+		t.Errorf("engine Count = %d, want %d", res.Count, sx.Count(pat))
+	}
+	batch, err := e.Batch("corpus", []era.Op{
+		{Kind: era.OpOccurrences, Pattern: pat, MaxOccurrences: 5},
+		{Kind: era.OpContains, Pattern: []byte("GATTACAGATTACAGATTACA")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[0].Count != sx.Count(pat) {
+		t.Errorf("batched sharded Count = %d, want %d", batch[0].Count, sx.Count(pat))
+	}
+	if occ := sx.Occurrences(pat); len(occ) > 5 && len(batch[0].Occurrences) != 5 {
+		t.Errorf("sharded MaxOccurrences not applied: %d offsets", len(batch[0].Occurrences))
+	}
+}
+
+// TestEngineShardedHotReloadPurgesCache is the epoch-purge regression for
+// sharded indexes: reloading a sharded corpus under the same name must
+// orphan every cached result of the old load as one unit.
+func TestEngineShardedHotReloadPurgesCache(t *testing.T) {
+	e := NewEngine(128)
+	old := buildShardedIndex(t, "corpus", 6, 400, 1)
+	if err := e.Load(old); err != nil {
+		t.Fatal(err)
+	}
+	op := era.Op{Kind: era.OpCount, Pattern: []byte("AC")}
+	if _, err := e.Query("corpus", op); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query("corpus", op); err != nil { // cache hit
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.CacheHits != 1 {
+		t.Fatalf("stats before reload = %+v, want 1 hit", st)
+	}
+	if n := e.cache.len(); n != 1 {
+		t.Fatalf("cache holds %d entries before reload, want 1", n)
+	}
+
+	fresh := buildShardedIndex(t, "corpus", 6, 400, 999)
+	if err := e.Load(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.cache.len(); n != 0 {
+		t.Errorf("cache holds %d entries after sharded hot reload, want 0", n)
+	}
+	res, err := e.Query("corpus", op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != fresh.Count(op.Pattern) {
+		t.Errorf("post-reload Count = %d, want %d (stale epoch served?)", res.Count, fresh.Count(op.Pattern))
+	}
+}
+
+// TestEngineLoadDirPartialFailure pins the LoadDir bugfix: one bad .idx
+// file no longer aborts the load half-way — the healthy files serve, and
+// the error names every file that failed.
+func TestEngineLoadDirPartialFailure(t *testing.T) {
+	dir := t.TempDir()
+	if err := buildIndex(t, "alpha", 800, 1).WriteFile(filepath.Join(dir, "alpha.idx")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "broken.idx"), []byte("not an index"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "empty.idx"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildIndex(t, "zeta", 800, 2).WriteFile(filepath.Join(dir, "zeta.idx")); err != nil {
+		t.Fatal(err)
+	}
+
+	e := NewEngine(16)
+	names, err := e.LoadDir(dir)
+	if err == nil {
+		t.Fatal("LoadDir with corrupt files returned nil error")
+	}
+	for _, bad := range []string{"broken.idx", "empty.idx"} {
+		if !strings.Contains(err.Error(), bad) {
+			t.Errorf("LoadDir error does not name %s: %v", bad, err)
+		}
+	}
+	if len(names) != 2 {
+		t.Fatalf("LoadDir loaded %v, want the 2 healthy indexes", names)
+	}
+	for _, name := range []string{"alpha", "zeta"} {
+		if _, ok := e.Get(name); !ok {
+			t.Errorf("healthy index %q not loaded", name)
+		}
+	}
+
+	// A directory with only bad files: no names, an error naming them.
+	badDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(badDir, "junk.idx"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	names, err = e.LoadDir(badDir)
+	if err == nil || len(names) != 0 {
+		t.Errorf("all-bad dir: names=%v err=%v, want empty + error", names, err)
+	}
+}
+
+// TestEngineUnknownIndexError pins the sentinel the HTTP layer maps to 404.
+func TestEngineUnknownIndexError(t *testing.T) {
+	e := NewEngine(0)
+	_, err := e.Query("ghost", era.Op{Kind: era.OpContains, Pattern: []byte("A")})
+	if !errors.Is(err, ErrUnknownIndex) {
+		t.Errorf("unknown-index error = %v, want errors.Is(_, ErrUnknownIndex)", err)
 	}
 }

@@ -12,11 +12,20 @@
 // Patterns travel as JSON strings; the indexed alphabets (DNA, protein,
 // English text) are all byte-per-symbol printable, so no escaping layer is
 // needed beyond JSON's own.
+//
+// Error discipline: 400 for requests the client got wrong (bad JSON, bad
+// op, empty pattern, bytes outside the target index's alphabet — the error
+// names the offending byte), 404 only for an unknown index name, 500 for
+// anything else the engine reports. Response-encoding failures cannot be
+// surfaced to the client (the status line is gone); they go to the
+// handler's error log.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strings"
 
@@ -30,14 +39,22 @@ const MaxBatchOps = 10000
 // maxBodyBytes bounds request bodies; patterns are tiny compared to this.
 const maxBodyBytes = 1 << 20
 
-// NewHandler returns the HTTP API over engine.
+// NewHandler returns the HTTP API over engine, logging server-side
+// failures (e.g. response encoding errors) to the process-default logger.
 func NewHandler(engine *Engine) http.Handler {
+	return NewHandlerWithLog(engine, nil)
+}
+
+// NewHandlerWithLog is NewHandler with an explicit error log; nil falls
+// back to the process-default logger.
+func NewHandlerWithLog(engine *Engine, errLog *log.Logger) http.Handler {
+	h := &api{engine: engine, errLog: errLog}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+		h.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, engine.Stats())
+		h.writeJSON(w, http.StatusOK, engine.Stats())
 	})
 	mux.HandleFunc("GET /v1/indexes", func(w http.ResponseWriter, r *http.Request) {
 		names := engine.Names()
@@ -47,68 +64,100 @@ func NewHandler(engine *Engine) http.Handler {
 				infos = append(infos, describe(name, idx))
 			}
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"indexes": infos})
+		h.writeJSON(w, http.StatusOK, map[string]any{"indexes": infos})
 	})
 	mux.HandleFunc("GET /v1/indexes/{name}", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
 		idx, ok := engine.Get(name)
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Sprintf("no index named %q loaded", name))
+			h.writeError(w, http.StatusNotFound, fmt.Sprintf("no index named %q loaded", name))
 			return
 		}
-		writeJSON(w, http.StatusOK, describe(name, idx))
+		h.writeJSON(w, http.StatusOK, describe(name, idx))
 	})
 	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
 		var req queryRequest
-		if !readJSON(w, r, &req) {
+		if !h.readJSON(w, r, &req) {
 			return
 		}
 		op, err := req.op()
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			h.writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		res, err := engine.Query(req.Index, op)
+		// BatchChecked validates the pattern against the target index's
+		// alphabet on the same catalog snapshot it answers from, so a
+		// concurrent hot reload cannot desynchronize check and answer.
+		res, err := engine.BatchChecked(req.Index, []era.Op{op})
 		if err != nil {
-			writeError(w, http.StatusNotFound, err.Error())
+			h.writeQueryError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, toWire(op, res))
+		h.writeJSON(w, http.StatusOK, toWire(op, res[0]))
 	})
 	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req batchRequest
-		if !readJSON(w, r, &req) {
+		if !h.readJSON(w, r, &req) {
 			return
 		}
 		if len(req.Ops) == 0 {
-			writeError(w, http.StatusBadRequest, "batch has no ops")
+			h.writeError(w, http.StatusBadRequest, "batch has no ops")
 			return
 		}
 		if len(req.Ops) > MaxBatchOps {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d ops exceeds the limit of %d", len(req.Ops), MaxBatchOps))
+			h.writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d ops exceeds the limit of %d", len(req.Ops), MaxBatchOps))
 			return
 		}
 		ops := make([]era.Op, len(req.Ops))
 		for i, q := range req.Ops {
 			op, err := q.op()
 			if err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Sprintf("op %d: %v", i, err))
+				h.writeError(w, http.StatusBadRequest, fmt.Sprintf("op %d: %v", i, err))
 				return
 			}
 			ops[i] = op
 		}
-		results, err := engine.Batch(req.Index, ops)
+		results, err := engine.BatchChecked(req.Index, ops)
 		if err != nil {
-			writeError(w, http.StatusNotFound, err.Error())
+			h.writeQueryError(w, err)
 			return
 		}
 		wire := make([]queryResponse, len(results))
 		for i, res := range results {
 			wire[i] = toWire(ops[i], res)
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"results": wire})
+		h.writeJSON(w, http.StatusOK, map[string]any{"results": wire})
 	})
 	return mux
+}
+
+// api carries the handler's dependencies; the mux closures share one.
+type api struct {
+	engine *Engine
+	errLog *log.Logger
+}
+
+func (h *api) logf(format string, args ...any) {
+	if h.errLog != nil {
+		h.errLog.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// writeQueryError maps an engine query error to a status: 404 only when
+// the index name is unknown (a client addressing problem), 400 for a
+// rejected pattern, 500 otherwise — an internal failure must not
+// masquerade as "not found".
+func (h *api) writeQueryError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownIndex):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrBadPattern):
+		status = http.StatusBadRequest
+	}
+	h.writeError(w, status, err.Error())
 }
 
 // queryOp is the wire form of one operation.
@@ -172,7 +221,7 @@ type indexInfo struct {
 	TreeNodes int64  `json:"tree_nodes"`
 }
 
-func describe(name string, idx *era.Index) indexInfo {
+func describe(name string, idx era.Queryable) indexInfo {
 	return indexInfo{
 		Name:      name,
 		Symbols:   idx.Len(),
@@ -182,26 +231,31 @@ func describe(name string, idx *era.Index) indexInfo {
 	}
 }
 
-func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+func (h *api) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		h.writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
 		return false
 	}
 	return true
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON encodes v as the response body. An encode failure after the
+// status line is written cannot reach the client as an error status, so it
+// is surfaced through the handler's error log instead of being discarded.
+func (h *api) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		h.logf("server: encoding response: %v", err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	// The engine's not-found error mentions the index name; anything else
-	// on that path would also be a client addressing problem.
-	writeJSON(w, status, map[string]string{"error": strings.TrimPrefix(msg, "server: ")})
+func (h *api) writeError(w http.ResponseWriter, status int, msg string) {
+	// Engine errors carry a "server: " package prefix that means nothing to
+	// HTTP clients.
+	h.writeJSON(w, status, map[string]string{"error": strings.TrimPrefix(msg, "server: ")})
 }

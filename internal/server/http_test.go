@@ -3,10 +3,12 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -278,5 +280,160 @@ func TestHTTPConcurrentClients(t *testing.T) {
 	close(errc)
 	for err := range errc {
 		t.Error(err)
+	}
+}
+
+// TestHTTPPatternValidation pins the serve-path validation: empty patterns
+// and patterns with bytes outside the target index's alphabet are a 400
+// naming the offending byte, instead of the old surprising found-everything
+// (empty) or silent not-found (foreign byte) answers.
+func TestHTTPPatternValidation(t *testing.T) {
+	ts, _ := newTestServer(t) // DNA alphabet
+
+	status, out := postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"index": "dna", "op": "contains", "pattern": "",
+	})
+	if status != http.StatusBadRequest {
+		t.Errorf("empty pattern: status %d, want 400 (%v)", status, out)
+	}
+
+	status, out = postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"index": "dna", "op": "count", "pattern": "TGX",
+	})
+	if status != http.StatusBadRequest {
+		t.Errorf("foreign byte: status %d, want 400 (%v)", status, out)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "'X'") && !strings.Contains(msg, `"X"`) {
+		t.Errorf("foreign-byte error does not name the byte: %v", out)
+	}
+
+	// The terminator byte is outside every alphabet: now an explicit 400.
+	status, _ = postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"index": "dna", "op": "count", "pattern": "TG$",
+	})
+	if status != http.StatusBadRequest {
+		t.Errorf("terminator byte: status %d, want 400", status)
+	}
+
+	// In a batch the error names the offending op.
+	status, out = postJSON(t, ts.URL+"/v1/batch", map[string]any{
+		"index": "dna",
+		"ops": []map[string]any{
+			{"op": "contains", "pattern": "TG"},
+			{"op": "count", "pattern": "TGz"},
+		},
+	})
+	if status != http.StatusBadRequest {
+		t.Errorf("batch foreign byte: status %d, want 400 (%v)", status, out)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "op 1") {
+		t.Errorf("batch error does not name the op: %v", out)
+	}
+
+	// Unknown index outranks pattern validation: addressing comes first.
+	status, _ = postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"index": "ghost", "op": "count", "pattern": "",
+	})
+	if status != http.StatusNotFound {
+		t.Errorf("unknown index with bad pattern: status %d, want 404", status)
+	}
+}
+
+// TestHTTPQueryErrorStatusMapping pins the 404/500 split: only the
+// unknown-index sentinel is a 404; any other engine failure is a 500, not
+// masqueraded as "not found".
+func TestHTTPQueryErrorStatusMapping(t *testing.T) {
+	h := &api{}
+	rec := httptest.NewRecorder()
+	h.writeQueryError(rec, fmt.Errorf("wrapped: %w", ErrUnknownIndex))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown-index error: status %d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.writeQueryError(rec, fmt.Errorf("wrapped: %w", ErrBadPattern))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad-pattern error: status %d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.writeQueryError(rec, errors.New("disk exploded"))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("internal error: status %d, want 500", rec.Code)
+	}
+}
+
+// TestHTTPTruncatedAcrossCacheHitAndMiss pins the truncated flag for the
+// same pattern under differing max caps, on both the cache-miss and the
+// cache-hit path: max is part of the cache key, so a capped result must
+// never satisfy (or poison) an uncapped request.
+func TestHTTPTruncatedAcrossCacheHitAndMiss(t *testing.T) {
+	ts, idx := newTestServer(t)
+	pat := "TG"
+	occ := idx.Occurrences([]byte(pat))
+	if len(occ) <= 2 {
+		t.Fatalf("test pattern %q has only %d occurrences", pat, len(occ))
+	}
+
+	capped := map[string]any{"index": "dna", "op": "occurrences", "pattern": pat, "max": 2}
+	uncapped := map[string]any{"index": "dna", "op": "occurrences", "pattern": pat}
+
+	check := func(label string, body map[string]any, wantLen int, wantTrunc bool) {
+		t.Helper()
+		status, out := postJSON(t, ts.URL+"/v1/query", body)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d (%v)", label, status, out)
+		}
+		got := out["occurrences"].([]any)
+		if len(got) != wantLen {
+			t.Errorf("%s: %d occurrences, want %d", label, len(got), wantLen)
+		}
+		trunc, _ := out["truncated"].(bool)
+		if trunc != wantTrunc {
+			t.Errorf("%s: truncated = %v, want %v", label, trunc, wantTrunc)
+		}
+		if int(out["count"].(float64)) != len(occ) {
+			t.Errorf("%s: count = %v, want %d (full count regardless of cap)", label, out["count"], len(occ))
+		}
+	}
+
+	check("capped miss", capped, 2, true)
+	check("capped hit", capped, 2, true) // served from cache
+	check("uncapped miss", uncapped, len(occ), false)
+	check("uncapped hit", uncapped, len(occ), false)
+	check("capped hit again", capped, 2, true)
+}
+
+// TestHTTPServesShardedIndex drives a sharded corpus through the unchanged
+// HTTP API: same endpoints, same wire format, fan-out/merge behind them.
+func TestHTTPServesShardedIndex(t *testing.T) {
+	sx := buildShardedIndex(t, "corpus", 8, 400, 3)
+	e := NewEngine(64)
+	if err := e.Load(sx); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(e))
+	t.Cleanup(ts.Close)
+
+	pat := "GAT"
+	status, out := postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"index": "corpus", "op": "count", "pattern": pat,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %v", status, out)
+	}
+	if int(out["count"].(float64)) != sx.Count([]byte(pat)) {
+		t.Errorf("count = %v, want %d", out["count"], sx.Count([]byte(pat)))
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/indexes/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info indexInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.Documents != sx.NumDocs() || info.Symbols != sx.Len() {
+		t.Errorf("index info = %+v, want %d docs / %d symbols", info, sx.NumDocs(), sx.Len())
 	}
 }

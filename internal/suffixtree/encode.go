@@ -76,21 +76,32 @@ func Read(r io.Reader, s seq.String) (*Tree, error) {
 		return nil, fmt.Errorf("suffixtree: tree built over string of length %d, got %d", l, s.Len())
 	}
 	nNodes := binary.LittleEndian.Uint32(hdr[12:])
+	if nNodes == 0 {
+		return nil, fmt.Errorf("suffixtree: tree with zero nodes (missing root)")
+	}
 
-	t := &Tree{s: s, nodes: make([]node, nNodes)}
+	// nNodes comes from the (possibly corrupt) file: grow the node array as
+	// nodes actually arrive, so a hostile count fails on the missing bytes
+	// instead of demanding one giant up-front allocation. The clamp happens
+	// in uint32 — converting first would go negative on 32-bit ints.
+	preAlloc := nNodes
+	if preAlloc > 1<<20 {
+		preAlloc = 1 << 20
+	}
+	t := &Tree{s: s, nodes: make([]node, 0, preAlloc)}
 	buf := make([]byte, NodeSize)
-	for i := range t.nodes {
+	for i := uint32(0); i < nNodes; i++ {
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return nil, fmt.Errorf("suffixtree: reading node %d: %w", i, err)
 		}
-		t.nodes[i] = node{
+		t.nodes = append(t.nodes, node{
 			start:      int32(binary.LittleEndian.Uint32(buf[0:])),
 			end:        int32(binary.LittleEndian.Uint32(buf[4:])),
 			parent:     int32(binary.LittleEndian.Uint32(buf[8:])),
 			firstChild: int32(binary.LittleEndian.Uint32(buf[12:])),
 			nextSib:    int32(binary.LittleEndian.Uint32(buf[16:])),
 			suffix:     int32(binary.LittleEndian.Uint32(buf[20:])),
-		}
+		})
 	}
 	return t, nil
 }

@@ -17,6 +17,20 @@ import "fmt"
 // exactly Len(S) leaves whose offsets are a permutation of 0..Len(S)-1.
 // Sub-trees (one S-prefix) are validated with full=false.
 func (t *Tree) Validate(full bool) error {
+	return t.validate(full, true)
+}
+
+// ValidateLinks checks everything Validate does except re-spelling the edge
+// labels against S (invariant 4's per-leaf path check), which can cost
+// O(n²) on deeply repetitive strings. What remains is O(nodes): link
+// consistency, edge ranges, child ordering, leaf offsets — every invariant
+// a query walk relies on to not crash. Readers of persisted trees use it to
+// reject corrupt files at load time.
+func (t *Tree) ValidateLinks(full bool) error {
+	return t.validate(full, false)
+}
+
+func (t *Tree) validate(full, spells bool) error {
 	n := t.s.Len()
 	seen := make([]bool, len(t.nodes))
 	var leafOffsets []int32
@@ -75,8 +89,10 @@ func (t *Tree) Validate(full bool) error {
 				return fmt.Errorf("suffixtree: leaf %d for suffix %d has path length %d, expected %d",
 					u, o, f.depth, n-int(o))
 			}
-			if err := t.checkPathSpells(u, o); err != nil {
-				return err
+			if spells {
+				if err := t.checkPathSpells(u, o); err != nil {
+					return err
+				}
 			}
 			leafOffsets = append(leafOffsets, o)
 		case u != t.Root() && nchild < 2:

@@ -211,3 +211,27 @@ func MustGenerate(k Kind, n int, seed int64) []byte {
 	}
 	return s
 }
+
+// SliceDocs cuts a generated string (terminator already stripped) into
+// exactly nDocs contiguous, non-empty, near-equal documents — the
+// synthetic stand-in for a document corpus. `era shard -gen` and the
+// shardq serving benchmark share it so their corpora cannot drift apart.
+func SliceDocs(data []byte, nDocs int) ([][]byte, error) {
+	if nDocs < 1 || nDocs > len(data) {
+		return nil, fmt.Errorf("workload: %d documents outside [1, %d]", nDocs, len(data))
+	}
+	// Distribute the remainder over the first documents (ceil-dividing the
+	// stride instead can quantize away whole documents at small sizes).
+	base, rem := len(data)/nDocs, len(data)%nDocs
+	docs := make([][]byte, 0, nDocs)
+	off := 0
+	for i := 0; i < nDocs; i++ {
+		n := base
+		if i < rem {
+			n++
+		}
+		docs = append(docs, data[off:off+n])
+		off += n
+	}
+	return docs, nil
+}

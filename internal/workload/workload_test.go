@@ -109,3 +109,37 @@ func TestSymbolSkew(t *testing.T) {
 		t.Errorf("DNA unexpectedly skewed: A=%d T=%d", dna['A'], dna['T'])
 	}
 }
+
+func TestSliceDocs(t *testing.T) {
+	data := MustGenerate(DNA, 1000, 1)
+	data = data[:len(data)-1]
+	docs, err := SliceDocs(data, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 7 {
+		t.Fatalf("got %d docs, want 7", len(docs))
+	}
+	total := 0
+	for i, d := range docs {
+		if len(d) == 0 {
+			t.Errorf("doc %d empty", i)
+		}
+		total += len(d)
+	}
+	if total != len(data) {
+		t.Errorf("docs cover %d bytes, want %d", total, len(data))
+	}
+	// Quantization edge: nDocs close to len(data) must still yield exactly
+	// nDocs non-empty documents.
+	small, err := SliceDocs(data[:10], 7)
+	if err != nil || len(small) != 7 {
+		t.Errorf("SliceDocs(10 bytes, 7) = %d docs, %v; want exactly 7", len(small), err)
+	}
+	if _, err := SliceDocs(data, 0); err == nil {
+		t.Error("0 docs accepted")
+	}
+	if _, err := SliceDocs(data, len(data)+1); err == nil {
+		t.Error("more docs than bytes accepted")
+	}
+}

@@ -30,14 +30,34 @@ import (
 // the empty corpus name and the alphabet name "stored". The query server
 // falls back to the file's base name then, so old index files stay
 // hot-loadable.
+//
+// Version 3 is the sharded corpus format: a manifest referencing per-shard
+// v2 payloads embedded in the same stream (so WriteTo/ReadQueryable work on
+// any io.Writer/Reader and a .idx file stays one self-contained artifact):
+//
+//	magic     uint32 'ERAI'
+//	version   uint32 3
+//	nameLen   uint32, corpus name bytes
+//	nShards   uint32
+//	nShards × payloadLen uint32
+//	nShards × payload (a complete v2 index stream of payloadLen bytes)
+//
+// Everything read from disk is treated as untrusted: name/shard-count
+// fields are bounded before allocation, doc-end invariants are validated
+// against the string, and the tree's link structure is checked before any
+// query may walk it — a corrupt or hostile file fails with an error, never
+// a panic at query time.
 const (
-	indexMagic   = 0x45524149
-	indexVersion = 2
+	indexMagic     = 0x45524149
+	indexVersion   = 2
+	shardedVersion = 3
 	// maxNameLen bounds the corpus and alphabet name fields. WriteTo
 	// enforces it so every written index is readable; ReadIndex enforces it
 	// so a corrupt or hostile length field fails cleanly instead of
 	// demanding a giant allocation.
 	maxNameLen = 64 << 10
+	// maxShards bounds the v3 manifest's shard count on read.
+	maxShards = 1 << 12
 )
 
 // WriteTo serializes the index (name, string, document map and tree) so it
@@ -111,51 +131,199 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	return total, err
 }
 
-// ReadIndex deserializes an index written with WriteTo.
-func ReadIndex(r io.Reader) (*Index, error) {
-	br := bufio.NewReader(r)
-	get32 := func() (uint32, error) {
-		var b [4]byte
-		if _, err := io.ReadFull(br, b[:]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint32(b[:]), nil
+// WriteTo serializes the sharded index as a format-v3 stream: the shard
+// manifest followed by each shard's complete v2 payload. It satisfies
+// io.WriterTo; reopen with OpenIndex or ReadQueryable.
+func (sx *ShardedIndex) WriteTo(w io.Writer) (int64, error) {
+	if len(sx.name) > maxNameLen {
+		return 0, fmt.Errorf("era: index name longer than %d bytes", maxNameLen)
 	}
-	m, err := get32()
+	// Like maxNameLen, the shard bound holds on write as well as read, so
+	// every file this writer produces is one the reader accepts.
+	if len(sx.shards) > maxShards {
+		return 0, fmt.Errorf("era: %d shards exceed the format limit of %d", len(sx.shards), maxShards)
+	}
+	// The manifest carries every payload's length before the payloads
+	// themselves, but buffering the serialized shards would transiently
+	// double the corpus in memory — the very thing sharding exists to
+	// avoid. A seekable destination (WriteFile's *os.File) streams each
+	// payload once and backpatches the lengths; anything else pays a
+	// counting pass first, then streams (Index.WriteTo is deterministic,
+	// so the two passes agree).
+	lens := make([]uint32, len(sx.shards))
+	seeker, seekable := w.(io.WriteSeeker)
+	var seekBase int64
+	if seekable {
+		// The stream may not start at file offset 0 (e.g. appended after
+		// other content); backpatch offsets are relative to here.
+		var err error
+		if seekBase, err = seeker.Seek(0, io.SeekCurrent); err != nil {
+			// A writer that cannot report its position gets the two-pass
+			// treatment instead.
+			seekable = false
+		}
+	}
+	if !seekable {
+		for i, sh := range sx.shards {
+			var cw countingWriter
+			if _, err := sh.WriteTo(&cw); err != nil {
+				return 0, fmt.Errorf("era: sizing shard %d: %w", i, err)
+			}
+			if cw.n > int64(^uint32(0)) {
+				return 0, fmt.Errorf("era: shard %d payload of %d bytes exceeds the format's 4 GiB shard limit; rebuild with more shards", i, cw.n)
+			}
+			lens[i] = uint32(cw.n)
+		}
+	}
+	var total int64
+	put32 := func(v uint32) error {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		n, err := w.Write(b[:])
+		total += int64(n)
+		return err
+	}
+	for _, v := range []uint32{indexMagic, shardedVersion, uint32(len(sx.name))} {
+		if err := put32(v); err != nil {
+			return total, err
+		}
+	}
+	n, err := io.WriteString(w, sx.name)
+	total += int64(n)
 	if err != nil {
-		return nil, fmt.Errorf("era: reading index header: %w", err)
+		return total, err
+	}
+	if err := put32(uint32(len(sx.shards))); err != nil {
+		return total, err
+	}
+	lensOff := total
+	for _, l := range lens {
+		if err := put32(l); err != nil { // zero placeholders when seekable
+			return total, err
+		}
+	}
+	for i, sh := range sx.shards {
+		pn, err := sh.WriteTo(w)
+		total += pn
+		if err != nil {
+			return total, fmt.Errorf("era: writing shard %d payload: %w", i, err)
+		}
+		if pn > int64(^uint32(0)) {
+			return total, fmt.Errorf("era: shard %d payload of %d bytes exceeds the format's 4 GiB shard limit; rebuild with more shards", i, pn)
+		}
+		if !seekable && pn != int64(lens[i]) {
+			return total, fmt.Errorf("era: shard %d payload wrote %d bytes, sized %d", i, pn, lens[i])
+		}
+		lens[i] = uint32(pn)
+	}
+	if seekable {
+		if _, err := seeker.Seek(seekBase+lensOff, io.SeekStart); err != nil {
+			return total, err
+		}
+		buf := make([]byte, 4*len(lens))
+		for i, l := range lens {
+			binary.LittleEndian.PutUint32(buf[4*i:], l)
+		}
+		if _, err := seeker.Write(buf); err != nil {
+			return total, err
+		}
+		if _, err := seeker.Seek(seekBase+total, io.SeekStart); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// countingWriter counts bytes without storing them.
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+func get32(br *bufio.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(br, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func getString(br *bufio.Reader) (string, error) {
+	n, err := get32(br)
+	if err != nil {
+		return "", err
+	}
+	if n > maxNameLen {
+		return "", fmt.Errorf("era: corrupt index: name field of %d bytes", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// readHeader consumes and checks the magic, returning the format version.
+func readHeader(br *bufio.Reader) (uint32, error) {
+	m, err := get32(br)
+	if err != nil {
+		return 0, fmt.Errorf("era: reading index header: %w", err)
 	}
 	if m != indexMagic {
-		return nil, fmt.Errorf("era: bad index magic %#x", m)
+		return 0, fmt.Errorf("era: bad index magic %#x", m)
 	}
-	v, err := get32()
+	v, err := get32(br)
+	if err != nil {
+		return 0, err
+	}
+	if v < 1 || v > shardedVersion {
+		return 0, fmt.Errorf("era: unsupported index version %d", v)
+	}
+	return v, nil
+}
+
+// ReadIndex deserializes a monolithic index written with Index.WriteTo
+// (format v1 or v2). For streams that may also hold a sharded v3 index, use
+// ReadQueryable.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	v, err := readHeader(br)
 	if err != nil {
 		return nil, err
 	}
-	if v < 1 || v > indexVersion {
-		return nil, fmt.Errorf("era: unsupported index version %d", v)
+	if v == shardedVersion {
+		return nil, fmt.Errorf("era: index is a sharded (v3) corpus; read it with ReadQueryable or OpenIndex")
 	}
-	getString := func() (string, error) {
-		n, err := get32()
-		if err != nil {
-			return "", err
-		}
-		if n > maxNameLen {
-			return "", fmt.Errorf("era: corrupt index: name field of %d bytes", n)
-		}
-		b := make([]byte, n)
-		if _, err := io.ReadFull(br, b); err != nil {
-			return "", err
-		}
-		return string(b), nil
+	return readMonolithic(br, v)
+}
+
+// ReadQueryable deserializes any index stream — monolithic (v1/v2) or
+// sharded (v3) — written by Index.WriteTo or ShardedIndex.WriteTo.
+func ReadQueryable(r io.Reader) (Queryable, error) {
+	br := bufio.NewReader(r)
+	v, err := readHeader(br)
+	if err != nil {
+		return nil, err
 	}
+	if v == shardedVersion {
+		return readSharded(br)
+	}
+	return readMonolithic(br, v)
+}
+
+// readMonolithic reads a v1/v2 index body (header already consumed),
+// validating every disk-sourced invariant the query paths rely on.
+func readMonolithic(br *bufio.Reader, v uint32) (*Index, error) {
 	var name string
 	alphaName := "stored"
+	var err error
 	if v >= 2 {
-		if name, err = getString(); err != nil {
+		if name, err = getString(br); err != nil {
 			return nil, err
 		}
-		if alphaName, err = getString(); err != nil {
+		if alphaName, err = getString(br); err != nil {
 			return nil, err
 		}
 	}
@@ -164,7 +332,7 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	// symbols are bounded by the alphabet invariant, and doc ends / string
 	// bytes are read incrementally so a truncated or hostile header fails
 	// on the missing bytes instead of attempting a giant allocation.
-	nSyms, err := get32()
+	nSyms, err := get32(br)
 	if err != nil {
 		return nil, err
 	}
@@ -179,19 +347,24 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	nDocs, err := get32()
+	nDocs, err := get32(br)
 	if err != nil {
 		return nil, err
 	}
+	if nDocs == 0 {
+		// Every index holds at least one document; docOf and the
+		// document-scoped queries index docEnds unconditionally.
+		return nil, fmt.Errorf("era: corrupt index: zero documents")
+	}
 	docEnds := make([]int32, 0, min(nDocs, 1<<16))
 	for i := uint32(0); i < nDocs; i++ {
-		e, err := get32()
+		e, err := get32(br)
 		if err != nil {
 			return nil, err
 		}
 		docEnds = append(docEnds, int32(e))
 	}
-	dataLen, err := get32()
+	dataLen, err := get32(br)
 	if err != nil {
 		return nil, err
 	}
@@ -207,6 +380,22 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		}
 		data = append(data, chunk[:want]...)
 	}
+	// docEnds invariants: monotone non-decreasing (empty documents are
+	// legal), within the content (the final byte is the terminator, not
+	// part of any document), and covering it exactly. docOf's binary
+	// search, DocOccurrences and LongestCommonSubstring all assume these;
+	// violating values from a corrupt file made them panic or silently
+	// mis-attribute hits before they were checked here.
+	prev := int32(0)
+	for i, e := range docEnds {
+		if e < prev || int(e) > len(data)-1 {
+			return nil, fmt.Errorf("era: corrupt index: doc end %d of document %d outside [%d, %d]", e, i, prev, len(data)-1)
+		}
+		prev = e
+	}
+	if int(docEnds[len(docEnds)-1]) != len(data)-1 {
+		return nil, fmt.Errorf("era: corrupt index: documents cover %d bytes of a %d-byte string", docEnds[len(docEnds)-1], len(data)-1)
+	}
 	mem, err := seq.NewMem(alpha, data)
 	if err != nil {
 		return nil, err
@@ -215,39 +404,100 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A structurally broken tree (dangling links, cycles, out-of-range
+	// offsets) would crash the first query that walks it; reject it at
+	// load time instead. ValidateLinks is O(nodes) — it skips only the
+	// edge-label respelling, which can be quadratic on repetitive strings.
+	if err := tree.ValidateLinks(true); err != nil {
+		return nil, fmt.Errorf("era: corrupt index: %w", err)
+	}
 	return &Index{name: name, tree: tree, data: data, alpha: alpha, docEnds: docEnds}, nil
+}
+
+// readSharded reads the v3 manifest and its embedded shard payloads
+// (header already consumed).
+func readSharded(br *bufio.Reader) (*ShardedIndex, error) {
+	name, err := getString(br)
+	if err != nil {
+		return nil, err
+	}
+	nShards, err := get32(br)
+	if err != nil {
+		return nil, err
+	}
+	if nShards == 0 || nShards > maxShards {
+		return nil, fmt.Errorf("era: corrupt index: shard count %d outside [1, %d]", nShards, maxShards)
+	}
+	lens := make([]uint32, nShards)
+	for i := range lens {
+		if lens[i], err = get32(br); err != nil {
+			return nil, err
+		}
+	}
+	shards := make([]*Index, nShards)
+	for i := range shards {
+		lr := io.LimitReader(br, int64(lens[i]))
+		idx, err := ReadIndex(lr)
+		if err != nil {
+			return nil, fmt.Errorf("era: shard %d of %d: %w", i, nShards, err)
+		}
+		// Align on the next payload regardless of how far the shard
+		// reader's internal buffering drained the limited window.
+		if _, err := io.Copy(io.Discard, lr); err != nil {
+			return nil, err
+		}
+		shards[i] = idx
+	}
+	// newShardedIndex re-derives and validates the fan-out metadata (shard
+	// alphabets equal, every shard non-empty) from the payloads themselves,
+	// so a manifest cannot smuggle inconsistent shards past the reader.
+	sx, err := newShardedIndex(name, shards)
+	if err != nil {
+		return nil, fmt.Errorf("era: corrupt index: %w", err)
+	}
+	return sx, nil
 }
 
 // WriteFile saves the index to path.
 func (x *Index) WriteFile(path string) error {
+	return writeFile(path, x)
+}
+
+// WriteFile saves the sharded index to path (format v3, one file).
+func (sx *ShardedIndex) WriteFile(path string) error {
+	return writeFile(path, sx)
+}
+
+func writeFile(path string, w io.WriterTo) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if _, err := x.WriteTo(f); err != nil {
+	if _, err := w.WriteTo(f); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
-// OpenIndex reads an index file written by WriteFile (or WriteTo). Indexes
+// OpenIndex reads an index file written by WriteFile (or WriteTo): a
+// monolithic *Index for v1/v2 files, a *ShardedIndex for v3 files. Indexes
 // saved without a name adopt the file's base name (extension stripped), so
 // every index loaded from disk is addressable.
-func OpenIndex(path string) (*Index, error) {
+func OpenIndex(path string) (Queryable, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	idx, err := ReadIndex(f)
+	idx, err := ReadQueryable(f)
 	if err != nil {
-		// ReadIndex errors already carry the package prefix.
+		// ReadQueryable errors already carry the package prefix.
 		return nil, fmt.Errorf("reading index %s: %w", path, err)
 	}
-	if idx.name == "" {
+	if idx.Name() == "" {
 		base := filepath.Base(path)
-		idx.name = strings.TrimSuffix(base, filepath.Ext(base))
+		idx.SetName(strings.TrimSuffix(base, filepath.Ext(base)))
 	}
 	return idx, nil
 }

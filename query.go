@@ -13,8 +13,9 @@ import (
 // Batch, WriteTo) is a pure read of the immutable tree and string built by
 // Build/BuildCorpus/ReadIndex. Any number of goroutines may query one Index
 // concurrently without synchronization; the concurrent query server in
-// internal/server relies on this, and TestConcurrentQueries pins it under
-// the race detector.
+// internal/server relies on this, ShardedIndex's fan-out queries one shard
+// Index from a goroutine per shard (shard.go), and TestConcurrentQueries
+// pins it under the race detector.
 
 // Contains reports whether pattern occurs in the indexed string — the
 // O(|P|) search that motivates suffix trees (§1 of the paper). For corpus

@@ -1,0 +1,575 @@
+package era
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"era/internal/alphabet"
+)
+
+// This file implements document-aligned corpus sharding: one huge corpus is
+// split at document boundaries into K shards, each built as an independent
+// Index, and the full query API is answered by fanning out to the shards and
+// merging. The ERA paper exists because one string can outgrow one machine
+// (§1, §6); a ShardedIndex is the serving-side counterpart — it lets the
+// query layer scale past what one suffix tree can hold, while staying
+// answer-for-answer identical to the monolithic index over the same corpus.
+//
+// Identity with the monolithic index is exact, not approximate. Matches
+// fully inside one shard are found by that shard's tree and translated to
+// global offsets. Matches that cross a shard boundary — which exist in the
+// monolithic concatenation, since documents are concatenated without
+// separators — cannot be seen by any shard; they are recovered by a stitch
+// scan over the (at most |P|−1 bytes wide) candidate window around each
+// boundary against the virtual global string. Shard cuts are document
+// aligned, so document-scoped answers (DocOccurrences) never need stitching:
+// a boundary-crossing match is by construction a document-crossing match,
+// which the generalized-suffix-tree discipline excludes anyway.
+
+// Queryable is the query surface shared by Index and ShardedIndex: the
+// engine in internal/server, the CLI and persistence address both through
+// it. Like Index, implementations are immutable apart from SetName and safe
+// for concurrent queries.
+type Queryable interface {
+	Name() string
+	SetName(name string)
+	Alphabet() *alphabet.Alphabet
+	Len() int
+	NumDocs() int
+	TreeNodes() int64
+	Contains(pattern []byte) bool
+	Count(pattern []byte) int
+	Occurrences(pattern []byte) []int
+	DocOccurrences(pattern []byte) []DocHit
+	Batch(ops []Op) []Result
+	WriteFile(path string) error
+}
+
+var (
+	_ Queryable = (*Index)(nil)
+	_ Queryable = (*ShardedIndex)(nil)
+)
+
+// ShardedIndex is a corpus index split at document boundaries into shards,
+// each an independent Index over a contiguous run of documents. Queries fan
+// out to all shards concurrently and merge; answers are byte-identical to
+// the monolithic Index over the same corpus. Build with BuildShardedCorpus
+// or reopen with OpenIndex (format v3).
+type ShardedIndex struct {
+	name   string
+	shards []*Index
+	// docStart[i] is the global index of shard i's first document;
+	// offStart[i] is the global byte offset of its first symbol.
+	docStart []int
+	offStart []int
+	numDocs  int
+	totalLen int // global concatenated length including the single terminator
+	alpha    *alphabet.Alphabet
+}
+
+// ShardConfig tunes BuildShardedCorpus beyond the per-shard build Config.
+type ShardConfig struct {
+	// Shards is the number of document-aligned shards (capped at the
+	// document count; default 4).
+	Shards int
+	// Build configures each shard's construction. nil selects the parallel
+	// shared-disk path with default budget and workers.
+	Build *Config
+}
+
+// BuildShardedCorpus splits docs at document boundaries into cfg.Shards
+// contiguous, greedily size-balanced runs and builds one Index per run
+// (using the parallel shared-disk builder unless cfg.Build says otherwise).
+// The resulting ShardedIndex answers every query exactly as the monolithic
+// BuildCorpus index over the same docs would.
+func BuildShardedCorpus(docs [][]byte, cfg *ShardConfig) (*ShardedIndex, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("era: empty corpus")
+	}
+	shards := 4
+	var buildCfg Config
+	if cfg != nil {
+		if cfg.Shards != 0 {
+			shards = cfg.Shards
+		}
+		if cfg.Build != nil {
+			buildCfg = *cfg.Build
+		} else {
+			buildCfg.Mode = SharedDisk
+		}
+	} else {
+		buildCfg.Mode = SharedDisk
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("era: shard count %d < 1", shards)
+	}
+	if shards > len(docs) {
+		shards = len(docs)
+	}
+	// The v3 persistence format caps the shard count; clamping here keeps
+	// every buildable index writable instead of failing after the build.
+	if shards > maxShards {
+		shards = maxShards
+	}
+
+	// One alphabet for every shard (and equal to what the monolithic build
+	// would detect), or per-shard detection could disagree across cuts.
+	if buildCfg.Alphabet == nil {
+		var seen [256]bool
+		for i, d := range docs {
+			for _, b := range d {
+				if b == alphabet.Terminator {
+					return nil, fmt.Errorf("era: document %d contains the reserved terminator byte %q", i, alphabet.Terminator)
+				}
+				seen[b] = true
+			}
+		}
+		alpha, err := alphabetFromSeen(&seen)
+		if err != nil {
+			return nil, err
+		}
+		buildCfg.Alphabet = alpha
+	}
+
+	sizes := make([]int, len(docs))
+	for i, d := range docs {
+		sizes[i] = len(d)
+	}
+	cuts := shardCuts(sizes, shards)
+
+	built := make([]*Index, len(cuts))
+	for i, c := range cuts {
+		idx, err := build(docs[c[0]:c[1]], &buildCfg)
+		if err != nil {
+			return nil, fmt.Errorf("era: building shard %d (docs %d–%d): %w", i, c[0], c[1]-1, err)
+		}
+		built[i] = idx
+	}
+	return newShardedIndex("", built)
+}
+
+// shardCuts splits the document sizes into k contiguous runs, greedily
+// balancing run byte sizes while leaving at least one document per
+// remaining shard. k must be in [1, len(sizes)].
+func shardCuts(sizes []int, k int) [][2]int {
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	cuts := make([][2]int, 0, k)
+	start, remaining := 0, total
+	for s := 0; s < k; s++ {
+		left := k - s
+		if left == 1 {
+			cuts = append(cuts, [2]int{start, len(sizes)})
+			break
+		}
+		target := remaining / left
+		end := start + 1
+		acc := sizes[start]
+		for end < len(sizes)-(left-1) {
+			next := sizes[end]
+			// Take the next document while it keeps the run at or closer to
+			// the target than stopping would.
+			if acc+next <= target || acc+next-target < target-acc {
+				acc += next
+				end++
+			} else {
+				break
+			}
+		}
+		cuts = append(cuts, [2]int{start, end})
+		remaining -= acc
+		start = end
+	}
+	return cuts
+}
+
+// newShardedIndex assembles the fan-out metadata over already-built shards,
+// validating that they form one coherent corpus.
+func newShardedIndex(name string, shards []*Index) (*ShardedIndex, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("era: sharded index with zero shards")
+	}
+	sx := &ShardedIndex{
+		name:     name,
+		shards:   shards,
+		docStart: make([]int, len(shards)),
+		offStart: make([]int, len(shards)),
+		alpha:    shards[0].alpha,
+	}
+	for i, sh := range shards {
+		if sh.NumDocs() == 0 {
+			return nil, fmt.Errorf("era: shard %d holds no documents", i)
+		}
+		if sh.alpha.Name() != sx.alpha.Name() || !bytes.Equal(sh.alpha.Symbols(), sx.alpha.Symbols()) {
+			return nil, fmt.Errorf("era: shard %d alphabet %s differs from shard 0 alphabet %s", i, sh.alpha.Name(), sx.alpha.Name())
+		}
+		sx.docStart[i] = sx.numDocs
+		sx.offStart[i] = sx.totalLen
+		sx.numDocs += sh.NumDocs()
+		sx.totalLen += sh.Len() - 1 // exclude the per-shard terminator
+	}
+	sx.totalLen++ // the single global terminator
+	return sx, nil
+}
+
+// Name returns the corpus name (see Index.Name).
+func (sx *ShardedIndex) Name() string { return sx.name }
+
+// SetName labels the index; like Index.SetName it must not race other use.
+func (sx *ShardedIndex) SetName(name string) { sx.name = name }
+
+// Alphabet returns the alphabet shared by every shard.
+func (sx *ShardedIndex) Alphabet() *alphabet.Alphabet { return sx.alpha }
+
+// Len returns the indexed string length including the terminator, as the
+// monolithic index over the same corpus would report it.
+func (sx *ShardedIndex) Len() int { return sx.totalLen }
+
+// NumDocs returns the total document count across shards.
+func (sx *ShardedIndex) NumDocs() int { return sx.numDocs }
+
+// NumShards returns the shard count.
+func (sx *ShardedIndex) NumShards() int { return len(sx.shards) }
+
+// Shard returns the i-th shard's index and the global index of its first
+// document (shards hold contiguous document runs).
+func (sx *ShardedIndex) Shard(i int) (*Index, int) { return sx.shards[i], sx.docStart[i] }
+
+// TreeNodes returns the summed node count of the shard trees (roots
+// excluded). Sharding changes the tree decomposition, so this differs from
+// the monolithic tree's count; it is reported for capacity accounting.
+func (sx *ShardedIndex) TreeNodes() int64 {
+	var n int64
+	for _, sh := range sx.shards {
+		n += sh.TreeNodes()
+	}
+	return n
+}
+
+// fanOut runs f(i, shard) for every shard, concurrently when there are
+// several. Each invocation must confine its writes to per-shard slots.
+func (sx *ShardedIndex) fanOut(f func(i int, sh *Index)) {
+	if len(sx.shards) == 1 {
+		f(0, sx.shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for i, sh := range sx.shards {
+		wg.Add(1)
+		go func(i int, sh *Index) {
+			defer wg.Done()
+			f(i, sh)
+		}(i, sh)
+	}
+	wg.Wait()
+}
+
+// shardValid reports whether shard i's answers are valid for the pattern.
+// Patterns containing the terminator byte can only match where '$' is part
+// of the global string — at its very end — so every shard but the last
+// would report phantom matches against its own local terminator.
+func (sx *ShardedIndex) shardValid(i int, pattern []byte) bool {
+	return i == len(sx.shards)-1 || bytes.IndexByte(pattern, alphabet.Terminator) < 0
+}
+
+// globalSlice copies the bytes [lo, hi) of the virtual global string — the
+// shard contents concatenated, with the single terminator at the end —
+// into buf, walking whole shard slices rather than one byte at a time.
+func (sx *ShardedIndex) globalSlice(buf []byte, lo, hi int) []byte {
+	buf = buf[:0]
+	end := hi
+	if end == sx.totalLen {
+		end-- // the terminator is appended below, not stored in any shard
+	}
+	i := sort.Search(len(sx.offStart), func(j int) bool { return sx.offStart[j] > lo }) - 1
+	for off := lo; off < end; i++ {
+		content := sx.shards[i].data[:sx.shards[i].Len()-1]
+		from := off - sx.offStart[i]
+		take := len(content) - from
+		if off+take > end {
+			take = end - off
+		}
+		buf = append(buf, content[from:from+take]...)
+		off += take
+	}
+	if hi == sx.totalLen {
+		buf = append(buf, alphabet.Terminator)
+	}
+	return buf
+}
+
+// crossingOccurrences returns the sorted global start offsets of pattern
+// occurrences that cross a shard boundary — the matches no shard can see.
+// A crossing match must start within |P|−1 bytes of a boundary, so each
+// boundary contributes one ≤ 2(|P|−1)-byte stitch window, materialized once
+// and scanned with bytes.Index (no per-byte shard lookups). Candidates are
+// deduplicated across boundaries (a match spanning several tiny shards is
+// reported once). max > 0 caps the number returned.
+func (sx *ShardedIndex) crossingOccurrences(pattern []byte, max int) []int {
+	m := len(pattern)
+	if m < 2 || len(sx.shards) == 1 {
+		return nil
+	}
+	var out []int
+	var win []byte
+	next := 0 // first candidate start not yet examined
+	for _, b := range sx.offStart[1:] {
+		winLo := b - m + 1
+		if winLo < 0 {
+			winLo = 0
+		}
+		winHi := b + m - 1
+		if winHi > sx.totalLen {
+			winHi = sx.totalLen
+		}
+		win = sx.globalSlice(win, winLo, winHi)
+		// A match at window offset j starts at global winLo+j; it crosses b
+		// exactly when it starts before b (it always ends after b, since
+		// winLo ≥ b−m+1). Starts at or past b belong to later boundaries.
+		j := 0
+		if next > winLo {
+			j = next - winLo
+		}
+		for limit := b - winLo; j < limit; j++ {
+			rel := bytes.Index(win[j:], pattern)
+			if rel < 0 || j+rel >= limit {
+				break
+			}
+			j += rel
+			out = append(out, winLo+j)
+			if max > 0 && len(out) == max {
+				return out
+			}
+		}
+		next = b
+	}
+	return out
+}
+
+// Contains reports whether pattern occurs in the sharded corpus, exactly as
+// the monolithic Index.Contains would (boundary-crossing matches included).
+func (sx *ShardedIndex) Contains(pattern []byte) bool {
+	if len(pattern) == 0 {
+		return true
+	}
+	found := make([]bool, len(sx.shards))
+	sx.fanOut(func(i int, sh *Index) {
+		if sx.shardValid(i, pattern) {
+			found[i] = sh.Contains(pattern)
+		}
+	})
+	for _, f := range found {
+		if f {
+			return true
+		}
+	}
+	return len(sx.crossingOccurrences(pattern, 1)) > 0
+}
+
+// Count returns the number of occurrences of pattern across the corpus,
+// identical to the monolithic count (crossing matches included).
+func (sx *ShardedIndex) Count(pattern []byte) int {
+	if len(pattern) == 0 {
+		return sx.totalLen
+	}
+	counts := make([]int, len(sx.shards))
+	sx.fanOut(func(i int, sh *Index) {
+		if sx.shardValid(i, pattern) {
+			counts[i] = sh.Count(pattern)
+		}
+	})
+	total := len(sx.crossingOccurrences(pattern, 0))
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// Occurrences returns the global start offsets of every occurrence of
+// pattern, sorted ascending — byte-identical to the monolithic index.
+func (sx *ShardedIndex) Occurrences(pattern []byte) []int {
+	if len(pattern) == 0 {
+		out := make([]int, sx.totalLen)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	perShard := make([][]int, len(sx.shards))
+	sx.fanOut(func(i int, sh *Index) {
+		if !sx.shardValid(i, pattern) {
+			return
+		}
+		occ := sh.Occurrences(pattern)
+		for j := range occ {
+			occ[j] += sx.offStart[i]
+		}
+		perShard[i] = occ
+	})
+	return mergeOccurrences(perShard, sx.crossingOccurrences(pattern, 0), 0)
+}
+
+// mergeOccurrences merges per-shard occurrence lists (each sorted, and in
+// globally ascending shard order since shards cover disjoint ascending byte
+// ranges) with the sorted crossing list: the k-way merge degenerates to a
+// concatenation plus one interleave pass. max > 0 caps the output length.
+func mergeOccurrences(perShard [][]int, crossing []int, max int) []int {
+	n := len(crossing)
+	for _, s := range perShard {
+		n += len(s)
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]int, 0, n)
+	ci := 0
+	for _, s := range perShard {
+		for _, o := range s {
+			for ci < len(crossing) && crossing[ci] < o {
+				out = append(out, crossing[ci])
+				ci++
+				if max > 0 && len(out) == max {
+					return out
+				}
+			}
+			out = append(out, o)
+			if max > 0 && len(out) == max {
+				return out
+			}
+		}
+	}
+	for ; ci < len(crossing); ci++ {
+		out = append(out, crossing[ci])
+		if max > 0 && len(out) == max {
+			return out
+		}
+	}
+	return out
+}
+
+// DocOccurrences returns per-document occurrences, identical to the
+// monolithic index: shard cuts are document-aligned, so a boundary-crossing
+// match is a document-crossing match, which is excluded on both sides.
+func (sx *ShardedIndex) DocOccurrences(pattern []byte) []DocHit {
+	perShard := make([][]DocHit, len(sx.shards))
+	sx.fanOut(func(i int, sh *Index) {
+		if !sx.shardValid(i, pattern) {
+			return
+		}
+		hits := sh.DocOccurrences(pattern)
+		for j := range hits {
+			hits[j].Doc += sx.docStart[i]
+		}
+		perShard[i] = hits
+	})
+	var n int
+	for _, h := range perShard {
+		n += len(h)
+	}
+	out := make([]DocHit, 0, n)
+	for _, h := range perShard {
+		out = append(out, h...) // shards hold ascending document runs
+	}
+	return out
+}
+
+// Batch answers many queries in one call: every shard serves the whole op
+// list as one sub-batch (reusing Index.Batch's prefix-resumed descents),
+// sub-batches run concurrently across shards, and per-op answers are merged
+// with boundary stitching. Results are identical to the monolithic
+// Index.Batch, occurrence order and truncation included.
+func (sx *ShardedIndex) Batch(ops []Op) []Result {
+	results := make([]Result, len(ops))
+	if len(ops) == 0 {
+		return results
+	}
+	perShard := make([][]Result, len(sx.shards))
+	var crossing [][]int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		// Stitch scans overlap the shard descents; they touch only the
+		// boundary windows of the immutable shard data.
+		defer wg.Done()
+		crossing = make([][]int, len(ops))
+		for oi, op := range ops {
+			if len(op.Pattern) == 0 {
+				continue
+			}
+			limit := 0
+			if op.Kind == OpContains {
+				limit = 1
+			}
+			crossing[oi] = sx.crossingOccurrences(op.Pattern, limit)
+		}
+	}()
+	sx.fanOut(func(i int, sh *Index) {
+		perShard[i] = sh.Batch(ops)
+	})
+	wg.Wait()
+
+	for oi, op := range ops {
+		r := &results[oi]
+		if len(op.Pattern) == 0 {
+			// The monolithic tree resolves the empty pattern at the root:
+			// found, with every suffix (terminator included) below it.
+			r.Found = true
+			if op.Kind == OpContains {
+				continue
+			}
+			r.Count = sx.totalLen
+			if op.Kind == OpOccurrences {
+				n := sx.totalLen
+				if op.MaxOccurrences > 0 && n > op.MaxOccurrences {
+					n = op.MaxOccurrences
+				}
+				r.Occurrences = make([]int, n)
+				for i := range r.Occurrences {
+					r.Occurrences[i] = i
+				}
+			}
+			continue
+		}
+		cross := crossing[oi]
+		r.Found = len(cross) > 0
+		for i := range sx.shards {
+			if sx.shardValid(i, op.Pattern) && perShard[i][oi].Found {
+				r.Found = true
+			}
+		}
+		if op.Kind == OpContains || !r.Found {
+			continue
+		}
+		r.Count = len(cross)
+		for i := range sx.shards {
+			if sx.shardValid(i, op.Pattern) {
+				r.Count += perShard[i][oi].Count
+			}
+		}
+		if op.Kind == OpOccurrences {
+			// Batch results carry shard-local offsets, and their backing
+			// arrays are shared across ops; translate into fresh lists.
+			lists := make([][]int, 0, len(sx.shards))
+			for i := range sx.shards {
+				if !sx.shardValid(i, op.Pattern) {
+					continue
+				}
+				occ := perShard[i][oi].Occurrences
+				if len(occ) == 0 {
+					continue
+				}
+				g := make([]int, len(occ))
+				for j, o := range occ {
+					g[j] = o + sx.offStart[i]
+				}
+				lists = append(lists, g)
+			}
+			r.Occurrences = mergeOccurrences(lists, cross, op.MaxOccurrences)
+		}
+	}
+	return results
+}

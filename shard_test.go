@@ -1,0 +1,303 @@
+package era
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"era/internal/workload"
+)
+
+// shardTestCorpus builds a deterministic mixed-size document corpus with
+// adjacent documents sharing content, so patterns exist that cross document
+// (and therefore shard) boundaries.
+func shardTestCorpus(t *testing.T, nDocs int, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data := workload.MustGenerate(workload.DNA, 4000, seed)
+	data = data[:len(data)-1]
+	docs := make([][]byte, nDocs)
+	off := 0
+	for i := range docs {
+		n := 1 + rng.Intn(len(data)/nDocs*2)
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		if n <= 0 {
+			// Recycle from the start so every document is non-trivial and
+			// repeats earlier content (more cross-boundary matches).
+			off, n = 0, 1+rng.Intn(64)
+		}
+		docs[i] = data[off : off+n]
+		off += n
+	}
+	return docs
+}
+
+// shardTestPatterns samples patterns that exercise every answer path:
+// in-document hits, document- and shard-boundary-crossing hits, misses,
+// the empty pattern, and terminator-containing patterns.
+func shardTestPatterns(docs [][]byte, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	concat := bytes.Join(docs, nil)
+	var pats [][]byte
+	for i := 0; i < 40; i++ {
+		off := rng.Intn(len(concat) - 16)
+		pats = append(pats, concat[off:off+1+rng.Intn(14)])
+	}
+	// Patterns straddling every document boundary (any of which may become
+	// a shard boundary): the regime the stitch scan exists for.
+	off := 0
+	for _, d := range docs[:len(docs)-1] {
+		off += len(d)
+		for _, w := range []int{1, 3, 7} {
+			lo, hi := off-w, off+w
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > len(concat) {
+				hi = len(concat)
+			}
+			pats = append(pats, concat[lo:hi])
+		}
+	}
+	pats = append(pats,
+		nil,                              // empty: matches everywhere
+		[]byte("ACGTACGTACGTACGTACGTAA"), // likely absent
+		[]byte("$"),                      // the global terminator suffix
+		append(append([]byte{}, concat[len(concat)-3:]...), '$'), // valid only at the global end
+		append(append([]byte{}, concat[:2]...), '$'),             // '$' never occurs mid-string
+		[]byte("$A"), // nothing follows the terminator
+	)
+	return pats
+}
+
+// TestShardedDifferential is the acceptance test for the tentpole: for
+// K ∈ {1,2,4,8}, every query kind on the ShardedIndex — Contains, Count,
+// Occurrences, DocOccurrences, Batch — answers byte-identically to the
+// monolithic index over the same corpus, boundary-crossing and
+// terminator-containing patterns included.
+func TestShardedDifferential(t *testing.T) {
+	docs := shardTestCorpus(t, 23, 7)
+	mono, err := BuildCorpus(docs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := shardTestPatterns(docs, 99)
+
+	for _, k := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("K=%d", k), func(t *testing.T) {
+			sx, err := BuildShardedCorpus(docs, &ShardConfig{Shards: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k <= len(docs) && sx.NumShards() != k {
+				t.Fatalf("NumShards = %d, want %d", sx.NumShards(), k)
+			}
+			if sx.Len() != mono.Len() || sx.NumDocs() != mono.NumDocs() {
+				t.Fatalf("Len/NumDocs = %d/%d, want %d/%d", sx.Len(), sx.NumDocs(), mono.Len(), mono.NumDocs())
+			}
+			if sx.Alphabet().Name() != mono.Alphabet().Name() {
+				t.Fatalf("alphabet %s, want %s", sx.Alphabet().Name(), mono.Alphabet().Name())
+			}
+			assertShardedMatches(t, mono, sx, pats)
+		})
+	}
+}
+
+// assertShardedMatches checks every query kind over pats, plus the batched
+// path with mixed kinds and occurrence caps.
+func assertShardedMatches(t *testing.T, mono *Index, sx *ShardedIndex, pats [][]byte) {
+	t.Helper()
+	for pi, p := range pats {
+		if got, want := sx.Contains(p), mono.Contains(p); got != want {
+			t.Errorf("pattern %d %q: Contains = %v, want %v", pi, p, got, want)
+		}
+		if got, want := sx.Count(p), mono.Count(p); got != want {
+			t.Errorf("pattern %d %q: Count = %d, want %d", pi, p, got, want)
+		}
+		gotOcc, wantOcc := sx.Occurrences(p), mono.Occurrences(p)
+		if len(gotOcc) != len(wantOcc) {
+			t.Errorf("pattern %d %q: %d occurrences, want %d", pi, p, len(gotOcc), len(wantOcc))
+		} else {
+			for i := range wantOcc {
+				if gotOcc[i] != wantOcc[i] {
+					t.Errorf("pattern %d %q: occurrence %d = %d, want %d", pi, p, i, gotOcc[i], wantOcc[i])
+					break
+				}
+			}
+		}
+		gotHits, wantHits := sx.DocOccurrences(p), mono.DocOccurrences(p)
+		if len(gotHits) != len(wantHits) {
+			t.Errorf("pattern %d %q: %d doc hits, want %d", pi, p, len(gotHits), len(wantHits))
+		} else {
+			for i := range wantHits {
+				if gotHits[i] != wantHits[i] {
+					t.Errorf("pattern %d %q: doc hit %d = %+v, want %+v", pi, p, i, gotHits[i], wantHits[i])
+					break
+				}
+			}
+		}
+	}
+
+	// The batched path, with every kind and assorted caps over all patterns.
+	var ops []Op
+	for i, p := range pats {
+		ops = append(ops,
+			Op{Kind: OpContains, Pattern: p},
+			Op{Kind: OpCount, Pattern: p},
+			Op{Kind: OpOccurrences, Pattern: p},
+			Op{Kind: OpOccurrences, Pattern: p, MaxOccurrences: 1 + i%5},
+		)
+	}
+	gotRes, wantRes := sx.Batch(ops), mono.Batch(ops)
+	for i := range wantRes {
+		g, w := gotRes[i], wantRes[i]
+		if g.Found != w.Found || g.Count != w.Count || len(g.Occurrences) != len(w.Occurrences) {
+			t.Errorf("batch op %d (%s %q max %d): got %+v, want %+v",
+				i, ops[i].Kind, ops[i].Pattern, ops[i].MaxOccurrences, g, w)
+			continue
+		}
+		for j := range w.Occurrences {
+			if g.Occurrences[j] != w.Occurrences[j] {
+				t.Errorf("batch op %d (%q): occurrence %d = %d, want %d",
+					i, ops[i].Pattern, j, g.Occurrences[j], w.Occurrences[j])
+				break
+			}
+		}
+	}
+}
+
+// TestShardedPersistRoundTrip pins the v3 format: WriteFile → OpenIndex
+// reproduces a ShardedIndex that still answers identically to the
+// monolithic index, keeps its name and shard layout, and WriteTo/
+// ReadQueryable round-trips through a plain stream as well.
+func TestShardedPersistRoundTrip(t *testing.T) {
+	docs := shardTestCorpus(t, 11, 3)
+	mono, err := BuildCorpus(docs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, err := BuildShardedCorpus(docs, &ShardConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx.SetName("corpus-v3")
+
+	path := filepath.Join(t.TempDir(), "corpus.idx")
+	if err := sx.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := reopened.(*ShardedIndex)
+	if !ok {
+		t.Fatalf("OpenIndex returned %T, want *ShardedIndex", reopened)
+	}
+	if got.Name() != "corpus-v3" {
+		t.Errorf("name = %q, want corpus-v3", got.Name())
+	}
+	if got.NumShards() != sx.NumShards() || got.NumDocs() != sx.NumDocs() || got.Len() != sx.Len() {
+		t.Fatalf("layout after round trip = %d shards / %d docs / %d len, want %d / %d / %d",
+			got.NumShards(), got.NumDocs(), got.Len(), sx.NumShards(), sx.NumDocs(), sx.Len())
+	}
+	assertShardedMatches(t, mono, got, shardTestPatterns(docs, 31))
+
+	// Stream round trip (no file): WriteTo → ReadQueryable. The plain
+	// buffer takes the two-pass sizing path while WriteFile took the
+	// seekable backpatch path — their bytes must be identical.
+	var buf bytes.Buffer
+	if _, err := sx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fileBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), fileBytes) {
+		t.Error("seekable (WriteFile) and two-pass (WriteTo) serializations differ")
+	}
+	streamed, err := ReadQueryable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.(*ShardedIndex).NumShards() != sx.NumShards() {
+		t.Errorf("stream round trip lost shards")
+	}
+
+	// ReadIndex must refuse a v3 stream with a pointer to the right API,
+	// not misparse it.
+	if _, err := sx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadIndex(&buf); err == nil {
+		t.Error("ReadIndex accepted a sharded v3 stream")
+	}
+}
+
+// TestShardCutsBalanced pins the greedy assignment: contiguous, covering,
+// at least one document per shard, and no shard larger than a full even
+// split plus the biggest single document (the greedy bound).
+func TestShardCutsBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		sizes := make([]int, n)
+		total, biggest := 0, 0
+		for i := range sizes {
+			sizes[i] = rng.Intn(1000)
+			total += sizes[i]
+			if sizes[i] > biggest {
+				biggest = sizes[i]
+			}
+		}
+		k := 1 + rng.Intn(n)
+		cuts := shardCuts(sizes, k)
+		if len(cuts) != k {
+			t.Fatalf("trial %d: %d cuts for k=%d", trial, len(cuts), k)
+		}
+		prev := 0
+		for ci, c := range cuts {
+			if c[0] != prev || c[1] <= c[0] {
+				t.Fatalf("trial %d: cut %d = %v not contiguous from %d", trial, ci, c, prev)
+			}
+			prev = c[1]
+			size := 0
+			for _, s := range sizes[c[0]:c[1]] {
+				size += s
+			}
+			if bound := total/k + biggest; size > bound {
+				t.Errorf("trial %d: cut %d holds %d bytes, bound %d (sizes %v, k=%d)", trial, ci, size, bound, sizes, k)
+			}
+		}
+		if prev != n {
+			t.Fatalf("trial %d: cuts end at %d, want %d", trial, prev, n)
+		}
+	}
+}
+
+// TestShardedBuildValidation covers the build-time error paths.
+func TestShardedBuildValidation(t *testing.T) {
+	if _, err := BuildShardedCorpus(nil, nil); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	if _, err := BuildShardedCorpus([][]byte{[]byte("AC$GT")}, nil); err == nil {
+		t.Error("terminator byte in document accepted")
+	}
+	if _, err := BuildShardedCorpus([][]byte{[]byte("ACGT")}, &ShardConfig{Shards: -1}); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	// More shards than documents: capped, not an error.
+	sx, err := BuildShardedCorpus([][]byte{[]byte("GATTACA"), []byte("CATTAGA")}, &ShardConfig{Shards: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sx.NumShards() != 2 {
+		t.Errorf("NumShards = %d, want 2 (capped at document count)", sx.NumShards())
+	}
+}
