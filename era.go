@@ -87,13 +87,20 @@ type BuildStats struct {
 // Index is a queryable suffix tree over a string or document corpus.
 // Once built (or read back), an Index is immutable apart from SetName and
 // safe for concurrent queries from any number of goroutines.
+//
+// The tree behind an Index is one of two layouts sharing the
+// suffixtree.View query surface: the heap layout a build produces (and v1–v3
+// files deserialize into), or the zero-copy flat layout viewed straight out
+// of a memory-mapped format-v4 file (see OpenIndex and `era compact`). Every
+// query answers identically over either.
 type Index struct {
 	name    string
-	tree    *suffixtree.Tree
+	tree    suffixtree.View
 	data    []byte
 	alpha   *alphabet.Alphabet
 	docEnds []int32 // exclusive end offset per document (corpus indexes)
 	stats   BuildStats
+	mp      *mapping // non-nil when the index views a mapped v4 file
 }
 
 func (c *Config) withDefaults() Config {
@@ -274,3 +281,34 @@ func (x *Index) NumDocs() int { return len(x.docEnds) }
 // Unlike Stats — which only a fresh build populates — this is also valid
 // for indexes reopened with ReadIndex.
 func (x *Index) TreeNodes() int64 { return int64(x.tree.NumNodes() - 1) }
+
+// MappedBytes returns the size of the memory-mapped file backing this index,
+// or 0 for heap-resident indexes.
+func (x *Index) MappedBytes() int64 {
+	if x.mp == nil {
+		return 0
+	}
+	return x.mp.size()
+}
+
+// ResidentBytes reports how much of the mapping is currently resident in
+// physical memory (-1 when unknown, 0 for heap indexes, whose residency is
+// ordinary Go heap).
+func (x *Index) ResidentBytes() int64 {
+	if x.mp == nil || !x.mp.mapped {
+		return 0
+	}
+	return residentBytes(x.mp.bytes())
+}
+
+// Close releases the file mapping behind an index opened from a format-v4
+// file; it is a no-op (and returns nil) for heap-resident indexes.
+// Idempotent. After Close, no goroutine may query the index or touch any
+// slice it returned — a serving layer must drain in-flight queries first
+// (internal/server closes retired indexes only after shutdown).
+func (x *Index) Close() error {
+	if x.mp == nil {
+		return nil
+	}
+	return x.mp.Close()
+}

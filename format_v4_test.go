@@ -1,0 +1,367 @@
+package era
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// diffCorpus is the document corpus the cross-format differential suite
+// indexes: repetitive DNA-ish documents with shared substrings (so patterns
+// cross shard boundaries and land on branchy loci) plus a tiny and an
+// empty-ish document to stress the doc table.
+func diffCorpus() [][]byte {
+	rng := rand.New(rand.NewSource(42))
+	docs := [][]byte{
+		[]byte("GATTACAGATTACAGATTACA"),
+		[]byte("CATTAGACATTAGA"),
+		[]byte("TTTT"),
+		[]byte("G"),
+	}
+	for i := 0; i < 6; i++ {
+		n := 200 + rng.Intn(400)
+		d := make([]byte, n)
+		for j := range d {
+			d[j] = "ACGT"[rng.Intn(4)]
+		}
+		// Plant a shared motif so multi-document hits exist.
+		copy(d[n/2:], "GATTACA")
+		docs = append(docs, d)
+	}
+	return docs
+}
+
+// diffPatterns derives the query set: corpus substrings of assorted lengths
+// (including windows straddling document boundaries), misses, the empty
+// pattern and terminator probes.
+func diffPatterns(docs [][]byte) [][]byte {
+	var flat []byte
+	for _, d := range docs {
+		flat = append(flat, d...)
+	}
+	pats := [][]byte{nil, []byte("$"), []byte("A$"), []byte("GATTACA"), []byte("TTTT"), []byte("CCCCCCCCCC")}
+	for i := 0; i < 80; i++ {
+		off := (i * 611) % (len(flat) - 16)
+		pats = append(pats, flat[off:off+1+i%12])
+	}
+	// Boundary-straddling windows.
+	end := 0
+	for _, d := range docs[:len(docs)-1] {
+		end += len(d)
+		lo := end - 3
+		if lo < 0 {
+			lo = 0
+		}
+		hi := end + 3
+		if hi > len(flat) {
+			hi = len(flat)
+		}
+		pats = append(pats, flat[lo:hi])
+	}
+	return pats
+}
+
+// openedFormats builds the corpus once and returns it opened through every
+// serving path: the in-memory monolith, the in-memory sharded index, and
+// the four persisted forms (v2 mono, v3 sharded, v4 mapped mono, v4 mapped
+// sharded).
+func openedFormats(t *testing.T) map[string]Queryable {
+	t.Helper()
+	docs := diffCorpus()
+	mono, err := BuildCorpus(docs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono.SetName("diff")
+	sharded, err := BuildShardedCorpus(docs, &ShardConfig{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded.SetName("diff")
+
+	dir := t.TempDir()
+	write := func(name string, save func(string) error) string {
+		p := filepath.Join(dir, name)
+		if err := save(p); err != nil {
+			t.Fatalf("writing %s: %v", name, err)
+		}
+		return p
+	}
+	v2 := write("v2.idx", mono.WriteFile)
+	v3 := write("v3.idx", sharded.WriteFile)
+	v4m := write("v4m.idx", func(p string) error { return WriteFileV4(p, mono) })
+	v4s := write("v4s.idx", func(p string) error { return WriteFileV4(p, sharded) })
+
+	out := map[string]Queryable{"heap-mono": mono, "heap-sharded": sharded}
+	for name, p := range map[string]string{"v2": v2, "v3": v3, "v4-mono": v4m, "v4-sharded": v4s} {
+		q, err := OpenIndex(p)
+		if err != nil {
+			t.Fatalf("OpenIndex(%s): %v", name, err)
+		}
+		t.Cleanup(func() { q.Close() })
+		out[name] = q
+	}
+	if got := out["v4-mono"].MappedBytes(); got == 0 {
+		t.Fatal("v4 monolithic index reports 0 mapped bytes — mmap path not taken")
+	}
+	if got := out["v4-sharded"].MappedBytes(); got == 0 {
+		t.Fatal("v4 sharded index reports 0 mapped bytes — mmap path not taken")
+	}
+	return out
+}
+
+// TestFormatsDifferential pins every query kind byte-identical across the
+// heap monolith (the reference), the sharded fan-out, and all persisted
+// formats including the zero-copy mapped v4 layouts.
+func TestFormatsDifferential(t *testing.T) {
+	idx := openedFormats(t)
+	ref := idx["heap-mono"]
+	docs := diffCorpus()
+	pats := diffPatterns(docs)
+
+	var ops []Op
+	for i, p := range pats {
+		switch i % 4 {
+		case 0:
+			ops = append(ops, Op{Kind: OpContains, Pattern: p})
+		case 1:
+			ops = append(ops, Op{Kind: OpCount, Pattern: p})
+		case 2:
+			ops = append(ops, Op{Kind: OpOccurrences, Pattern: p})
+		case 3:
+			ops = append(ops, Op{Kind: OpOccurrences, Pattern: p, MaxOccurrences: 5})
+		}
+	}
+	wantBatch := ref.Batch(ops)
+
+	for name, q := range idx {
+		if name == "heap-mono" {
+			continue
+		}
+		if q.Len() != ref.Len() || q.NumDocs() != ref.NumDocs() {
+			t.Fatalf("%s: Len/NumDocs %d/%d, want %d/%d", name, q.Len(), q.NumDocs(), ref.Len(), ref.NumDocs())
+		}
+		for _, p := range pats {
+			if got, want := q.Contains(p), ref.Contains(p); got != want {
+				t.Fatalf("%s: Contains(%q) = %v, want %v", name, p, got, want)
+			}
+			if got, want := q.Count(p), ref.Count(p); got != want {
+				t.Fatalf("%s: Count(%q) = %d, want %d", name, p, got, want)
+			}
+			if got, want := q.Occurrences(p), ref.Occurrences(p); !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+				t.Fatalf("%s: Occurrences(%q) = %v, want %v", name, p, got, want)
+			}
+			if got, want := q.DocOccurrences(p), ref.DocOccurrences(p); !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+				t.Fatalf("%s: DocOccurrences(%q) = %v, want %v", name, p, got, want)
+			}
+		}
+		gotBatch := q.Batch(ops)
+		for i := range wantBatch {
+			g, w := gotBatch[i], wantBatch[i]
+			if g.Found != w.Found || g.Count != w.Count || len(g.Occurrences) != len(w.Occurrences) {
+				t.Fatalf("%s: Batch op %d = %+v, want %+v", name, i, g, w)
+			}
+			for j := range w.Occurrences {
+				if g.Occurrences[j] != w.Occurrences[j] {
+					t.Fatalf("%s: Batch op %d occ[%d] = %d, want %d", name, i, j, g.Occurrences[j], w.Occurrences[j])
+				}
+			}
+		}
+	}
+}
+
+// TestV4WriteToRoundTrip checks that a mapped index persists itself back as
+// a v4 image through the generic WriteTo/WriteFile path and reopens
+// identically — the property that lets `era serve` machinery stay
+// format-blind.
+func TestV4WriteToRoundTrip(t *testing.T) {
+	idx := openedFormats(t)
+	dir := t.TempDir()
+	for _, name := range []string{"v4-mono", "v4-sharded"} {
+		p := filepath.Join(dir, name+"-copy.idx")
+		if err := idx[name].WriteFile(p); err != nil {
+			t.Fatalf("%s: WriteFile: %v", name, err)
+		}
+		q, err := OpenIndex(p)
+		if err != nil {
+			t.Fatalf("%s: reopening copy: %v", name, err)
+		}
+		defer q.Close()
+		for _, pat := range [][]byte{[]byte("GATTACA"), []byte("TT"), []byte("zz")} {
+			if got, want := q.Count(pat), idx[name].Count(pat); got != want {
+				t.Fatalf("%s copy: Count(%q) = %d, want %d", name, pat, got, want)
+			}
+		}
+	}
+}
+
+// TestOpenIndexV4AllocsIndependentOfSize is the zero-copy acceptance test:
+// opening a v4 file performs no whole-tree copy, so the allocation count is
+// flat across a 64x index size difference (the mmap itself is not a Go
+// allocation).
+func TestOpenIndexV4AllocsIndependentOfSize(t *testing.T) {
+	dir := t.TempDir()
+	sizes := []int{1 << 11, 1 << 17}
+	paths := make([]string, len(sizes))
+	rng := rand.New(rand.NewSource(9))
+	for i, n := range sizes {
+		data := make([]byte, n)
+		for j := range data {
+			data[j] = "ACGT"[rng.Intn(4)]
+		}
+		idx, err := Build(data, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx.SetName(fmt.Sprintf("alloc-%d", n))
+		paths[i] = filepath.Join(dir, fmt.Sprintf("alloc-%d.idx", n))
+		if err := WriteFileV4(paths[i], idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	small, _ := os.Stat(paths[0])
+	large, _ := os.Stat(paths[1])
+	if large.Size() < 16*small.Size() {
+		t.Fatalf("test setup: file sizes %d and %d do not differ enough", small.Size(), large.Size())
+	}
+	measure := func(p string) float64 {
+		return testing.AllocsPerRun(20, func() {
+			q, err := OpenIndex(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q.Close()
+		})
+	}
+	a0, a1 := measure(paths[0]), measure(paths[1])
+	if a1 > a0+4 {
+		t.Fatalf("opening the 64x larger v4 index allocates %v objects vs %v — open cost is not size-independent", a1, a0)
+	}
+	if a1 > 128 {
+		t.Fatalf("OpenIndex(v4) allocates %v objects; expected a small constant", a1)
+	}
+}
+
+// v4TestImage returns the serialized v4 bytes of a small corpus index.
+func v4TestImage(t testing.TB, sharded bool) []byte {
+	t.Helper()
+	docs := [][]byte{[]byte("GATTACA"), []byte("TAGACAT"), []byte("TTTT")}
+	var buf bytes.Buffer
+	if sharded {
+		sx, err := BuildShardedCorpus(docs, &ShardConfig{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sx.SetName("fuzz4")
+		if _, err := sx.WriteToV4(&buf); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		idx, err := BuildCorpus(docs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx.SetName("fuzz4")
+		if _, err := idx.WriteToV4(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestV4RejectsCorruptImages pins the open-time validation: truncated
+// images, out-of-bounds section tables and misaligned sections must error —
+// never panic, and never produce an index whose first query faults.
+func TestV4RejectsCorruptImages(t *testing.T) {
+	raw := v4TestImage(t, false)
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"truncated-header", func(b []byte) []byte { return b[:40] }},
+		{"truncated-image", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"image-len-past-eof", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[16:], uint64(len(b)+v4Page))
+			return b
+		}},
+		{"misaligned-nodes", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[72:], binary.LittleEndian.Uint64(b[72:])+1)
+			return b
+		}},
+		{"misaligned-data", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[40:], binary.LittleEndian.Uint64(b[40:])+7)
+			return b
+		}},
+		{"nodes-past-image", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[80:], 1<<28)
+			return b
+		}},
+		{"docends-past-image", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[56:], uint64(v4align(int64(len(b)))))
+			return b
+		}},
+		{"zero-docs", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[64:], 0)
+			return b
+		}},
+		{"hostile-meta-len", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[32:], 1<<40)
+			return b
+		}},
+		{"leafidx-misaligned", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[112:], binary.LittleEndian.Uint64(b[112:])+4)
+			return b
+		}},
+	}
+	dir := t.TempDir()
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := c.mutate(append([]byte(nil), raw...))
+			if _, err := ReadQueryable(bytes.NewReader(b)); err == nil {
+				t.Error("ReadQueryable accepted the corrupt image")
+			}
+			p := filepath.Join(dir, c.name+".idx")
+			if err := os.WriteFile(p, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if q, err := OpenIndex(p); err == nil {
+				q.Close()
+				t.Error("OpenIndex accepted the corrupt image")
+			}
+		})
+	}
+
+	// The sharded container must reject payload-table corruption too.
+	sraw := v4TestImage(t, true)
+	for _, c := range []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"shard-count-hostile", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[48:], 1<<50)
+			return b
+		}},
+		{"shard-payload-misaligned", func(b []byte) []byte {
+			off := binary.LittleEndian.Uint64(b[40:])
+			binary.LittleEndian.PutUint64(b[off:], binary.LittleEndian.Uint64(b[off:])+1)
+			return b
+		}},
+		{"shard-payload-past-image", func(b []byte) []byte {
+			off := binary.LittleEndian.Uint64(b[40:])
+			binary.LittleEndian.PutUint64(b[off+8:], uint64(len(b))*2)
+			return b
+		}},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			b := c.mutate(append([]byte(nil), sraw...))
+			if _, err := ReadQueryable(bytes.NewReader(b)); err == nil {
+				t.Error("ReadQueryable accepted the corrupt sharded image")
+			}
+		})
+	}
+}

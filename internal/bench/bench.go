@@ -158,6 +158,8 @@ var All = []Experiment{
 	{"fig13", "Fig. 13", "shared-nothing weak scalability, DNA", RunFig13},
 	{"scaling", "Fig. 12 (repro)", "scale-out: chunked VP + work-stealing scheduler", RunScaling},
 	{"shardq", "§1 (serving)", "sharded corpus query throughput vs shard count", RunShardQ},
+	{"qbench", "§1 (serving)", "query layouts: heap tree vs mmap-native v4", RunQBench},
+	{"httpq", "§1 (serving)", "HTTP serving under N clients: heap vs mmap", RunHTTPQ},
 }
 
 // ByID finds an experiment.

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"era"
+	"era/internal/workload"
+)
+
+// qbenchSetup builds one corpus index and returns it twice: heap-resident
+// (the PR 4 serving path) and reopened zero-copy from a v4-compacted file
+// (the PR 5 path) — plus the deterministic pattern set the workloads probe.
+func qbenchSetup(s Scale) (heap, mapped era.Queryable, pats [][]byte, cleanup func(), err error) {
+	n := s.GB(2)
+	data, err := workload.Generate(workload.English, n, 15013)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	data = data[:len(data)-1] // builders append their own terminator
+	docs, err := workload.SliceDocs(data, 64)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	idx, err := era.BuildCorpus(docs, nil)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	idx.SetName("qbench")
+
+	dir, err := os.MkdirTemp("", "era-qbench")
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	path := filepath.Join(dir, "qbench.idx")
+	if err := era.WriteFileV4(path, idx); err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, nil, nil, err
+	}
+	m, err := era.OpenIndex(path)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, nil, nil, err
+	}
+	cleanup = func() {
+		m.Close()
+		os.RemoveAll(dir)
+	}
+
+	// Pattern mix: corpus substrings of assorted lengths (hits at varied
+	// depths, some boundary-straddling) and synthetic misses.
+	for i := 0; i < 512; i++ {
+		off := (i * 2003) % (len(data) - 32)
+		l := 2 + i%14
+		p := data[off : off+l]
+		if i%5 == 4 {
+			p = append(append([]byte(nil), p...), "qqzzxxjj"[i%8])
+		}
+		pats = append(pats, p)
+	}
+	return idx, m, pats, cleanup, nil
+}
+
+// RunQBench is the layout microbenchmark behind the PR 5 README table: the
+// same query workloads driven over the heap tree and the mmap-native flat
+// layout (descent over contiguous sorted child runs + dense root table;
+// Count as an O(1) leaf-range read; Occurrences as a streaming varint
+// decode). Wall columns are host-dependent and gated at 25% by the CI
+// bench-smoke compare; the "identical" column is the deterministic contract
+// that the layouts answer byte-for-byte the same.
+func RunQBench(s Scale) (*Table, error) {
+	t := &Table{ID: "qbench", Paper: "§1 (serving)", Title: "query layouts: heap tree vs mmap-native v4; English text, 64 documents",
+		Header: []string{"workload", "wall-heap(ms)", "wall-v4(ms)", "identical"}}
+
+	heap, mapped, pats, cleanup, err := qbenchSetup(s)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	const rounds = 24
+	type workloadFn func(q era.Queryable) int
+	workloads := []struct {
+		name string
+		run  workloadFn
+	}{
+		{"contains", func(q era.Queryable) int {
+			found := 0
+			for _, p := range pats {
+				if q.Contains(p) {
+					found++
+				}
+			}
+			return found
+		}},
+		{"count", func(q era.Queryable) int {
+			c := 0
+			for _, p := range pats {
+				c += q.Count(p)
+			}
+			return c
+		}},
+		{"occurrences", func(q era.Queryable) int {
+			c := 0
+			for _, p := range pats {
+				c += len(q.Occurrences(p))
+			}
+			return c
+		}},
+		{"batch", func(q era.Queryable) int {
+			ops := make([]era.Op, len(pats))
+			for i, p := range pats {
+				ops[i] = era.Op{Kind: era.OpOccurrences, Pattern: p, MaxOccurrences: 8}
+			}
+			c := 0
+			for _, r := range q.Batch(ops) {
+				c += r.Count
+			}
+			return c
+		}},
+	}
+
+	for _, w := range workloads {
+		wantChk := w.run(heap)
+		gotChk := w.run(mapped)
+		identical := "yes"
+		if wantChk != gotChk {
+			return nil, fmt.Errorf("qbench: %s diverged between layouts (%d vs %d)", w.name, gotChk, wantChk)
+		}
+		time0 := time.Now()
+		for r := 0; r < rounds; r++ {
+			w.run(heap)
+		}
+		heapWall := time.Since(time0)
+		time0 = time.Now()
+		for r := 0; r < rounds; r++ {
+			w.run(mapped)
+		}
+		mappedWall := time.Since(time0)
+		t.AddRow(w.name, ms(heapWall), ms(mappedWall), identical)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("workload: %d patterns × %d rounds per cell; wall cells are host-dependent (lower is better; CI gates 25%%)", 512, rounds),
+		"v4 columns measure the mapped flat layout end to end: binary-search/dense-table descent, O(1) counts, varint occurrence decode")
+	return t, nil
+}

@@ -49,6 +49,31 @@ type buildContext struct {
 	// scratch feeding FromSortedSuffixesInto.
 	tree *suffixtree.Tree
 	lcp  []int32
+
+	// Per-group pooled storage — the remaining per-group allocations the
+	// ROADMAP flagged after PR 3: the collect matcher (root table + trie
+	// blocks), the occurrence/chunk list headers and their slabs, and the
+	// subState headers with their P/I/area/B/defined/R backing. Carved per
+	// group, reused across every group a worker processes, so the steady
+	// state allocates nothing per group either. The pooled outputs
+	// (CollectWithFill's occs/chunks, GroupPrepare's []Prepared with its L
+	// and B) stay valid only until the next CollectWithFill/GroupPrepare on
+	// the same context — exactly the lifetime processGroup gives them.
+	cm         *collectMatcher
+	lengthsBuf []int
+	lengthSeen []bool
+	occLists   [][]int32
+	chunkLists [][][]byte
+	occSlab    []int32
+	chunkSlab  [][]byte
+	subStates  []subState
+	subPtrs    []*subState
+	startsBuf  []int
+	prepBuf    []Prepared
+	i32Slab    []int32
+	bSlab      []BEntry
+	defSlab    []bool
+	rSlab      [][]byte
 }
 
 // fillReq is one entry of a round's fill schedule: fetch the next chunk for

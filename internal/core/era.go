@@ -291,34 +291,67 @@ func CollectOccurrences(f *seq.File, sc *seq.Scanner, clock *sim.Clock, model si
 // of any length and needs no fallback; the original map scan below remains
 // as the reference the equivalence tests replay, with identical probe and
 // capture accounting. A non-nil ctx supplies the reusable scan buffer and
-// chunk arena (nil allocates throwaway ones).
+// chunk arena, the recycled matcher, and the pooled occurrence/chunk lists
+// (nil allocates throwaway ones); the pooled outputs are valid until the
+// next CollectWithFill on the same ctx.
 func CollectWithFill(ctx *buildContext, f *seq.File, sc *seq.Scanner, clock *sim.Clock, model sim.CostModel, g Group, rng int) (occs [][]int32, chunks [][][]byte, captured int64, err error) {
+	if ctx == nil {
+		ctx = new(buildContext) // throwaway: the pools below start empty
+	}
 	n := f.Len()
 	maxLen := 0
-	lengthsSet := make(map[int]bool)
+	var total int64
 	for _, p := range g.Prefixes {
 		if len(p.Label) > maxLen {
 			maxLen = len(p.Label)
 		}
-		lengthsSet[len(p.Label)] = true
+		total += p.Freq
 	}
-	lengths := make([]int, 0, len(lengthsSet))
-	for l := range lengthsSet {
-		lengths = append(lengths, l)
-	}
-	sort.Ints(lengths)
-
-	occs = make([][]int32, len(g.Prefixes))
-	chunks = make([][][]byte, len(g.Prefixes))
-	for i, p := range g.Prefixes {
-		occs[i] = make([]int32, 0, p.Freq)
-		if rng > 0 {
-			chunks[i] = make([][]byte, 0, p.Freq)
+	// Distinct label lengths via a pooled presence array (a map here was
+	// one of the last per-group allocations).
+	seen := growClearBool(ctx.lengthSeen, maxLen+1)
+	ctx.lengthSeen = seen
+	lengths := ctx.lengthsBuf[:0]
+	for _, p := range g.Prefixes {
+		if !seen[len(p.Label)] {
+			seen[len(p.Label)] = true
+			lengths = append(lengths, len(p.Label))
 		}
 	}
+	sort.Ints(lengths)
+	ctx.lengthsBuf = lengths
 
-	m := newCollectMatcher(f.Alphabet(), g, lengths, maxLen)
-	captured, err = collectScanTrie(ctx, m, sc, clock, model, n, rng, occs, chunks)
+	// Occurrence and chunk lists carved from pooled slabs: each prefix's
+	// list gets exactly its frequency in capacity, so the scan's appends
+	// never reallocate and consecutive groups reuse one backing array.
+	occs = growOccLists(ctx.occLists, len(g.Prefixes))
+	ctx.occLists = occs
+	if cap(ctx.occSlab) < int(total) {
+		ctx.occSlab = make([]int32, total)
+	}
+	oSlab := ctx.occSlab[:cap(ctx.occSlab)]
+	chunks = growChunkLists(ctx.chunkLists, len(g.Prefixes))
+	ctx.chunkLists = chunks
+	var cSlab [][]byte
+	if rng > 0 {
+		if cap(ctx.chunkSlab) < int(total) {
+			ctx.chunkSlab = make([][]byte, total)
+		}
+		cSlab = ctx.chunkSlab[:cap(ctx.chunkSlab)]
+	}
+	pos := 0
+	for i, p := range g.Prefixes {
+		occs[i] = oSlab[pos : pos : pos+int(p.Freq)]
+		if rng > 0 {
+			chunks[i] = cSlab[pos : pos : pos+int(p.Freq)]
+		} else {
+			chunks[i] = nil
+		}
+		pos += int(p.Freq)
+	}
+
+	ctx.cm = newCollectMatcher(ctx.cm, f.Alphabet(), g, lengths, maxLen)
+	captured, err = collectScanTrie(ctx, ctx.cm, sc, clock, model, n, rng, occs, chunks)
 	if err != nil {
 		return nil, nil, captured, err
 	}
@@ -329,6 +362,33 @@ func CollectWithFill(ctx *buildContext, f *seq.File, sc *seq.Scanner, clock *sim
 		}
 	}
 	return occs, chunks, captured, nil
+}
+
+// growClearBool returns a false-filled bool slice of length n backed by s's
+// capacity when it suffices.
+func growClearBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// growOccLists resizes the pooled occurrence-list headers.
+func growOccLists(s [][]int32, n int) [][]int32 {
+	if cap(s) < n {
+		return make([][]int32, n)
+	}
+	return s[:n]
+}
+
+// growChunkLists resizes the pooled chunk-list headers.
+func growChunkLists(s [][][]byte, n int) [][][]byte {
+	if cap(s) < n {
+		return make([][][]byte, n)
+	}
+	return s[:n]
 }
 
 // pendingFill is a chunk whose tail lies beyond the current scan window; it

@@ -142,21 +142,27 @@ type collectMatcher struct {
 const maxRootBits = 16
 
 // newCollectMatcher builds the trie for a group. lengths is the sorted set
-// of distinct label lengths (ascending), maxLen its maximum.
-func newCollectMatcher(a *alphabet.Alphabet, g Group, lengths []int, maxLen int) *collectMatcher {
-	m := &collectMatcher{
-		codes:  a.CodeTable(),
-		bits:   a.Bits(),
-		stride: 1 << a.Bits(),
-		maxLen: maxLen,
+// of distinct label lengths (ascending), maxLen its maximum. A non-nil m is
+// a recycled instance whose root table, trie blocks and accounting arrays
+// are reused (cleared, grown only when a group outsizes every predecessor)
+// — the per-group matcher allocation the build context pools away; nil
+// allocates fresh with identical behavior.
+func newCollectMatcher(m *collectMatcher, a *alphabet.Alphabet, g Group, lengths []int, maxLen int) *collectMatcher {
+	if m == nil {
+		m = new(collectMatcher)
 	}
+	m.codes = a.CodeTable()
+	m.bits = a.Bits()
+	m.stride = 1 << a.Bits()
+	m.maxLen = maxLen
 	// Fold the shortest label length into the root while the table stays
 	// cache-sized; no label is shorter, so every mark sits at or below it.
 	m.rootLen = lengths[0]
 	for m.rootLen > 1 && uint(m.rootLen)*m.bits > maxRootBits {
 		m.rootLen--
 	}
-	m.root = make([]int32, 1<<(uint(m.rootLen)*m.bits))
+	m.root = growClearI32(m.root, 1<<(uint(m.rootLen)*m.bits))
+	m.trie = m.trie[:0]
 
 	for i, p := range g.Prefixes {
 		idx := int32(packLabel(m.codes, m.bits, p.Label[:m.rootLen]))
@@ -184,8 +190,8 @@ func newCollectMatcher(a *alphabet.Alphabet, g Group, lengths []int, maxLen int)
 			node = child
 		}
 	}
-	m.fitCount = make([]int32, maxLen+1)
-	m.probesByLen = make([]int32, maxLen+1)
+	m.fitCount = growClearI32(m.fitCount, maxLen+1)
+	m.probesByLen = growClearI32(m.probesByLen, maxLen+1)
 	rank := int32(0)
 	li := 0
 	for w := 1; w <= maxLen; w++ {
@@ -200,16 +206,33 @@ func newCollectMatcher(a *alphabet.Alphabet, g Group, lengths []int, maxLen int)
 }
 
 // newBlock appends a zeroed child block and returns its offset. Slot 0 of
-// the trie is a sentinel so that offset 0 always means "absent".
+// the trie is a sentinel so that offset 0 always means "absent". Recycled
+// matchers keep the trie's capacity across groups, so the appends below
+// allocate only when a group's label set outgrows every previous one.
 func (m *collectMatcher) newBlock() int32 {
 	if len(m.trie) == 0 {
-		m.trie = make([]int32, 1, 1+8*int(m.stride)) // slot 0 is a sentinel
+		if cap(m.trie) == 0 {
+			m.trie = make([]int32, 1, 1+8*int(m.stride)) // slot 0 is a sentinel
+		} else {
+			m.trie = append(m.trie[:0], 0)
+		}
 	}
 	off := int32(len(m.trie))
 	for s := int32(0); s < m.stride; s++ {
 		m.trie = append(m.trie, 0)
 	}
 	return off
+}
+
+// growClearI32 returns a zeroed int32 slice of length n backed by s's
+// capacity when it suffices.
+func growClearI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // packLabel folds a label into its packed window code (first symbol most

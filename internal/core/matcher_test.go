@@ -146,7 +146,7 @@ func TestCollectTrieMatchesMap(t *testing.T) {
 
 					occsT, chunksT := prep()
 					scT, clockT := matcherScanner(t, publish(t, a, data))
-					m := newCollectMatcher(a, g, lengths, maxLen)
+					m := newCollectMatcher(nil, a, g, lengths, maxLen)
 					capT, err := collectScanTrie(nil, m, scT, clockT, model, len(data), rng, occsT, chunksT)
 					if err != nil {
 						t.Fatal(err)

@@ -66,22 +66,32 @@ type subState struct {
 
 func newSubState(prefix Prefix, occ []int32, areaID int32) *subState {
 	m := len(occ)
-	st := &subState{
-		prefix:  prefix,
-		L:       occ,
-		P:       make([]int32, m),
-		I:       make([]int32, m),
-		area:    make([]int32, m),
-		R:       make([][]byte, m),
-		B:       make([]BEntry, m),
-		defined: make([]bool, m),
-		pending: m - 1,
-		active:  m,
-	}
+	st := &subState{}
+	st.init(prefix, occ, areaID,
+		make([]int32, m), make([]int32, m), make([]int32, m),
+		make([][]byte, m), make([]BEntry, m), make([]bool, m))
+	return st
+}
+
+// init (re)points a subState — possibly a recycled one whose sort scratch
+// carries over — at the four auxiliary arrays for a fresh prepare. The
+// backing slices may come from pooled slabs holding a previous group's
+// values: every element the algorithm reads is (re)written here.
+func (st *subState) init(prefix Prefix, occ []int32, areaID int32, p, i32, area []int32, r [][]byte, b []BEntry, defined []bool) {
+	m := len(occ)
+	st.prefix = prefix
+	st.L = occ
+	st.P, st.I, st.area = p, i32, area
+	st.R, st.B, st.defined = r, b, defined
+	st.pending = m - 1
+	st.active = m
 	for i := 0; i < m; i++ {
 		st.P[i] = int32(i)
 		st.I[i] = int32(i)
 		st.area[i] = areaID
+		st.R[i] = nil
+		st.B[i] = BEntry{}
+		st.defined[i] = false
 	}
 	if m == 1 {
 		// A single leaf needs no branching information.
@@ -89,7 +99,6 @@ func newSubState(prefix Prefix, occ []int32, areaID int32) *subState {
 		st.area[0] = -1
 		st.active = 0
 	}
-	return st
 }
 
 // nextActive returns the lowest appearance rank ≥ r whose leaf is still
@@ -150,20 +159,64 @@ func GroupPrepare(ctx *buildContext, f *seq.File, sc *seq.Scanner, clock *sim.Cl
 	stats.Rounds++
 	stats.MinRange, stats.MaxRange = rng1, rng1
 
+	// subState headers and their auxiliary arrays come from the context's
+	// pooled slabs (fresh per-call allocations when ctx was nil): one int32
+	// slab backs every P/I/area, one slab each backs R, B and defined, and
+	// the recycled headers keep their grown sort scratch across groups.
 	var nextArea int32
-	subs := make([]*subState, len(group.Prefixes))
+	nSubs := len(group.Prefixes)
+	if cap(ctx.subStates) < nSubs {
+		ctx.subStates = make([]subState, nSubs)
+	}
+	states := ctx.subStates[:nSubs]
+	subs := ctx.subPtrs
+	if cap(subs) < nSubs {
+		subs = make([]*subState, nSubs)
+	}
+	subs = subs[:nSubs]
+	ctx.subPtrs = subs
+	var M int
+	for i := range occs {
+		M += len(occs[i])
+	}
+	if cap(ctx.i32Slab) < 3*M {
+		ctx.i32Slab = make([]int32, 3*M)
+	}
+	if cap(ctx.bSlab) < M {
+		ctx.bSlab = make([]BEntry, M)
+	}
+	if cap(ctx.defSlab) < M {
+		ctx.defSlab = make([]bool, M)
+	}
+	if cap(ctx.rSlab) < M {
+		ctx.rSlab = make([][]byte, M)
+	}
+	i32 := ctx.i32Slab[:3*M]
+	bsl, dsl, rsl := ctx.bSlab[:cap(ctx.bSlab)], ctx.defSlab[:cap(ctx.defSlab)], ctx.rSlab[:cap(ctx.rSlab)]
+	posI, pos := 0, 0
 	for i, p := range group.Prefixes {
 		if int64(len(occs[i])) != p.Freq {
 			return nil, stats, fmt.Errorf("core: prefix %q: %d occurrences but frequency %d", p.Label, len(occs[i]), p.Freq)
 		}
-		subs[i] = newSubState(p, occs[i], nextArea)
+		m := len(occs[i])
+		subs[i] = &states[i]
+		subs[i].init(p, occs[i], nextArea,
+			i32[posI:posI+m], i32[posI+m:posI+2*m], i32[posI+2*m:posI+3*m],
+			rsl[pos:pos+m], bsl[pos:pos+m], dsl[pos:pos+m])
+		posI += 3 * m
+		pos += m
 		nextArea++
 	}
 
 	// start is the global offset within every suffix of the symbols already
 	// consumed; it begins after the shared S-prefix. Prefix lengths differ
 	// across the group, so each sub-tree tracks its own start.
-	starts := make([]int, len(subs))
+	starts := ctx.startsBuf
+	if cap(starts) < len(subs) {
+		starts = make([]int, len(subs))
+	}
+	starts = starts[:len(subs)]
+	ctx.startsBuf = starts
 	var cpuOps int64
 	for i, st := range subs {
 		starts[i] = len(st.prefix.Label)
@@ -291,7 +344,16 @@ func GroupPrepare(ctx *buildContext, f *seq.File, sc *seq.Scanner, clock *sim.Cl
 		cpuOps = 0
 	}
 
-	out := make([]Prepared, len(subs))
+	// The output rides the pooled storage too (L is the collect slab's
+	// occurrence list, B the pooled triplet slab): valid until the next
+	// GroupPrepare/CollectWithFill on this context, which is exactly the
+	// window processGroup consumes it in.
+	out := ctx.prepBuf
+	if cap(out) < len(subs) {
+		out = make([]Prepared, len(subs))
+	}
+	out = out[:len(subs)]
+	ctx.prepBuf = out
 	for i, st := range subs {
 		out[i] = Prepared{Prefix: st.prefix, L: st.L, B: st.B}
 	}

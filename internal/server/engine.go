@@ -42,7 +42,7 @@ type Engine struct {
 	// catalog is copy-on-write: readers load the current map and never
 	// block; writers clone it under mu and swap the pointer.
 	catalog atomic.Pointer[map[string]*catalogEntry]
-	mu      sync.Mutex // serializes catalog writers (Load/Unload)
+	mu      sync.Mutex // serializes catalog writers (Load/Unload/Close)
 
 	cache *queryCache
 
@@ -50,6 +50,23 @@ type Engine struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 	nextEpoch   atomic.Uint64
+
+	// retired holds *mapped* indexes replaced by a hot reload or Unload. A
+	// mapped v4 index cannot be unmapped while a query that raced the
+	// catalog swap may still be descending it, so retirement defers the
+	// munmap to Close — which a server calls only after draining (see
+	// cmd/era serve). Heap indexes are not retired: their memory is
+	// ordinary garbage once the catalog swap drops the last reference, so
+	// pinning them here would leak one full index per reload.
+	retired []era.Queryable
+	closed  bool
+}
+
+// retire queues idx for close-at-shutdown when it owns a mapping.
+func (e *Engine) retire(idx era.Queryable) {
+	if idx.MappedBytes() > 0 {
+		e.retired = append(e.retired, idx)
+	}
 }
 
 // catalogEntry pairs an index — monolithic or sharded, anything behind
@@ -80,6 +97,9 @@ func (e *Engine) Load(idx era.Queryable) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("server: engine is closed")
+	}
 	old := *e.catalog.Load()
 	next := make(map[string]*catalogEntry, len(old)+1)
 	for k, v := range old {
@@ -90,6 +110,7 @@ func (e *Engine) Load(idx era.Queryable) error {
 	e.catalog.Store(&next)
 	if replaced != nil {
 		e.cache.purgePrefix(epochPrefix(replaced.epoch))
+		e.retire(replaced.idx)
 	}
 	return nil
 }
@@ -151,7 +172,37 @@ func (e *Engine) Unload(name string) bool {
 	}
 	e.catalog.Store(&next)
 	e.cache.purgePrefix(epochPrefix(ent.epoch))
+	e.retire(ent.idx)
 	return true
+}
+
+// Close empties the catalog and closes every index the engine ever held —
+// current and retired — releasing the file mappings behind format-v4
+// indexes. Call it only after no queries can be in flight (after
+// http.Server.Shutdown has drained); a query racing Close on a mapped index
+// would fault. Idempotent; the engine serves no queries afterwards.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	var errs []error
+	cat := *e.catalog.Load()
+	e.catalog.Store(&map[string]*catalogEntry{})
+	for name, ent := range cat {
+		if err := ent.idx.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("server: closing %s: %w", name, err))
+		}
+	}
+	for _, idx := range e.retired {
+		if err := idx.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("server: closing retired %s: %w", idx.Name(), err))
+		}
+	}
+	e.retired = nil
+	return errors.Join(errs...)
 }
 
 // Get returns the index named name.

@@ -3,6 +3,7 @@
 // Endpoints:
 //
 //	GET  /healthz             liveness probe
+//	GET  /metricz             per-op latency histograms + per-index memory
 //	GET  /v1/stats            engine counters (queries, cache hits/misses)
 //	GET  /v1/indexes          loaded indexes with summary metadata
 //	GET  /v1/indexes/{name}   one index's metadata
@@ -28,6 +29,7 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"time"
 
 	"era"
 )
@@ -52,6 +54,9 @@ func NewHandlerWithLog(engine *Engine, errLog *log.Logger) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		h.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /metricz", func(w http.ResponseWriter, r *http.Request) {
+		h.writeJSON(w, http.StatusOK, h.metricz())
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		h.writeJSON(w, http.StatusOK, engine.Stats())
@@ -85,10 +90,14 @@ func NewHandlerWithLog(engine *Engine, errLog *log.Logger) http.Handler {
 			h.writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		// The histogram times the engine work only (not body decode or
+		// response encode), so it reflects index latency, not client I/O.
+		start := time.Now()
 		// BatchChecked validates the pattern against the target index's
 		// alphabet on the same catalog snapshot it answers from, so a
 		// concurrent hot reload cannot desynchronize check and answer.
 		res, err := engine.BatchChecked(req.Index, []era.Op{op})
+		h.metrics.query.observe(time.Since(start))
 		if err != nil {
 			h.writeQueryError(w, err)
 			return
@@ -117,7 +126,9 @@ func NewHandlerWithLog(engine *Engine, errLog *log.Logger) http.Handler {
 			}
 			ops[i] = op
 		}
+		start := time.Now()
 		results, err := engine.BatchChecked(req.Index, ops)
+		h.metrics.batch.observe(time.Since(start))
 		if err != nil {
 			h.writeQueryError(w, err)
 			return
@@ -131,10 +142,51 @@ func NewHandlerWithLog(engine *Engine, errLog *log.Logger) http.Handler {
 	return mux
 }
 
+// metricsResponse is the /metricz payload: engine counters, per-op latency
+// distributions, and per-index memory accounting (mapped_bytes > 0 marks a
+// zero-copy v4 index; resident_bytes is how much of it the page cache
+// currently holds, -1 when the platform cannot tell).
+type metricsResponse struct {
+	Engine  Stats                   `json:"engine"`
+	Ops     map[string]HistSnapshot `json:"ops"`
+	Indexes []indexMemInfo          `json:"indexes"`
+}
+
+type indexMemInfo struct {
+	indexInfo
+	MappedBytes   int64 `json:"mapped_bytes"`
+	ResidentBytes int64 `json:"resident_bytes"`
+}
+
+func (h *api) metricz() metricsResponse {
+	names := h.engine.Names()
+	infos := make([]indexMemInfo, 0, len(names))
+	for _, name := range names {
+		idx, ok := h.engine.Get(name)
+		if !ok {
+			continue
+		}
+		infos = append(infos, indexMemInfo{
+			indexInfo:     describe(name, idx),
+			MappedBytes:   idx.MappedBytes(),
+			ResidentBytes: idx.ResidentBytes(),
+		})
+	}
+	return metricsResponse{
+		Engine: h.engine.Stats(),
+		Ops: map[string]HistSnapshot{
+			"query": h.metrics.query.snapshot(),
+			"batch": h.metrics.batch.snapshot(),
+		},
+		Indexes: infos,
+	}
+}
+
 // api carries the handler's dependencies; the mux closures share one.
 type api struct {
-	engine *Engine
-	errLog *log.Logger
+	engine  *Engine
+	errLog  *log.Logger
+	metrics opMetrics
 }
 
 func (h *api) logf(format string, args ...any) {

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latencyHist is a lock-free log₂-bucketed latency histogram. Bucket
+// i = bits.Len64(µs) counts observations in [2^(i-1), 2^i) µs (bucket 0:
+// sub-µs). Recording is two atomic adds on the hot path; /metricz reads a
+// snapshot.
+type latencyHist struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumUs   atomic.Int64
+}
+
+// histBuckets spans sub-µs to ~4295 s, far past any query latency.
+const histBuckets = 32
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	b := bits.Len64(uint64(us)) // 0 for 0–1µs, 1 for 2–3µs, …
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumUs.Add(us)
+}
+
+// HistBucket is one histogram bucket on the wire: observations with latency
+// below LeMicros (cumulative counts are left to the consumer).
+type HistBucket struct {
+	LeMicros int64 `json:"le_us"`
+	Count    int64 `json:"count"`
+}
+
+// HistSnapshot is the wire form of one op's latency distribution.
+type HistSnapshot struct {
+	Count    int64        `json:"count"`
+	MeanUs   float64      `json:"mean_us"`
+	P50Us    int64        `json:"p50_us"`
+	P90Us    int64        `json:"p90_us"`
+	P99Us    int64        `json:"p99_us"`
+	Buckets  []HistBucket `json:"buckets,omitempty"`
+	SumUs    int64        `json:"sum_us"`
+	Observed bool         `json:"observed"`
+}
+
+// snapshot renders the histogram. Quantiles are bucket upper bounds — exact
+// enough for dashboards, free of locks and reservoirs.
+func (h *latencyHist) snapshot() HistSnapshot {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistSnapshot{Count: total, SumUs: h.sumUs.Load(), Observed: total > 0}
+	if total == 0 {
+		return s
+	}
+	s.MeanUs = float64(s.SumUs) / float64(total)
+	quantile := func(q float64) int64 {
+		target := int64(q * float64(total))
+		if target < 1 {
+			target = 1
+		}
+		var seen int64
+		for i, c := range counts {
+			seen += c
+			if seen >= target {
+				return (int64(1) << uint(i)) - 1 // bucket upper bound in µs
+			}
+		}
+		return (int64(1) << histBuckets) - 1
+	}
+	s.P50Us, s.P90Us, s.P99Us = quantile(0.50), quantile(0.90), quantile(0.99)
+	for i, c := range counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{LeMicros: (int64(1) << uint(i)) - 1, Count: c})
+		}
+	}
+	return s
+}
+
+// opMetrics aggregates the per-endpoint histograms the /metricz endpoint
+// reports.
+type opMetrics struct {
+	query latencyHist // POST /v1/query
+	batch latencyHist // POST /v1/batch
+}

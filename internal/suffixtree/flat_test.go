@@ -1,0 +1,291 @@
+package suffixtree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"era/internal/alphabet"
+	"era/internal/seq"
+)
+
+// flatten builds a heap tree over data (terminator appended) via the naive
+// insert path and returns both layouts.
+func buildBoth(t *testing.T, data []byte) (*Tree, *FlatTree, []byte) {
+	t.Helper()
+	term := append(append([]byte(nil), data...), alphabet.Terminator)
+	var distinct []byte
+	seen := map[byte]bool{}
+	for _, b := range data {
+		if !seen[b] {
+			seen[b] = true
+			distinct = append(distinct, b)
+		}
+	}
+	a, err := alphabet.New("t", distinct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := seq.NewMem(a, term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := naiveTree(t, mem)
+	f, err := Flatten(tree, term)
+	if err != nil {
+		t.Fatalf("Flatten: %v", err)
+	}
+	ft, err := NewFlatTree(term, f.Nodes, f.Sym, f.Dense, f.LeafIdx, f.LeafData, f.NLeaves)
+	if err != nil {
+		t.Fatalf("NewFlatTree: %v", err)
+	}
+	return tree, ft, term
+}
+
+// naiveTree inserts every suffix of s by splitting edges — a small, obviously
+// correct builder that exercises AttachSorted/SplitEdge exactly like the
+// oracle in internal/ukkonen.
+func naiveTree(t *testing.T, s seq.String) *Tree {
+	tr := New(s)
+	n := s.Len()
+	for i := 0; i < n; i++ {
+		cur := tr.Root()
+		j := i
+		for j < n {
+			c := tr.Child(cur, s.At(j))
+			if c == None {
+				leaf := tr.NewNode(int32(j), int32(n), int32(i))
+				if err := tr.AttachSorted(cur, leaf); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+			cs, ce := tr.EdgeStart(c), tr.EdgeEnd(c)
+			k := int32(0)
+			for cs+k < ce && j < n && s.At(int(cs+k)) == s.At(j) {
+				k++
+				j++
+			}
+			if cs+k < ce {
+				m := tr.SplitEdge(c, k)
+				leaf := tr.NewNode(int32(j), int32(n), int32(i))
+				if err := tr.AttachSorted(m, leaf); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+			cur = c
+		}
+	}
+	return tr
+}
+
+var flatCorpora = [][]byte{
+	[]byte("TGGTGGTGGTGCGGTGATGGTGC"),
+	[]byte("mississippi"),
+	[]byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"),
+	[]byte("abcabxabcd"),
+	[]byte("GATTACagattacaGATTACA"),
+}
+
+// TestFlatTreeDifferential pins the two layouts to identical answers for
+// every query the View interface exposes, over fixed corpora and random
+// strings on small alphabets (which stress branchy nodes and deep repeats).
+func TestFlatTreeDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	corpora := append([][]byte(nil), flatCorpora...)
+	for i := 0; i < 12; i++ {
+		n := 10 + rng.Intn(300)
+		syms := []byte("ab")
+		if i%3 == 1 {
+			syms = []byte("ACGT")
+		} else if i%3 == 2 {
+			syms = []byte("abcdefghijklmnopqrstuvwxyz")
+		}
+		d := make([]byte, n)
+		for j := range d {
+			d[j] = syms[rng.Intn(len(syms))]
+		}
+		corpora = append(corpora, d)
+	}
+
+	for ci, data := range corpora {
+		tree, flat, term := buildBoth(t, data)
+		if tree.NumNodes() != flat.NumNodes() {
+			t.Fatalf("corpus %d: node counts %d != %d", ci, tree.NumNodes(), flat.NumNodes())
+		}
+
+		// Patterns: all substrings up to length 8 of short corpora, random
+		// windows plus misses otherwise.
+		var pats [][]byte
+		if len(data) <= 64 {
+			for i := 0; i < len(data); i++ {
+				for l := 1; l <= 8 && i+l <= len(data); l++ {
+					pats = append(pats, data[i:i+l])
+				}
+			}
+		} else {
+			for k := 0; k < 64; k++ {
+				i := rand.Intn(len(data) - 4)
+				pats = append(pats, data[i:i+1+rand.Intn(4)])
+			}
+		}
+		pats = append(pats, nil, []byte("\x00zz"), term[len(term)-2:], []byte("$"))
+
+		for _, p := range pats {
+			wantLoc, wantOK := tree.Find(p)
+			gotLoc, gotOK := flat.Find(p)
+			if wantOK != gotOK {
+				t.Fatalf("corpus %d: Find(%q) ok %v vs flat %v", ci, p, wantOK, gotOK)
+			}
+			if got, want := flat.Count(p), tree.Count(p); got != want {
+				t.Fatalf("corpus %d: Count(%q) = %d, heap %d", ci, p, got, want)
+			}
+			wantOcc := tree.Occurrences(p)
+			gotOcc := flat.Occurrences(p)
+			if len(wantOcc) != len(gotOcc) {
+				t.Fatalf("corpus %d: Occurrences(%q) len %d vs %d", ci, p, len(gotOcc), len(wantOcc))
+			}
+			for i := range wantOcc {
+				if wantOcc[i] != gotOcc[i] {
+					t.Fatalf("corpus %d: Occurrences(%q)[%d] = %d, heap %d (lex order must match)", ci, p, i, gotOcc[i], wantOcc[i])
+				}
+			}
+			if wantOK && len(p) > 0 {
+				// The locus labels must spell the same string even though the
+				// node ids differ across layouts.
+				wl := append(tree.PathLabel(tree.Parent(wantLoc.Node)), tree.Label(wantLoc.Node)[:wantLoc.Depth]...)
+				gl := flat.PathLabel(gotLoc.Node)
+				gd := flat.Depth(gotLoc.Node) - flat.EdgeLen(gotLoc.Node) + gotLoc.Depth
+				if !bytes.Equal(wl, gl[:min(int(gd), len(gl))]) {
+					t.Fatalf("corpus %d: Find(%q) locus labels diverge: %q vs %q", ci, p, wl, gl)
+				}
+			}
+		}
+
+		// MatchTrace equivalence, including prefix resume.
+		if len(data) >= 8 {
+			p1, p2 := data[:6], append(append([]byte(nil), data[:3]...), data[len(data)-3:]...)
+			tr1 := make([]Locus, len(p1))
+			tr2 := make([]Locus, len(p1))
+			m1 := tree.MatchTrace(p1, 0, tr1)
+			m2 := flat.MatchTrace(p1, 0, tr2)
+			if m1 != m2 {
+				t.Fatalf("corpus %d: MatchTrace(%q) = %d vs %d", ci, p1, m2, m1)
+			}
+			resume := 3
+			if m1 < resume {
+				resume = m1
+			}
+			tb1 := make([]Locus, len(p2))
+			tb2 := make([]Locus, len(p2))
+			copy(tb1, tr1[:resume])
+			copy(tb2, tr2[:resume])
+			if a, b := tree.MatchTrace(p2, resume, tb1), flat.MatchTrace(p2, resume, tb2); a != b {
+				t.Fatalf("corpus %d: resumed MatchTrace(%q) = %d vs %d", ci, p2, b, a)
+			}
+		}
+
+		// Longest repeated substring: same label and occurrence set.
+		wl, wo := tree.LongestRepeatedSubstring()
+		gl, go_ := flat.LongestRepeatedSubstring()
+		if !bytes.Equal(wl, gl) {
+			t.Fatalf("corpus %d: LRS %q vs heap %q", ci, gl, wl)
+		}
+		if len(wo) != len(go_) {
+			t.Fatalf("corpus %d: LRS occ %d vs heap %d", ci, len(go_), len(wo))
+		}
+		for i := range wo {
+			if wo[i] != go_[i] {
+				t.Fatalf("corpus %d: LRS occ[%d] %d vs heap %d", ci, i, go_[i], wo[i])
+			}
+		}
+
+		// MaximalRepeats: identical (depth, count, label) sequences.
+		type rep struct {
+			depth int32
+			occ   int
+			label string
+		}
+		var wr, gr []rep
+		tree.MaximalRepeats(2, 2, func(node, depth int32, occ int) bool {
+			wr = append(wr, rep{depth, occ, string(tree.PathLabel(node))})
+			return true
+		})
+		flat.MaximalRepeats(2, 2, func(node, depth int32, occ int) bool {
+			gr = append(gr, rep{depth, occ, string(flat.PathLabel(node))})
+			return true
+		})
+		if len(wr) != len(gr) {
+			t.Fatalf("corpus %d: MaximalRepeats %d vs heap %d", ci, len(gr), len(wr))
+		}
+		for i := range wr {
+			if wr[i] != gr[i] {
+				t.Fatalf("corpus %d: MaximalRepeats[%d] = %+v, heap %+v", ci, i, gr[i], wr[i])
+			}
+		}
+	}
+}
+
+// TestFlatTreeRoundTrip re-flattens a FlatTree (the WriteFile path of a
+// mapped index) and checks the encoded sections are byte-identical.
+func TestFlatTreeRoundTrip(t *testing.T) {
+	_, flat, term := buildBoth(t, []byte("senselessness.and.sensibility"))
+	f2, err := Flatten(flat, term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f2.Nodes, flat.nodes) || !bytes.Equal(f2.Sym, flat.sym) ||
+		!bytes.Equal(f2.Dense, flat.dense) || !bytes.Equal(f2.LeafIdx, flat.leafIdx) ||
+		!bytes.Equal(f2.LeafData, flat.leafData) {
+		t.Fatal("re-flattening a FlatTree changed the encoded sections")
+	}
+}
+
+// TestFlatTreeCorruptNoPanic drives every query over systematically
+// corrupted node records: answers may be wrong, but nothing may panic, loop,
+// or read out of bounds (the race/bounds checkers enforce the latter).
+func TestFlatTreeCorruptNoPanic(t *testing.T) {
+	_, flat, term := buildBoth(t, []byte("abracadabra.arcana.abracadabra"))
+	run := func(ft *FlatTree) {
+		for _, p := range [][]byte{nil, []byte("a"), []byte("abra"), []byte("zzz"), term} {
+			ft.Contains(p)
+			ft.Count(p)
+			ft.Occurrences(p)
+			tr := make([]Locus, len(p))
+			ft.MatchTrace(p, 0, tr)
+		}
+		ft.LongestRepeatedSubstring()
+		ft.MaximalRepeats(1, 2, func(_, _ int32, _ int) bool { return true })
+		for u := int32(-2); u < int32(ft.NumNodes())+2; u++ {
+			ft.Leaves(u)
+			ft.CountLeaves(u)
+			ft.PathLabel(u)
+			ft.Suffix(u)
+			ft.IsLeaf(u)
+			ft.EdgeLen(u)
+		}
+	}
+	for off := 0; off < flatNodeSize; off += 4 {
+		for _, v := range []uint32{0, 1, 0x7fffffff, 0xffffffff, uint32(flat.NumNodes()), uint32(len(term))} {
+			nodes := append([]byte(nil), flat.nodes...)
+			for ni := 0; ni < flat.NumNodes() && ni < 5; ni++ {
+				binary.LittleEndian.PutUint32(nodes[ni*flatNodeSize+off:], v)
+			}
+			ft, err := NewFlatTree(term, nodes, flat.sym, flat.dense, flat.leafIdx, flat.leafData, flat.nLeaves)
+			if err != nil {
+				continue
+			}
+			run(ft)
+		}
+	}
+	// Truncated/garbage leaf data must decode to short (never panicking)
+	// results.
+	for cut := 0; cut < len(flat.leafData); cut += 7 {
+		ft, err := NewFlatTree(term, flat.nodes, flat.sym, flat.dense, flat.leafIdx, flat.leafData[:cut], flat.nLeaves)
+		if err == nil {
+			run(ft)
+		}
+	}
+}

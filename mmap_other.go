@@ -1,0 +1,38 @@
+//go:build !linux && !darwin
+
+package era
+
+import (
+	"fmt"
+	"os"
+)
+
+// mapping on platforms without the mmap fast path: the file is read into
+// memory once. Every v4 code path behaves identically — only the zero-copy
+// and page-cache-sharing properties are lost.
+type mapping struct {
+	b      []byte
+	mapped bool
+}
+
+func openMapping(path string) (*mapping, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, fmt.Errorf("era: %s is empty", path)
+	}
+	return &mapping{b: b}, nil
+}
+
+func (m *mapping) bytes() []byte { return m.b }
+
+func (m *mapping) size() int64 { return int64(len(m.b)) }
+
+func (m *mapping) Close() error {
+	if m != nil {
+		m.b = nil
+	}
+	return nil
+}

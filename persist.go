@@ -47,6 +47,12 @@ import (
 // against the string, and the tree's link structure is checked before any
 // query may walk it — a corrupt or hostile file fails with an error, never
 // a panic at query time.
+// Version 4 is the mmap-native flat layout; its page-aligned, offset-based
+// image is specified and implemented in persist_v4.go. OpenIndex serves v4
+// files zero-copy via mmap; ReadIndex/ReadQueryable accept v4 streams by
+// buffering them (correct, but without the zero-copy property), and a v3
+// manifest may embed v4 monolithic payloads (a shard written back from a
+// mapped index). `era compact` converts v1/v2/v3 files to v4.
 const (
 	indexMagic     = 0x45524149
 	indexVersion   = 2
@@ -62,8 +68,14 @@ const (
 
 // WriteTo serializes the index (name, string, document map and tree) so it
 // can be reopened with ReadIndex without rebuilding. It satisfies
-// io.WriterTo.
+// io.WriterTo. Heap-backed indexes write the v2 node-record stream;
+// flat-backed indexes (opened from a v4 file) write a v4 image — both
+// reopen through the same readers. Use WriteToV4 to force the mmap-native
+// format regardless of backing.
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	if _, flat := x.tree.(*suffixtree.FlatTree); flat {
+		return x.writeV4Mono(w)
+	}
 	if len(x.name) > maxNameLen || len(x.alpha.Name()) > maxNameLen {
 		return 0, fmt.Errorf("era: index name longer than %d bytes", maxNameLen)
 	}
@@ -126,7 +138,8 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	if err := bw.Flush(); err != nil {
 		return total, err
 	}
-	tn, err := x.tree.WriteTo(w)
+	// The flat-backed case returned above, so the tree is the heap layout.
+	tn, err := x.tree.(*suffixtree.Tree).WriteTo(w)
 	total += tn
 	return total, err
 }
@@ -278,37 +291,68 @@ func readHeader(br *bufio.Reader) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
-	if v < 1 || v > shardedVersion {
+	if v < 1 || v > flatVersion {
 		return 0, fmt.Errorf("era: unsupported index version %d", v)
 	}
 	return v, nil
 }
 
+// readV4Stream buffers the remainder of a v4 stream (the 8 header bytes
+// already consumed) and parses the image in place. Streams cannot be
+// mmap'd, so this path trades the zero-copy property for generality —
+// OpenIndex on a file path keeps it.
+func readV4Stream(br *bufio.Reader) (Queryable, error) {
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 8+len(rest))
+	buf = binary.LittleEndian.AppendUint32(buf, indexMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, flatVersion)
+	buf = append(buf, rest...)
+	return parseV4(buf, nil)
+}
+
 // ReadIndex deserializes a monolithic index written with Index.WriteTo
-// (format v1 or v2). For streams that may also hold a sharded v3 index, use
-// ReadQueryable.
+// (format v1, v2, or a monolithic v4 image). For streams that may also hold
+// a sharded index, use ReadQueryable.
 func ReadIndex(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	v, err := readHeader(br)
 	if err != nil {
 		return nil, err
 	}
-	if v == shardedVersion {
+	switch v {
+	case shardedVersion:
 		return nil, fmt.Errorf("era: index is a sharded (v3) corpus; read it with ReadQueryable or OpenIndex")
+	case flatVersion:
+		q, err := readV4Stream(br)
+		if err != nil {
+			return nil, err
+		}
+		idx, ok := q.(*Index)
+		if !ok {
+			return nil, fmt.Errorf("era: index is a sharded (v4) corpus; read it with ReadQueryable or OpenIndex")
+		}
+		return idx, nil
 	}
 	return readMonolithic(br, v)
 }
 
-// ReadQueryable deserializes any index stream — monolithic (v1/v2) or
-// sharded (v3) — written by Index.WriteTo or ShardedIndex.WriteTo.
+// ReadQueryable deserializes any index stream — monolithic (v1/v2),
+// sharded (v3), or a v4 image — written by Index.WriteTo,
+// ShardedIndex.WriteTo, or the WriteToV4 variants.
 func ReadQueryable(r io.Reader) (Queryable, error) {
 	br := bufio.NewReader(r)
 	v, err := readHeader(br)
 	if err != nil {
 		return nil, err
 	}
-	if v == shardedVersion {
+	switch v {
+	case shardedVersion:
 		return readSharded(br)
+	case flatVersion:
+		return readV4Stream(br)
 	}
 	return readMonolithic(br, v)
 }
@@ -481,12 +525,32 @@ func writeFile(path string, w io.WriterTo) error {
 }
 
 // OpenIndex reads an index file written by WriteFile (or WriteTo): a
-// monolithic *Index for v1/v2 files, a *ShardedIndex for v3 files. Indexes
-// saved without a name adopt the file's base name (extension stripped), so
-// every index loaded from disk is addressable.
+// monolithic *Index for v1/v2 files, a *ShardedIndex for v3 files, and
+// either for v4 files. Indexes saved without a name adopt the file's base
+// name (extension stripped), so every index loaded from disk is
+// addressable.
+//
+// v4 files are memory-mapped, not deserialized: open cost is O(header)
+// regardless of index size, the heap holds only the view structs, and every
+// process opening the same file shares one page-cache copy. Call Close on
+// the returned index to release the mapping (a no-op for v1–v3 files); do
+// not truncate or rewrite a v4 file in place while an open index serves it
+// — replace-by-rename instead.
 func OpenIndex(path string) (Queryable, error) {
 	f, err := os.Open(path)
 	if err != nil {
+		return nil, err
+	}
+	var sniff [8]byte
+	_, serr := io.ReadFull(f, sniff[:])
+	if serr == nil &&
+		binary.LittleEndian.Uint32(sniff[0:]) == indexMagic &&
+		binary.LittleEndian.Uint32(sniff[4:]) == flatVersion {
+		f.Close()
+		return openMappedV4(path)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
 		return nil, err
 	}
 	defer f.Close()
@@ -495,9 +559,29 @@ func OpenIndex(path string) (Queryable, error) {
 		// ReadQueryable errors already carry the package prefix.
 		return nil, fmt.Errorf("reading index %s: %w", path, err)
 	}
+	adoptBaseName(idx, path)
+	return idx, nil
+}
+
+// openMappedV4 maps a v4 index file and wraps its sections zero-copy.
+func openMappedV4(path string) (Queryable, error) {
+	m, err := openMapping(path)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := parseV4(m.bytes(), m)
+	if err != nil {
+		m.Close()
+		return nil, fmt.Errorf("reading index %s: %w", path, err)
+	}
+	adoptBaseName(idx, path)
+	return idx, nil
+}
+
+// adoptBaseName names an unnamed index after its file.
+func adoptBaseName(idx Queryable, path string) {
 	if idx.Name() == "" {
 		base := filepath.Base(path)
 		idx.SetName(strings.TrimSuffix(base, filepath.Ext(base)))
 	}
-	return idx, nil
 }

@@ -152,6 +152,9 @@ func FuzzReadIndex(f *testing.F) {
 		f.Fatal(err)
 	}
 
+	v4 := v4TestImage(f, false)
+	v4s := v4TestImage(f, true)
+
 	f.Add(v2.Bytes())
 	f.Add(v3.Bytes())
 	f.Add(v2.Bytes()[:16])                // truncated header
@@ -160,6 +163,21 @@ func FuzzReadIndex(f *testing.F) {
 	f.Add(corrupt(v3.Bytes(), 16, 1<<31)) // hostile shard count (name "fuzz")
 	f.Add(bytes.Repeat([]byte{0x49}, 64)) // garbage
 	f.Add([]byte{0x49, 0x41, 0x52, 0x45}) // magic only
+	f.Add(v4)                             // valid mapped-format image
+	f.Add(v4s)                            // valid sharded mapped-format image
+	f.Add(v4[:v4HeaderLen])               // header-only (truncated sections)
+	f.Add(v4[:len(v4)/2])                 // truncated mid-section
+	f.Add(corrupt(v4, 8, 7))              // unknown kind
+	f.Add(corrupt(v4, 72, 4097))          // misaligned node section
+	f.Add(corrupt(v4, 80, 1<<30))         // hostile node count
+	f.Add(corrupt(v4, 144, 1<<30))        // hostile leaf count
+	f.Add(corrupt(v4s, 48, 1<<20))        // hostile v4 shard count
+	// Valid sections, corrupted node payload: the reader accepts it (open is
+	// O(header) by design) and the query-time clamps must hold.
+	if nodesOff := binary.LittleEndian.Uint64(v4[72:]); int(nodesOff)+64 < len(v4) {
+		f.Add(corrupt(v4, int(nodesOff)+12, 0xFFFFFFF0)) // root childStart
+		f.Add(corrupt(v4, int(nodesOff)+16, 0xFFFFFFF0)) // root leafStart
+	}
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		if len(raw) > 1<<16 {
 			t.Skip()

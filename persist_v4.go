@@ -1,0 +1,554 @@
+package era
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"unsafe"
+
+	"era/internal/alphabet"
+	"era/internal/suffixtree"
+)
+
+// Format v4 is the mmap-native index layout: a page-aligned, little-endian,
+// offset-based image whose sections are directly usable as the query-time
+// data structures. OpenIndex on a v4 file maps it and wraps the sections in
+// a suffixtree.FlatTree view — O(header) work, no per-node deserialization,
+// no whole-tree copy — so startup cost is independent of index size and
+// concurrent serving processes share one page-cache copy of the file.
+//
+// Monolithic image (kind 0):
+//
+//	header (v4HeaderLen bytes, fields below)
+//	meta      nameLen u32 + name, alphaNameLen u32 + alphaName,
+//	          nSyms u32 + symbols
+//	data      the string S, terminator included           (page-aligned)
+//	docEnds   nDocs × u32 exclusive document ends         (page-aligned)
+//	nodes     nNodes × 32-byte flat node records          (page-aligned)
+//	sym       nNodes × 1 byte first edge symbols          (page-aligned)
+//	dense     dense child tables, 1 KiB each              (page-aligned)
+//	leafIdx   per-block u32 offsets into leafData         (page-aligned)
+//	leafData  delta-varint leaf blocks                    (page-aligned)
+//
+// Header fields (little endian):
+//
+//	0   magic    u32 'ERAI'
+//	4   version  u32 = 4
+//	8   kind     u32: 0 monolithic, 1 sharded
+//	12  reserved u32
+//	16  imageLen u64  total image bytes (truncation check)
+//	24  metaOff  u64
+//	32  metaLen  u64
+//	40.. kind-specific fields, see v4Header / v4ShardHeader.
+//
+// Sharded image (kind 1): header + meta (name only) + a table of
+// (payloadOff, payloadLen) u64 pairs + the payloads, each payload a complete
+// page-aligned monolithic v4 image. One mapping serves every shard.
+//
+// Like v1–v3, everything read from a v4 file is untrusted: the section table
+// is bounds- and alignment-checked at open (misaligned or truncated sections
+// are errors), and the FlatTree clamps every id and offset at access time,
+// so a corrupt file degrades to wrong answers — never a panic, a runaway
+// walk, or a fault past the mapping.
+const (
+	flatVersion = 4
+	// v4Page is the section alignment. 4 KiB matches the page size of every
+	// deployment target; sections start on page boundaries so the kernel
+	// can fault and evict them independently.
+	v4Page = 4096
+	// v4HeaderLen is the fixed monolithic header size (the sharded header
+	// is shorter but padded to the same length, so meta always follows at
+	// one offset).
+	v4HeaderLen = 152
+	// maxV4Shards bounds the shard table on read, mirroring maxShards.
+	maxV4Shards = 1 << 12
+)
+
+// v4align rounds n up to the page boundary.
+func v4align(n int64) int64 {
+	return (n + v4Page - 1) &^ (v4Page - 1)
+}
+
+// v4sections is the resolved section table of one monolithic image.
+type v4sections struct {
+	meta              []byte
+	data              []byte
+	docEnds           []byte
+	nodes, sym        []byte
+	dense             []byte
+	leafIdx, leafData []byte
+	nDocs, nLeaves    int64
+	nNodes            int64
+	imageLen          int64
+}
+
+// sliceV4 bounds-checks one section against the image and its required
+// alignment, returning the window.
+func sliceV4(buf []byte, off, length, align int64, name string) ([]byte, error) {
+	if off < 0 || length < 0 || off > int64(len(buf)) || length > int64(len(buf))-off {
+		return nil, fmt.Errorf("era: corrupt index: %s section [%d, %d+%d) outside the %d-byte image", name, off, off, length, len(buf))
+	}
+	if align > 1 && off%align != 0 {
+		return nil, fmt.Errorf("era: corrupt index: %s section at offset %d is not %d-byte aligned", name, off, align)
+	}
+	return buf[off : off+length : off+length], nil
+}
+
+// parseV4Mono resolves a monolithic v4 image into an Index whose tree is a
+// FlatTree over the image's own bytes. mp, when non-nil, is the mapping the
+// Index takes ownership of.
+func parseV4Mono(buf []byte, mp *mapping) (*Index, error) {
+	s, err := parseV4Sections(buf)
+	if err != nil {
+		return nil, err
+	}
+	name, alphaName, syms, err := parseV4Meta(s.meta, true)
+	if err != nil {
+		return nil, err
+	}
+	alpha, err := alphabet.New(alphaName, syms)
+	if err != nil {
+		return nil, err
+	}
+	docEnds, err := docEndsView(s.docEnds, int(s.nDocs), len(s.data))
+	if err != nil {
+		return nil, err
+	}
+	tree, err := suffixtree.NewFlatTree(s.data, s.nodes, s.sym, s.dense, s.leafIdx, s.leafData, int32(s.nLeaves))
+	if err != nil {
+		return nil, fmt.Errorf("era: corrupt index: %w", err)
+	}
+	return &Index{
+		name:    name,
+		tree:    tree,
+		data:    s.data,
+		alpha:   alpha,
+		docEnds: docEnds,
+		mp:      mp,
+	}, nil
+}
+
+// parseV4Sections validates the monolithic header's section table —
+// O(header): bounds, alignment, and the cheap scalar invariants only.
+func parseV4Sections(buf []byte) (*v4sections, error) {
+	if len(buf) < v4HeaderLen {
+		return nil, fmt.Errorf("era: corrupt index: %d bytes is shorter than the v4 header", len(buf))
+	}
+	u64 := func(off int) int64 { return int64(binary.LittleEndian.Uint64(buf[off:])) }
+	if m := binary.LittleEndian.Uint32(buf[0:]); m != indexMagic {
+		return nil, fmt.Errorf("era: bad index magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != flatVersion {
+		return nil, fmt.Errorf("era: not a v4 index (version %d)", v)
+	}
+	if k := binary.LittleEndian.Uint32(buf[8:]); k != 0 {
+		return nil, fmt.Errorf("era: corrupt index: kind %d where a monolithic image was expected", k)
+	}
+	s := &v4sections{imageLen: u64(16)}
+	if s.imageLen < v4HeaderLen || s.imageLen > int64(len(buf)) {
+		return nil, fmt.Errorf("era: corrupt index: image length %d outside the %d available bytes (truncated file?)", s.imageLen, len(buf))
+	}
+	img := buf[:s.imageLen]
+	var err error
+	if s.meta, err = sliceV4(img, u64(24), u64(32), 1, "meta"); err != nil {
+		return nil, err
+	}
+	dataLen := u64(48)
+	if s.data, err = sliceV4(img, u64(40), dataLen, v4Page, "data"); err != nil {
+		return nil, err
+	}
+	if dataLen < 1 || s.data[dataLen-1] != alphabet.Terminator {
+		return nil, fmt.Errorf("era: corrupt index: string does not end with the terminator")
+	}
+	s.nDocs = u64(64)
+	if s.nDocs < 1 || s.nDocs > dataLen {
+		return nil, fmt.Errorf("era: corrupt index: %d documents over a %d-byte string", s.nDocs, dataLen)
+	}
+	if s.docEnds, err = sliceV4(img, u64(56), s.nDocs*4, v4Page, "docEnds"); err != nil {
+		return nil, err
+	}
+	s.nNodes = u64(80)
+	if s.nNodes < 1 || s.nNodes > int64(1)<<31-1 {
+		return nil, fmt.Errorf("era: corrupt index: node count %d", s.nNodes)
+	}
+	if s.nodes, err = sliceV4(img, u64(72), s.nNodes*32, v4Page, "nodes"); err != nil {
+		return nil, err
+	}
+	if s.sym, err = sliceV4(img, u64(88), s.nNodes, v4Page, "sym"); err != nil {
+		return nil, err
+	}
+	if s.dense, err = sliceV4(img, u64(96), u64(104), v4Page, "dense"); err != nil {
+		return nil, err
+	}
+	s.nLeaves = u64(144)
+	if s.nLeaves < 0 || s.nLeaves > s.nNodes {
+		return nil, fmt.Errorf("era: corrupt index: %d leaves for %d nodes", s.nLeaves, s.nNodes)
+	}
+	if s.leafIdx, err = sliceV4(img, u64(112), u64(120), v4Page, "leafIdx"); err != nil {
+		return nil, err
+	}
+	if s.leafData, err = sliceV4(img, u64(128), u64(136), v4Page, "leafData"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseV4Meta unpacks the meta section: name, and (for monolithic images)
+// alphabet name and symbols.
+func parseV4Meta(meta []byte, mono bool) (name, alphaName string, syms []byte, err error) {
+	next := func() ([]byte, error) {
+		if len(meta) < 4 {
+			return nil, fmt.Errorf("era: corrupt index: truncated meta section")
+		}
+		n := binary.LittleEndian.Uint32(meta)
+		meta = meta[4:]
+		if n > maxNameLen || int64(n) > int64(len(meta)) {
+			return nil, fmt.Errorf("era: corrupt index: meta field of %d bytes", n)
+		}
+		f := meta[:n]
+		meta = meta[n:]
+		return f, nil
+	}
+	b, err := next()
+	if err != nil {
+		return "", "", nil, err
+	}
+	name = string(b)
+	if !mono {
+		return name, "", nil, nil
+	}
+	if b, err = next(); err != nil {
+		return "", "", nil, err
+	}
+	alphaName = string(b)
+	if syms, err = next(); err != nil {
+		return "", "", nil, err
+	}
+	if len(syms) > 256 {
+		return "", "", nil, fmt.Errorf("era: corrupt index: alphabet of %d symbols", len(syms))
+	}
+	return name, alphaName, append([]byte(nil), syms...), nil
+}
+
+// hostLittleEndian reports whether int32 slices can view little-endian bytes
+// directly.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// docEndsView interprets the docEnds section as []int32 — zero-copy on
+// little-endian hosts with an aligned base (the mmap case), copied
+// otherwise — and validates the same invariants readMonolithic enforces for
+// v1/v2 files: monotone, inside the content, covering it exactly.
+func docEndsView(sec []byte, nDocs, dataLen int) ([]int32, error) {
+	var ends []int32
+	if hostLittleEndian && nDocs > 0 && uintptr(unsafe.Pointer(&sec[0]))%4 == 0 {
+		ends = unsafe.Slice((*int32)(unsafe.Pointer(&sec[0])), nDocs)
+	} else {
+		ends = make([]int32, nDocs)
+		for i := range ends {
+			ends[i] = int32(binary.LittleEndian.Uint32(sec[i*4:]))
+		}
+	}
+	prev := int32(0)
+	for i, e := range ends {
+		if e < prev || int(e) > dataLen-1 {
+			return nil, fmt.Errorf("era: corrupt index: doc end %d of document %d outside [%d, %d]", e, i, prev, dataLen-1)
+		}
+		prev = e
+	}
+	if int(ends[nDocs-1]) != dataLen-1 {
+		return nil, fmt.Errorf("era: corrupt index: documents cover %d bytes of a %d-byte string", ends[nDocs-1], dataLen-1)
+	}
+	return ends, nil
+}
+
+// parseV4 resolves any v4 image — monolithic or sharded — handing ownership
+// of mp (which may be nil for in-memory buffers) to the returned index.
+func parseV4(buf []byte, mp *mapping) (Queryable, error) {
+	if len(buf) < 16 {
+		return nil, fmt.Errorf("era: corrupt index: %d bytes is shorter than the v4 header", len(buf))
+	}
+	if k := binary.LittleEndian.Uint32(buf[8:]); k == 1 {
+		return parseV4Sharded(buf, mp)
+	}
+	return parseV4Mono(buf, mp)
+}
+
+// parseV4Sharded resolves a sharded v4 image: every payload is parsed as a
+// monolithic image over a window of the same buffer, so the shards of one
+// file share one mapping.
+func parseV4Sharded(buf []byte, mp *mapping) (*ShardedIndex, error) {
+	if len(buf) < v4HeaderLen {
+		return nil, fmt.Errorf("era: corrupt index: %d bytes is shorter than the v4 header", len(buf))
+	}
+	u64 := func(off int) int64 { return int64(binary.LittleEndian.Uint64(buf[off:])) }
+	imageLen := u64(16)
+	if imageLen < v4HeaderLen || imageLen > int64(len(buf)) {
+		return nil, fmt.Errorf("era: corrupt index: image length %d outside the %d available bytes (truncated file?)", imageLen, len(buf))
+	}
+	img := buf[:imageLen]
+	meta, err := sliceV4(img, u64(24), u64(32), 1, "meta")
+	if err != nil {
+		return nil, err
+	}
+	name, _, _, err := parseV4Meta(meta, false)
+	if err != nil {
+		return nil, err
+	}
+	nShards := u64(48)
+	if nShards < 1 || nShards > maxV4Shards {
+		return nil, fmt.Errorf("era: corrupt index: shard count %d outside [1, %d]", nShards, maxV4Shards)
+	}
+	table, err := sliceV4(img, u64(40), nShards*16, 8, "shard table")
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]*Index, nShards)
+	for i := range shards {
+		off := int64(binary.LittleEndian.Uint64(table[i*16:]))
+		plen := int64(binary.LittleEndian.Uint64(table[i*16+8:]))
+		payload, err := sliceV4(img, off, plen, v4Page, "shard payload")
+		if err != nil {
+			return nil, fmt.Errorf("era: shard %d of %d: %w", i, nShards, err)
+		}
+		idx, err := parseV4Mono(payload, nil)
+		if err != nil {
+			return nil, fmt.Errorf("era: shard %d of %d: %w", i, nShards, err)
+		}
+		shards[i] = idx
+	}
+	sx, err := newShardedIndex(name, shards)
+	if err != nil {
+		return nil, fmt.Errorf("era: corrupt index: %w", err)
+	}
+	sx.mp = mp
+	return sx, nil
+}
+
+// padWriter tracks the write offset and emits zero padding up to aligned
+// section starts.
+type padWriter struct {
+	w   io.Writer
+	off int64
+	err error
+}
+
+var v4zeros [v4Page]byte
+
+func (p *padWriter) write(b []byte) {
+	if p.err != nil {
+		return
+	}
+	n, err := p.w.Write(b)
+	p.off += int64(n)
+	p.err = err
+}
+
+// padTo writes zeros until the offset reaches target.
+func (p *padWriter) padTo(target int64) {
+	for p.err == nil && p.off < target {
+		n := target - p.off
+		if n > v4Page {
+			n = v4Page
+		}
+		p.write(v4zeros[:n])
+	}
+}
+
+// v4MetaMono packs the monolithic meta section.
+func v4MetaMono(name string, alpha *alphabet.Alphabet) []byte {
+	syms := alpha.Symbols()
+	meta := make([]byte, 0, 12+len(name)+len(alpha.Name())+len(syms))
+	meta = binary.LittleEndian.AppendUint32(meta, uint32(len(name)))
+	meta = append(meta, name...)
+	meta = binary.LittleEndian.AppendUint32(meta, uint32(len(alpha.Name())))
+	meta = append(meta, alpha.Name()...)
+	meta = binary.LittleEndian.AppendUint32(meta, uint32(len(syms)))
+	meta = append(meta, syms...)
+	return meta
+}
+
+// v4MonoLayout computes the section offsets of one monolithic image.
+type v4MonoLayout struct {
+	metaLen                                         int64
+	dataOff, docEndsOff, nodesOff, symOff, denseOff int64
+	leafIdxOff, leafDataOff                         int64
+	imageLen                                        int64
+}
+
+func planV4Mono(metaLen, dataLen, nDocs int64, f *suffixtree.Flat) v4MonoLayout {
+	var l v4MonoLayout
+	l.metaLen = metaLen
+	l.dataOff = v4align(v4HeaderLen + metaLen)
+	l.docEndsOff = v4align(l.dataOff + dataLen)
+	l.nodesOff = v4align(l.docEndsOff + nDocs*4)
+	l.symOff = v4align(l.nodesOff + int64(len(f.Nodes)))
+	l.denseOff = v4align(l.symOff + int64(len(f.Sym)))
+	l.leafIdxOff = v4align(l.denseOff + int64(len(f.Dense)))
+	l.leafDataOff = v4align(l.leafIdxOff + int64(len(f.LeafIdx)))
+	l.imageLen = l.leafDataOff + int64(len(f.LeafData))
+	return l
+}
+
+// writeV4Mono streams one monolithic image: header, meta, then the page-
+// aligned sections. The layout is computed up front, so any io.Writer works
+// (no seeking) and the byte stream is deterministic.
+func (x *Index) writeV4Mono(w io.Writer) (int64, error) {
+	f, err := suffixtree.Flatten(x.tree, x.data)
+	if err != nil {
+		return 0, fmt.Errorf("era: flattening index %q: %w", x.name, err)
+	}
+	return x.writeV4MonoWith(w, f)
+}
+
+// writeV4MonoWith is writeV4Mono over an already-flattened tree.
+func (x *Index) writeV4MonoWith(w io.Writer, f *suffixtree.Flat) (int64, error) {
+	if len(x.name) > maxNameLen || len(x.alpha.Name()) > maxNameLen {
+		return 0, fmt.Errorf("era: index name longer than %d bytes", maxNameLen)
+	}
+	meta := v4MetaMono(x.name, x.alpha)
+	l := planV4Mono(int64(len(meta)), int64(len(x.data)), int64(len(x.docEnds)), f)
+
+	hdr := make([]byte, v4HeaderLen)
+	binary.LittleEndian.PutUint32(hdr[0:], indexMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], flatVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], 0) // monolithic
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(l.imageLen))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(v4HeaderLen))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(len(meta)))
+	binary.LittleEndian.PutUint64(hdr[40:], uint64(l.dataOff))
+	binary.LittleEndian.PutUint64(hdr[48:], uint64(len(x.data)))
+	binary.LittleEndian.PutUint64(hdr[56:], uint64(l.docEndsOff))
+	binary.LittleEndian.PutUint64(hdr[64:], uint64(len(x.docEnds)))
+	binary.LittleEndian.PutUint64(hdr[72:], uint64(l.nodesOff))
+	binary.LittleEndian.PutUint64(hdr[80:], uint64(f.NNodes))
+	binary.LittleEndian.PutUint64(hdr[88:], uint64(l.symOff))
+	binary.LittleEndian.PutUint64(hdr[96:], uint64(l.denseOff))
+	binary.LittleEndian.PutUint64(hdr[104:], uint64(len(f.Dense)))
+	binary.LittleEndian.PutUint64(hdr[112:], uint64(l.leafIdxOff))
+	binary.LittleEndian.PutUint64(hdr[120:], uint64(len(f.LeafIdx)))
+	binary.LittleEndian.PutUint64(hdr[128:], uint64(l.leafDataOff))
+	binary.LittleEndian.PutUint64(hdr[136:], uint64(len(f.LeafData)))
+	binary.LittleEndian.PutUint64(hdr[144:], uint64(f.NLeaves))
+
+	p := &padWriter{w: w}
+	p.write(hdr)
+	p.write(meta)
+	p.padTo(l.dataOff)
+	p.write(x.data)
+	p.padTo(l.docEndsOff)
+	de := make([]byte, 4*len(x.docEnds))
+	for i, e := range x.docEnds {
+		binary.LittleEndian.PutUint32(de[i*4:], uint32(e))
+	}
+	p.write(de)
+	p.padTo(l.nodesOff)
+	p.write(f.Nodes)
+	p.padTo(l.symOff)
+	p.write(f.Sym)
+	p.padTo(l.denseOff)
+	p.write(f.Dense)
+	p.padTo(l.leafIdxOff)
+	p.write(f.LeafIdx)
+	p.padTo(l.leafDataOff)
+	p.write(f.LeafData)
+	return p.off, p.err
+}
+
+// WriteToV4 serializes the index as a format-v4 (mmap-native) image. Reopen
+// with OpenIndex for the zero-copy path; `era compact` is the CLI face of
+// this conversion.
+func (x *Index) WriteToV4(w io.Writer) (int64, error) {
+	return x.writeV4Mono(w)
+}
+
+// WriteToV4 serializes the sharded index as one format-v4 sharded image:
+// shard payloads are complete page-aligned monolithic images, so OpenIndex
+// serves every shard from a single mapping.
+func (sx *ShardedIndex) WriteToV4(w io.Writer) (int64, error) {
+	if len(sx.name) > maxNameLen {
+		return 0, fmt.Errorf("era: index name longer than %d bytes", maxNameLen)
+	}
+	if len(sx.shards) > maxV4Shards {
+		return 0, fmt.Errorf("era: %d shards exceed the format limit of %d", len(sx.shards), maxV4Shards)
+	}
+	// Payload sizes come from each shard's deterministic layout plan, so
+	// the whole image streams without seeking. Each shard is flattened
+	// twice — once here for sizing, once in the write loop — rather than
+	// held: keeping every shard's sections live at once would transiently
+	// double the corpus in memory, the very thing sharding exists to avoid
+	// (the v3 writer makes the same trade on non-seekable destinations).
+	meta := make([]byte, 0, 4+len(sx.name))
+	meta = binary.LittleEndian.AppendUint32(meta, uint32(len(sx.name)))
+	meta = append(meta, sx.name...)
+	tableOff := (int64(v4HeaderLen) + int64(len(meta)) + 7) &^ 7
+	table := make([]int64, 2*len(sx.shards))
+	off := v4align(tableOff + int64(16*len(sx.shards)))
+	for i, sh := range sx.shards {
+		f, err := suffixtree.Flatten(sh.tree, sh.data)
+		if err != nil {
+			return 0, fmt.Errorf("era: flattening shard %d: %w", i, err)
+		}
+		metaLen := int64(len(v4MetaMono(sh.name, sh.alpha)))
+		l := planV4Mono(metaLen, int64(len(sh.data)), int64(len(sh.docEnds)), f)
+		table[2*i] = off
+		table[2*i+1] = l.imageLen
+		off = v4align(off + l.imageLen)
+	}
+	imageLen := table[2*len(sx.shards)-2] + table[2*len(sx.shards)-1]
+
+	hdr := make([]byte, v4HeaderLen)
+	binary.LittleEndian.PutUint32(hdr[0:], indexMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], flatVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], 1) // sharded
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(imageLen))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(v4HeaderLen))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(len(meta)))
+	binary.LittleEndian.PutUint64(hdr[40:], uint64(tableOff))
+	binary.LittleEndian.PutUint64(hdr[48:], uint64(len(sx.shards)))
+
+	p := &padWriter{w: w}
+	p.write(hdr)
+	p.write(meta)
+	p.padTo(tableOff)
+	tb := make([]byte, 16*len(sx.shards))
+	for i := 0; i < len(sx.shards); i++ {
+		binary.LittleEndian.PutUint64(tb[i*16:], uint64(table[2*i]))
+		binary.LittleEndian.PutUint64(tb[i*16+8:], uint64(table[2*i+1]))
+	}
+	p.write(tb)
+	for i, sh := range sx.shards {
+		p.padTo(table[2*i])
+		if p.err != nil {
+			return p.off, p.err
+		}
+		n, err := sh.writeV4Mono(p.w) // re-flattens; Flatten is deterministic
+		p.off += n
+		if err != nil {
+			return p.off, fmt.Errorf("era: writing shard %d payload: %w", i, err)
+		}
+		if n != table[2*i+1] {
+			return p.off, fmt.Errorf("era: shard %d payload wrote %d bytes, planned %d", i, n, table[2*i+1])
+		}
+	}
+	return p.off, p.err
+}
+
+// WriteFileV4 saves any index — monolithic or sharded, heap- or mmap-backed
+// — to path as a format-v4 image.
+func WriteFileV4(path string, q Queryable) error {
+	switch v := q.(type) {
+	case *Index:
+		return writeFile(path, writerToFunc(v.WriteToV4))
+	case *ShardedIndex:
+		return writeFile(path, writerToFunc(v.WriteToV4))
+	}
+	return fmt.Errorf("era: cannot write %T as v4", q)
+}
+
+// writerToFunc adapts a WriteTo-shaped method to io.WriterTo.
+type writerToFunc func(io.Writer) (int64, error)
+
+func (f writerToFunc) WriteTo(w io.Writer) (int64, error) { return f(w) }

@@ -329,6 +329,8 @@ func (x *Index) LongestCommonSubstring(a, b int) ([]byte, int, int, error) {
 // in d ("slack": max over its leaves in d of docEnd − leafOffset; −1 when d
 // has no leaf below). A node's path label occurs inside document d exactly
 // when its depth ≤ slack[d]. fn is invoked post-order on internal nodes.
+// Traversal goes through the layout-agnostic ForEachChild, so it runs
+// unmodified over the heap tree and the mapped flat layout.
 func (x *Index) walkDocSlacks(fn func(node, depth int32, slack []int32)) {
 	t := x.tree
 	nd := len(x.docEnds)
@@ -339,14 +341,21 @@ func (x *Index) walkDocSlacks(fn func(node, depth int32, slack []int32)) {
 	}
 	slacks := make(map[int32][]int32)
 	stack := []frame{{t.Root(), 0, false}}
-	for len(stack) > 0 {
+	// A valid tree pops each node twice (pre + post). A corrupt flat layout
+	// can encode overlapping child runs (a DAG), which would re-expand
+	// shared subtrees exponentially; the budget keeps the walk linear —
+	// wrong answers on a corrupt file are acceptable, runaway walks are not.
+	budget := 2 * t.NumNodes()
+	for len(stack) > 0 && budget > 0 {
+		budget--
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if !f.visited {
 			stack = append(stack, frame{f.id, f.depth, true})
-			for c := t.FirstChild(f.id); c != -1; c = t.NextSibling(c) {
+			t.ForEachChild(f.id, func(c int32) bool {
 				stack = append(stack, frame{c, f.depth + t.EdgeLen(c), false})
-			}
+				return true
+			})
 			continue
 		}
 		s := make([]int32, nd)
@@ -359,15 +368,19 @@ func (x *Index) walkDocSlacks(fn func(node, depth int32, slack []int32)) {
 				s[doc] = x.docEnds[doc] - o
 			}
 		} else {
-			for c := t.FirstChild(f.id); c != -1; c = t.NextSibling(c) {
+			t.ForEachChild(f.id, func(c int32) bool {
 				cs := slacks[c]
+				if cs == nil {
+					return true // corrupt flat layout: child never visited
+				}
 				for i := range s {
 					if cs[i] > s[i] {
 						s[i] = cs[i]
 					}
 				}
 				delete(slacks, c)
-			}
+				return true
+			})
 			fn(f.id, f.depth, s)
 		}
 		slacks[f.id] = s

@@ -32,6 +32,11 @@ import (
 // engine in internal/server, the CLI and persistence address both through
 // it. Like Index, implementations are immutable apart from SetName and safe
 // for concurrent queries.
+//
+// MappedBytes/ResidentBytes/Close expose the open/close lifecycle of
+// indexes backed by memory-mapped v4 files: heap-resident indexes report 0
+// mapped bytes and Close is a no-op, so callers can treat every Queryable
+// uniformly. Close must only run once no queries are in flight.
 type Queryable interface {
 	Name() string
 	SetName(name string)
@@ -45,6 +50,9 @@ type Queryable interface {
 	DocOccurrences(pattern []byte) []DocHit
 	Batch(ops []Op) []Result
 	WriteFile(path string) error
+	MappedBytes() int64
+	ResidentBytes() int64
+	Close() error
 }
 
 var (
@@ -67,6 +75,7 @@ type ShardedIndex struct {
 	numDocs  int
 	totalLen int // global concatenated length including the single terminator
 	alpha    *alphabet.Alphabet
+	mp       *mapping // non-nil when all shards view one mapped v4 file
 }
 
 // ShardConfig tunes BuildShardedCorpus beyond the per-shard build Config.
@@ -248,6 +257,33 @@ func (sx *ShardedIndex) TreeNodes() int64 {
 		n += sh.TreeNodes()
 	}
 	return n
+}
+
+// MappedBytes returns the size of the mapping shared by the shards, or 0
+// when the shards are heap-resident.
+func (sx *ShardedIndex) MappedBytes() int64 {
+	if sx.mp == nil {
+		return 0
+	}
+	return sx.mp.size()
+}
+
+// ResidentBytes reports the resident portion of the shared mapping (-1 when
+// unknown, 0 for heap shards).
+func (sx *ShardedIndex) ResidentBytes() int64 {
+	if sx.mp == nil || !sx.mp.mapped {
+		return 0
+	}
+	return residentBytes(sx.mp.bytes())
+}
+
+// Close releases the mapping shared by the shards (no-op for heap shards).
+// Idempotent; see Index.Close for the no-in-flight-queries requirement.
+func (sx *ShardedIndex) Close() error {
+	if sx.mp == nil {
+		return nil
+	}
+	return sx.mp.Close()
 }
 
 // fanOut runs f(i, shard) for every shard, concurrently when there are
