@@ -12,6 +12,7 @@
 //	era stats -index dna.idx
 //	era serve -addr :8329 dna.idx genome.idx
 //	era serve -addr :8329 -dir indexes/
+//	era serve -addr :8329 -live corpus.live/
 //
 // shard splits a document corpus at document boundaries into size-balanced
 // shards and persists one sharded index file (format v3); serve loads it
@@ -33,6 +34,13 @@
 //	curl -s localhost:8329/v1/indexes
 //	curl -s -d '{"index":"dna","op":"count","pattern":"GGTGATG"}' localhost:8329/v1/query
 //	curl -s -d '{"index":"dna","ops":[{"op":"contains","pattern":"TG"},{"op":"occurrences","pattern":"GGT","max":10}]}' localhost:8329/v1/batch
+//
+// -live DIR opens (or creates) a mutable live index persisted under DIR
+// (see era.LiveIndex): the usual query endpoints work unchanged, and the
+// corpus can be mutated while serving:
+//
+//	curl -s -d '{"docs":["GATTACA","CCAT"]}' localhost:8329/v1/indexes/corpus/docs
+//	curl -s -X DELETE localhost:8329/v1/indexes/corpus/docs/0
 package main
 
 import (
@@ -83,7 +91,7 @@ func usage() {
   era compact -in FILE [-out FILE] [-verify]
   era query -index FILE -pattern P [-max N]
   era stats -index FILE
-  era serve [-addr HOST:PORT] [-cache N] [-dir DIR] [-drain DURATION] [INDEX.idx ...]`)
+  era serve [-addr HOST:PORT] [-cache N] [-dir DIR] [-live DIR] [-drain DURATION] [INDEX.idx ...]`)
 	os.Exit(2)
 }
 
@@ -151,12 +159,13 @@ func serve(args []string) {
 	var (
 		addr  = fs.String("addr", ":8329", "listen address")
 		dir   = fs.String("dir", "", "load every *.idx file in this directory")
+		live  = fs.String("live", "", "open (or create) a mutable live index persisted under this directory")
 		cache = fs.Int("cache", 4096, "query result cache capacity (0 disables)")
 		drain = fs.Duration("drain", 15*time.Second, "graceful shutdown drain budget on SIGTERM/SIGINT")
 	)
 	fs.Parse(args)
-	if *dir == "" && fs.NArg() == 0 {
-		fatal(fmt.Errorf("serve needs -dir or at least one index file"))
+	if *dir == "" && *live == "" && fs.NArg() == 0 {
+		fatal(fmt.Errorf("serve needs -dir, -live or at least one index file"))
 	}
 
 	engine := server.NewEngine(*cache)
@@ -193,6 +202,19 @@ func serve(args []string) {
 		checkDup(name)
 		idx, _ := engine.Get(name)
 		log.Printf("loaded %s as %q (%d symbols, %d tree nodes)", path, name, idx.Len(), idx.TreeNodes())
+	}
+	if *live != "" {
+		lx, err := era.NewLive("", &era.LiveConfig{Dir: *live, Background: true})
+		if err != nil {
+			fatal(err)
+		}
+		checkDup(lx.Name())
+		if err := engine.Load(lx); err != nil {
+			fatal(err)
+		}
+		st := lx.Stats()
+		log.Printf("opened live index %s as %q (%d live docs, %d sealed tiers, %d tombstones)",
+			*live, lx.Name(), lx.NumDocs(), st.Tiers, st.DeadDocs)
 	}
 
 	log.Printf("serving %d indexes on %s", len(engine.Names()), *addr)
@@ -420,6 +442,13 @@ func stats(args []string) {
 			fmt.Printf("  shard %d: docs %d–%d, %d symbols, %d tree nodes\n",
 				i, firstDoc, firstDoc+sh.NumDocs()-1, sh.Len()-1, sh.TreeNodes())
 		}
+	case *era.LiveIndex:
+		s := x.Stats()
+		fmt.Printf("live index: %d sealed tiers, %d memtable docs, %d tombstones pending compaction\n",
+			s.Tiers, s.MemtableDocs, s.DeadDocs)
+		fmt.Printf("next document id: %d (mutation epoch %d)\n", s.NextID, s.Epoch)
+		fmt.Printf("lifetime: %d seals, %d compactions, %v cumulative mutation pause\n",
+			s.Seals, s.Compactions, s.MutationPause.Round(time.Microsecond))
 	}
 }
 

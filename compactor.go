@@ -1,0 +1,338 @@
+package era
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Tier maintenance for LiveIndex: sealing the memtable into an immutable
+// tier, compacting the sealed tier set back into one, and the manifest that
+// makes both durable.
+//
+// File discipline mirrors the serving path's hot-reload contract: tier
+// files and the manifest are written to a temporary name, fsynced, and
+// renamed into place — never rewritten. Replaced tier files are unlinked
+// immediately after the manifest swap; snapshots still reading them are
+// safe because their mmap keeps the inode alive until the last reference
+// drains (the tierHandle refcount closes the mapping, which releases the
+// inode).
+
+const (
+	// liveManifestName is the manifest file inside a live directory. Its
+	// ".idx" suffix means Engine.LoadDir picks it up like any index file;
+	// OpenIndex recognizes the kind-2 header and opens the live directory.
+	liveManifestName = "live.idx"
+	// liveTierPattern names sealed tier files. The ".tier" suffix keeps
+	// LoadDir from double-loading them alongside the manifest.
+	liveTierPattern = "tier-%06d.tier"
+)
+
+// memFullLocked reports whether the memtable has reached a seal threshold.
+func (lx *LiveIndex) memFullLocked() bool {
+	return len(lx.mem.docs) >= lx.cfg.MemtableMaxDocs || lx.mem.size >= lx.cfg.MemtableMaxBytes
+}
+
+// Seal forces the memtable into a sealed tier (a v4 file in directory mode)
+// regardless of thresholds. A no-op when the memtable is empty.
+func (lx *LiveIndex) Seal() error {
+	lx.mu.Lock()
+	defer lx.mu.Unlock()
+	if lx.closedFl.Load() {
+		return errLiveClosed
+	}
+	return lx.sealLocked()
+}
+
+// Compact seals any pending memtable, then folds every sealed tier into
+// one, dropping tombstoned documents for good.
+func (lx *LiveIndex) Compact() error {
+	lx.mu.Lock()
+	defer lx.mu.Unlock()
+	if lx.closedFl.Load() {
+		return errLiveClosed
+	}
+	if err := lx.sealLocked(); err != nil {
+		return err
+	}
+	return lx.compactLocked()
+}
+
+// sealLocked converts the memtable into a sealed tier and publishes the new
+// stack; at MaxTiers sealed tiers it compacts. Caller holds mu.
+func (lx *LiveIndex) sealLocked() error {
+	if lx.mem.h == nil {
+		return nil
+	}
+	start := time.Now()
+	st := &tierState{ids: lx.mem.ids, dead: lx.mem.dead, nDead: lx.mem.nDead}
+	if lx.dir == "" {
+		st.h = lx.mem.h // the heap tier moves wholesale; ownership transfers
+	} else {
+		file := fmt.Sprintf(liveTierPattern, lx.tierSeq)
+		lx.tierSeq++
+		idx, err := lx.writeTierFile(file, lx.mem.h.idx)
+		if err != nil {
+			lx.tierSeq-- // the file never landed; reuse the sequence number
+			return err
+		}
+		st.h = newTierHandle(idx, file)
+		lx.mem.h.release()
+	}
+	lx.sealed = append(lx.sealed, st)
+	lx.mem = memtable{}
+	var errs []error
+	if lx.dir != "" {
+		if err := lx.writeManifestLocked(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	lx.publishLocked()
+	lx.seals++
+	lx.mutPause += time.Since(start)
+	if len(lx.sealed) >= lx.cfg.MaxTiers {
+		if err := lx.compactLocked(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// compactLocked merges the surviving documents of every sealed tier (ids
+// preserved) into one freshly built tier, swaps the manifest, and unlinks
+// the replaced tier files. Caller holds mu.
+func (lx *LiveIndex) compactLocked() error {
+	if len(lx.sealed) == 0 || (len(lx.sealed) == 1 && lx.sealed[0].nDead == 0) {
+		return nil
+	}
+	start := time.Now()
+	var docs [][]byte
+	var ids []uint64
+	for _, st := range lx.sealed {
+		de := st.h.idx.docEnds
+		s0 := 0
+		for d := 0; d < len(de); d++ {
+			end := int(de[d])
+			if !st.dead[d] {
+				docs = append(docs, st.h.idx.data[s0:end])
+				ids = append(ids, st.ids[d])
+			}
+			s0 = end
+		}
+	}
+	old := lx.sealed
+	var next []*tierState
+	if len(docs) > 0 {
+		bcfg := lx.buildConfig()
+		bcfg.Alphabet = lx.alpha
+		merged, err := build(docs, &bcfg) // copies doc bytes up front; old tiers stay alive below
+		if err != nil {
+			return err
+		}
+		var h *tierHandle
+		if lx.dir == "" {
+			h = newTierHandle(merged, "")
+		} else {
+			file := fmt.Sprintf(liveTierPattern, lx.tierSeq)
+			lx.tierSeq++
+			opened, err := lx.writeTierFile(file, merged)
+			if err != nil {
+				lx.tierSeq--
+				return err
+			}
+			h = newTierHandle(opened, file)
+		}
+		next = []*tierState{{h: h, ids: ids, dead: make([]bool, len(ids))}}
+	}
+	lx.sealed = next
+	var errs []error
+	if lx.dir != "" {
+		if err := lx.writeManifestLocked(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	lx.publishLocked()
+	for _, st := range old {
+		if st.h.file != "" {
+			os.Remove(filepath.Join(lx.dir, st.h.file))
+		}
+		st.h.release()
+	}
+	lx.compactions++
+	lx.mutPause += time.Since(start)
+	return errors.Join(errs...)
+}
+
+// compactLoop is the background maintenance goroutine (LiveConfig
+// Background): it seals (and transitively compacts) whenever Append kicks
+// it past a threshold, keeping the mutating call itself fast.
+func (lx *LiveIndex) compactLoop() {
+	defer close(lx.donec)
+	for {
+		select {
+		case <-lx.stopc:
+			return
+		case <-lx.kick:
+			lx.mu.Lock()
+			if !lx.closedFl.Load() && lx.memFullLocked() {
+				if err := lx.sealLocked(); err != nil && lx.bgErr == nil {
+					lx.bgErr = err
+				}
+			}
+			lx.mu.Unlock()
+		}
+	}
+}
+
+// writeTierFile writes idx as a v4 tier file (tmp+fsync+rename) and maps it
+// back in, returning the mapped replacement.
+func (lx *LiveIndex) writeTierFile(file string, idx *Index) (*Index, error) {
+	path := filepath.Join(lx.dir, file)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := idx.WriteToV4(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	syncDir(lx.dir)
+	opened, err := OpenIndex(path)
+	if err != nil {
+		return nil, fmt.Errorf("era: reopening sealed tier: %w", err)
+	}
+	mono, ok := opened.(*Index)
+	if !ok {
+		opened.Close()
+		return nil, fmt.Errorf("era: sealed tier %s is not a monolithic index", path)
+	}
+	return mono, nil
+}
+
+// writeManifestLocked swaps the manifest (tmp+fsync+rename). Caller holds
+// mu; the manifest records the sealed tiers only — the memtable is volatile
+// by contract until sealed.
+func (lx *LiveIndex) writeManifestLocked() error {
+	m := &liveManifest{name: lx.name, nextID: lx.nextID, tierSeq: lx.tierSeq}
+	for _, st := range lx.sealed {
+		mt := liveManifestTier{file: st.h.file, ids: st.ids}
+		for i, d := range st.dead {
+			if d {
+				mt.dead = append(mt.dead, uint32(i))
+			}
+		}
+		m.tiers = append(m.tiers, mt)
+	}
+	buf, err := encodeLiveManifest(m)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(lx.dir, liveManifestName)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(lx.dir)
+	return nil
+}
+
+// loadManifest restores the sealed tier stack from a manifest file, mapping
+// every tier back in. Runs during NewLive, before any concurrency exists.
+func (lx *LiveIndex) loadManifest(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	m, err := parseLiveManifest(buf)
+	if err != nil {
+		return fmt.Errorf("reading live manifest %s: %w", path, err)
+	}
+	lx.nextID, lx.tierSeq = m.nextID, m.tierSeq
+	if lx.name == "" {
+		lx.name = m.name
+	}
+	fail := func(err error) error {
+		for _, st := range lx.sealed {
+			st.h.release()
+		}
+		lx.sealed = nil
+		return err
+	}
+	for _, mt := range m.tiers {
+		q, err := OpenIndex(filepath.Join(lx.dir, mt.file))
+		if err != nil {
+			return fail(err)
+		}
+		idx, ok := q.(*Index)
+		if !ok {
+			q.Close()
+			return fail(fmt.Errorf("era: live tier %s is not a monolithic index", mt.file))
+		}
+		if idx.NumDocs() != len(mt.ids) {
+			q.Close()
+			return fail(fmt.Errorf("era: live tier %s holds %d documents, manifest says %d", mt.file, idx.NumDocs(), len(mt.ids)))
+		}
+		dead := make([]bool, len(mt.ids))
+		for _, di := range mt.dead {
+			dead[di] = true
+		}
+		st := &tierState{h: newTierHandle(idx, mt.file), ids: mt.ids, dead: dead, nDead: len(mt.dead)}
+		lx.sealed = append(lx.sealed, st)
+		if !lx.fixedAlpha {
+			for _, b := range idx.Alphabet().Symbols() {
+				lx.seen[b] = true
+			}
+		}
+	}
+	if !lx.fixedAlpha && len(lx.sealed) > 0 {
+		if a, err := alphabetFromSeen(&lx.seen); err == nil {
+			lx.alpha = a
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's entry is durable.
+// Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"era"
+	"era/internal/workload"
+)
+
+// RunLiveMix is the mutable-serving scenario: a LiveIndex absorbs append
+// batches, tombstone deletes and compactions while a fixed query workload
+// replays after every phase. The deterministic cells are the tier/tombstone
+// occupancy and the "identical" column — after each phase every answer is
+// verified byte-identical to a from-scratch BuildCorpus over the surviving
+// documents, which is the contract that makes the LSM tiering invisible to
+// clients. Wall cells (throughput, cumulative mutation pause) are
+// host-dependent.
+func RunLiveMix(s Scale) (*Table, error) {
+	t := &Table{ID: "livemix", Paper: "§1 (serving)", Title: "live corpus serving: append/delete/compact phases vs from-scratch rebuild; DNA",
+		Header: []string{"phase", "live-docs", "tiers", "dead", "identical", "wall-mut(ms)", "wall-query(ms)", "wall-kq/s", "wall-pause(ms)"}}
+
+	n := s.GB(1)
+	data, err := workload.Generate(workload.DNA, n, 30011)
+	if err != nil {
+		return nil, err
+	}
+	data = data[:len(data)-1] // builders append their own terminator
+	const nDocs = 96
+	docs, err := workload.SliceDocs(data, nDocs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Small tiers so every phase exercises seal + auto-compaction even at
+	// the small scale.
+	lx, err := era.NewLive("livemix", &era.LiveConfig{MemtableMaxDocs: 8, MaxTiers: 4})
+	if err != nil {
+		return nil, err
+	}
+	defer lx.Close()
+
+	// A deterministic query mix: corpus substrings of assorted lengths,
+	// synthetic misses, and every op kind with and without occurrence caps.
+	var ops []era.Op
+	for i := 0; i < 384; i++ {
+		off := (i * 1009) % (len(data) - 24)
+		l := 3 + i%12
+		p := data[off : off+l]
+		switch i % 4 {
+		case 0:
+			ops = append(ops, era.Op{Kind: era.OpContains, Pattern: p})
+		case 1:
+			ops = append(ops, era.Op{Kind: era.OpCount, Pattern: p})
+		case 2:
+			ops = append(ops, era.Op{Kind: era.OpOccurrences, Pattern: p, MaxOccurrences: 16})
+		case 3:
+			miss := append(append([]byte(nil), p...), "zzzzqqqq"[i%8])
+			ops = append(ops, era.Op{Kind: era.OpCount, Pattern: miss})
+		}
+	}
+
+	// The oracle corpus mirrors the live index's surviving documents in
+	// append order.
+	var oracleIDs []uint64
+	var oracleDocs [][]byte
+	alive := func() [][]byte {
+		out := make([][]byte, 0, len(oracleDocs))
+		for _, d := range oracleDocs {
+			if d != nil {
+				out = append(out, d)
+			}
+		}
+		return out
+	}
+	const rounds = 3
+	phase := func(name string, mutate func() error) error {
+		mutStart := time.Now()
+		if err := mutate(); err != nil {
+			return fmt.Errorf("livemix %s: %w", name, err)
+		}
+		mutWall := time.Since(mutStart)
+
+		oracle, err := era.BuildCorpus(alive(), nil)
+		if err != nil {
+			return fmt.Errorf("livemix %s: oracle rebuild: %w", name, err)
+		}
+		defer oracle.Close()
+		want := oracle.Batch(ops)
+
+		queryStart := time.Now()
+		var got []era.Result
+		for r := 0; r < rounds; r++ {
+			got = lx.Batch(ops)
+		}
+		queryWall := time.Since(queryStart)
+		for i := range want {
+			if got[i].Found != want[i].Found || got[i].Count != want[i].Count || len(got[i].Occurrences) != len(want[i].Occurrences) {
+				return fmt.Errorf("livemix %s: op %d diverged from the rebuilt oracle: %+v != %+v", name, i, got[i], want[i])
+			}
+		}
+
+		st := lx.Stats()
+		qps := float64(rounds*len(ops)) / queryWall.Seconds() / 1000
+		t.AddRow(name, itoa(st.LiveDocs), itoa(st.Tiers), itoa(st.DeadDocs),
+			"yes", ms(mutWall), ms(queryWall), fmt.Sprintf("%.1f", qps), ms(st.MutationPause))
+		return nil
+	}
+
+	// Phase 1: bulk append in small batches — crosses the memtable
+	// threshold repeatedly, sealing tiers and auto-compacting at MaxTiers.
+	if err := phase("append", func() error {
+		for i := 0; i < 64; i += 4 {
+			ids, err := lx.Append(docs[i : i+4])
+			if err != nil {
+				return err
+			}
+			oracleIDs = append(oracleIDs, ids...)
+			oracleDocs = append(oracleDocs, docs[i:i+4]...)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: churn — interleaved appends and deletes leave tombstones in
+	// sealed tiers and the memtable.
+	if err := phase("churn", func() error {
+		for i := 64; i < len(docs); i++ {
+			ids, err := lx.Append(docs[i : i+1])
+			if err != nil {
+				return err
+			}
+			oracleIDs = append(oracleIDs, ids...)
+			oracleDocs = append(oracleDocs, docs[i])
+			if i%3 == 0 {
+				victim := ((i * 7) % len(oracleIDs))
+				if oracleDocs[victim] == nil {
+					continue
+				}
+				if _, err := lx.Delete(oracleIDs[victim]); err != nil {
+					return err
+				}
+				oracleDocs[victim] = nil
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: full compaction — tombstones reclaimed, tiers merged to one.
+	if err := phase("compact", lx.Compact); err != nil {
+		return nil, err
+	}
+	st := lx.Stats()
+	if st.Tiers > 1 || st.DeadDocs != 0 {
+		return nil, fmt.Errorf("livemix: compaction left %d tiers, %d tombstones", st.Tiers, st.DeadDocs)
+	}
+
+	t.Notes = append(t.Notes,
+		"'identical' verifies every answer byte-identical to BuildCorpus over the surviving documents after each phase",
+		fmt.Sprintf("workload: %d ops × %d rounds; memtable seals at 8 docs, auto-compaction at 4 tiers; lifetime %d seals, %d compactions",
+			len(ops), rounds, st.Seals, st.Compactions))
+	return t, nil
+}

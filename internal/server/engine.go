@@ -36,6 +36,25 @@ var ErrUnknownIndex = errors.New("unknown index")
 // index's alphabet. The HTTP layer maps it to 400.
 var ErrBadPattern = errors.New("invalid pattern")
 
+// ErrNotMutable reports a mutation addressed to a static (snapshot) index.
+// Only live indexes (era.LiveIndex, or anything else implementing Mutable)
+// accept appends and deletes. The HTTP layer maps it to 400.
+var ErrNotMutable = errors.New("index is not mutable")
+
+// ErrBadDocument reports an appended document the engine rejected (it
+// contains the reserved terminator byte). The HTTP layer maps it to 400.
+var ErrBadDocument = errors.New("invalid document")
+
+// Mutable is the mutation surface a live index exposes through the engine:
+// era.Queryable plus append/delete and a mutation epoch for cache keying.
+// *era.LiveIndex implements it.
+type Mutable interface {
+	era.Queryable
+	Append(docs [][]byte) ([]uint64, error)
+	Delete(id uint64) (bool, error)
+	Epoch() uint64
+}
+
 // Engine serves queries against a set of named indexes. Construct with
 // NewEngine; all methods are safe for concurrent use.
 type Engine struct {
@@ -51,32 +70,73 @@ type Engine struct {
 	cacheMisses atomic.Int64
 	nextEpoch   atomic.Uint64
 
-	// retired holds *mapped* indexes replaced by a hot reload or Unload. A
-	// mapped v4 index cannot be unmapped while a query that raced the
-	// catalog swap may still be descending it, so retirement defers the
-	// munmap to Close — which a server calls only after draining (see
-	// cmd/era serve). Heap indexes are not retired: their memory is
-	// ordinary garbage once the catalog swap drops the last reference, so
-	// pinning them here would leak one full index per reload.
-	retired []era.Queryable
+	// retired tracks *mapped* entries replaced by a hot reload or Unload
+	// that have not yet drained. Each catalog entry is reference-counted
+	// (the catalog holds one reference, every in-flight query one more), so
+	// a retired mapping is unmapped the moment its last racing query
+	// returns — a reload or compaction loop's mapped memory stays bounded
+	// instead of growing until Close. This list exists only for accounting
+	// (MappedBytes) and as the Close backstop; drained entries are pruned
+	// from it on the next retirement. Heap indexes are not tracked: their
+	// memory is ordinary garbage once the last reference drops.
+	retired []*catalogEntry
 	closed  bool
 }
 
-// retire queues idx for close-at-shutdown when it owns a mapping.
-func (e *Engine) retire(idx era.Queryable) {
-	if idx.MappedBytes() > 0 {
-		e.retired = append(e.retired, idx)
-	}
-}
-
-// catalogEntry pairs an index — monolithic or sharded, anything behind
-// era.Queryable — with its load epoch. The epoch is part of every cache
-// key, so reloading a corpus under the same name orphans the stale cached
-// results instead of serving them; a sharded index reloads (and purges) as
-// one unit.
+// catalogEntry pairs an index — monolithic, sharded, or live, anything
+// behind era.Queryable — with its load epoch and lifecycle state. The epoch
+// is part of every cache key, so reloading a corpus under the same name
+// orphans the stale cached results instead of serving them; a sharded index
+// reloads (and purges) as one unit.
 type catalogEntry struct {
 	idx   era.Queryable
 	epoch uint64
+	// mapped caches idx.MappedBytes() at load: the accounting in
+	// Engine.MappedBytes must not touch the index after a racing drain
+	// closed its mapping.
+	mapped int64
+
+	// refs counts the catalog's own reference plus every in-flight query.
+	// Zero is terminal: the drop to zero closes the index, and acquire
+	// refuses to resurrect the entry afterwards.
+	refs atomic.Int64
+	// retired is set (before the epoch's cache entries are purged) when the
+	// entry leaves the catalog; batchEntry re-checks it after caching so a
+	// put racing the purge cannot strand results under a dead epoch.
+	retired atomic.Bool
+	// closed is set once the deferred Close has run; closeErr (written
+	// first) carries its error for Engine.Close to report.
+	closed   atomic.Bool
+	closeErr error
+}
+
+func newCatalogEntry(idx era.Queryable, epoch uint64) *catalogEntry {
+	ent := &catalogEntry{idx: idx, epoch: epoch, mapped: idx.MappedBytes()}
+	ent.refs.Store(1) // the catalog's reference
+	return ent
+}
+
+// acquire takes an in-flight reference, failing once the entry drained.
+func (ent *catalogEntry) acquire() bool {
+	for {
+		r := ent.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if ent.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// release drops one reference; the holder of the last one closes the index
+// (for a mapped index, that is the munmap). Exactly one goroutine observes
+// the drop to zero.
+func (ent *catalogEntry) release() {
+	if ent.refs.Add(-1) == 0 {
+		ent.closeErr = ent.idx.Close()
+		ent.closed.Store(true)
+	}
 }
 
 // NewEngine returns an engine whose result cache holds up to cacheSize
@@ -106,13 +166,49 @@ func (e *Engine) Load(idx era.Queryable) error {
 		next[k] = v
 	}
 	replaced := old[name]
-	next[name] = &catalogEntry{idx: idx, epoch: e.nextEpoch.Add(1)}
+	next[name] = newCatalogEntry(idx, e.nextEpoch.Add(1))
 	e.catalog.Store(&next)
 	if replaced != nil {
-		e.cache.purgePrefix(epochPrefix(replaced.epoch))
-		e.retire(replaced.idx)
+		if replaced.idx == idx {
+			// The same object reloaded under a fresh epoch: purge the old
+			// epoch's cache but leave the reference unreleased — draining
+			// the old entry would close the index the new entry serves.
+			replaced.retired.Store(true)
+			e.cache.purgePrefix(epochPrefix(replaced.epoch))
+		} else {
+			e.retireEntryLocked(replaced)
+		}
 	}
 	return nil
+}
+
+// retireEntryLocked takes an entry out of service after the catalog swap
+// removed it: flags it retired, purges its cached results (in that order —
+// the flag is what lets batchEntry detect a put racing this purge), records
+// it for mapped-bytes accounting, and drops the catalog reference. Caller
+// holds e.mu, and the catalog no longer references the entry.
+func (e *Engine) retireEntryLocked(ent *catalogEntry) {
+	ent.retired.Store(true)
+	e.cache.purgePrefix(epochPrefix(ent.epoch))
+	if ent.mapped > 0 {
+		e.pruneRetiredLocked()
+		e.retired = append(e.retired, ent)
+	}
+	ent.release()
+}
+
+// pruneRetiredLocked drops drained entries from the retired list so it
+// cannot grow without bound across a long reload loop. Caller holds e.mu.
+func (e *Engine) pruneRetiredLocked() {
+	k := 0
+	for _, ent := range e.retired {
+		if !ent.closed.Load() {
+			e.retired[k] = ent
+			k++
+		}
+	}
+	clear(e.retired[k:])
+	e.retired = e.retired[:k]
 }
 
 // LoadFile opens the index file at path and registers it.
@@ -156,9 +252,15 @@ func (e *Engine) LoadDir(dir string) ([]string, error) {
 }
 
 // Unload removes the index named name, reporting whether it was loaded.
+// Unloading from a closed engine is a no-op: Close already emptied the
+// catalog, and resurrecting retirement state after it drained would leak
+// the mapping.
 func (e *Engine) Unload(name string) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
 	old := *e.catalog.Load()
 	ent, ok := old[name]
 	if !ok {
@@ -171,14 +273,15 @@ func (e *Engine) Unload(name string) bool {
 		}
 	}
 	e.catalog.Store(&next)
-	e.cache.purgePrefix(epochPrefix(ent.epoch))
-	e.retire(ent.idx)
+	e.retireEntryLocked(ent)
 	return true
 }
 
-// Close empties the catalog and closes every index the engine ever held —
-// current and retired — releasing the file mappings behind format-v4
-// indexes. Call it only after no queries can be in flight (after
+// Close empties the catalog and closes every index the engine still holds —
+// current, plus any retired mapping whose queries never drained — releasing
+// the file mappings behind format-v4 indexes. Retired mappings normally
+// unmap long before this, when their last in-flight query returns; Close is
+// the backstop. Call it only after no queries can be in flight (after
 // http.Server.Shutdown has drained); a query racing Close on a mapped index
 // would fault. Idempotent; the engine serves no queries afterwards.
 func (e *Engine) Close() error {
@@ -192,17 +295,48 @@ func (e *Engine) Close() error {
 	cat := *e.catalog.Load()
 	e.catalog.Store(&map[string]*catalogEntry{})
 	for name, ent := range cat {
-		if err := ent.idx.Close(); err != nil {
-			errs = append(errs, fmt.Errorf("server: closing %s: %w", name, err))
+		ent.retired.Store(true)
+		ent.release() // the catalog reference; with no queries in flight this closes now
+		if ent.closed.Load() && ent.closeErr != nil {
+			errs = append(errs, fmt.Errorf("server: closing %s: %w", name, ent.closeErr))
 		}
 	}
-	for _, idx := range e.retired {
-		if err := idx.Close(); err != nil {
-			errs = append(errs, fmt.Errorf("server: closing retired %s: %w", idx.Name(), err))
+	for _, ent := range e.retired {
+		if ent.closed.Load() {
+			if ent.closeErr != nil {
+				errs = append(errs, fmt.Errorf("server: closing retired %s: %w", ent.idx.Name(), ent.closeErr))
+			}
+			continue
+		}
+		if err := ent.idx.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("server: closing retired %s: %w", ent.idx.Name(), err))
 		}
 	}
 	e.retired = nil
 	return errors.Join(errs...)
+}
+
+// MappedBytes sums the mapped footprint of everything the engine still
+// holds open: the cataloged indexes plus retired mappings whose in-flight
+// queries have not yet drained. A reload or compaction loop must keep this
+// bounded; growth proportional to reload count is the leak the refcounted
+// retirement discipline exists to prevent.
+func (e *Engine) MappedBytes() int64 {
+	var n int64
+	for _, ent := range *e.catalog.Load() {
+		if ent.acquire() {
+			n += ent.idx.MappedBytes()
+			ent.release()
+		}
+	}
+	e.mu.Lock()
+	for _, ent := range e.retired {
+		if !ent.closed.Load() {
+			n += ent.mapped
+		}
+	}
+	e.mu.Unlock()
+	return n
 }
 
 // Get returns the index named name.
@@ -240,11 +374,29 @@ func (e *Engine) Query(index string, op era.Op) (era.Result, error) {
 // tree descents for related patterns are amortized. Treat the Occurrences
 // of every result as read-only.
 func (e *Engine) Batch(index string, ops []era.Op) ([]era.Result, error) {
-	ent, ok := (*e.catalog.Load())[index]
-	if !ok {
-		return nil, fmt.Errorf("server: %w: no index named %q loaded", ErrUnknownIndex, index)
+	ent, err := e.acquireEntry(index)
+	if err != nil {
+		return nil, err
 	}
+	defer ent.release()
 	return e.batchEntry(ent, ops), nil
+}
+
+// acquireEntry resolves a name to its catalog entry with an in-flight
+// reference held; the caller must release it. The retry loop covers an
+// entry draining between the catalog load and the acquire — retirement
+// swaps the catalog before dropping the reference, so a reloaded snapshot
+// is already visible by then and the loop terminates.
+func (e *Engine) acquireEntry(index string) (*catalogEntry, error) {
+	for {
+		ent, ok := (*e.catalog.Load())[index]
+		if !ok {
+			return nil, fmt.Errorf("server: %w: no index named %q loaded", ErrUnknownIndex, index)
+		}
+		if ent.acquire() {
+			return ent, nil
+		}
+	}
 }
 
 // BatchChecked is Batch with pattern validation: empty patterns and
@@ -255,10 +407,11 @@ func (e *Engine) Batch(index string, ops []era.Op) ([]era.Result, error) {
 // made against a different index's alphabet. The HTTP layer serves through
 // this; Batch keeps the lenient library semantics.
 func (e *Engine) BatchChecked(index string, ops []era.Op) ([]era.Result, error) {
-	ent, ok := (*e.catalog.Load())[index]
-	if !ok {
-		return nil, fmt.Errorf("server: %w: no index named %q loaded", ErrUnknownIndex, index)
+	ent, err := e.acquireEntry(index)
+	if err != nil {
+		return nil, err
 	}
+	defer ent.release()
 	a := ent.idx.Alphabet()
 	for i, op := range ops {
 		prefix := ""
@@ -278,9 +431,23 @@ func (e *Engine) BatchChecked(index string, ops []era.Op) ([]era.Result, error) 
 	return e.batchEntry(ent, ops), nil
 }
 
-// batchEntry answers ops against one resolved catalog entry.
+// batchEntry answers ops against one resolved catalog entry; the caller
+// holds an in-flight reference on it.
 func (e *Engine) batchEntry(ent *catalogEntry, ops []era.Op) []era.Result {
 	e.queries.Add(int64(len(ops)))
+
+	// A live index mutates under a stable load epoch, so its cache keys get
+	// a second component: the mutation epoch observed before querying.
+	// Results computed here may span a mutation (each op acquires its own
+	// snapshot), so a post-put epoch re-check purges anything possibly
+	// stale — same discipline as the retirement re-check below.
+	prefix := epochPrefix(ent.epoch)
+	var liveEpoch uint64
+	live, isLive := ent.idx.(Mutable)
+	if isLive {
+		liveEpoch = live.Epoch()
+		prefix += strconv.FormatUint(liveEpoch, 36) + "|"
+	}
 
 	// Patterns containing the reserved terminator byte can only "match"
 	// the sentinel the builder appends internally — never corpus content —
@@ -315,7 +482,7 @@ func (e *Engine) batchEntry(ent *catalogEntry, ops []era.Op) []era.Result {
 		if !sane(op) {
 			continue // results[i] stays the zero Result: not found
 		}
-		keys[i] = cacheKey(ent.epoch, op)
+		keys[i] = cacheKey(prefix, op)
 		if r, ok := e.cache.get(keys[i]); ok {
 			results[i] = r
 			hits++
@@ -338,7 +505,68 @@ func (e *Engine) batchEntry(ent *catalogEntry, ops []era.Op) []era.Result {
 			e.cache.put(keys[missAt[j]], r)
 		}
 	}
+	// Re-check after the puts: a Load/Unload that retired this entry — or a
+	// mutation that moved a live index past the epoch these results were
+	// keyed under — may have run its purge before the puts landed, which
+	// would strand entries under a key prefix nothing ever purges again.
+	// The retire path sets the flag (or bumps the epoch) before purging, so
+	// whichever side runs second clears the stragglers.
+	if ent.retired.Load() || (isLive && live.Epoch() != liveEpoch) {
+		e.cache.purgePrefix(prefix)
+	}
 	return results
+}
+
+// AppendDocs appends documents to the live index named index, returning
+// their assigned stable ids, and purges the index's cached results. The
+// documents must not contain the reserved terminator byte
+// (ErrBadDocument); a static index rejects with ErrNotMutable.
+func (e *Engine) AppendDocs(index string, docs [][]byte) ([]uint64, error) {
+	ent, err := e.acquireEntry(index)
+	if err != nil {
+		return nil, err
+	}
+	defer ent.release()
+	live, ok := ent.idx.(Mutable)
+	if !ok {
+		return nil, fmt.Errorf("server: %w: index %q is a static snapshot", ErrNotMutable, index)
+	}
+	for i, d := range docs {
+		if j := bytes.IndexByte(d, alphabet.Terminator); j >= 0 {
+			return nil, fmt.Errorf("server: %w: document %d contains the reserved terminator byte %q at offset %d",
+				ErrBadDocument, i, alphabet.Terminator, j)
+		}
+	}
+	ids, err := live.Append(docs)
+	if err != nil {
+		return nil, err
+	}
+	// One purge of the load-epoch prefix covers every mutation epoch's keys.
+	e.cache.purgePrefix(epochPrefix(ent.epoch))
+	return ids, nil
+}
+
+// DeleteDoc tombstones the document with the given stable id in the live
+// index named index, reporting whether it named a live document, and purges
+// the index's cached results on success.
+func (e *Engine) DeleteDoc(index string, id uint64) (bool, error) {
+	ent, err := e.acquireEntry(index)
+	if err != nil {
+		return false, err
+	}
+	defer ent.release()
+	live, ok := ent.idx.(Mutable)
+	if !ok {
+		return false, fmt.Errorf("server: %w: index %q is a static snapshot", ErrNotMutable, index)
+	}
+	deleted, err := live.Delete(id)
+	if err != nil {
+		return false, err
+	}
+	if deleted {
+		e.cache.purgePrefix(epochPrefix(ent.epoch))
+	}
+	return deleted, nil
 }
 
 // maxCachedOccurrences bounds the size of one cached result; entries × this
@@ -351,13 +579,13 @@ func epochPrefix(epoch uint64) string {
 	return strconv.FormatUint(epoch, 36) + "|"
 }
 
-// cacheKey encodes everything a result depends on: which load of which
-// corpus (epoch — unique per Load), the operation, its occurrence cap and
-// the pattern.
-func cacheKey(epoch uint64, op era.Op) string {
+// cacheKey encodes everything a result depends on: the entry's key prefix
+// (load epoch — unique per Load — plus, for live indexes, the mutation
+// epoch), the operation, its occurrence cap and the pattern.
+func cacheKey(prefix string, op era.Op) string {
 	var sb strings.Builder
-	sb.Grow(24 + len(op.Pattern))
-	sb.WriteString(epochPrefix(epoch))
+	sb.Grow(24 + len(prefix) + len(op.Pattern))
+	sb.WriteString(prefix)
 	sb.WriteString(strconv.Itoa(int(op.Kind)))
 	sb.WriteByte('|')
 	sb.WriteString(strconv.Itoa(op.MaxOccurrences))
@@ -373,6 +601,7 @@ type Stats struct {
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 	CacheSize   int   `json:"cache_size"`
+	MappedBytes int64 `json:"mapped_bytes"`
 }
 
 // Stats returns a snapshot of engine activity.
@@ -383,5 +612,6 @@ func (e *Engine) Stats() Stats {
 		CacheHits:   e.cacheHits.Load(),
 		CacheMisses: e.cacheMisses.Load(),
 		CacheSize:   e.cache.len(),
+		MappedBytes: e.MappedBytes(),
 	}
 }

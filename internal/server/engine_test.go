@@ -559,3 +559,179 @@ func TestEngineUnknownIndexError(t *testing.T) {
 		t.Errorf("unknown-index error = %v, want errors.Is(_, ErrUnknownIndex)", err)
 	}
 }
+
+// TestEngineReloadLoopBoundsMappedBytes pins the retired-mapping fix: a hot
+// reload loop with racing queries must keep the engine-wide mapped
+// footprint bounded by a small constant multiple of one index image — each
+// replaced mapping is released when its last in-flight query drains, not
+// held until Close.
+func TestEngineReloadLoopBoundsMappedBytes(t *testing.T) {
+	e := NewEngine(64)
+	p := v4Fixture(t, "loop")
+	fi, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := fi.Size()
+	if _, err := e.LoadFile(p); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for q := 0; q < 4; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pats := [][]byte{[]byte("ATTA"), []byte("GA"), []byte("CATT")}
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if _, err := e.Batch("loop", []era.Op{{Kind: era.OpOccurrences, Pattern: pats[i%len(pats)]}}); err != nil {
+					t.Errorf("Batch: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := e.LoadFile(p); err != nil {
+			t.Fatal(err)
+		}
+		// The catalog maps one image; a handful of retirees may still be
+		// draining under the racing queries. Anything near 40 images is
+		// the leak this test exists to catch.
+		if got, limit := e.MappedBytes(), 8*one; got > limit {
+			t.Fatalf("reload %d: engine maps %d bytes (> %d = 8 images) — retired mappings are leaking", i, got, limit)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if got, want := e.MappedBytes(), one; got != want {
+		t.Fatalf("after drain: engine maps %d bytes, want exactly one %d-byte image", got, want)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineCachePurgePutInterleaving pins the orphaned-cache-entry fix: a
+// batch that resolved its entry before a hot reload, but caches its results
+// after the reload's purge ran, must not strand entries under the dead
+// epoch — the post-put retirement re-check clears them.
+func TestEngineCachePurgePutInterleaving(t *testing.T) {
+	e := NewEngine(128)
+	if err := e.Load(buildIndex(t, "dna", 1000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	ent := (*e.catalog.Load())["dna"]
+	if !ent.acquire() {
+		t.Fatal("entry not acquirable right after Load")
+	}
+	// The reload purges the old epoch's (empty) key range and retires the
+	// entry while our simulated in-flight batch still holds it.
+	if err := e.Load(buildIndex(t, "dna", 1000, 2)); err != nil {
+		t.Fatal(err)
+	}
+	res := e.batchEntry(ent, []era.Op{
+		{Kind: era.OpCount, Pattern: []byte("A")},
+		{Kind: era.OpCount, Pattern: []byte("ACG")},
+	})
+	ent.release()
+	if len(res) != 2 || !res[0].Found {
+		t.Fatalf("stale-entry batch answered %+v", res)
+	}
+	// Without the re-check these two puts would sit under the dead epoch's
+	// prefix forever (nothing ever purges that prefix again).
+	if n := e.cache.len(); n != 0 {
+		t.Fatalf("cache holds %d orphaned entries keyed to a purged epoch, want 0", n)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineUnloadAfterClose pins the closed-engine Unload fix: an Unload
+// racing shutdown must not resurrect retirement state after Close drained
+// it (the appended mapping would leak permanently).
+func TestEngineUnloadAfterClose(t *testing.T) {
+	e := NewEngine(0)
+	if _, err := e.LoadFile(v4Fixture(t, "uc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Unload("uc") {
+		t.Fatal("Unload reported success on a closed engine")
+	}
+	if got := e.MappedBytes(); got != 0 {
+		t.Fatalf("closed engine still accounts %d mapped bytes", got)
+	}
+}
+
+// TestEngineLiveMutations serves a LiveIndex through the engine: mutations
+// go through AppendDocs/DeleteDoc, every mutation invalidates cached
+// results, and static indexes reject mutations.
+func TestEngineLiveMutations(t *testing.T) {
+	e := NewEngine(128)
+	lx, err := era.NewLive("live", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load(lx); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	count := func() int {
+		t.Helper()
+		r, err := e.Query("live", era.Op{Kind: era.OpCount, Pattern: []byte("GATTACA")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Count
+	}
+	if got := count(); got != 0 {
+		t.Fatalf("empty live index counts %d", got)
+	}
+	ids, err := e.AppendDocs("live", [][]byte{[]byte("GATTACAGATTACA"), []byte("CCCC")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("AppendDocs returned ids %v, want 2", ids)
+	}
+	// The pre-append count was cached; a stale hit here is the bug.
+	if got := count(); got != 2 {
+		t.Fatalf("count after append = %d, want 2", got)
+	}
+	if got := count(); got != 2 { // cached path
+		t.Fatalf("cached count after append = %d, want 2", got)
+	}
+	deleted, err := e.DeleteDoc("live", ids[0])
+	if err != nil || !deleted {
+		t.Fatalf("DeleteDoc = (%v, %v)", deleted, err)
+	}
+	if got := count(); got != 0 {
+		t.Fatalf("count after delete = %d, want 0", got)
+	}
+	if deleted, err := e.DeleteDoc("live", 12345); err != nil || deleted {
+		t.Fatalf("DeleteDoc(unknown) = (%v, %v), want (false, nil)", deleted, err)
+	}
+	if _, err := e.AppendDocs("live", [][]byte{[]byte("AC$GT")}); !errors.Is(err, ErrBadDocument) {
+		t.Fatalf("AppendDocs with terminator byte: %v, want ErrBadDocument", err)
+	}
+
+	if err := e.Load(buildIndex(t, "static", 500, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AppendDocs("static", [][]byte{[]byte("A")}); !errors.Is(err, ErrNotMutable) {
+		t.Fatalf("AppendDocs on a static index: %v, want ErrNotMutable", err)
+	}
+	if _, err := e.DeleteDoc("static", 0); !errors.Is(err, ErrNotMutable) {
+		t.Fatalf("DeleteDoc on a static index: %v, want ErrNotMutable", err)
+	}
+}

@@ -10,6 +10,11 @@
 //	POST /v1/query            one query: {"index","op","pattern"[,"max"]}
 //	POST /v1/batch            many queries: {"index","ops":[{"op","pattern"[,"max"]},...]}
 //
+// Live (mutable) indexes additionally accept:
+//
+//	POST   /v1/indexes/{name}/docs      append documents: {"docs":["..."]} → {"ids":[...]}
+//	DELETE /v1/indexes/{name}/docs/{id} tombstone one document → {"deleted":bool,"id":N}
+//
 // Patterns travel as JSON strings; the indexed alphabets (DNA, protein,
 // English text) are all byte-per-symbol printable, so no escaping layer is
 // needed beyond JSON's own.
@@ -28,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -40,6 +46,13 @@ const MaxBatchOps = 10000
 
 // maxBodyBytes bounds request bodies; patterns are tiny compared to this.
 const maxBodyBytes = 1 << 20
+
+// maxAppendBytes bounds one append request's body. Documents are real
+// corpus data, not patterns, so the limit is far looser than maxBodyBytes.
+const maxAppendBytes = 16 << 20
+
+// MaxAppendDocs bounds the documents in one append request.
+const MaxAppendDocs = 10000
 
 // NewHandler returns the HTTP API over engine, logging server-side
 // failures (e.g. response encoding errors) to the process-default logger.
@@ -79,6 +92,50 @@ func NewHandlerWithLog(engine *Engine, errLog *log.Logger) http.Handler {
 			return
 		}
 		h.writeJSON(w, http.StatusOK, describe(name, idx))
+	})
+	mux.HandleFunc("POST /v1/indexes/{name}/docs", func(w http.ResponseWriter, r *http.Request) {
+		var req appendRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAppendBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			h.writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+			return
+		}
+		if len(req.Docs) == 0 {
+			h.writeError(w, http.StatusBadRequest, "append has no docs")
+			return
+		}
+		if len(req.Docs) > MaxAppendDocs {
+			h.writeError(w, http.StatusBadRequest, fmt.Sprintf("append of %d docs exceeds the limit of %d", len(req.Docs), MaxAppendDocs))
+			return
+		}
+		docs := make([][]byte, len(req.Docs))
+		for i, d := range req.Docs {
+			docs[i] = []byte(d)
+		}
+		start := time.Now()
+		ids, err := engine.AppendDocs(r.PathValue("name"), docs)
+		h.metrics.append.observe(time.Since(start))
+		if err != nil {
+			h.writeQueryError(w, err)
+			return
+		}
+		h.writeJSON(w, http.StatusOK, appendResponse{IDs: ids})
+	})
+	mux.HandleFunc("DELETE /v1/indexes/{name}/docs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			h.writeError(w, http.StatusBadRequest, "document id must be an unsigned integer")
+			return
+		}
+		start := time.Now()
+		deleted, err := engine.DeleteDoc(r.PathValue("name"), id)
+		h.metrics.delete.observe(time.Since(start))
+		if err != nil {
+			h.writeQueryError(w, err)
+			return
+		}
+		h.writeJSON(w, http.StatusOK, deleteResponse{Deleted: deleted, ID: id})
 	})
 	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
 		var req queryRequest
@@ -175,8 +232,10 @@ func (h *api) metricz() metricsResponse {
 	return metricsResponse{
 		Engine: h.engine.Stats(),
 		Ops: map[string]HistSnapshot{
-			"query": h.metrics.query.snapshot(),
-			"batch": h.metrics.batch.snapshot(),
+			"query":  h.metrics.query.snapshot(),
+			"batch":  h.metrics.batch.snapshot(),
+			"append": h.metrics.append.snapshot(),
+			"delete": h.metrics.delete.snapshot(),
 		},
 		Indexes: infos,
 	}
@@ -206,7 +265,9 @@ func (h *api) writeQueryError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrUnknownIndex):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrBadPattern):
+	case errors.Is(err, ErrBadPattern),
+		errors.Is(err, ErrNotMutable),
+		errors.Is(err, ErrBadDocument):
 		status = http.StatusBadRequest
 	}
 	h.writeError(w, status, err.Error())
@@ -238,6 +299,21 @@ type queryRequest struct {
 type batchRequest struct {
 	Index string    `json:"index"`
 	Ops   []queryOp `json:"ops"`
+}
+
+// appendRequest carries documents for a live index; like patterns, they
+// travel as JSON strings (the indexed alphabets are printable bytes).
+type appendRequest struct {
+	Docs []string `json:"docs"`
+}
+
+type appendResponse struct {
+	IDs []uint64 `json:"ids"`
+}
+
+type deleteResponse struct {
+	Deleted bool   `json:"deleted"`
+	ID      uint64 `json:"id"`
 }
 
 // queryResponse is the wire form of one result. Count and Occurrences are

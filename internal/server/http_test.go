@@ -437,3 +437,128 @@ func TestHTTPServesShardedIndex(t *testing.T) {
 		t.Errorf("index info = %+v, want %d docs / %d symbols", info, sx.NumDocs(), sx.Len())
 	}
 }
+
+// TestHTTPLiveMutations exercises the mutation endpoints over a live index:
+// append returns the assigned ids, queries observe the mutation (no stale
+// cache hit), delete tombstones by id, and static indexes reject both.
+func TestHTTPLiveMutations(t *testing.T) {
+	e := NewEngine(256)
+	lx, err := era.NewLive("live", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load(lx); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load(buildIndex(t, "static", 500, 3)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	ts := httptest.NewServer(NewHandler(e))
+	t.Cleanup(ts.Close)
+
+	count := func() float64 {
+		t.Helper()
+		code, body := postJSON(t, ts.URL+"/v1/query", map[string]any{
+			"index": "live", "op": "count", "pattern": "GATTACA",
+		})
+		if code != http.StatusOK {
+			t.Fatalf("query status %d: %v", code, body)
+		}
+		return body["count"].(float64)
+	}
+	if got := count(); got != 0 {
+		t.Fatalf("empty live index counts %v", got)
+	}
+
+	code, body := postJSON(t, ts.URL+"/v1/indexes/live/docs", map[string]any{
+		"docs": []string{"GATTACAGATTACA", "CCCC"},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("append status %d: %v", code, body)
+	}
+	ids, ok := body["ids"].([]any)
+	if !ok || len(ids) != 2 {
+		t.Fatalf("append response %v, want 2 ids", body)
+	}
+	if got := count(); got != 2 {
+		t.Fatalf("count after append = %v, want 2 (stale cache?)", got)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete,
+		fmt.Sprintf("%s/v1/indexes/live/docs/%d", ts.URL, uint64(ids[0].(float64))), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var del map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&del); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || del["deleted"] != true {
+		t.Fatalf("delete status %d body %v", resp.StatusCode, del)
+	}
+	if got := count(); got != 0 {
+		t.Fatalf("count after delete = %v, want 0", got)
+	}
+
+	// Error mapping: static index → 400 not mutable; bad document → 400;
+	// unknown index → 404; malformed id → 400; empty docs → 400.
+	for _, tc := range []struct {
+		name string
+		url  string
+		body any
+		want int
+	}{
+		{"static append", "/v1/indexes/static/docs", map[string]any{"docs": []string{"A"}}, http.StatusBadRequest},
+		{"bad document", "/v1/indexes/live/docs", map[string]any{"docs": []string{"AC$GT"}}, http.StatusBadRequest},
+		{"unknown index", "/v1/indexes/nosuch/docs", map[string]any{"docs": []string{"A"}}, http.StatusNotFound},
+		{"empty docs", "/v1/indexes/live/docs", map[string]any{"docs": []string{}}, http.StatusBadRequest},
+	} {
+		if code, body := postJSON(t, ts.URL+tc.url, tc.body); code != tc.want {
+			t.Errorf("%s: status %d (want %d): %v", tc.name, code, tc.want, body)
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		url  string
+		want int
+	}{
+		{"static delete", "/v1/indexes/static/docs/0", http.StatusBadRequest},
+		{"unknown delete", "/v1/indexes/nosuch/docs/0", http.StatusNotFound},
+		{"bad id", "/v1/indexes/live/docs/abc", http.StatusBadRequest},
+	} {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+tc.url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	// Metricz reports the new op histograms.
+	mres, err := http.Get(ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mres.Body.Close()
+	var m metricsResponse
+	if err := json.NewDecoder(mres.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Ops["append"].Count == 0 || m.Ops["delete"].Count == 0 {
+		t.Errorf("append/delete histograms absent: append=%d delete=%d",
+			m.Ops["append"].Count, m.Ops["delete"].Count)
+	}
+}

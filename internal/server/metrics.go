@@ -92,6 +92,8 @@ func (h *latencyHist) snapshot() HistSnapshot {
 // opMetrics aggregates the per-endpoint histograms the /metricz endpoint
 // reports.
 type opMetrics struct {
-	query latencyHist // POST /v1/query
-	batch latencyHist // POST /v1/batch
+	query  latencyHist // POST /v1/query
+	batch  latencyHist // POST /v1/batch
+	append latencyHist // POST /v1/indexes/{name}/docs
+	delete latencyHist // DELETE /v1/indexes/{name}/docs/{id}
 }

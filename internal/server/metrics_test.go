@@ -110,10 +110,10 @@ func TestLatencyHistQuantiles(t *testing.T) {
 	}
 }
 
-// TestEngineCloseLifecycle pins the retire-then-close discipline: a hot
-// reload keeps the replaced mapped index alive (in-flight queries may still
-// hold it) and Engine.Close — the post-drain step — closes current and
-// retired indexes alike, exactly once.
+// TestEngineCloseLifecycle pins the refcounted retirement discipline: a hot
+// reload with no queries in flight releases the replaced mapping
+// immediately (the catalog reference was the last one), and Engine.Close —
+// the post-drain backstop — closes whatever is still held, exactly once.
 func TestEngineCloseLifecycle(t *testing.T) {
 	engine := NewEngine(0)
 	p := v4Fixture(t, "lc")
@@ -124,19 +124,22 @@ func TestEngineCloseLifecycle(t *testing.T) {
 	if first.MappedBytes() == 0 {
 		t.Fatal("fixture did not open as a mapped index")
 	}
-	// Hot reload under the same name: the first mapping must survive (a
-	// concurrent query could still be walking it).
+	// Hot reload under the same name with nothing in flight: the replaced
+	// mapping must drain and unmap right away, not linger until Close.
 	if _, err := engine.LoadFile(p); err != nil {
 		t.Fatal(err)
 	}
-	if got := first.Count([]byte("ATTA")); got == 0 {
-		t.Fatal("retired index unusable before Close — retirement must not unmap")
+	if got := first.MappedBytes(); got != 0 {
+		t.Fatalf("retired index still maps %d bytes — retirement must release a drained mapping", got)
 	}
 	second, _ := engine.Get("lc")
+	if got, want := engine.MappedBytes(), second.MappedBytes(); got != want {
+		t.Fatalf("engine MappedBytes() = %d, want the live catalog's %d", got, want)
+	}
 	if err := engine.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if first.MappedBytes() != 0 || second.MappedBytes() != 0 {
+	if second.MappedBytes() != 0 {
 		t.Error("Close left mappings open")
 	}
 	if err := engine.Close(); err != nil {

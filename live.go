@@ -1,0 +1,570 @@
+package era
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"era/internal/alphabet"
+)
+
+// LiveIndex is a mutable, query-compatible index over a live corpus: an
+// LSM-style tier stack. Appends land in an in-memory memtable (an ordinary
+// heap-resident Index, rebuilt through the parallel build path on every
+// append batch — memtables are small, so the rebuild is microseconds to
+// milliseconds), which seals into an immutable v4 tier file once full;
+// deletes are per-document tombstones filtered at query time; background
+// compaction folds the sealed tiers back into one. Every query surface of
+// Queryable answers byte-identically to a from-scratch BuildCorpus over the
+// surviving documents in append order — LiveIndex trades none of the
+// package's answer discipline for mutability.
+//
+// Concurrency: mutations serialize on an internal mutex; queries are
+// lock-free against an atomically published, reference-counted snapshot and
+// never block on (or are blocked by) mutations. Each mutation bumps Epoch,
+// which serving layers use to invalidate result caches.
+//
+// Durability (directory mode, LiveConfig.Dir != ""): sealed tiers and the
+// manifest are written tmp+fsync+rename, never in place; the memtable is
+// volatile until sealed (Close seals it). With Dir == "" the whole index is
+// heap-resident and vanishes with the process.
+type LiveIndex struct {
+	name string
+	dir  string
+	cfg  LiveConfig
+
+	snap     atomic.Pointer[liveSnapshot]
+	epoch    atomic.Uint64
+	closedFl atomic.Bool
+
+	mu         sync.Mutex
+	alpha      *alphabet.Alphabet
+	fixedAlpha bool
+	seen       [256]bool
+	sealed     []*tierState
+	mem        memtable
+	nextID     uint64
+	tierSeq    uint64
+
+	seals       int64
+	compactions int64
+	mutPause    time.Duration
+	bgErr       error
+
+	bg       bool
+	stopOnce sync.Once
+	kick     chan struct{}
+	stopc    chan struct{}
+	donec    chan struct{}
+}
+
+var _ Queryable = (*LiveIndex)(nil)
+
+var errLiveClosed = errors.New("era: live index is closed")
+
+// memtable is the mutable head tier: the raw documents plus the heap Index
+// rebuilt over them after each append batch.
+type memtable struct {
+	docs  [][]byte
+	ids   []uint64
+	dead  []bool
+	nDead int
+	size  int64
+	h     *tierHandle // nil while the memtable is empty
+}
+
+// LiveConfig configures a LiveIndex. The zero value is usable: heap-only,
+// default thresholds, inline (foreground) sealing.
+type LiveConfig struct {
+	// Dir is the live directory holding the manifest (live.idx) and sealed
+	// tier files. Empty keeps every tier heap-resident and volatile.
+	Dir string
+	// Build configures memtable and compaction builds. Nil uses the package
+	// defaults (parallel shared-disk construction, inferred alphabet).
+	// Setting Build.Alphabet fixes the alphabet: appends with bytes outside
+	// it are rejected instead of widening the inferred union.
+	Build *Config
+	// MemtableMaxDocs and MemtableMaxBytes are the seal thresholds; an
+	// append that leaves the memtable at or past either triggers a seal
+	// (inline, or via the background compactor). Defaults: 256 docs, 4 MiB.
+	MemtableMaxDocs  int
+	MemtableMaxBytes int64
+	// MaxTiers is the sealed-tier count that triggers compaction back into
+	// one tier. Default 8.
+	MaxTiers int
+	// Background runs seal and compaction on a background goroutine kicked
+	// by Append instead of inline on the mutating call.
+	Background bool
+}
+
+func (c *LiveConfig) withLiveDefaults() LiveConfig {
+	out := LiveConfig{}
+	if c != nil {
+		out = *c
+	}
+	if out.MemtableMaxDocs <= 0 {
+		out.MemtableMaxDocs = 256
+	}
+	if out.MemtableMaxBytes <= 0 {
+		out.MemtableMaxBytes = 4 << 20
+	}
+	if out.MaxTiers <= 0 {
+		out.MaxTiers = 8
+	}
+	return out
+}
+
+// NewLive opens (or creates) a live index. With cfg.Dir set, an existing
+// manifest in the directory is loaded — sealed tiers are mapped back in and
+// ids continue from where the last run sealed — otherwise the directory is
+// initialized. name may be empty, in which case the manifest's saved name
+// or the directory base name is adopted.
+func NewLive(name string, cfg *LiveConfig) (*LiveIndex, error) {
+	lx := &LiveIndex{name: name}
+	lx.cfg = cfg.withLiveDefaults()
+	lx.dir = lx.cfg.Dir
+	lx.alpha = alphabet.DNA // placeholder until the first document is seen
+	if lx.cfg.Build != nil && lx.cfg.Build.Alphabet != nil {
+		lx.alpha = lx.cfg.Build.Alphabet
+		lx.fixedAlpha = true
+	}
+	if lx.dir != "" {
+		if err := os.MkdirAll(lx.dir, 0o755); err != nil {
+			return nil, err
+		}
+		mpath := filepath.Join(lx.dir, liveManifestName)
+		if _, err := os.Stat(mpath); err == nil {
+			if err := lx.loadManifest(mpath); err != nil {
+				return nil, err
+			}
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		} else if err := lx.writeManifestLocked(); err != nil {
+			return nil, err
+		}
+		if lx.name == "" {
+			lx.name = filepath.Base(lx.dir)
+		}
+	}
+	lx.kick = make(chan struct{}, 1)
+	lx.stopc = make(chan struct{})
+	lx.donec = make(chan struct{})
+	lx.publishLocked()
+	if lx.cfg.Background {
+		lx.bg = true
+		go lx.compactLoop()
+	}
+	return lx, nil
+}
+
+// OpenLive opens the live index whose manifest is at path (a live.idx file
+// written by a previous run). cfg.Dir is ignored; the manifest's directory
+// is used.
+func OpenLive(path string, cfg *LiveConfig) (*LiveIndex, error) {
+	lcfg := LiveConfig{}
+	if cfg != nil {
+		lcfg = *cfg
+	}
+	lcfg.Dir = filepath.Dir(path)
+	return NewLive("", &lcfg)
+}
+
+// buildConfig returns the Config value memtable and compaction builds use.
+func (lx *LiveIndex) buildConfig() Config {
+	if lx.cfg.Build != nil {
+		return *lx.cfg.Build
+	}
+	return Config{Mode: SharedDisk}
+}
+
+// publishLocked derives a fresh snapshot from the current tier stack and
+// swaps it in, releasing ownership of the previous one. Racing queries keep
+// their acquired snapshot until they return. Caller holds mu.
+func (lx *LiveIndex) publishLocked() {
+	states := lx.sealed
+	if lx.mem.h != nil {
+		states = append(append([]*tierState(nil), lx.sealed...),
+			&tierState{h: lx.mem.h, dead: lx.mem.dead, nDead: lx.mem.nDead})
+	}
+	s := newLiveSnapshot(states, lx.alpha)
+	if old := lx.snap.Swap(s); old != nil {
+		old.release()
+	}
+}
+
+// acquire returns the current snapshot with a reference held, or nil when
+// the index is closed. The retry loop covers the race where a snapshot
+// drains between the pointer load and the acquire.
+func (lx *LiveIndex) acquire() *liveSnapshot {
+	for {
+		if lx.closedFl.Load() {
+			return nil
+		}
+		s := lx.snap.Load()
+		if s.acquire() {
+			return s
+		}
+	}
+}
+
+// Append adds documents to the corpus, assigning each a stable id (ids are
+// monotone across the index's whole life, surviving restarts in directory
+// mode). The batch is atomic: all documents become visible to queries
+// together, or none do on error. Documents are copied; callers may reuse
+// their buffers. A document containing the terminator byte '$', or — when
+// the alphabet was fixed via LiveConfig.Build — a byte outside it, rejects
+// the whole batch.
+func (lx *LiveIndex) Append(docs [][]byte) ([]uint64, error) {
+	if len(docs) == 0 {
+		return nil, nil
+	}
+	lx.mu.Lock()
+	defer lx.mu.Unlock()
+	if lx.closedFl.Load() {
+		return nil, errLiveClosed
+	}
+	for i, d := range docs {
+		for _, b := range d {
+			if b == alphabet.Terminator {
+				return nil, fmt.Errorf("era: document %d contains the reserved terminator byte %q", i, alphabet.Terminator)
+			}
+			if lx.fixedAlpha && !lx.alpha.Contains(b) {
+				return nil, fmt.Errorf("era: document %d contains byte %q outside the fixed %s alphabet", i, b, lx.alpha.Name())
+			}
+		}
+	}
+
+	nd, ni := len(lx.mem.docs), lx.nextID
+	ids := make([]uint64, len(docs))
+	for i, d := range docs {
+		ids[i] = lx.nextID
+		lx.nextID++
+		cp := append([]byte(nil), d...)
+		lx.mem.docs = append(lx.mem.docs, cp)
+		lx.mem.ids = append(lx.mem.ids, ids[i])
+		lx.mem.dead = append(lx.mem.dead, false)
+		lx.mem.size += int64(len(d))
+		if !lx.fixedAlpha {
+			for _, b := range d {
+				lx.seen[b] = true
+			}
+		}
+	}
+	oldAlpha := lx.alpha
+	if !lx.fixedAlpha {
+		a, err := alphabetFromSeen(&lx.seen)
+		if err == nil {
+			lx.alpha = a
+		}
+	}
+	if err := lx.rebuildMemLocked(); err != nil {
+		// Roll the batch back so the corpus state matches the answer.
+		lx.mem.docs = lx.mem.docs[:nd]
+		lx.mem.ids = lx.mem.ids[:nd]
+		lx.mem.dead = lx.mem.dead[:nd]
+		lx.mem.size = 0
+		for _, d := range lx.mem.docs {
+			lx.mem.size += int64(len(d))
+		}
+		lx.nextID = ni
+		lx.alpha = oldAlpha
+		return nil, err
+	}
+	lx.publishLocked()
+	lx.epoch.Add(1)
+
+	if lx.memFullLocked() {
+		if lx.bg {
+			select {
+			case lx.kick <- struct{}{}:
+			default:
+			}
+		} else if err := lx.sealLocked(); err != nil {
+			return ids, fmt.Errorf("era: append applied; sealing memtable: %w", err)
+		}
+	}
+	return ids, nil
+}
+
+// rebuildMemLocked rebuilds the memtable Index over the current pending
+// documents (tombstoned ones included — they are filtered at query time
+// like any tier) and swaps the handle. Caller holds mu.
+func (lx *LiveIndex) rebuildMemLocked() error {
+	bcfg := lx.buildConfig()
+	bcfg.Alphabet = lx.alpha
+	idx, err := build(lx.mem.docs, &bcfg)
+	if err != nil {
+		return err
+	}
+	if lx.mem.h != nil {
+		lx.mem.h.release()
+	}
+	lx.mem.h = newTierHandle(idx, "")
+	return nil
+}
+
+// Delete tombstones the document with the given id. It reports whether the
+// id named a live document; deleting an unknown or already-deleted id is a
+// no-op returning false. In directory mode a sealed-tier tombstone is
+// persisted to the manifest before Delete returns.
+func (lx *LiveIndex) Delete(id uint64) (bool, error) {
+	lx.mu.Lock()
+	defer lx.mu.Unlock()
+	if lx.closedFl.Load() {
+		return false, errLiveClosed
+	}
+	inSealed, ok := lx.deleteLocked(id)
+	if !ok {
+		return false, nil
+	}
+	lx.publishLocked()
+	lx.epoch.Add(1)
+	if inSealed && lx.dir != "" {
+		if err := lx.writeManifestLocked(); err != nil {
+			return true, fmt.Errorf("era: delete applied in memory; persisting tombstone: %w", err)
+		}
+	}
+	return true, nil
+}
+
+func (lx *LiveIndex) deleteLocked(id uint64) (inSealed, ok bool) {
+	if i := searchIDs(lx.mem.ids, id); i >= 0 {
+		if lx.mem.dead[i] {
+			return false, false
+		}
+		lx.mem.dead[i] = true
+		lx.mem.nDead++
+		return false, true
+	}
+	for _, st := range lx.sealed {
+		if i := searchIDs(st.ids, id); i >= 0 {
+			if st.dead[i] {
+				return false, false
+			}
+			st.dead[i] = true
+			st.nDead++
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// searchIDs finds id in the ascending slice, or -1.
+func searchIDs(ids []uint64, id uint64) int {
+	i := sort.Search(len(ids), func(j int) bool { return ids[j] >= id })
+	if i < len(ids) && ids[i] == id {
+		return i
+	}
+	return -1
+}
+
+// Epoch returns the mutation epoch: it increases on every visible mutation
+// (append, delete), and only then. Serving layers key caches by it.
+func (lx *LiveIndex) Epoch() uint64 { return lx.epoch.Load() }
+
+// Name returns the corpus name.
+func (lx *LiveIndex) Name() string { return lx.name }
+
+// SetName renames the index. Like Index.SetName, call it before the index
+// is shared; the name persists at the next manifest write.
+func (lx *LiveIndex) SetName(name string) { lx.name = name }
+
+// Alphabet returns the alphabet of the current snapshot (the inferred union
+// over all live documents, or the fixed configured one).
+func (lx *LiveIndex) Alphabet() *alphabet.Alphabet { return lx.snap.Load().alpha }
+
+// Len returns the virtual global string length: live content bytes plus the
+// single terminator.
+func (lx *LiveIndex) Len() int { return lx.snap.Load().totalLen }
+
+// NumDocs returns the number of live (non-tombstoned) documents.
+func (lx *LiveIndex) NumDocs() int { return lx.snap.Load().numDocs }
+
+// TreeNodes sums the tier trees' node counts (tombstoned content included —
+// it still occupies tree nodes until compaction).
+func (lx *LiveIndex) TreeNodes() int64 { return lx.snap.Load().treeNodes }
+
+// MappedBytes sums the mapped sizes of the current snapshot's tiers.
+func (lx *LiveIndex) MappedBytes() int64 { return lx.snap.Load().mapped }
+
+// ResidentBytes sums the tiers' resident set contributions.
+func (lx *LiveIndex) ResidentBytes() int64 {
+	s := lx.acquire()
+	if s == nil {
+		return 0
+	}
+	defer s.release()
+	var n int64
+	for _, t := range s.tiers {
+		n += t.h.idx.ResidentBytes()
+	}
+	return n
+}
+
+// Contains reports whether the pattern occurs in the live corpus.
+func (lx *LiveIndex) Contains(p []byte) bool {
+	s := lx.acquire()
+	if s == nil {
+		return false
+	}
+	defer s.release()
+	return s.contains(p)
+}
+
+// Count returns the number of occurrences of the pattern.
+func (lx *LiveIndex) Count(p []byte) int {
+	s := lx.acquire()
+	if s == nil {
+		return 0
+	}
+	defer s.release()
+	return s.count(p)
+}
+
+// Occurrences returns the ascending global offsets of every occurrence.
+func (lx *LiveIndex) Occurrences(p []byte) []int {
+	s := lx.acquire()
+	if s == nil {
+		return []int{}
+	}
+	defer s.release()
+	return s.occurrences(p)
+}
+
+// DocOccurrences returns per-document hits, sorted by (Doc, Offset), with
+// document numbers being live ordinals (tombstoned documents renumber their
+// successors, exactly as a rebuild over the survivors would).
+func (lx *LiveIndex) DocOccurrences(p []byte) []DocHit {
+	s := lx.acquire()
+	if s == nil {
+		return []DocHit{}
+	}
+	defer s.release()
+	return s.docOccurrences(p)
+}
+
+// Batch answers many queries against one consistent snapshot: every op sees
+// the same mutation epoch, regardless of concurrent appends or deletes.
+func (lx *LiveIndex) Batch(ops []Op) []Result {
+	s := lx.acquire()
+	if s == nil {
+		return make([]Result, len(ops))
+	}
+	defer s.release()
+	return s.batch(ops)
+}
+
+// Frozen materializes the current live contents as an immutable monolithic
+// Index: the same answers, rebuilt from scratch over the live documents.
+func (lx *LiveIndex) Frozen() (*Index, error) {
+	s := lx.acquire()
+	if s == nil {
+		return nil, errLiveClosed
+	}
+	defer s.release()
+	docs := s.liveDocs()
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("era: live index %q holds no live documents", lx.name)
+	}
+	cfg := lx.buildConfig()
+	cfg.Alphabet = s.alpha
+	idx, err := build(docs, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	idx.SetName(lx.name)
+	return idx, nil
+}
+
+// WriteFile exports a point-in-time frozen copy as a monolithic v4 file.
+// The live directory's own persistence is the manifest + tier files; this
+// is for snapshotting a live corpus into the static serving path.
+func (lx *LiveIndex) WriteFile(path string) error {
+	idx, err := lx.Frozen()
+	if err != nil {
+		return err
+	}
+	return WriteFileV4(path, idx)
+}
+
+// Close stops the background compactor, seals any pending memtable in
+// directory mode (so acknowledged appends survive), and releases ownership
+// of every tier. Tiers unmap once the last in-flight query drains; queries
+// arriving after Close answer empty. Close is idempotent.
+func (lx *LiveIndex) Close() error {
+	lx.stopOnce.Do(func() {
+		if lx.bg {
+			close(lx.stopc)
+			<-lx.donec
+		}
+	})
+	lx.mu.Lock()
+	defer lx.mu.Unlock()
+	if lx.closedFl.Load() {
+		return nil
+	}
+	var errs []error
+	if lx.bgErr != nil {
+		errs = append(errs, lx.bgErr)
+	}
+	if lx.dir != "" && len(lx.mem.docs) > 0 {
+		if err := lx.sealLocked(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	lx.closedFl.Store(true)
+	if s := lx.snap.Load(); s != nil {
+		s.release()
+	}
+	for _, st := range lx.sealed {
+		st.h.release()
+	}
+	if lx.mem.h != nil {
+		lx.mem.h.release()
+	}
+	lx.sealed, lx.mem = nil, memtable{}
+	return errors.Join(errs...)
+}
+
+// LiveStats is a point-in-time summary of a live index's tier stack and
+// maintenance history.
+type LiveStats struct {
+	Tiers         int           // sealed tiers
+	MemtableDocs  int           // pending (unsealed) documents, dead included
+	LiveDocs      int           // surviving documents across all tiers
+	DeadDocs      int           // tombstones not yet compacted away
+	Seals         int64         // memtable seals over the index's life
+	Compactions   int64         // full compactions over the index's life
+	MutationPause time.Duration // cumulative wall time mutations stalled on seal+compact
+	NextID        uint64        // the id the next appended document receives
+	Epoch         uint64        // current mutation epoch
+}
+
+// Stats returns maintenance counters and tier occupancy.
+func (lx *LiveIndex) Stats() LiveStats {
+	lx.mu.Lock()
+	defer lx.mu.Unlock()
+	st := LiveStats{
+		Tiers:         len(lx.sealed),
+		MemtableDocs:  len(lx.mem.docs),
+		Seals:         lx.seals,
+		Compactions:   lx.compactions,
+		MutationPause: lx.mutPause,
+		NextID:        lx.nextID,
+		Epoch:         lx.epoch.Load(),
+	}
+	dead := lx.mem.nDead
+	for _, t := range lx.sealed {
+		dead += t.nDead
+	}
+	st.DeadDocs = dead
+	if s := lx.snap.Load(); s != nil {
+		st.LiveDocs = s.numDocs
+	}
+	return st
+}

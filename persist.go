@@ -541,12 +541,16 @@ func OpenIndex(path string) (Queryable, error) {
 	if err != nil {
 		return nil, err
 	}
-	var sniff [8]byte
-	_, serr := io.ReadFull(f, sniff[:])
-	if serr == nil &&
+	var sniff [12]byte
+	n, _ := io.ReadFull(f, sniff[:])
+	if n >= 8 &&
 		binary.LittleEndian.Uint32(sniff[0:]) == indexMagic &&
 		binary.LittleEndian.Uint32(sniff[4:]) == flatVersion {
 		f.Close()
+		if n >= 12 && binary.LittleEndian.Uint32(sniff[8:]) == 2 {
+			// A live manifest: open the whole tier directory it describes.
+			return OpenLive(path, nil)
+		}
 		return openMappedV4(path)
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {

@@ -270,8 +270,13 @@ func parseV4(buf []byte, mp *mapping) (Queryable, error) {
 	if len(buf) < 16 {
 		return nil, fmt.Errorf("era: corrupt index: %d bytes is shorter than the v4 header", len(buf))
 	}
-	if k := binary.LittleEndian.Uint32(buf[8:]); k == 1 {
+	switch k := binary.LittleEndian.Uint32(buf[8:]); k {
+	case 1:
 		return parseV4Sharded(buf, mp)
+	case 2:
+		// A live manifest only names tier files; it cannot be served from
+		// its own bytes. OpenIndex on the manifest path routes to OpenLive.
+		return nil, fmt.Errorf("era: live index manifest; open it with OpenIndex on the manifest path or era.OpenLive")
 	}
 	return parseV4Mono(buf, mp)
 }
@@ -544,6 +549,14 @@ func WriteFileV4(path string, q Queryable) error {
 		return writeFile(path, writerToFunc(v.WriteToV4))
 	case *ShardedIndex:
 		return writeFile(path, writerToFunc(v.WriteToV4))
+	case *LiveIndex:
+		// A live index exports as a frozen point-in-time monolithic image;
+		// its own durability lives in the tier directory.
+		idx, err := v.Frozen()
+		if err != nil {
+			return err
+		}
+		return writeFile(path, writerToFunc(idx.WriteToV4))
 	}
 	return fmt.Errorf("era: cannot write %T as v4", q)
 }
@@ -552,3 +565,191 @@ func WriteFileV4(path string, q Queryable) error {
 type writerToFunc func(io.Writer) (int64, error)
 
 func (f writerToFunc) WriteTo(w io.Writer) (int64, error) { return f(w) }
+
+// Live manifest image (kind 2) — written by LiveIndex in directory mode.
+// The manifest is a catalog, not a servable index: it names the sealed tier
+// files (each an ordinary kind-0 image in the same directory) and records
+// each tier's stable document ids and tombstones. The memtable is volatile
+// by contract and never appears here.
+//
+//	header (v4HeaderLen bytes)
+//	  0  magic, 4 version, 8 kind=2
+//	  16 imageLen, 24 metaOff (=v4HeaderLen), 32 metaLen
+//	  40 nextID, 48 tierSeq, 56 nTiers, 64 tierTableOff
+//	meta: nameLen u32 + name
+//	tier records (sequential at tierTableOff, one per tier):
+//	  fileLen u32 + file (base name, no path separators)
+//	  nDocs u64, nDead u64
+//	  nDocs × u64 document ids (strictly ascending across the whole table)
+//	  nDead × u32 tombstoned local indices (strictly ascending, < nDocs)
+
+// liveManifest is the parsed kind-2 image.
+type liveManifest struct {
+	name    string
+	nextID  uint64
+	tierSeq uint64
+	tiers   []liveManifestTier
+}
+
+type liveManifestTier struct {
+	file string
+	ids  []uint64
+	dead []uint32
+}
+
+// validTierFileName rejects anything but a plain base name, so a corrupt or
+// hostile manifest cannot direct tier opens outside its own directory.
+func validTierFileName(s string) bool {
+	if s == "" || s == "." || s == ".." || len(s) > maxNameLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' || s[i] == '\\' || s[i] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func encodeLiveManifest(m *liveManifest) ([]byte, error) {
+	if len(m.name) > maxNameLen {
+		return nil, fmt.Errorf("era: index name longer than %d bytes", maxNameLen)
+	}
+	if len(m.tiers) > maxV4Shards {
+		return nil, fmt.Errorf("era: %d live tiers exceeds the %d limit", len(m.tiers), maxV4Shards)
+	}
+	buf := make([]byte, v4HeaderLen, v4HeaderLen+4+len(m.name))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.name)))
+	buf = append(buf, m.name...)
+	tableOff := uint64(len(buf))
+	for _, t := range m.tiers {
+		if !validTierFileName(t.file) {
+			return nil, fmt.Errorf("era: live tier file name %q is not a plain base name", t.file)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.file)))
+		buf = append(buf, t.file...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(t.ids)))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(t.dead)))
+		for _, id := range t.ids {
+			buf = binary.LittleEndian.AppendUint64(buf, id)
+		}
+		for _, d := range t.dead {
+			buf = binary.LittleEndian.AppendUint32(buf, d)
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[0:], indexMagic)
+	binary.LittleEndian.PutUint32(buf[4:], flatVersion)
+	binary.LittleEndian.PutUint32(buf[8:], 2)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(len(buf)))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(v4HeaderLen))
+	binary.LittleEndian.PutUint64(buf[32:], uint64(4+len(m.name)))
+	binary.LittleEndian.PutUint64(buf[40:], m.nextID)
+	binary.LittleEndian.PutUint64(buf[48:], m.tierSeq)
+	binary.LittleEndian.PutUint64(buf[56:], uint64(len(m.tiers)))
+	binary.LittleEndian.PutUint64(buf[64:], tableOff)
+	return buf, nil
+}
+
+func parseLiveManifest(buf []byte) (*liveManifest, error) {
+	if len(buf) < v4HeaderLen {
+		return nil, fmt.Errorf("era: corrupt live manifest: %d bytes is shorter than the v4 header", len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != indexMagic ||
+		binary.LittleEndian.Uint32(buf[4:]) != flatVersion ||
+		binary.LittleEndian.Uint32(buf[8:]) != 2 {
+		return nil, fmt.Errorf("era: not a live manifest")
+	}
+	u64 := func(off int) uint64 { return binary.LittleEndian.Uint64(buf[off:]) }
+	imageLen := u64(16)
+	if imageLen < v4HeaderLen || imageLen > uint64(len(buf)) {
+		return nil, fmt.Errorf("era: corrupt live manifest: image length %d outside the %d available bytes (truncated file?)", imageLen, len(buf))
+	}
+	buf = buf[:imageLen]
+	metaOff, metaLen := u64(24), u64(32)
+	meta, err := sliceV4(buf, int64(metaOff), int64(metaLen), 1, "meta")
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) < 4 {
+		return nil, fmt.Errorf("era: corrupt live manifest: meta shorter than its name length field")
+	}
+	nameLen := binary.LittleEndian.Uint32(meta)
+	if uint64(nameLen) > maxNameLen || uint64(nameLen) > uint64(len(meta)-4) {
+		return nil, fmt.Errorf("era: corrupt live manifest: name length %d", nameLen)
+	}
+	m := &liveManifest{
+		name:    string(meta[4 : 4+nameLen]),
+		nextID:  u64(40),
+		tierSeq: u64(48),
+	}
+	nTiers := u64(56)
+	if nTiers > maxV4Shards {
+		return nil, fmt.Errorf("era: corrupt live manifest: tier count %d exceeds the %d limit", nTiers, maxV4Shards)
+	}
+	off := u64(64)
+	if off < v4HeaderLen || off > uint64(len(buf)) {
+		return nil, fmt.Errorf("era: corrupt live manifest: tier table offset %d outside the image", off)
+	}
+	rest := buf[off:]
+	need := func(n uint64) error {
+		if n > uint64(len(rest)) {
+			return fmt.Errorf("era: corrupt live manifest: tier table truncated")
+		}
+		return nil
+	}
+	var prevID uint64
+	var haveID bool
+	for ti := uint64(0); ti < nTiers; ti++ {
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		fileLen := uint64(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if fileLen > maxNameLen {
+			return nil, fmt.Errorf("era: corrupt live manifest: tier file name length %d", fileLen)
+		}
+		if err := need(fileLen + 16); err != nil {
+			return nil, err
+		}
+		file := string(rest[:fileLen])
+		rest = rest[fileLen:]
+		if !validTierFileName(file) {
+			return nil, fmt.Errorf("era: corrupt live manifest: tier file name %q is not a plain base name", file)
+		}
+		nDocs := binary.LittleEndian.Uint64(rest)
+		nDead := binary.LittleEndian.Uint64(rest[8:])
+		rest = rest[16:]
+		if nDocs > 1<<31 || nDead > nDocs {
+			return nil, fmt.Errorf("era: corrupt live manifest: tier %q has %d documents, %d tombstones", file, nDocs, nDead)
+		}
+		if err := need(8*nDocs + 4*nDead); err != nil {
+			return nil, err
+		}
+		t := liveManifestTier{file: file, ids: make([]uint64, nDocs)}
+		for i := range t.ids {
+			id := binary.LittleEndian.Uint64(rest[8*i:])
+			if haveID && id <= prevID {
+				return nil, fmt.Errorf("era: corrupt live manifest: document ids not strictly ascending")
+			}
+			if id >= m.nextID {
+				return nil, fmt.Errorf("era: corrupt live manifest: document id %d at or past nextID %d", id, m.nextID)
+			}
+			prevID, haveID = id, true
+			t.ids[i] = id
+		}
+		rest = rest[8*nDocs:]
+		if nDead > 0 {
+			t.dead = make([]uint32, nDead)
+			for i := range t.dead {
+				d := binary.LittleEndian.Uint32(rest[4*i:])
+				if uint64(d) >= nDocs || (i > 0 && d <= t.dead[i-1]) {
+					return nil, fmt.Errorf("era: corrupt live manifest: tombstone index %d out of order or range", d)
+				}
+				t.dead[i] = d
+			}
+			rest = rest[4*nDead:]
+		}
+		m.tiers = append(m.tiers, t)
+	}
+	return m, nil
+}

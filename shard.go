@@ -76,6 +76,7 @@ type ShardedIndex struct {
 	totalLen int // global concatenated length including the single terminator
 	alpha    *alphabet.Alphabet
 	mp       *mapping // non-nil when all shards view one mapped v4 file
+	stitch   stitchString
 }
 
 // ShardConfig tunes BuildShardedCorpus beyond the per-shard build Config.
@@ -222,6 +223,7 @@ func newShardedIndex(name string, shards []*Index) (*ShardedIndex, error) {
 		sx.totalLen += sh.Len() - 1 // exclude the per-shard terminator
 	}
 	sx.totalLen++ // the single global terminator
+	sx.stitch = stitchString{totalLen: sx.totalLen, bounds: sx.offStart[1:], slice: sx.globalSlice}
 	return sx, nil
 }
 
@@ -338,34 +340,47 @@ func (sx *ShardedIndex) globalSlice(buf []byte, lo, hi int) []byte {
 	return buf
 }
 
+// stitchString abstracts the virtual global string a segmented index serves:
+// totalLen counts the concatenated content plus the single terminator,
+// bounds are the ascending interior junction offsets no single tree sees
+// across (shard boundaries for a ShardedIndex, segment boundaries for a
+// LiveIndex), and slice materializes any [lo, hi) window of the virtual
+// string. It exists so the boundary stitch scan is written once and shared
+// by every segmented implementation.
+type stitchString struct {
+	totalLen int
+	bounds   []int
+	slice    func(buf []byte, lo, hi int) []byte
+}
+
 // crossingOccurrences returns the sorted global start offsets of pattern
-// occurrences that cross a shard boundary — the matches no shard can see.
-// A crossing match must start within |P|−1 bytes of a boundary, so each
-// boundary contributes one ≤ 2(|P|−1)-byte stitch window, materialized once
-// and scanned with bytes.Index (no per-byte shard lookups). Candidates are
-// deduplicated across boundaries (a match spanning several tiny shards is
+// occurrences that cross a junction — the matches no per-segment tree can
+// see. A crossing match must start within |P|−1 bytes of a junction, so each
+// junction contributes one ≤ 2(|P|−1)-byte stitch window, materialized once
+// and scanned with bytes.Index (no per-byte segment lookups). Candidates are
+// deduplicated across junctions (a match spanning several tiny segments is
 // reported once). max > 0 caps the number returned.
-func (sx *ShardedIndex) crossingOccurrences(pattern []byte, max int) []int {
+func (ss *stitchString) crossingOccurrences(pattern []byte, max int) []int {
 	m := len(pattern)
-	if m < 2 || len(sx.shards) == 1 {
+	if m < 2 || len(ss.bounds) == 0 {
 		return nil
 	}
 	var out []int
 	var win []byte
 	next := 0 // first candidate start not yet examined
-	for _, b := range sx.offStart[1:] {
+	for _, b := range ss.bounds {
 		winLo := b - m + 1
 		if winLo < 0 {
 			winLo = 0
 		}
 		winHi := b + m - 1
-		if winHi > sx.totalLen {
-			winHi = sx.totalLen
+		if winHi > ss.totalLen {
+			winHi = ss.totalLen
 		}
-		win = sx.globalSlice(win, winLo, winHi)
+		win = ss.slice(win, winLo, winHi)
 		// A match at window offset j starts at global winLo+j; it crosses b
 		// exactly when it starts before b (it always ends after b, since
-		// winLo ≥ b−m+1). Starts at or past b belong to later boundaries.
+		// winLo ≥ b−m+1). Starts at or past b belong to later junctions.
 		j := 0
 		if next > winLo {
 			j = next - winLo
@@ -384,6 +399,12 @@ func (sx *ShardedIndex) crossingOccurrences(pattern []byte, max int) []int {
 		next = b
 	}
 	return out
+}
+
+// crossingOccurrences returns the matches that cross a shard boundary; see
+// stitchString.crossingOccurrences.
+func (sx *ShardedIndex) crossingOccurrences(pattern []byte, max int) []int {
+	return sx.stitch.crossingOccurrences(pattern, max)
 }
 
 // Contains reports whether pattern occurs in the sharded corpus, exactly as

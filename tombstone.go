@@ -1,0 +1,611 @@
+package era
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"era/internal/alphabet"
+)
+
+// This file implements the tombstone-filtered query view of a LiveIndex
+// (live.go): the per-tier bookkeeping that maps tier-local suffix tree
+// answers onto the virtual global string of live documents, and the
+// immutable, reference-counted snapshot queries read.
+//
+// The model: a live corpus is a sequence of documents identified by stable,
+// monotonically increasing ids. Documents live in tiers (sealed v4 shards
+// plus one in-memory memtable), each tier an ordinary Index over a
+// contiguous run of ids. Deletes are per-document tombstones. The query
+// surface must answer exactly as a from-scratch BuildCorpus over the
+// surviving documents (in id order) would — the same identity discipline
+// ShardedIndex maintains, with two extra wrinkles:
+//
+//   - A tombstoned document leaves its bytes in the tier (rebuilding the
+//     tier per delete would be re-derivation, the very cost this subsystem
+//     exists to avoid), so tier answers are filtered: a match is valid only
+//     when it starts in a live document and ends before the next dead one.
+//   - Live documents adjacent in the virtual string may sit in different
+//     tiers or be separated by tombstones within one tier, so matches
+//     crossing those junctions are recovered by the same stitch scan
+//     sharding uses (stitchString in shard.go).
+
+// tierHandle owns the lifecycle of one tier's Index. Snapshots sharing a
+// tier each hold a reference; the mutator holds one while the tier is part
+// of the current state. The last release closes the index — for a sealed v4
+// tier that unmaps its file, which is what keeps a compaction loop's mapped
+// memory bounded regardless of how slowly old snapshots drain.
+type tierHandle struct {
+	idx  *Index
+	file string // tier file base name within the live directory; "" for heap tiers
+	refs atomic.Int64
+}
+
+func newTierHandle(idx *Index, file string) *tierHandle {
+	h := &tierHandle{idx: idx, file: file}
+	h.refs.Store(1) // the mutator's own reference
+	return h
+}
+
+func (h *tierHandle) acquire() { h.refs.Add(1) }
+
+// release drops one reference; the holder of the last one closes the index.
+// Exactly one goroutine observes the drop to zero, so the close runs once.
+// A munmap failure here has no caller to report to; Close is idempotent, so
+// LiveIndex.Close backstops nothing — by then every tier has drained.
+func (h *tierHandle) release() {
+	if h.refs.Add(-1) == 0 {
+		h.idx.Close()
+	}
+}
+
+// tierState is the mutator-side record of one tier: its handle plus the
+// stable document ids and tombstone flags, mutated only under LiveIndex.mu.
+type tierState struct {
+	h     *tierHandle
+	ids   []uint64 // ascending; tiers hold disjoint ascending id ranges
+	dead  []bool
+	nDead int
+}
+
+// liveTier is a tier as one snapshot sees it: a private copy of the
+// tombstone flags (the mutator keeps flipping its own) plus the derived
+// translation tables from tier-local offsets to the snapshot's virtual
+// global string. All fields are immutable once the snapshot is built.
+type liveTier struct {
+	h     *tierHandle
+	dead  []bool
+	nDead int
+	// gStart[d] is the global offset of local document d's first byte,
+	// gDoc[d] its global (live-ordinal) document number; both -1 when dead.
+	gStart []int
+	gDoc   []int
+	// runEnd[d] is the tier-local end offset of the run of consecutive live
+	// documents containing d (-1 when d is dead): a tier-local match starting
+	// in d is globally valid iff it ends at or before runEnd[d], i.e. it
+	// never reaches into a tombstoned document or the tier's own terminator.
+	runEnd []int
+}
+
+// localStart returns the tier-local start offset of local document d.
+func (t *liveTier) localStart(d int) int {
+	if d == 0 {
+		return 0
+	}
+	return int(t.h.idx.docEnds[d-1])
+}
+
+// translate filters tier-local occurrence offsets (ascending) of an m-byte
+// pattern down to the matches valid in the live view and maps them to global
+// offsets. The output is ascending: the local→global map is strictly
+// increasing over live content. max > 0 caps the output length.
+func (t *liveTier) translate(occ []int, m, max int) []int {
+	out := make([]int, 0, len(occ))
+	de := t.h.idx.docEnds
+	d := 0
+	for _, o := range occ {
+		// First document with end > o; occ is ascending, so d only advances
+		// (and naturally skips empty documents, whose end equals their start).
+		for d < len(de) && int(de[d]) <= o {
+			d++
+		}
+		if d == len(de) {
+			break // defensive: offsets at/past the terminator cannot match
+		}
+		if re := t.runEnd[d]; re >= 0 && o+m <= re {
+			start := 0
+			if d > 0 {
+				start = int(de[d-1])
+			}
+			out = append(out, t.gStart[d]+(o-start))
+			if max > 0 && len(out) == max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// liveSeg is one maximal run of consecutive live documents within a tier:
+// [lo, hi) of the tier's data, starting at global offset gOff. Segments are
+// the units the virtual global string is assembled from; zero-width runs
+// (all-empty documents) are omitted.
+type liveSeg struct {
+	t      *liveTier
+	gOff   int
+	lo, hi int
+}
+
+// liveSnapshot is the immutable query view of a LiveIndex at one mutation
+// epoch. Queries acquire a reference, read, and release; the mutator swaps
+// in a new snapshot per mutation and releases its ownership of the old one.
+// When the last reference drains, the snapshot releases its tier handles —
+// so a compacted-away tier unmaps exactly when the slowest query still
+// reading it finishes, in any drain order.
+type liveSnapshot struct {
+	tiers     []*liveTier
+	segs      []liveSeg
+	totalLen  int // live content bytes + the single virtual terminator
+	numDocs   int // live documents
+	alpha     *alphabet.Alphabet
+	treeNodes int64
+	mapped    int64
+	stitch    stitchString
+	refs      atomic.Int64
+}
+
+// newLiveSnapshot derives the query view over the given tier states,
+// acquiring one reference on every included tier handle. The caller must
+// hold the LiveIndex mutex (it reads mutator state).
+func newLiveSnapshot(states []*tierState, alpha *alphabet.Alphabet) *liveSnapshot {
+	s := &liveSnapshot{alpha: alpha}
+	s.refs.Store(1) // the owner (current-snapshot) reference
+	off, ord := 0, 0
+	for _, st := range states {
+		idx := st.h.idx
+		de := idx.docEnds
+		n := len(de)
+		t := &liveTier{
+			h:      st.h,
+			dead:   append([]bool(nil), st.dead...),
+			nDead:  st.nDead,
+			gStart: make([]int, n),
+			gDoc:   make([]int, n),
+			runEnd: make([]int, n),
+		}
+		segLo, segOff := -1, 0
+		start := 0
+		for d := 0; d < n; d++ {
+			end := int(de[d])
+			if t.dead[d] {
+				t.gStart[d], t.gDoc[d], t.runEnd[d] = -1, -1, -1
+				if segLo >= 0 && start > segLo {
+					s.segs = append(s.segs, liveSeg{t: t, gOff: segOff, lo: segLo, hi: start})
+				}
+				segLo = -1
+				start = end
+				continue
+			}
+			if segLo < 0 {
+				segLo, segOff = start, off
+			}
+			t.gStart[d] = off
+			t.gDoc[d] = ord
+			ord++
+			off += end - start
+			start = end
+		}
+		if segLo >= 0 && start > segLo {
+			s.segs = append(s.segs, liveSeg{t: t, gOff: segOff, lo: segLo, hi: start})
+		}
+		for d := n - 1; d >= 0; d-- {
+			if t.dead[d] {
+				continue
+			}
+			if d == n-1 || t.dead[d+1] {
+				t.runEnd[d] = int(de[d])
+			} else {
+				t.runEnd[d] = t.runEnd[d+1]
+			}
+		}
+		st.h.acquire()
+		s.tiers = append(s.tiers, t)
+		s.treeNodes += idx.TreeNodes()
+		s.mapped += idx.MappedBytes()
+	}
+	s.totalLen = off + 1
+	s.numDocs = ord
+	bounds := make([]int, 0, len(s.segs))
+	for i := 1; i < len(s.segs); i++ {
+		bounds = append(bounds, s.segs[i].gOff)
+	}
+	s.stitch = stitchString{totalLen: s.totalLen, bounds: bounds, slice: s.globalSlice}
+	return s
+}
+
+// acquire takes a read reference; it fails (returns false) once the
+// snapshot has been retired and drained — the caller reloads the current
+// snapshot pointer and retries. The zero count is terminal, so a drained
+// snapshot can never be resurrected after its tiers were released.
+func (s *liveSnapshot) acquire() bool {
+	for {
+		r := s.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if s.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// release drops one reference; the last one releases the tier handles.
+func (s *liveSnapshot) release() {
+	if s.refs.Add(-1) == 0 {
+		for _, t := range s.tiers {
+			t.h.release()
+		}
+	}
+}
+
+// globalSlice copies the bytes [lo, hi) of the virtual global string — the
+// live documents concatenated in id order, with the single terminator at the
+// end — into buf, walking whole segments rather than one byte at a time.
+func (s *liveSnapshot) globalSlice(buf []byte, lo, hi int) []byte {
+	buf = buf[:0]
+	end := hi
+	if end == s.totalLen {
+		end-- // the terminator is appended below, not stored in any tier
+	}
+	i := sort.Search(len(s.segs), func(j int) bool { return s.segs[j].gOff > lo }) - 1
+	for off := lo; off < end; i++ {
+		seg := &s.segs[i]
+		content := seg.t.h.idx.data[seg.lo:seg.hi]
+		from := off - seg.gOff
+		take := len(content) - from
+		if off+take > end {
+			take = end - off
+		}
+		buf = append(buf, content[from:from+take]...)
+		off += take
+	}
+	if hi == s.totalLen {
+		buf = append(buf, alphabet.Terminator)
+	}
+	return buf
+}
+
+// fanOut runs f(i, tier) for every tier, concurrently when there are
+// several. Each invocation must confine its writes to per-tier slots.
+func (s *liveSnapshot) fanOut(f func(i int, t *liveTier)) {
+	if len(s.tiers) == 0 {
+		return
+	}
+	if len(s.tiers) == 1 {
+		f(0, s.tiers[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for i, t := range s.tiers {
+		wg.Add(1)
+		go func(i int, t *liveTier) {
+			defer wg.Done()
+			f(i, t)
+		}(i, t)
+	}
+	wg.Wait()
+}
+
+// tailMatch resolves patterns containing the terminator byte. The virtual
+// string holds exactly one '$', at its very end, so such a pattern can match
+// only with '$' as its last byte, at offset totalLen−|P| — the tier trees
+// must never see it (each would report phantom matches against its own local
+// terminator). Returns the global offset of the single match, or -1.
+func (s *liveSnapshot) tailMatch(p []byte) int {
+	if p[len(p)-1] != alphabet.Terminator || len(p) > s.totalLen {
+		return -1
+	}
+	if bytes.IndexByte(p[:len(p)-1], alphabet.Terminator) >= 0 {
+		return -1
+	}
+	off := s.totalLen - len(p)
+	if !bytes.Equal(s.globalSlice(nil, off, s.totalLen), p) {
+		return -1
+	}
+	return off
+}
+
+func (s *liveSnapshot) contains(p []byte) bool {
+	if len(p) == 0 {
+		return true
+	}
+	if bytes.IndexByte(p, alphabet.Terminator) >= 0 {
+		return s.tailMatch(p) >= 0
+	}
+	found := make([]bool, len(s.tiers))
+	s.fanOut(func(i int, t *liveTier) {
+		if t.nDead == 0 {
+			found[i] = t.h.idx.Contains(p)
+		} else {
+			found[i] = len(t.translate(t.h.idx.Occurrences(p), len(p), 1)) > 0
+		}
+	})
+	for _, f := range found {
+		if f {
+			return true
+		}
+	}
+	return len(s.stitch.crossingOccurrences(p, 1)) > 0
+}
+
+func (s *liveSnapshot) count(p []byte) int {
+	if len(p) == 0 {
+		return s.totalLen
+	}
+	if bytes.IndexByte(p, alphabet.Terminator) >= 0 {
+		if s.tailMatch(p) >= 0 {
+			return 1
+		}
+		return 0
+	}
+	counts := make([]int, len(s.tiers))
+	s.fanOut(func(i int, t *liveTier) {
+		if t.nDead == 0 {
+			counts[i] = t.h.idx.Count(p)
+		} else {
+			counts[i] = len(t.translate(t.h.idx.Occurrences(p), len(p), 0))
+		}
+	})
+	total := len(s.stitch.crossingOccurrences(p, 0))
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+func (s *liveSnapshot) occurrences(p []byte) []int {
+	if len(p) == 0 {
+		out := make([]int, s.totalLen)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if bytes.IndexByte(p, alphabet.Terminator) >= 0 {
+		if off := s.tailMatch(p); off >= 0 {
+			return []int{off}
+		}
+		return []int{}
+	}
+	perTier := make([][]int, len(s.tiers))
+	s.fanOut(func(i int, t *liveTier) {
+		occ := t.h.idx.Occurrences(p)
+		if t.nDead == 0 {
+			// A clean tier's local→global map is one constant shift.
+			for j := range occ {
+				occ[j] += t.gStart[0]
+			}
+			perTier[i] = occ
+		} else {
+			perTier[i] = t.translate(occ, len(p), 0)
+		}
+	})
+	return mergeOccurrences(perTier, s.stitch.crossingOccurrences(p, 0), 0)
+}
+
+func (s *liveSnapshot) docOccurrences(p []byte) []DocHit {
+	if bytes.IndexByte(p, alphabet.Terminator) >= 0 {
+		// Document content never holds the terminator; the monolithic oracle
+		// likewise reports no per-document hits for such patterns.
+		return []DocHit{}
+	}
+	perTier := make([][]DocHit, len(s.tiers))
+	s.fanOut(func(i int, t *liveTier) {
+		hits := t.h.idx.DocOccurrences(p)
+		if t.nDead == 0 {
+			base := t.gDoc[0]
+			for j := range hits {
+				hits[j].Doc += base
+			}
+			perTier[i] = hits
+		} else {
+			k := 0
+			for _, hh := range hits {
+				if t.dead[hh.Doc] {
+					continue
+				}
+				hits[k] = DocHit{Doc: t.gDoc[hh.Doc], Offset: hh.Offset}
+				k++
+			}
+			perTier[i] = hits[:k]
+		}
+	})
+	var n int
+	for _, h := range perTier {
+		n += len(h)
+	}
+	out := make([]DocHit, 0, n)
+	for _, h := range perTier {
+		out = append(out, h...) // tiers hold ascending live-ordinal runs
+	}
+	return out
+}
+
+// batch answers many queries over one snapshot, mirroring
+// ShardedIndex.Batch: tier sub-batches run concurrently, the stitch scans
+// overlap them, and per-op answers merge identically to the monolithic
+// index, occurrence order and truncation included. Tiers with tombstones
+// answer through full occurrence enumeration plus translate, so their
+// counts and lists reflect only live matches.
+func (s *liveSnapshot) batch(ops []Op) []Result {
+	results := make([]Result, len(ops))
+	if len(ops) == 0 {
+		return results
+	}
+
+	// Empty and terminator-bearing patterns resolve directly against the
+	// virtual string, never through the tier trees.
+	const (
+		opNormal = uint8(iota)
+		opEmpty
+		opTerm
+	)
+	class := make([]uint8, len(ops))
+	for i, op := range ops {
+		switch {
+		case len(op.Pattern) == 0:
+			class[i] = opEmpty
+		case bytes.IndexByte(op.Pattern, alphabet.Terminator) >= 0:
+			class[i] = opTerm
+		}
+	}
+
+	perTier := make([][]Result, len(s.tiers))
+	var crossing [][]int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		// Stitch scans overlap the tier descents; they touch only the
+		// junction windows of the immutable tier data.
+		defer wg.Done()
+		crossing = make([][]int, len(ops))
+		for oi, op := range ops {
+			if class[oi] != opNormal {
+				continue
+			}
+			limit := 0
+			if op.Kind == OpContains {
+				limit = 1
+			}
+			crossing[oi] = s.stitch.crossingOccurrences(op.Pattern, limit)
+		}
+	}()
+	s.fanOut(func(i int, t *liveTier) {
+		sub := make([]Op, len(ops))
+		for j, op := range ops {
+			switch {
+			case class[j] != opNormal:
+				// Placeholder the tree answers trivially; the merge below
+				// never reads this op's per-tier result.
+				sub[j] = Op{Kind: OpContains}
+			case t.nDead > 0:
+				// Tombstoned tiers need every occurrence to filter.
+				sub[j] = Op{Kind: OpOccurrences, Pattern: op.Pattern}
+			default:
+				sub[j] = op
+			}
+		}
+		res := t.h.idx.Batch(sub)
+		if t.nDead > 0 {
+			for j := range res {
+				if class[j] != opNormal {
+					res[j] = Result{}
+					continue
+				}
+				max := 0
+				if ops[j].Kind == OpContains {
+					max = 1
+				}
+				tr := t.translate(res[j].Occurrences, len(ops[j].Pattern), max)
+				res[j] = Result{Found: len(tr) > 0, Count: len(tr), Occurrences: tr}
+			}
+		}
+		perTier[i] = res
+	})
+	wg.Wait()
+
+	for oi := range ops {
+		op := &ops[oi]
+		r := &results[oi]
+		switch class[oi] {
+		case opEmpty:
+			// The monolithic tree resolves the empty pattern at the root:
+			// found, with every suffix (terminator included) below it.
+			r.Found = true
+			if op.Kind == OpContains {
+				continue
+			}
+			r.Count = s.totalLen
+			if op.Kind == OpOccurrences {
+				n := s.totalLen
+				if op.MaxOccurrences > 0 && n > op.MaxOccurrences {
+					n = op.MaxOccurrences
+				}
+				r.Occurrences = make([]int, n)
+				for i := range r.Occurrences {
+					r.Occurrences[i] = i
+				}
+			}
+			continue
+		case opTerm:
+			off := s.tailMatch(op.Pattern)
+			if off < 0 {
+				continue // the zero Result: not found
+			}
+			r.Found = true
+			if op.Kind == OpContains {
+				continue
+			}
+			r.Count = 1
+			if op.Kind == OpOccurrences {
+				r.Occurrences = []int{off}
+			}
+			continue
+		}
+		cross := crossing[oi]
+		r.Found = len(cross) > 0
+		for i := range s.tiers {
+			if perTier[i][oi].Found {
+				r.Found = true
+			}
+		}
+		if op.Kind == OpContains || !r.Found {
+			continue
+		}
+		r.Count = len(cross)
+		for i := range s.tiers {
+			r.Count += perTier[i][oi].Count
+		}
+		if op.Kind == OpOccurrences {
+			lists := make([][]int, 0, len(s.tiers))
+			for i, t := range s.tiers {
+				occ := perTier[i][oi].Occurrences
+				if len(occ) == 0 {
+					continue
+				}
+				if t.nDead == 0 {
+					// Batch results carry tier-local offsets over shared
+					// backing arrays; translate into fresh lists.
+					g := make([]int, len(occ))
+					for j, o := range occ {
+						g[j] = o + t.gStart[0]
+					}
+					lists = append(lists, g)
+				} else {
+					lists = append(lists, occ) // already global and private
+				}
+			}
+			r.Occurrences = mergeOccurrences(lists, cross, op.MaxOccurrences)
+		}
+	}
+	return results
+}
+
+// liveDocs returns the surviving documents in id order; the slices view tier
+// data, so the caller must hold the snapshot reference while using them.
+func (s *liveSnapshot) liveDocs() [][]byte {
+	docs := make([][]byte, 0, s.numDocs)
+	for _, t := range s.tiers {
+		de := t.h.idx.docEnds
+		start := 0
+		for d := 0; d < len(de); d++ {
+			end := int(de[d])
+			if !t.dead[d] {
+				docs = append(docs, t.h.idx.data[start:end])
+			}
+			start = end
+		}
+	}
+	return docs
+}
