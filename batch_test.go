@@ -190,7 +190,8 @@ func TestReadV1Index(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Rewrite the v2 stream as v1: patch the version field and drop the two
-	// name blocks (corpus name and alphabet name) that follow it.
+	// name blocks (corpus name and alphabet name) that follow it, plus the
+	// trailing checksum footer (v1 files predate both).
 	raw := v2.Bytes()
 	nameLen := binary.LittleEndian.Uint32(raw[8:12])
 	aNameLen := binary.LittleEndian.Uint32(raw[12+nameLen : 16+nameLen])
@@ -198,7 +199,7 @@ func TestReadV1Index(t *testing.T) {
 	var v1 bytes.Buffer
 	v1.Write(raw[0:4]) // magic
 	binary.Write(&v1, binary.LittleEndian, uint32(1))
-	v1.Write(raw[body:])
+	v1.Write(raw[body : len(raw)-8])
 	got, err := ReadIndex(&v1)
 	if err != nil {
 		t.Fatal(err)

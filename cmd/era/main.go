@@ -77,6 +77,8 @@ func main() {
 		query(os.Args[2:])
 	case "stats":
 		stats(os.Args[2:])
+	case "verify":
+		verify(os.Args[2:])
 	case "serve":
 		serve(os.Args[2:])
 	default:
@@ -91,6 +93,7 @@ func usage() {
   era compact -in FILE [-out FILE] [-verify]
   era query -index FILE -pattern P [-max N]
   era stats -index FILE
+  era verify FILE|LIVEDIR ...
   era serve [-addr HOST:PORT] [-cache N] [-dir DIR] [-live DIR] [-drain DURATION] [INDEX.idx ...]`)
 	os.Exit(2)
 }
@@ -215,6 +218,10 @@ func serve(args []string) {
 		st := lx.Stats()
 		log.Printf("opened live index %s as %q (%d live docs, %d sealed tiers, %d tombstones)",
 			*live, lx.Name(), lx.NumDocs(), st.Tiers, st.DeadDocs)
+		if len(st.Quarantined) > 0 {
+			log.Printf("warning: live index %q quarantined %d damaged tiers at load: %v",
+				lx.Name(), len(st.Quarantined), st.Quarantined)
+		}
 	}
 
 	log.Printf("serving %d indexes on %s", len(engine.Names()), *addr)
@@ -449,7 +456,49 @@ func stats(args []string) {
 		fmt.Printf("next document id: %d (mutation epoch %d)\n", s.NextID, s.Epoch)
 		fmt.Printf("lifetime: %d seals, %d compactions, %v cumulative mutation pause\n",
 			s.Seals, s.Compactions, s.MutationPause.Round(time.Microsecond))
+		if len(s.Quarantined) > 0 {
+			fmt.Printf("QUARANTINED tiers (failed validation at load, renamed *.quarantine): %s\n",
+				strings.Join(s.Quarantined, ", "))
+		}
 	}
+}
+
+// verify checks the stored checksums of index files and live directories
+// without modifying anything (unlike opening a live directory, which
+// truncates torn WAL tails and quarantines damaged tiers). Exits nonzero if
+// any path has problems, so it can gate CI and deploys.
+func verify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	quiet := fs.Bool("q", false, "print problems only")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fatal(fmt.Errorf("verify needs at least one index file or live directory"))
+	}
+	bad := 0
+	for _, path := range fs.Args() {
+		rep, err := era.Verify(path)
+		if err != nil {
+			fatal(err)
+		}
+		if !*quiet || !rep.OK() {
+			fmt.Printf("%s (%s):\n", rep.Path, rep.Kind)
+		}
+		if !*quiet {
+			for _, n := range rep.Notes {
+				fmt.Printf("  ok: %s\n", n)
+			}
+		}
+		for _, p := range rep.Problems {
+			fmt.Printf("  CORRUPT: %s\n", p)
+		}
+		if !rep.OK() {
+			bad++
+		}
+	}
+	if bad > 0 {
+		fatal(fmt.Errorf("%d of %d paths failed verification", bad, fs.NArg()))
+	}
+	fmt.Printf("verified %d paths, all healthy\n", fs.NArg())
 }
 
 func load(path string) era.Queryable {

@@ -3,7 +3,6 @@ package era
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"time"
 )
@@ -87,6 +86,13 @@ func (lx *LiveIndex) sealLocked() error {
 	if lx.dir != "" {
 		if err := lx.writeManifestLocked(); err != nil {
 			errs = append(errs, err)
+		} else if lx.wal != nil {
+			// The manifest now covers everything the log recorded; discard
+			// it. A lost rotate is harmless — replay skips covered records
+			// by id — but a rotate before a durable manifest would not be.
+			if err := lx.wal.rotate(); err != nil {
+				errs = append(errs, err)
+			}
 		}
 	}
 	lx.publishLocked()
@@ -151,12 +157,16 @@ func (lx *LiveIndex) compactLocked() error {
 	if lx.dir != "" {
 		if err := lx.writeManifestLocked(); err != nil {
 			errs = append(errs, err)
+		} else if lx.wal != nil {
+			if err := lx.wal.rotate(); err != nil {
+				errs = append(errs, err)
+			}
 		}
 	}
 	lx.publishLocked()
 	for _, st := range old {
 		if st.h.file != "" {
-			os.Remove(filepath.Join(lx.dir, st.h.file))
+			lx.fs.Remove(filepath.Join(lx.dir, st.h.file))
 		}
 		st.h.release()
 	}
@@ -191,29 +201,33 @@ func (lx *LiveIndex) compactLoop() {
 func (lx *LiveIndex) writeTierFile(file string, idx *Index) (*Index, error) {
 	path := filepath.Join(lx.dir, file)
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := lx.fs.Create(tmp)
 	if err != nil {
 		return nil, err
 	}
 	if _, err := idx.WriteToV4(f); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		lx.fs.Remove(tmp)
 		return nil, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		lx.fs.Remove(tmp)
 		return nil, err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		lx.fs.Remove(tmp)
 		return nil, err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := lx.fs.Rename(tmp, path); err != nil {
+		lx.fs.Remove(tmp)
 		return nil, err
 	}
-	syncDir(lx.dir)
+	// The rename published the tier; the manifest written next will point at
+	// it, so the directory entry must actually be durable first.
+	if err := lx.fs.SyncDir(lx.dir); err != nil {
+		return nil, fmt.Errorf("era: syncing live directory after tier publish: %w", err)
+	}
 	opened, err := OpenIndex(path)
 	if err != nil {
 		return nil, fmt.Errorf("era: reopening sealed tier: %w", err)
@@ -227,9 +241,14 @@ func (lx *LiveIndex) writeTierFile(file string, idx *Index) (*Index, error) {
 }
 
 // writeManifestLocked swaps the manifest (tmp+fsync+rename). Caller holds
-// mu; the manifest records the sealed tiers only — the memtable is volatile
-// by contract until sealed.
+// mu; the manifest records the sealed tiers only. It refuses to run while
+// the memtable holds documents: the manifest's nextID would then cover their
+// ids, and WAL replay — which skips records below nextID as already sealed —
+// would silently drop the acknowledged batch.
 func (lx *LiveIndex) writeManifestLocked() error {
+	if len(lx.mem.docs) > 0 {
+		return fmt.Errorf("era: internal: manifest write with %d unsealed documents would orphan their WAL records", len(lx.mem.docs))
+	}
 	m := &liveManifest{name: lx.name, nextID: lx.nextID, tierSeq: lx.tierSeq}
 	for _, st := range lx.sealed {
 		mt := liveManifestTier{file: st.h.file, ids: st.ids}
@@ -246,36 +265,44 @@ func (lx *LiveIndex) writeManifestLocked() error {
 	}
 	path := filepath.Join(lx.dir, liveManifestName)
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := lx.fs.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		lx.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		lx.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		lx.fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := lx.fs.Rename(tmp, path); err != nil {
+		lx.fs.Remove(tmp)
 		return err
 	}
-	syncDir(lx.dir)
+	// Callers rotate the WAL only after the manifest swap is fully durable,
+	// which includes the directory entry — surface the fsync failure.
+	if err := lx.fs.SyncDir(lx.dir); err != nil {
+		return fmt.Errorf("era: syncing live directory after manifest swap: %w", err)
+	}
 	return nil
 }
 
 // loadManifest restores the sealed tier stack from a manifest file, mapping
-// every tier back in. Runs during NewLive, before any concurrency exists.
+// every tier back in. A tier that fails to open, validate, or checksum is
+// quarantined — renamed aside, its documents dropped — rather than failing
+// the whole corpus: serving the surviving tiers beats serving nothing, and
+// the renamed file stays on disk for forensics. Runs during NewLive, before
+// any concurrency exists.
 func (lx *LiveIndex) loadManifest(path string) error {
-	buf, err := os.ReadFile(path)
+	buf, err := lx.fs.ReadFile(path)
 	if err != nil {
 		return err
 	}
@@ -287,26 +314,16 @@ func (lx *LiveIndex) loadManifest(path string) error {
 	if lx.name == "" {
 		lx.name = m.name
 	}
-	fail := func(err error) error {
-		for _, st := range lx.sealed {
-			st.h.release()
-		}
-		lx.sealed = nil
-		return err
-	}
 	for _, mt := range m.tiers {
-		q, err := OpenIndex(filepath.Join(lx.dir, mt.file))
+		idx, err := lx.openLiveTier(filepath.Join(lx.dir, mt.file), len(mt.ids))
 		if err != nil {
-			return fail(err)
-		}
-		idx, ok := q.(*Index)
-		if !ok {
-			q.Close()
-			return fail(fmt.Errorf("era: live tier %s is not a monolithic index", mt.file))
-		}
-		if idx.NumDocs() != len(mt.ids) {
-			q.Close()
-			return fail(fmt.Errorf("era: live tier %s holds %d documents, manifest says %d", mt.file, idx.NumDocs(), len(mt.ids)))
+			// Move the damaged file aside (best-effort: if even the rename
+			// fails the manifest rewrite below still drops the reference)
+			// and keep loading. The id space keeps the hole.
+			tpath := filepath.Join(lx.dir, mt.file)
+			lx.fs.Rename(tpath, tpath+".quarantine")
+			lx.quarantined = append(lx.quarantined, mt.file)
+			continue
 		}
 		dead := make([]bool, len(mt.ids))
 		for _, di := range mt.dead {
@@ -325,14 +342,36 @@ func (lx *LiveIndex) loadManifest(path string) error {
 			lx.alpha = a
 		}
 	}
+	if len(lx.quarantined) > 0 {
+		// Best-effort: drop the quarantined tiers' manifest entries so the
+		// next open does not trip over the renamed files. Failure is fine —
+		// reopening just quarantines the (now missing) files again.
+		lx.writeManifestLocked()
+	}
 	return nil
 }
 
-// syncDir fsyncs a directory so a just-renamed file's entry is durable.
-// Best-effort: some filesystems reject directory fsync.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+// openLiveTier opens and fully validates one sealed tier file: it must be a
+// monolithic v4 image, hold exactly the manifest's document count, and pass
+// every stored checksum (verified eagerly here — a live tier's bytes feed
+// compaction, so corruption must surface at load, not mid-merge).
+func (lx *LiveIndex) openLiveTier(path string, wantDocs int) (*Index, error) {
+	q, err := OpenIndex(path)
+	if err != nil {
+		return nil, err
 	}
+	idx, ok := q.(*Index)
+	if !ok {
+		q.Close()
+		return nil, fmt.Errorf("era: live tier %s is not a monolithic index", path)
+	}
+	if idx.NumDocs() != wantDocs {
+		idx.Close()
+		return nil, fmt.Errorf("era: live tier %s holds %d documents, manifest says %d", path, idx.NumDocs(), wantDocs)
+	}
+	if err := idx.VerifyChecksums(); err != nil {
+		idx.Close()
+		return nil, err
+	}
+	return idx, nil
 }

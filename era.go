@@ -100,7 +100,8 @@ type Index struct {
 	alpha   *alphabet.Alphabet
 	docEnds []int32 // exclusive end offset per document (corpus indexes)
 	stats   BuildStats
-	mp      *mapping // non-nil when the index views a mapped v4 file
+	mp      *mapping    // non-nil when the index views a mapped v4 file
+	ck      *checkState // non-nil when the image carries stored checksums
 }
 
 func (c *Config) withDefaults() Config {

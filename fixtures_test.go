@@ -1,0 +1,83 @@
+package era
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRegenerateFixtures rewrites the committed images under
+// testdata/fixtures — the corpus the CI `era verify` gate runs against, so
+// format changes that break old images are caught by a real file, not a
+// fresh in-test build. Gated behind ERA_REGEN_FIXTURES=1: run it exactly
+// when the on-disk format legitimately changes, and commit the result.
+func TestRegenerateFixtures(t *testing.T) {
+	if os.Getenv("ERA_REGEN_FIXTURES") != "1" {
+		t.Skip("set ERA_REGEN_FIXTURES=1 to rewrite testdata/fixtures")
+	}
+	docs := [][]byte{
+		[]byte("GATTACAGATTACAGATTACA"),
+		[]byte("CCCGATTACACCCGGGTTTAAA"),
+		[]byte("ACGTACGTACGTACGTACGT"),
+		[]byte("TTAGGGTTAGGGTTAGGG"),
+	}
+	dir := filepath.Join("testdata", "fixtures")
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	mono, err := BuildCorpus(docs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono.SetName("fixture-mono")
+	if err := WriteFileV4(filepath.Join(dir, "mono.idx"), mono); err != nil {
+		t.Fatal(err)
+	}
+
+	sharded, err := BuildShardedCorpus(docs, &ShardConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded.SetName("fixture-sharded")
+	if err := WriteFileV4(filepath.Join(dir, "sharded.idx"), sharded); err != nil {
+		t.Fatal(err)
+	}
+
+	// A live directory mid-flight: one sealed tier, one tombstone, and
+	// unsealed documents living only in the WAL.
+	ldir := filepath.Join(dir, "live")
+	lx, err := NewLive("fixture-live", &LiveConfig{Dir: ldir, MemtableMaxDocs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := lx.Append(docs[:2]) // seals into a tier
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lx.Delete(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lx.Append(docs[2:3]); err != nil { // stays in the WAL
+		t.Fatal(err)
+	}
+	// No Close: closing would seal the memtable and rotate the log, erasing
+	// the mid-flight state. The process exit releases the mappings.
+
+	for _, p := range []string{
+		filepath.Join(dir, "mono.idx"),
+		filepath.Join(dir, "sharded.idx"),
+		ldir,
+	} {
+		rep, err := Verify(p)
+		if err != nil {
+			t.Fatalf("verifying fresh fixture %s: %v", p, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("fresh fixture %s unhealthy: %v", p, rep.Problems)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"era"
@@ -61,7 +63,15 @@ func RunLiveMix(s Scale) (*Table, error) {
 	}
 
 	// The oracle corpus mirrors the live index's surviving documents in
-	// append order.
+	// append order. The mutation history is also recorded verbatim so the
+	// durability phase can replay it against a WAL-backed directory; replay
+	// assigns the same ids because id allocation is sequential.
+	type mutEvent struct {
+		docs  [][]byte
+		del   uint64
+		isDel bool
+	}
+	var script []mutEvent
 	var oracleIDs []uint64
 	var oracleDocs [][]byte
 	alive := func() [][]byte {
@@ -117,6 +127,7 @@ func RunLiveMix(s Scale) (*Table, error) {
 			}
 			oracleIDs = append(oracleIDs, ids...)
 			oracleDocs = append(oracleDocs, docs[i:i+4]...)
+			script = append(script, mutEvent{docs: docs[i : i+4]})
 		}
 		return nil
 	}); err != nil {
@@ -133,6 +144,7 @@ func RunLiveMix(s Scale) (*Table, error) {
 			}
 			oracleIDs = append(oracleIDs, ids...)
 			oracleDocs = append(oracleDocs, docs[i])
+			script = append(script, mutEvent{docs: docs[i : i+1]})
 			if i%3 == 0 {
 				victim := ((i * 7) % len(oracleIDs))
 				if oracleDocs[victim] == nil {
@@ -142,6 +154,7 @@ func RunLiveMix(s Scale) (*Table, error) {
 					return err
 				}
 				oracleDocs[victim] = nil
+				script = append(script, mutEvent{del: oracleIDs[victim], isDel: true})
 			}
 		}
 		return nil
@@ -158,8 +171,76 @@ func RunLiveMix(s Scale) (*Table, error) {
 		return nil, fmt.Errorf("livemix: compaction left %d tiers, %d tombstones", st.Tiers, st.DeadDocs)
 	}
 
+	// Phase 4: durability — the identical mutation history replayed against a
+	// WAL-backed directory, so the mut wall cell carries the full
+	// fsync-before-ack cost the in-memory phases skip. The index is then
+	// closed and reopened through WAL/manifest recovery before querying, so
+	// the "identical" cell certifies the recovered state, not the resident
+	// one. The wall-mut delta between this row and append+churn is the WAL
+	// overhead the 25% regression gate watches.
+	if err := func() error {
+		ddir, err := os.MkdirTemp("", "era-livemix-wal-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(ddir)
+		wlx, err := era.NewLive("livemix-wal", &era.LiveConfig{Dir: ddir, MemtableMaxDocs: 8, MaxTiers: 4})
+		if err != nil {
+			return err
+		}
+		mutStart := time.Now()
+		for _, ev := range script {
+			if ev.isDel {
+				if _, err := wlx.Delete(ev.del); err != nil {
+					return fmt.Errorf("replay delete %d: %w", ev.del, err)
+				}
+				continue
+			}
+			if _, err := wlx.Append(ev.docs); err != nil {
+				return fmt.Errorf("replay append: %w", err)
+			}
+		}
+		pause := wlx.Stats().MutationPause
+		if err := wlx.Close(); err != nil {
+			return err
+		}
+		mutWall := time.Since(mutStart)
+
+		rlx, err := era.OpenLive(filepath.Join(ddir, "live.idx"), &era.LiveConfig{MemtableMaxDocs: 8, MaxTiers: 4})
+		if err != nil {
+			return fmt.Errorf("reopen after replay: %w", err)
+		}
+		defer rlx.Close()
+
+		oracle, err := era.BuildCorpus(alive(), nil)
+		if err != nil {
+			return err
+		}
+		defer oracle.Close()
+		want := oracle.Batch(ops)
+		queryStart := time.Now()
+		var got []era.Result
+		for r := 0; r < rounds; r++ {
+			got = rlx.Batch(ops)
+		}
+		queryWall := time.Since(queryStart)
+		for i := range want {
+			if got[i].Found != want[i].Found || got[i].Count != want[i].Count || len(got[i].Occurrences) != len(want[i].Occurrences) {
+				return fmt.Errorf("op %d diverged after WAL recovery: %+v != %+v", i, got[i], want[i])
+			}
+		}
+		rst := rlx.Stats()
+		qps := float64(rounds*len(ops)) / queryWall.Seconds() / 1000
+		t.AddRow("wal-replay", itoa(rst.LiveDocs), itoa(rst.Tiers), itoa(rst.DeadDocs),
+			"yes", ms(mutWall), ms(queryWall), fmt.Sprintf("%.1f", qps), ms(pause))
+		return nil
+	}(); err != nil {
+		return nil, fmt.Errorf("livemix wal-replay: %w", err)
+	}
+
 	t.Notes = append(t.Notes,
 		"'identical' verifies every answer byte-identical to BuildCorpus over the surviving documents after each phase",
+		"wal-replay replays the append+churn history against a WAL-backed directory (fsync before ack) and queries after close+reopen recovery; its wall-mut vs append+churn is the durability overhead",
 		fmt.Sprintf("workload: %d ops × %d rounds; memtable seals at 8 docs, auto-compaction at 4 tiers; lifetime %d seals, %d compactions",
 			len(ops), rounds, st.Seals, st.Compactions))
 	return t, nil

@@ -45,6 +45,22 @@ var ErrNotMutable = errors.New("index is not mutable")
 // contains the reserved terminator byte). The HTTP layer maps it to 400.
 var ErrBadDocument = errors.New("invalid document")
 
+// ErrSaturated reports an append rejected because the target index already
+// has MaxInflightAppends appends in flight. The HTTP layer maps it to 503
+// with a Retry-After header; the rejection count is in Stats.
+var ErrSaturated = errors.New("too many appends in flight")
+
+// ErrCorruptIndex reports an index whose stored checksums failed
+// verification when a request touched it; the engine quarantines the index
+// (unloads it and renames its file *.quarantine) and keeps serving the rest
+// of the catalog.
+var ErrCorruptIndex = errors.New("index failed checksum verification")
+
+// DefaultMaxInflightAppends is the per-index append concurrency bound.
+// Appends serialize on the live index's internal mutex anyway; the bound
+// caps how deep that queue gets before clients are told to back off.
+const DefaultMaxInflightAppends = 8
+
 // Mutable is the mutation surface a live index exposes through the engine:
 // era.Queryable plus append/delete and a mutation epoch for cache keying.
 // *era.LiveIndex implements it.
@@ -65,10 +81,21 @@ type Engine struct {
 
 	cache *queryCache
 
-	queries     atomic.Int64
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	nextEpoch   atomic.Uint64
+	// MaxInflightAppends bounds concurrent appends per live index; at the
+	// bound AppendDocs rejects with ErrSaturated. Set it before the first
+	// Load; zero means DefaultMaxInflightAppends.
+	MaxInflightAppends int
+
+	queries       atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	appendRejects atomic.Int64
+	nextEpoch     atomic.Uint64
+
+	// quarantined lists files (base names) moved aside for failing checksum
+	// or validation, at LoadDir or lazily when a request touched a corrupt
+	// index. Guarded by mu.
+	quarantined []string
 
 	// retired tracks *mapped* entries replaced by a hot reload or Unload
 	// that have not yet drained. Each catalog entry is reference-counted
@@ -91,10 +118,16 @@ type Engine struct {
 type catalogEntry struct {
 	idx   era.Queryable
 	epoch uint64
+	// path is the backing file the index was loaded from ("" for indexes
+	// handed to Load directly); the quarantine path renames it aside.
+	path string
 	// mapped caches idx.MappedBytes() at load: the accounting in
 	// Engine.MappedBytes must not touch the index after a racing drain
 	// closed its mapping.
 	mapped int64
+	// appendSem bounds in-flight appends (mutable indexes only; nil
+	// otherwise). AppendDocs try-acquires: full means ErrSaturated.
+	appendSem chan struct{}
 
 	// refs counts the catalog's own reference plus every in-flight query.
 	// Zero is terminal: the drop to zero closes the index, and acquire
@@ -150,7 +183,9 @@ func NewEngine(cacheSize int) *Engine {
 // Load registers idx under its name, replacing any index already loaded
 // under it (hot reload). The index must be named (era.Index.SetName, or
 // loaded through era.OpenIndex which names unnamed files).
-func (e *Engine) Load(idx era.Queryable) error {
+func (e *Engine) Load(idx era.Queryable) error { return e.loadPath(idx, "") }
+
+func (e *Engine) loadPath(idx era.Queryable, path string) error {
 	name := idx.Name()
 	if name == "" {
 		return fmt.Errorf("server: index has no name; call SetName before Load")
@@ -166,7 +201,16 @@ func (e *Engine) Load(idx era.Queryable) error {
 		next[k] = v
 	}
 	replaced := old[name]
-	next[name] = newCatalogEntry(idx, e.nextEpoch.Add(1))
+	ent := newCatalogEntry(idx, e.nextEpoch.Add(1))
+	ent.path = path
+	if _, mutable := idx.(Mutable); mutable {
+		n := e.MaxInflightAppends
+		if n <= 0 {
+			n = DefaultMaxInflightAppends
+		}
+		ent.appendSem = make(chan struct{}, n)
+	}
+	next[name] = ent
 	e.catalog.Store(&next)
 	if replaced != nil {
 		if replaced.idx == idx {
@@ -217,7 +261,7 @@ func (e *Engine) LoadFile(path string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return idx.Name(), e.Load(idx)
+	return idx.Name(), e.loadPath(idx, path)
 }
 
 // LoadDir registers every *.idx file in dir and returns the names loaded.
@@ -225,6 +269,9 @@ func (e *Engine) LoadFile(path string) (string, error) {
 // aborts the directory: the rest load, and the per-file failures come back
 // joined into one error alongside the loaded names — so a startup can both
 // serve the healthy catalog and report exactly which files need attention.
+// A file whose content is damaged (as opposed to being unreadable at the
+// filesystem level) is additionally quarantined: renamed *.quarantine so
+// the next startup does not trip over it again, and listed in Stats.
 func (e *Engine) LoadDir(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -238,8 +285,15 @@ func (e *Engine) LoadDir(dir string) ([]string, error) {
 			continue
 		}
 		matched = true
-		name, err := e.LoadFile(filepath.Join(dir, ent.Name()))
+		path := filepath.Join(dir, ent.Name())
+		name, err := e.LoadFile(path)
 		if err != nil {
+			if !os.IsNotExist(err) && !os.IsPermission(err) {
+				if rerr := os.Rename(path, path+".quarantine"); rerr == nil {
+					e.noteQuarantine(ent.Name())
+					err = fmt.Errorf("%w (quarantined as %s)", err, ent.Name()+".quarantine")
+				}
+			}
 			errs = append(errs, fmt.Errorf("server: loading %s: %w", ent.Name(), err))
 			continue
 		}
@@ -249,6 +303,42 @@ func (e *Engine) LoadDir(dir string) ([]string, error) {
 		return nil, fmt.Errorf("server: no *.idx files in %s", dir)
 	}
 	return names, errors.Join(errs...)
+}
+
+// noteQuarantine records a quarantined file name for Stats.
+func (e *Engine) noteQuarantine(file string) {
+	e.mu.Lock()
+	e.quarantined = append(e.quarantined, file)
+	e.mu.Unlock()
+}
+
+// quarantineEntry takes a corrupt index out of service mid-serve: it
+// unloads the entry (if it is still the cataloged one) and moves its
+// backing file aside. The mapping behind any in-flight queries stays valid
+// until they drain; new requests get ErrUnknownIndex.
+func (e *Engine) quarantineEntry(name string, ent *catalogEntry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	old := *e.catalog.Load()
+	if old[name] != ent {
+		return // replaced or unloaded since; nothing to do
+	}
+	next := make(map[string]*catalogEntry, len(old)-1)
+	for k, v := range old {
+		if k != name {
+			next[k] = v
+		}
+	}
+	e.catalog.Store(&next)
+	e.retireEntryLocked(ent)
+	if ent.path != "" {
+		if err := os.Rename(ent.path, ent.path+".quarantine"); err == nil {
+			e.quarantined = append(e.quarantined, filepath.Base(ent.path))
+		}
+	}
 }
 
 // Unload removes the index named name, reporting whether it was loaded.
@@ -387,15 +477,28 @@ func (e *Engine) Batch(index string, ops []era.Op) ([]era.Result, error) {
 // entry draining between the catalog load and the acquire — retirement
 // swaps the catalog before dropping the reference, so a reloaded snapshot
 // is already visible by then and the loop terminates.
+//
+// Checksummed indexes verify lazily, and this is the first-touch gate: an
+// index that turns out corrupt is quarantined here — unloaded, its file
+// renamed aside — and the request fails with ErrCorruptIndex instead of a
+// wrong answer. The rest of the catalog keeps serving.
 func (e *Engine) acquireEntry(index string) (*catalogEntry, error) {
 	for {
 		ent, ok := (*e.catalog.Load())[index]
 		if !ok {
 			return nil, fmt.Errorf("server: %w: no index named %q loaded", ErrUnknownIndex, index)
 		}
-		if ent.acquire() {
-			return ent, nil
+		if !ent.acquire() {
+			continue
 		}
+		if c, checked := ent.idx.(interface{ CheckErr() error }); checked {
+			if err := c.CheckErr(); err != nil {
+				ent.release()
+				e.quarantineEntry(index, ent)
+				return nil, fmt.Errorf("server: %w: %q: %v", ErrCorruptIndex, index, err)
+			}
+		}
+		return ent, nil
 	}
 }
 
@@ -531,6 +634,13 @@ func (e *Engine) AppendDocs(index string, docs [][]byte) ([]uint64, error) {
 	if !ok {
 		return nil, fmt.Errorf("server: %w: index %q is a static snapshot", ErrNotMutable, index)
 	}
+	select {
+	case ent.appendSem <- struct{}{}:
+		defer func() { <-ent.appendSem }()
+	default:
+		e.appendRejects.Add(1)
+		return nil, fmt.Errorf("server: %w: index %q already has %d appends in flight", ErrSaturated, index, cap(ent.appendSem))
+	}
 	for i, d := range docs {
 		if j := bytes.IndexByte(d, alphabet.Terminator); j >= 0 {
 			return nil, fmt.Errorf("server: %w: document %d contains the reserved terminator byte %q at offset %d",
@@ -596,22 +706,29 @@ func cacheKey(prefix string, op era.Op) string {
 
 // Stats is a snapshot of engine activity.
 type Stats struct {
-	Indexes     int   `json:"indexes"`
-	Queries     int64 `json:"queries"`
-	CacheHits   int64 `json:"cache_hits"`
-	CacheMisses int64 `json:"cache_misses"`
-	CacheSize   int   `json:"cache_size"`
-	MappedBytes int64 `json:"mapped_bytes"`
+	Indexes       int      `json:"indexes"`
+	Queries       int64    `json:"queries"`
+	CacheHits     int64    `json:"cache_hits"`
+	CacheMisses   int64    `json:"cache_misses"`
+	CacheSize     int      `json:"cache_size"`
+	MappedBytes   int64    `json:"mapped_bytes"`
+	AppendRejects int64    `json:"append_rejects"`
+	Quarantined   []string `json:"quarantined,omitempty"`
 }
 
 // Stats returns a snapshot of engine activity.
 func (e *Engine) Stats() Stats {
-	return Stats{
-		Indexes:     len(*e.catalog.Load()),
-		Queries:     e.queries.Load(),
-		CacheHits:   e.cacheHits.Load(),
-		CacheMisses: e.cacheMisses.Load(),
-		CacheSize:   e.cache.len(),
-		MappedBytes: e.MappedBytes(),
+	s := Stats{
+		Indexes:       len(*e.catalog.Load()),
+		Queries:       e.queries.Load(),
+		CacheHits:     e.cacheHits.Load(),
+		CacheMisses:   e.cacheMisses.Load(),
+		CacheSize:     e.cache.len(),
+		MappedBytes:   e.MappedBytes(),
+		AppendRejects: e.appendRejects.Load(),
 	}
+	e.mu.Lock()
+	s.Quarantined = append([]string(nil), e.quarantined...)
+	e.mu.Unlock()
+	return s
 }

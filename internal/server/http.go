@@ -98,6 +98,12 @@ func NewHandlerWithLog(engine *Engine, errLog *log.Logger) http.Handler {
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAppendBytes))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				h.writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("append body exceeds the %d-byte limit", mbe.Limit))
+				return
+			}
 			h.writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
 			return
 		}
@@ -211,8 +217,9 @@ type metricsResponse struct {
 
 type indexMemInfo struct {
 	indexInfo
-	MappedBytes   int64 `json:"mapped_bytes"`
-	ResidentBytes int64 `json:"resident_bytes"`
+	MappedBytes   int64    `json:"mapped_bytes"`
+	ResidentBytes int64    `json:"resident_bytes"`
+	Quarantined   []string `json:"quarantined_tiers,omitempty"` // live indexes: tier files renamed aside at load
 }
 
 func (h *api) metricz() metricsResponse {
@@ -223,11 +230,15 @@ func (h *api) metricz() metricsResponse {
 		if !ok {
 			continue
 		}
-		infos = append(infos, indexMemInfo{
+		info := indexMemInfo{
 			indexInfo:     describe(name, idx),
 			MappedBytes:   idx.MappedBytes(),
 			ResidentBytes: idx.ResidentBytes(),
-		})
+		}
+		if live, ok := idx.(interface{ Stats() era.LiveStats }); ok {
+			info.Quarantined = live.Stats().Quarantined
+		}
+		infos = append(infos, info)
 	}
 	return metricsResponse{
 		Engine: h.engine.Stats(),
@@ -258,8 +269,8 @@ func (h *api) logf(format string, args ...any) {
 
 // writeQueryError maps an engine query error to a status: 404 only when
 // the index name is unknown (a client addressing problem), 400 for a
-// rejected pattern, 500 otherwise — an internal failure must not
-// masquerade as "not found".
+// rejected pattern, 503 with Retry-After for append backpressure, 500
+// otherwise — an internal failure must not masquerade as "not found".
 func (h *api) writeQueryError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
@@ -269,6 +280,11 @@ func (h *api) writeQueryError(w http.ResponseWriter, err error) {
 		errors.Is(err, ErrNotMutable),
 		errors.Is(err, ErrBadDocument):
 		status = http.StatusBadRequest
+	case errors.Is(err, ErrSaturated):
+		// The bound is queue depth on a mutex held for milliseconds; a
+		// one-second backoff is generous.
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusServiceUnavailable
 	}
 	h.writeError(w, status, err.Error())
 }

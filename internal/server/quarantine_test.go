@@ -1,0 +1,243 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"era"
+)
+
+// TestQuarantineServesHealthyCatalog pins the startup contract: a damaged
+// file in the index directory is renamed aside and reported, and the rest of
+// the catalog loads and serves.
+func TestQuarantineServesHealthyCatalog(t *testing.T) {
+	dir := t.TempDir()
+	healthy := buildIndex(t, "healthy", 2000, 1)
+	if err := era.WriteFileV4(filepath.Join(dir, "healthy.idx"), healthy); err != nil {
+		t.Fatal(err)
+	}
+	if err := era.WriteFileV4(filepath.Join(dir, "corrupt.idx"), buildIndex(t, "doomed", 2000, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Truncating to half is content damage the open detects immediately.
+	img, err := os.ReadFile(filepath.Join(dir, "corrupt.idx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "corrupt.idx"), img[:len(img)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e := NewEngine(128)
+	defer e.Close()
+	names, err := e.LoadDir(dir)
+	if err == nil || !strings.Contains(err.Error(), "quarantined as corrupt.idx.quarantine") {
+		t.Fatalf("LoadDir error = %v, want a quarantine report for corrupt.idx", err)
+	}
+	if len(names) != 1 || names[0] != "healthy" {
+		t.Fatalf("loaded %v, want [healthy]", names)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "corrupt.idx.quarantine")); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "corrupt.idx")); !os.IsNotExist(err) {
+		t.Fatalf("damaged file still in place: %v", err)
+	}
+	if q := e.Stats().Quarantined; len(q) != 1 || q[0] != "corrupt.idx" {
+		t.Fatalf("Stats.Quarantined = %v, want [corrupt.idx]", q)
+	}
+
+	pat := []byte("TGA")
+	res, err := e.Query("healthy", era.Op{Kind: era.OpCount, Pattern: pat})
+	if err != nil {
+		t.Fatalf("query against surviving catalog: %v", err)
+	}
+	if res.Count != healthy.Count(pat) {
+		t.Fatalf("Count = %d, want %d", res.Count, healthy.Count(pat))
+	}
+}
+
+// TestQuarantineLazyCorruptionMidServe pins the first-touch path: damage
+// that lands after load (so the header verified clean) is caught by the
+// lazy section checksums on the first query, the request fails with
+// ErrCorruptIndex instead of a wrong answer, and the index is taken out of
+// service and renamed aside.
+func TestQuarantineLazyCorruptionMidServe(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lazy.idx")
+	if err := era.WriteFileV4(path, buildIndex(t, "lazy", 2000, 3)); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(128)
+	defer e.Close()
+	name, err := e.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte through the file; the read-only MAP_SHARED mapping sees
+	// it, modeling media corruption between load and first use.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, err = e.Query(name, era.Op{Kind: era.OpCount, Pattern: []byte("TGA")})
+	if !errors.Is(err, ErrCorruptIndex) {
+		t.Fatalf("query over corrupted mapping: %v, want ErrCorruptIndex", err)
+	}
+	// Out of service: the entry is unloaded, the file renamed aside.
+	if _, err := e.Query(name, era.Op{Kind: era.OpCount, Pattern: []byte("TGA")}); !errors.Is(err, ErrUnknownIndex) {
+		t.Fatalf("query after quarantine: %v, want ErrUnknownIndex", err)
+	}
+	if _, err := os.Stat(path + ".quarantine"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if q := e.Stats().Quarantined; len(q) != 1 || q[0] != "lazy.idx" {
+		t.Fatalf("Stats.Quarantined = %v, want [lazy.idx]", q)
+	}
+}
+
+// blockingLive wraps a live index so its Append parks until the test says
+// go, holding an engine append slot occupied.
+type blockingLive struct {
+	*era.LiveIndex
+	entered chan struct{}
+	gate    chan struct{}
+}
+
+func (b *blockingLive) Append(docs [][]byte) ([]uint64, error) {
+	b.entered <- struct{}{}
+	<-b.gate
+	return b.LiveIndex.Append(docs)
+}
+
+func newBlockingLive(t *testing.T) *blockingLive {
+	t.Helper()
+	lx, err := era.NewLive("live", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// entered is buffered so appends after the gate opens don't block on an
+	// absent listener.
+	return &blockingLive{LiveIndex: lx, entered: make(chan struct{}, 8), gate: make(chan struct{})}
+}
+
+// TestEngineAppendBackpressure pins the in-flight bound: with the single
+// append slot occupied, the next append rejects with ErrSaturated and the
+// rejection is counted; once the slot frees, appends proceed.
+func TestEngineAppendBackpressure(t *testing.T) {
+	b := newBlockingLive(t)
+	e := NewEngine(128)
+	e.MaxInflightAppends = 1
+	if err := e.Load(b); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.AppendDocs("live", [][]byte{[]byte("GATTACA")})
+		done <- err
+	}()
+	<-b.entered // the slow append holds the only slot
+
+	if _, err := e.AppendDocs("live", [][]byte{[]byte("CCCC")}); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("append at the bound: %v, want ErrSaturated", err)
+	}
+	if got := e.Stats().AppendRejects; got != 1 {
+		t.Fatalf("AppendRejects = %d, want 1", got)
+	}
+
+	close(b.gate)
+	if err := <-done; err != nil {
+		t.Fatalf("parked append: %v", err)
+	}
+	// The slot is free again.
+	if _, err := e.AppendDocs("live", [][]byte{[]byte("TTTT")}); err != nil {
+		t.Fatalf("append after drain: %v", err)
+	}
+}
+
+// TestHTTPAppendSaturation pins the HTTP mapping: a saturated append comes
+// back 503 with a Retry-After hint.
+func TestHTTPAppendSaturation(t *testing.T) {
+	b := newBlockingLive(t)
+	e := NewEngine(128)
+	e.MaxInflightAppends = 1
+	if err := e.Load(b); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	ts := httptest.NewServer(NewHandler(e))
+	t.Cleanup(ts.Close)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.AppendDocs("live", [][]byte{[]byte("GATTACA")})
+		done <- err
+	}()
+	<-b.entered
+	defer func() {
+		close(b.gate)
+		<-done
+	}()
+
+	resp, err := http.Post(ts.URL+"/v1/indexes/live/docs", "application/json",
+		strings.NewReader(`{"docs":["CCCC"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated append status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+}
+
+// TestHTTPAppendBodyTooLarge pins the request-size guard: a body past the
+// append limit maps to 413, not a decode 400.
+func TestHTTPAppendBodyTooLarge(t *testing.T) {
+	lx, err := era.NewLive("live", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(128)
+	if err := e.Load(lx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	ts := httptest.NewServer(NewHandler(e))
+	t.Cleanup(ts.Close)
+
+	huge := strings.Repeat("A", 17<<20) // past the 16 MiB append cap
+	resp, err := http.Post(ts.URL+"/v1/indexes/live/docs", "application/json",
+		strings.NewReader(`{"docs":["`+huge+`"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized append status = %d, want 413", resp.StatusCode)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"era/internal/alphabet"
+	"era/internal/vfs"
 )
 
 // LiveIndex is a mutable, query-compatible index over a live corpus: an
@@ -30,26 +31,31 @@ import (
 // which serving layers use to invalidate result caches.
 //
 // Durability (directory mode, LiveConfig.Dir != ""): sealed tiers and the
-// manifest are written tmp+fsync+rename, never in place; the memtable is
-// volatile until sealed (Close seals it). With Dir == "" the whole index is
-// heap-resident and vanishes with the process.
+// manifest are written tmp+fsync+rename, never in place; every Append and
+// Delete is fsynced to a write-ahead log (wal.log) before it acknowledges,
+// so even unsealed memtable contents survive a crash — reopening replays the
+// log tail. With Dir == "" the whole index is heap-resident and vanishes
+// with the process.
 type LiveIndex struct {
 	name string
 	dir  string
 	cfg  LiveConfig
+	fs   vfs.FS
+	wal  *wal // non-nil in directory mode once recovery has run
 
 	snap     atomic.Pointer[liveSnapshot]
 	epoch    atomic.Uint64
 	closedFl atomic.Bool
 
-	mu         sync.Mutex
-	alpha      *alphabet.Alphabet
-	fixedAlpha bool
-	seen       [256]bool
-	sealed     []*tierState
-	mem        memtable
-	nextID     uint64
-	tierSeq    uint64
+	mu          sync.Mutex
+	alpha       *alphabet.Alphabet
+	fixedAlpha  bool
+	seen        [256]bool
+	sealed      []*tierState
+	mem         memtable
+	nextID      uint64
+	tierSeq     uint64
+	quarantined []string // tier files moved aside at load for failing validation
 
 	seals       int64
 	compactions int64
@@ -100,6 +106,10 @@ type LiveConfig struct {
 	// Background runs seal and compaction on a background goroutine kicked
 	// by Append instead of inline on the mutating call.
 	Background bool
+	// fs overrides the filesystem behind the durability paths (tier files,
+	// manifest, WAL); nil means the real OS. Unexported: only the
+	// fault-injection tests swap in vfs.FaultFS.
+	fs vfs.FS
 }
 
 func (c *LiveConfig) withLiveDefaults() LiveConfig {
@@ -120,25 +130,42 @@ func (c *LiveConfig) withLiveDefaults() LiveConfig {
 }
 
 // NewLive opens (or creates) a live index. With cfg.Dir set, an existing
-// manifest in the directory is loaded — sealed tiers are mapped back in and
-// ids continue from where the last run sealed — otherwise the directory is
-// initialized. name may be empty, in which case the manifest's saved name
+// manifest in the directory is loaded — sealed tiers are mapped back in,
+// ids continue from where the last run sealed, and the write-ahead log's
+// tail is replayed into the memtable so no acknowledged mutation is lost —
+// otherwise the directory is initialized. A sealed tier that fails checksum
+// or shape validation is renamed aside (*.quarantine) and its documents
+// dropped; the rest of the corpus loads and serves (see LiveStats
+// Quarantined). name may be empty, in which case the manifest's saved name
 // or the directory base name is adopted.
 func NewLive(name string, cfg *LiveConfig) (*LiveIndex, error) {
 	lx := &LiveIndex{name: name}
 	lx.cfg = cfg.withLiveDefaults()
 	lx.dir = lx.cfg.Dir
+	lx.fs = lx.cfg.fs
+	if lx.fs == nil {
+		lx.fs = vfs.OS
+	}
 	lx.alpha = alphabet.DNA // placeholder until the first document is seen
 	if lx.cfg.Build != nil && lx.cfg.Build.Alphabet != nil {
 		lx.alpha = lx.cfg.Build.Alphabet
 		lx.fixedAlpha = true
 	}
 	if lx.dir != "" {
-		if err := os.MkdirAll(lx.dir, 0o755); err != nil {
+		fail := func(err error) (*LiveIndex, error) {
+			for _, st := range lx.sealed {
+				st.h.release()
+			}
+			if lx.mem.h != nil {
+				lx.mem.h.release()
+			}
+			return nil, err
+		}
+		if err := lx.fs.MkdirAll(lx.dir, 0o755); err != nil {
 			return nil, err
 		}
 		mpath := filepath.Join(lx.dir, liveManifestName)
-		if _, err := os.Stat(mpath); err == nil {
+		if _, err := lx.fs.Stat(mpath); err == nil {
 			if err := lx.loadManifest(mpath); err != nil {
 				return nil, err
 			}
@@ -147,6 +174,14 @@ func NewLive(name string, cfg *LiveConfig) (*LiveIndex, error) {
 		} else if err := lx.writeManifestLocked(); err != nil {
 			return nil, err
 		}
+		if err := lx.recoverWAL(); err != nil {
+			return fail(err)
+		}
+		w, err := openWAL(lx.fs, filepath.Join(lx.dir, walName))
+		if err != nil {
+			return fail(err)
+		}
+		lx.wal = w
 		if lx.name == "" {
 			lx.name = filepath.Base(lx.dir)
 		}
@@ -172,6 +207,71 @@ func OpenLive(path string, cfg *LiveConfig) (*LiveIndex, error) {
 	}
 	lcfg.Dir = filepath.Dir(path)
 	return NewLive("", &lcfg)
+}
+
+// recoverWAL replays the write-ahead log's tail into the memtable: append
+// batches the manifest does not cover are re-applied (ids re-derived from
+// the record's firstID, which must meet nextID exactly), deletes are
+// re-tombstoned (idempotently — the manifest may already carry them), and a
+// torn or corrupt tail is truncated away so new records never land beyond
+// damage the next replay would stop at. Runs during NewLive, after the
+// manifest loaded and before any concurrency exists.
+func (lx *LiveIndex) recoverWAL() error {
+	path := filepath.Join(lx.dir, walName)
+	buf, err := lx.fs.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var appended bool
+	valid := walScan(buf, func(r walRecord) bool {
+		switch r.kind {
+		case walRecAppend:
+			if r.firstID < lx.nextID {
+				return true // sealed into a tier already; the rotate was lost
+			}
+			if r.firstID > lx.nextID {
+				return false // id gap: treat like a corrupt tail
+			}
+			for _, d := range r.docs {
+				cp := append([]byte(nil), d...)
+				lx.mem.docs = append(lx.mem.docs, cp)
+				lx.mem.ids = append(lx.mem.ids, lx.nextID)
+				lx.mem.dead = append(lx.mem.dead, false)
+				lx.mem.size += int64(len(cp))
+				lx.nextID++
+				if !lx.fixedAlpha {
+					for _, b := range cp {
+						lx.seen[b] = true
+					}
+				}
+			}
+			appended = true
+		case walRecDelete:
+			lx.deleteLocked(r.id)
+		}
+		return true
+	})
+	if valid < int64(len(buf)) {
+		// Cut the damage away for good: the log is opened O_APPEND, and a
+		// record written after a bad region would be unreachable to replay.
+		if err := lx.fs.Truncate(path, valid); err != nil {
+			return err
+		}
+	}
+	if appended {
+		if !lx.fixedAlpha {
+			if a, err := alphabetFromSeen(&lx.seen); err == nil {
+				lx.alpha = a
+			}
+		}
+		if err := lx.rebuildMemLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // buildConfig returns the Config value memtable and compaction builds use.
@@ -262,8 +362,7 @@ func (lx *LiveIndex) Append(docs [][]byte) ([]uint64, error) {
 			lx.alpha = a
 		}
 	}
-	if err := lx.rebuildMemLocked(); err != nil {
-		// Roll the batch back so the corpus state matches the answer.
+	rollback := func() {
 		lx.mem.docs = lx.mem.docs[:nd]
 		lx.mem.ids = lx.mem.ids[:nd]
 		lx.mem.dead = lx.mem.dead[:nd]
@@ -273,7 +372,34 @@ func (lx *LiveIndex) Append(docs [][]byte) ([]uint64, error) {
 		}
 		lx.nextID = ni
 		lx.alpha = oldAlpha
+	}
+	if err := lx.rebuildMemLocked(); err != nil {
+		// Roll the batch back so the corpus state matches the answer.
+		rollback()
 		return nil, err
+	}
+	if lx.wal != nil {
+		if werr := lx.wal.append(walEncodeAppend(ni, docs)); werr != nil {
+			// The batch was never durable, so it must not be served: roll the
+			// memory back too. The memtable handle currently views the batch;
+			// rebuild it over the surviving documents, and if even that
+			// fails, drop the handle — publish then skips the memtable and
+			// seal declines, leaving the earlier pending documents invisible
+			// but still recoverable from their own durable WAL records.
+			rollback()
+			if lx.mem.h != nil {
+				lx.mem.h.release()
+				lx.mem.h = nil
+			}
+			if nd > 0 {
+				if rerr := lx.rebuildMemLocked(); rerr != nil {
+					lx.publishLocked()
+					lx.epoch.Add(1)
+					return nil, errors.Join(werr, rerr)
+				}
+			}
+			return nil, fmt.Errorf("era: append rolled back; WAL write failed: %w", werr)
+		}
 	}
 	lx.publishLocked()
 	lx.epoch.Add(1)
@@ -310,25 +436,27 @@ func (lx *LiveIndex) rebuildMemLocked() error {
 
 // Delete tombstones the document with the given id. It reports whether the
 // id named a live document; deleting an unknown or already-deleted id is a
-// no-op returning false. In directory mode a sealed-tier tombstone is
-// persisted to the manifest before Delete returns.
+// no-op returning false. In directory mode the tombstone is fsynced to the
+// write-ahead log before Delete returns (the manifest absorbs it at the
+// next seal or compaction).
 func (lx *LiveIndex) Delete(id uint64) (bool, error) {
 	lx.mu.Lock()
 	defer lx.mu.Unlock()
 	if lx.closedFl.Load() {
 		return false, errLiveClosed
 	}
-	inSealed, ok := lx.deleteLocked(id)
-	if !ok {
+	if _, ok := lx.deleteLocked(id); !ok {
 		return false, nil
+	}
+	if lx.wal != nil {
+		if werr := lx.wal.append(walEncodeDelete(id)); werr != nil {
+			// Never durable, so never visible: put the document back.
+			lx.undeleteLocked(id)
+			return false, fmt.Errorf("era: delete rolled back; WAL write failed: %w", werr)
+		}
 	}
 	lx.publishLocked()
 	lx.epoch.Add(1)
-	if inSealed && lx.dir != "" {
-		if err := lx.writeManifestLocked(); err != nil {
-			return true, fmt.Errorf("era: delete applied in memory; persisting tombstone: %w", err)
-		}
-	}
 	return true, nil
 }
 
@@ -352,6 +480,23 @@ func (lx *LiveIndex) deleteLocked(id uint64) (inSealed, ok bool) {
 		}
 	}
 	return false, false
+}
+
+// undeleteLocked reverses a just-applied deleteLocked whose WAL record
+// failed to land. Caller holds mu.
+func (lx *LiveIndex) undeleteLocked(id uint64) {
+	if i := searchIDs(lx.mem.ids, id); i >= 0 {
+		lx.mem.dead[i] = false
+		lx.mem.nDead--
+		return
+	}
+	for _, st := range lx.sealed {
+		if i := searchIDs(st.ids, id); i >= 0 {
+			st.dead[i] = false
+			st.nDead--
+			return
+		}
+	}
 }
 
 // searchIDs finds id in the ascending slice, or -1.
@@ -517,6 +662,12 @@ func (lx *LiveIndex) Close() error {
 			errs = append(errs, err)
 		}
 	}
+	if lx.wal != nil {
+		if err := lx.wal.close(); err != nil {
+			errs = append(errs, err)
+		}
+		lx.wal = nil
+	}
 	lx.closedFl.Store(true)
 	if s := lx.snap.Load(); s != nil {
 		s.release()
@@ -543,6 +694,7 @@ type LiveStats struct {
 	MutationPause time.Duration // cumulative wall time mutations stalled on seal+compact
 	NextID        uint64        // the id the next appended document receives
 	Epoch         uint64        // current mutation epoch
+	Quarantined   []string      // tier files renamed *.quarantine at load for failing validation
 }
 
 // Stats returns maintenance counters and tier occupancy.
@@ -557,6 +709,7 @@ func (lx *LiveIndex) Stats() LiveStats {
 		MutationPause: lx.mutPause,
 		NextID:        lx.nextID,
 		Epoch:         lx.epoch.Load(),
+		Quarantined:   append([]string(nil), lx.quarantined...),
 	}
 	dead := lx.mem.nDead
 	for _, t := range lx.sealed {

@@ -79,7 +79,10 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	if len(x.name) > maxNameLen || len(x.alpha.Name()) > maxNameLen {
 		return 0, fmt.Errorf("era: index name longer than %d bytes", maxNameLen)
 	}
-	bw := bufio.NewWriter(w)
+	// Everything below the footer streams through cw, so the trailing
+	// checksum covers the complete v2 payload.
+	cw := &crcWriter{w: w}
+	bw := bufio.NewWriter(cw)
 	var total int64
 	put32 := func(v uint32) error {
 		var b [4]byte
@@ -139,8 +142,16 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 		return total, err
 	}
 	// The flat-backed case returned above, so the tree is the heap layout.
-	tn, err := x.tree.(*suffixtree.Tree).WriteTo(w)
+	tn, err := x.tree.(*suffixtree.Tree).WriteTo(cw)
 	total += tn
+	if err != nil {
+		return total, err
+	}
+	var foot [8]byte
+	binary.LittleEndian.PutUint32(foot[:], indexFooterMagic)
+	binary.LittleEndian.PutUint32(foot[4:], cw.crc)
+	fn, err := w.Write(foot[:])
+	total += int64(fn)
 	return total, err
 }
 
@@ -159,40 +170,27 @@ func (sx *ShardedIndex) WriteTo(w io.Writer) (int64, error) {
 	// The manifest carries every payload's length before the payloads
 	// themselves, but buffering the serialized shards would transiently
 	// double the corpus in memory — the very thing sharding exists to
-	// avoid. A seekable destination (WriteFile's *os.File) streams each
-	// payload once and backpatches the lengths; anything else pays a
-	// counting pass first, then streams (Index.WriteTo is deterministic,
-	// so the two passes agree).
+	// avoid. So every shard pays a counting pass first, then streams
+	// (Index.WriteTo is deterministic, so the two passes agree). The old
+	// seek-and-backpatch fast path is gone: bytes patched after the fact
+	// would not flow through the stream checksum the footer promises.
 	lens := make([]uint32, len(sx.shards))
-	seeker, seekable := w.(io.WriteSeeker)
-	var seekBase int64
-	if seekable {
-		// The stream may not start at file offset 0 (e.g. appended after
-		// other content); backpatch offsets are relative to here.
-		var err error
-		if seekBase, err = seeker.Seek(0, io.SeekCurrent); err != nil {
-			// A writer that cannot report its position gets the two-pass
-			// treatment instead.
-			seekable = false
+	for i, sh := range sx.shards {
+		var sc countingWriter
+		if _, err := sh.WriteTo(&sc); err != nil {
+			return 0, fmt.Errorf("era: sizing shard %d: %w", i, err)
 		}
-	}
-	if !seekable {
-		for i, sh := range sx.shards {
-			var cw countingWriter
-			if _, err := sh.WriteTo(&cw); err != nil {
-				return 0, fmt.Errorf("era: sizing shard %d: %w", i, err)
-			}
-			if cw.n > int64(^uint32(0)) {
-				return 0, fmt.Errorf("era: shard %d payload of %d bytes exceeds the format's 4 GiB shard limit; rebuild with more shards", i, cw.n)
-			}
-			lens[i] = uint32(cw.n)
+		if sc.n > int64(^uint32(0)) {
+			return 0, fmt.Errorf("era: shard %d payload of %d bytes exceeds the format's 4 GiB shard limit; rebuild with more shards", i, sc.n)
 		}
+		lens[i] = uint32(sc.n)
 	}
+	cw := &crcWriter{w: w}
 	var total int64
 	put32 := func(v uint32) error {
 		var b [4]byte
 		binary.LittleEndian.PutUint32(b[:], v)
-		n, err := w.Write(b[:])
+		n, err := cw.Write(b[:])
 		total += int64(n)
 		return err
 	}
@@ -201,7 +199,7 @@ func (sx *ShardedIndex) WriteTo(w io.Writer) (int64, error) {
 			return total, err
 		}
 	}
-	n, err := io.WriteString(w, sx.name)
+	n, err := io.WriteString(cw, sx.name)
 	total += int64(n)
 	if err != nil {
 		return total, err
@@ -209,42 +207,27 @@ func (sx *ShardedIndex) WriteTo(w io.Writer) (int64, error) {
 	if err := put32(uint32(len(sx.shards))); err != nil {
 		return total, err
 	}
-	lensOff := total
 	for _, l := range lens {
-		if err := put32(l); err != nil { // zero placeholders when seekable
+		if err := put32(l); err != nil {
 			return total, err
 		}
 	}
 	for i, sh := range sx.shards {
-		pn, err := sh.WriteTo(w)
+		pn, err := sh.WriteTo(cw)
 		total += pn
 		if err != nil {
 			return total, fmt.Errorf("era: writing shard %d payload: %w", i, err)
 		}
-		if pn > int64(^uint32(0)) {
-			return total, fmt.Errorf("era: shard %d payload of %d bytes exceeds the format's 4 GiB shard limit; rebuild with more shards", i, pn)
-		}
-		if !seekable && pn != int64(lens[i]) {
+		if pn != int64(lens[i]) {
 			return total, fmt.Errorf("era: shard %d payload wrote %d bytes, sized %d", i, pn, lens[i])
 		}
-		lens[i] = uint32(pn)
 	}
-	if seekable {
-		if _, err := seeker.Seek(seekBase+lensOff, io.SeekStart); err != nil {
-			return total, err
-		}
-		buf := make([]byte, 4*len(lens))
-		for i, l := range lens {
-			binary.LittleEndian.PutUint32(buf[4*i:], l)
-		}
-		if _, err := seeker.Write(buf); err != nil {
-			return total, err
-		}
-		if _, err := seeker.Seek(seekBase+total, io.SeekStart); err != nil {
-			return total, err
-		}
-	}
-	return total, nil
+	var foot [8]byte
+	binary.LittleEndian.PutUint32(foot[:], indexFooterMagic)
+	binary.LittleEndian.PutUint32(foot[4:], cw.crc)
+	fn, err := w.Write(foot[:])
+	total += int64(fn)
+	return total, err
 }
 
 // countingWriter counts bytes without storing them.
@@ -315,9 +298,11 @@ func readV4Stream(br *bufio.Reader) (Queryable, error) {
 
 // ReadIndex deserializes a monolithic index written with Index.WriteTo
 // (format v1, v2, or a monolithic v4 image). For streams that may also hold
-// a sharded index, use ReadQueryable.
+// a sharded index, use ReadQueryable. The stream is consumed to its end so
+// the trailing checksum footer (when present) can be verified.
 func ReadIndex(r io.Reader) (*Index, error) {
-	br := bufio.NewReader(r)
+	cr := &crcTailReader{r: r}
+	br := bufio.NewReader(cr)
 	v, err := readHeader(br)
 	if err != nil {
 		return nil, err
@@ -326,6 +311,7 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	case shardedVersion:
 		return nil, fmt.Errorf("era: index is a sharded (v3) corpus; read it with ReadQueryable or OpenIndex")
 	case flatVersion:
+		// v4 images checksum through their header, not a stream footer.
 		q, err := readV4Stream(br)
 		if err != nil {
 			return nil, err
@@ -336,25 +322,66 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		}
 		return idx, nil
 	}
-	return readMonolithic(br, v)
+	idx, err := readMonolithic(br, v)
+	if err != nil {
+		return nil, err
+	}
+	if err := verifyStreamFooter(br, cr); err != nil {
+		return nil, err
+	}
+	return idx, nil
 }
 
 // ReadQueryable deserializes any index stream — monolithic (v1/v2),
 // sharded (v3), or a v4 image — written by Index.WriteTo,
-// ShardedIndex.WriteTo, or the WriteToV4 variants.
+// ShardedIndex.WriteTo, or the WriteToV4 variants. Like ReadIndex, it
+// consumes the stream to its end to verify the trailing checksum footer.
 func ReadQueryable(r io.Reader) (Queryable, error) {
-	br := bufio.NewReader(r)
+	cr := &crcTailReader{r: r}
+	br := bufio.NewReader(cr)
 	v, err := readHeader(br)
 	if err != nil {
 		return nil, err
 	}
+	var q Queryable
 	switch v {
 	case shardedVersion:
-		return readSharded(br)
+		q, err = readSharded(br)
 	case flatVersion:
 		return readV4Stream(br)
+	default:
+		q, err = readMonolithic(br, v)
 	}
-	return readMonolithic(br, v)
+	if err != nil {
+		return nil, err
+	}
+	if err := verifyStreamFooter(br, cr); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// verifyStreamFooter runs after a v1–v3 payload parsed cleanly: it drains
+// the stream and checks what trails the payload. Zero trailing bytes is a
+// file from before the checksummed format, accepted unverified; otherwise
+// the trailer must be exactly the 8-byte footer whose CRC32C matches every
+// preceding byte.
+func verifyStreamFooter(br *bufio.Reader, cr *crcTailReader) error {
+	trailing, err := io.Copy(io.Discard, br)
+	if err != nil {
+		return err
+	}
+	if trailing == 0 {
+		return nil
+	}
+	if trailing != 8 || cr.tlen != 8 || binary.LittleEndian.Uint32(cr.tail[:]) != indexFooterMagic {
+		return fmt.Errorf("era: corrupt index: %d trailing bytes are not a checksum footer", trailing)
+	}
+	want := binary.LittleEndian.Uint32(cr.tail[4:])
+	if cr.crc != want {
+		return fmt.Errorf("era: corrupt index: stream checksum mismatch (stored %#08x, computed %#08x)", want, cr.crc)
+	}
+	return nil
 }
 
 // readMonolithic reads a v1/v2 index body (header already consumed),

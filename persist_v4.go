@@ -3,6 +3,7 @@ package era
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"unsafe"
 
@@ -35,11 +36,27 @@ import (
 //	0   magic    u32 'ERAI'
 //	4   version  u32 = 4
 //	8   kind     u32: 0 monolithic, 1 sharded
-//	12  reserved u32
+//	12  flags    u32 (bit 0: header carries the checksum block below)
 //	16  imageLen u64  total image bytes (truncation check)
 //	24  metaOff  u64
 //	32  metaLen  u64
 //	40.. kind-specific fields, see v4Header / v4ShardHeader.
+//
+// Checksummed headers (flags bit 0, every image this package writes) grow
+// the header to v4HeaderLenCk bytes:
+//
+//	152  8 × u32 CRC32C, one per section window in file order; each window
+//	     runs from its section's start to the next section's start (trailing
+//	     page padding included), the last to imageLen. Sharded images use
+//	     slot 0 for meta and slot 1 for the shard table window; payloads
+//	     carry their own checksums.
+//	184  u32 CRC32C of header bytes [0, 184)
+//	188  4 zero bytes (verified; reserved)
+//
+// The header checksum is verified at open; section windows are verified
+// lazily — once, before the first query touches the image — so opening a
+// mapped file stays O(header). Files with flags == 0 (written before the
+// checksummed format) parse as before, unverified.
 //
 // Sharded image (kind 1): header + meta (name only) + a table of
 // (payloadOff, payloadLen) u64 pairs + the payloads, each payload a complete
@@ -60,6 +77,14 @@ const (
 	// is shorter but padded to the same length, so meta always follows at
 	// one offset).
 	v4HeaderLen = 152
+	// v4HeaderLenCk is the header size with the checksum block appended;
+	// every image written since checksums landed uses it (flags bit 0).
+	v4HeaderLenCk = 192
+	// v4FlagChecksums marks a header that carries the checksum block.
+	v4FlagChecksums = 1 << 0
+	// v4CRCTableOff / v4HeaderCRCOff locate the checksum block fields.
+	v4CRCTableOff  = 152
+	v4HeaderCRCOff = 184
 	// maxV4Shards bounds the shard table on read, mirroring maxShards.
 	maxV4Shards = 1 << 12
 )
@@ -80,6 +105,42 @@ type v4sections struct {
 	nDocs, nLeaves    int64
 	nNodes            int64
 	imageLen          int64
+	ck                *checkState // nil for images without stored checksums
+}
+
+// crcPadded is the CRC32C of b followed by zeros up to total bytes — the
+// writer-side hash of one page-padded section window.
+func crcPadded(b []byte, total int64) uint32 {
+	c := crc32.Update(0, castagnoli, b)
+	for n := total - int64(len(b)); n > 0; {
+		k := n
+		if k > v4Page {
+			k = v4Page
+		}
+		c = crc32.Update(c, castagnoli, v4zeros[:k])
+		n -= k
+	}
+	return c
+}
+
+// v4HeaderChecks verifies a checksummed header's own CRC (and the reserved
+// zero pad) and returns the stored section CRC table.
+func v4HeaderChecks(buf []byte) ([8]uint32, error) {
+	var crcs [8]uint32
+	if len(buf) < v4HeaderLenCk {
+		return crcs, fmt.Errorf("era: corrupt index: checksummed header truncated at %d bytes", len(buf))
+	}
+	want := binary.LittleEndian.Uint32(buf[v4HeaderCRCOff:])
+	if got := crc32.Checksum(buf[:v4HeaderCRCOff], castagnoli); got != want {
+		return crcs, fmt.Errorf("era: corrupt index: header checksum mismatch (stored %#08x, computed %#08x)", want, got)
+	}
+	if binary.LittleEndian.Uint32(buf[v4HeaderCRCOff+4:]) != 0 {
+		return crcs, fmt.Errorf("era: corrupt index: nonzero reserved header bytes")
+	}
+	for i := range crcs {
+		crcs[i] = binary.LittleEndian.Uint32(buf[v4CRCTableOff+4*i:])
+	}
+	return crcs, nil
 }
 
 // sliceV4 bounds-checks one section against the image and its required
@@ -125,6 +186,7 @@ func parseV4Mono(buf []byte, mp *mapping) (*Index, error) {
 		alpha:   alpha,
 		docEnds: docEnds,
 		mp:      mp,
+		ck:      s.ck,
 	}, nil
 }
 
@@ -189,6 +251,27 @@ func parseV4Sections(buf []byte) (*v4sections, error) {
 	}
 	if s.leafData, err = sliceV4(img, u64(128), u64(136), v4Page, "leafData"); err != nil {
 		return nil, err
+	}
+	if binary.LittleEndian.Uint32(buf[12:])&v4FlagChecksums != 0 {
+		crcs, err := v4HeaderChecks(img)
+		if err != nil {
+			return nil, err
+		}
+		names := [8]string{"meta", "data", "docEnds", "nodes", "sym", "dense", "leafIdx", "leafData"}
+		bounds := [9]int64{u64(24), u64(40), u64(56), u64(72), u64(88), u64(96), u64(112), u64(128), s.imageLen}
+		s.ck = &checkState{}
+		for i := 0; i < 8; i++ {
+			start, end := bounds[i], bounds[i+1]
+			if start < 0 || end < start || end > s.imageLen {
+				return nil, fmt.Errorf("era: corrupt index: %s checksum window [%d, %d) outside the %d-byte image", names[i], start, end, s.imageLen)
+			}
+			s.ck.secs = append(s.ck.secs, checkSection{name: names[i], data: img[start:end], want: crcs[i]})
+		}
+	} else if u64(24) == v4HeaderLenCk {
+		// Legacy (pre-checksum) writers put meta right after the short header;
+		// a checksummed-era layout with the flag clear means the flags field
+		// itself was damaged, not that the file predates checksums.
+		return nil, fmt.Errorf("era: corrupt index: header flags claim no checksums but the layout is checksummed-era")
 	}
 	return s, nil
 }
@@ -310,6 +393,32 @@ func parseV4Sharded(buf []byte, mp *mapping) (*ShardedIndex, error) {
 	if err != nil {
 		return nil, err
 	}
+	if binary.LittleEndian.Uint32(buf[12:])&v4FlagChecksums != 0 {
+		// The outer windows are header-sized; verify them eagerly. Payloads
+		// are monolithic images whose own checksums verify lazily.
+		crcs, err := v4HeaderChecks(img)
+		if err != nil {
+			return nil, err
+		}
+		check := func(name string, start, end int64, want uint32) error {
+			if start < 0 || end < start || end > imageLen {
+				return fmt.Errorf("era: corrupt index: %s checksum window [%d, %d) outside the %d-byte image", name, start, end, imageLen)
+			}
+			if got := crc32.Checksum(img[start:end], castagnoli); got != want {
+				return fmt.Errorf("era: corrupt index: %s section checksum mismatch (stored %#08x, computed %#08x)", name, want, got)
+			}
+			return nil
+		}
+		if err := check("meta", u64(24), u64(40), crcs[0]); err != nil {
+			return nil, err
+		}
+		if err := check("shard table", u64(40), v4align(u64(40)+nShards*16), crcs[1]); err != nil {
+			return nil, err
+		}
+	} else if u64(24) == v4HeaderLenCk {
+		// Same flags-vs-layout contradiction as the monolithic parser.
+		return nil, fmt.Errorf("era: corrupt index: header flags claim no checksums but the layout is checksummed-era")
+	}
 	shards := make([]*Index, nShards)
 	for i := range shards {
 		off := int64(binary.LittleEndian.Uint64(table[i*16:]))
@@ -386,7 +495,7 @@ type v4MonoLayout struct {
 func planV4Mono(metaLen, dataLen, nDocs int64, f *suffixtree.Flat) v4MonoLayout {
 	var l v4MonoLayout
 	l.metaLen = metaLen
-	l.dataOff = v4align(v4HeaderLen + metaLen)
+	l.dataOff = v4align(v4HeaderLenCk + metaLen)
 	l.docEndsOff = v4align(l.dataOff + dataLen)
 	l.nodesOff = v4align(l.docEndsOff + nDocs*4)
 	l.symOff = v4align(l.nodesOff + int64(len(f.Nodes)))
@@ -401,6 +510,9 @@ func planV4Mono(metaLen, dataLen, nDocs int64, f *suffixtree.Flat) v4MonoLayout 
 // aligned sections. The layout is computed up front, so any io.Writer works
 // (no seeking) and the byte stream is deterministic.
 func (x *Index) writeV4Mono(w io.Writer) (int64, error) {
+	if err := x.CheckErr(); err != nil {
+		return 0, err // never re-serialize a mapped image that fails its checksums
+	}
 	f, err := suffixtree.Flatten(x.tree, x.data)
 	if err != nil {
 		return 0, fmt.Errorf("era: flattening index %q: %w", x.name, err)
@@ -416,12 +528,13 @@ func (x *Index) writeV4MonoWith(w io.Writer, f *suffixtree.Flat) (int64, error) 
 	meta := v4MetaMono(x.name, x.alpha)
 	l := planV4Mono(int64(len(meta)), int64(len(x.data)), int64(len(x.docEnds)), f)
 
-	hdr := make([]byte, v4HeaderLen)
+	hdr := make([]byte, v4HeaderLenCk)
 	binary.LittleEndian.PutUint32(hdr[0:], indexMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], flatVersion)
 	binary.LittleEndian.PutUint32(hdr[8:], 0) // monolithic
+	binary.LittleEndian.PutUint32(hdr[12:], v4FlagChecksums)
 	binary.LittleEndian.PutUint64(hdr[16:], uint64(l.imageLen))
-	binary.LittleEndian.PutUint64(hdr[24:], uint64(v4HeaderLen))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(v4HeaderLenCk))
 	binary.LittleEndian.PutUint64(hdr[32:], uint64(len(meta)))
 	binary.LittleEndian.PutUint64(hdr[40:], uint64(l.dataOff))
 	binary.LittleEndian.PutUint64(hdr[48:], uint64(len(x.data)))
@@ -438,16 +551,32 @@ func (x *Index) writeV4MonoWith(w io.Writer, f *suffixtree.Flat) (int64, error) 
 	binary.LittleEndian.PutUint64(hdr[136:], uint64(len(f.LeafData)))
 	binary.LittleEndian.PutUint64(hdr[144:], uint64(f.NLeaves))
 
+	de := make([]byte, 4*len(x.docEnds))
+	for i, e := range x.docEnds {
+		binary.LittleEndian.PutUint32(de[i*4:], uint32(e))
+	}
+	// Section window checksums, each covering the section and its trailing
+	// page padding so every image byte past the header is accounted for.
+	for i, c := range [8]uint32{
+		crcPadded(meta, l.dataOff-v4HeaderLenCk),
+		crcPadded(x.data, l.docEndsOff-l.dataOff),
+		crcPadded(de, l.nodesOff-l.docEndsOff),
+		crcPadded(f.Nodes, l.symOff-l.nodesOff),
+		crcPadded(f.Sym, l.denseOff-l.symOff),
+		crcPadded(f.Dense, l.leafIdxOff-l.denseOff),
+		crcPadded(f.LeafIdx, l.leafDataOff-l.leafIdxOff),
+		crcPadded(f.LeafData, l.imageLen-l.leafDataOff),
+	} {
+		binary.LittleEndian.PutUint32(hdr[v4CRCTableOff+4*i:], c)
+	}
+	binary.LittleEndian.PutUint32(hdr[v4HeaderCRCOff:], crc32.Checksum(hdr[:v4HeaderCRCOff], castagnoli))
+
 	p := &padWriter{w: w}
 	p.write(hdr)
 	p.write(meta)
 	p.padTo(l.dataOff)
 	p.write(x.data)
 	p.padTo(l.docEndsOff)
-	de := make([]byte, 4*len(x.docEnds))
-	for i, e := range x.docEnds {
-		binary.LittleEndian.PutUint32(de[i*4:], uint32(e))
-	}
 	p.write(de)
 	p.padTo(l.nodesOff)
 	p.write(f.Nodes)
@@ -488,9 +617,10 @@ func (sx *ShardedIndex) WriteToV4(w io.Writer) (int64, error) {
 	meta := make([]byte, 0, 4+len(sx.name))
 	meta = binary.LittleEndian.AppendUint32(meta, uint32(len(sx.name)))
 	meta = append(meta, sx.name...)
-	tableOff := (int64(v4HeaderLen) + int64(len(meta)) + 7) &^ 7
+	tableOff := (int64(v4HeaderLenCk) + int64(len(meta)) + 7) &^ 7
 	table := make([]int64, 2*len(sx.shards))
-	off := v4align(tableOff + int64(16*len(sx.shards)))
+	firstPayloadOff := v4align(tableOff + int64(16*len(sx.shards)))
+	off := firstPayloadOff
 	for i, sh := range sx.shards {
 		f, err := suffixtree.Flatten(sh.tree, sh.data)
 		if err != nil {
@@ -503,26 +633,32 @@ func (sx *ShardedIndex) WriteToV4(w io.Writer) (int64, error) {
 		off = v4align(off + l.imageLen)
 	}
 	imageLen := table[2*len(sx.shards)-2] + table[2*len(sx.shards)-1]
-
-	hdr := make([]byte, v4HeaderLen)
-	binary.LittleEndian.PutUint32(hdr[0:], indexMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], flatVersion)
-	binary.LittleEndian.PutUint32(hdr[8:], 1) // sharded
-	binary.LittleEndian.PutUint64(hdr[16:], uint64(imageLen))
-	binary.LittleEndian.PutUint64(hdr[24:], uint64(v4HeaderLen))
-	binary.LittleEndian.PutUint64(hdr[32:], uint64(len(meta)))
-	binary.LittleEndian.PutUint64(hdr[40:], uint64(tableOff))
-	binary.LittleEndian.PutUint64(hdr[48:], uint64(len(sx.shards)))
-
-	p := &padWriter{w: w}
-	p.write(hdr)
-	p.write(meta)
-	p.padTo(tableOff)
 	tb := make([]byte, 16*len(sx.shards))
 	for i := 0; i < len(sx.shards); i++ {
 		binary.LittleEndian.PutUint64(tb[i*16:], uint64(table[2*i]))
 		binary.LittleEndian.PutUint64(tb[i*16+8:], uint64(table[2*i+1]))
 	}
+
+	hdr := make([]byte, v4HeaderLenCk)
+	binary.LittleEndian.PutUint32(hdr[0:], indexMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], flatVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], 1) // sharded
+	binary.LittleEndian.PutUint32(hdr[12:], v4FlagChecksums)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(imageLen))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(v4HeaderLenCk))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(len(meta)))
+	binary.LittleEndian.PutUint64(hdr[40:], uint64(tableOff))
+	binary.LittleEndian.PutUint64(hdr[48:], uint64(len(sx.shards)))
+	// Slot 0 covers the meta window, slot 1 the shard table window; the
+	// payloads are complete monolithic images carrying their own checksums.
+	binary.LittleEndian.PutUint32(hdr[v4CRCTableOff:], crcPadded(meta, tableOff-v4HeaderLenCk))
+	binary.LittleEndian.PutUint32(hdr[v4CRCTableOff+4:], crcPadded(tb, firstPayloadOff-tableOff))
+	binary.LittleEndian.PutUint32(hdr[v4HeaderCRCOff:], crc32.Checksum(hdr[:v4HeaderCRCOff], castagnoli))
+
+	p := &padWriter{w: w}
+	p.write(hdr)
+	p.write(meta)
+	p.padTo(tableOff)
 	p.write(tb)
 	for i, sh := range sx.shards {
 		p.padTo(table[2*i])
@@ -640,6 +776,7 @@ func encodeLiveManifest(m *liveManifest) ([]byte, error) {
 	binary.LittleEndian.PutUint32(buf[0:], indexMagic)
 	binary.LittleEndian.PutUint32(buf[4:], flatVersion)
 	binary.LittleEndian.PutUint32(buf[8:], 2)
+	binary.LittleEndian.PutUint32(buf[12:], v4FlagChecksums)
 	binary.LittleEndian.PutUint64(buf[16:], uint64(len(buf)))
 	binary.LittleEndian.PutUint64(buf[24:], uint64(v4HeaderLen))
 	binary.LittleEndian.PutUint64(buf[32:], uint64(4+len(m.name)))
@@ -647,6 +784,12 @@ func encodeLiveManifest(m *liveManifest) ([]byte, error) {
 	binary.LittleEndian.PutUint64(buf[48:], m.tierSeq)
 	binary.LittleEndian.PutUint64(buf[56:], uint64(len(m.tiers)))
 	binary.LittleEndian.PutUint64(buf[64:], tableOff)
+	// The manifest is small and read whole, so its checksum is a trailing
+	// footer over the entire image (flags bit 0 announces it); imageLen
+	// excludes the footer, keeping older parsers' bounds math valid.
+	sum := crc32.Checksum(buf, castagnoli)
+	buf = binary.LittleEndian.AppendUint32(buf, indexFooterMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, sum)
 	return buf, nil
 }
 
@@ -663,6 +806,23 @@ func parseLiveManifest(buf []byte) (*liveManifest, error) {
 	imageLen := u64(16)
 	if imageLen < v4HeaderLen || imageLen > uint64(len(buf)) {
 		return nil, fmt.Errorf("era: corrupt live manifest: image length %d outside the %d available bytes (truncated file?)", imageLen, len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf[12:])&v4FlagChecksums != 0 {
+		if uint64(len(buf)) < imageLen+8 {
+			return nil, fmt.Errorf("era: corrupt live manifest: checksum footer truncated")
+		}
+		foot := buf[imageLen:]
+		if binary.LittleEndian.Uint32(foot) != indexFooterMagic {
+			return nil, fmt.Errorf("era: corrupt live manifest: bad checksum footer magic %#x", binary.LittleEndian.Uint32(foot))
+		}
+		want := binary.LittleEndian.Uint32(foot[4:])
+		if got := crc32.Checksum(buf[:imageLen], castagnoli); got != want {
+			return nil, fmt.Errorf("era: corrupt live manifest: checksum mismatch (stored %#08x, computed %#08x)", want, got)
+		}
+	} else if uint64(len(buf)) != imageLen {
+		// A footer-less manifest is exactly imageLen bytes; trailing bytes
+		// with the checksum flag clear mean the flags field was damaged.
+		return nil, fmt.Errorf("era: corrupt live manifest: header flags claim no checksum but a footer is present")
 	}
 	buf = buf[:imageLen]
 	metaOff, metaLen := u64(24), u64(32)

@@ -22,17 +22,26 @@ import (
 // indexes, matches spanning a document boundary are still reported by
 // Contains; use DocOccurrences for per-document semantics.
 func (x *Index) Contains(pattern []byte) bool {
+	if !x.healthy() {
+		return false
+	}
 	return x.tree.Contains(pattern)
 }
 
 // Count returns the number of occurrences of pattern.
 func (x *Index) Count(pattern []byte) int {
+	if !x.healthy() {
+		return 0
+	}
 	return x.tree.Count(pattern)
 }
 
 // Occurrences returns the start offsets of every occurrence of pattern in
 // the concatenated input, sorted ascending.
 func (x *Index) Occurrences(pattern []byte) []int {
+	if !x.healthy() {
+		return []int{}
+	}
 	occ := x.tree.Occurrences(pattern)
 	out := make([]int, len(occ))
 	for i, o := range occ {
@@ -108,7 +117,7 @@ type Result struct {
 // treat returned Occurrences as read-only.
 func (x *Index) Batch(ops []Op) []Result {
 	results := make([]Result, len(ops))
-	if len(ops) == 0 {
+	if len(ops) == 0 || !x.healthy() {
 		return results
 	}
 
@@ -216,6 +225,9 @@ type DocHit struct {
 // matches that cross document boundaries (the standard generalized suffix
 // tree discipline when documents are concatenated without separators).
 func (x *Index) DocOccurrences(pattern []byte) []DocHit {
+	if !x.healthy() {
+		return []DocHit{}
+	}
 	occ := x.tree.Occurrences(pattern)
 	hits := make([]DocHit, 0, len(occ))
 	for _, o := range occ {
@@ -250,6 +262,9 @@ func (x *Index) docOf(o int32) (int, int) {
 // LongestRepeatedSubstring returns the longest substring occurring at least
 // twice, with its occurrence offsets.
 func (x *Index) LongestRepeatedSubstring() ([]byte, []int) {
+	if !x.healthy() {
+		return nil, []int{}
+	}
 	lbl, occ := x.tree.LongestRepeatedSubstring()
 	out := make([]int, len(occ))
 	for i, o := range occ {
@@ -271,6 +286,9 @@ type Repeat struct {
 // the time-series motif discovery example (the paper's §1 motivates suffix
 // trees for exactly such periodicity mining [15]).
 func (x *Index) Repeats(minLen, minOcc int) []Repeat {
+	if !x.healthy() {
+		return nil
+	}
 	var out []Repeat
 	x.tree.MaximalRepeats(int32(minLen), minOcc, func(node int32, depth int32, occ int) bool {
 		label := x.tree.PathLabel(node)
@@ -297,6 +315,9 @@ func (x *Index) LongestCommonSubstring(a, b int) ([]byte, int, int, error) {
 	}
 	if a < 0 || a >= len(x.docEnds) || b < 0 || b >= len(x.docEnds) {
 		return nil, 0, 0, fmt.Errorf("era: document index out of range")
+	}
+	if err := x.CheckErr(); err != nil {
+		return nil, 0, 0, err
 	}
 	best, bestDepth := int32(-1), int32(0)
 	x.walkDocSlacks(func(node, depth int32, slack []int32) {
