@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -32,78 +33,115 @@ func randomOps(data []byte, n int, seed int64) []Op {
 	return ops
 }
 
-func TestBatchMatchesSingleQueries(t *testing.T) {
-	data := workload.MustGenerate(workload.DNA, 4000, 3)
-	data = data[:len(data)-1]
-	idx, err := Build(data, &Config{MemoryBudget: 64 * 1024})
+// batchLayouts serves the same string through every batch-capable layout:
+// the heap tree a default build produces, the direct-built flat layout
+// (TargetFlat, no heap tree ever existed), and the FlatTree over a mapped v4
+// file. The batch suite runs against each, so the prefix-resumed descent is
+// exercised over the flat layout — not just the heap path it was first
+// written for.
+func batchLayouts(t *testing.T, data []byte, cfg *Config) map[string]Queryable {
+	t.Helper()
+	build := func(target BuildTarget) *Index {
+		c := Config{}
+		if cfg != nil {
+			c = *cfg
+		}
+		c.Target = target
+		idx, err := Build(data, &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx
+	}
+	heap := build(TargetHeap)
+	p := filepath.Join(t.TempDir(), "batch.v4.idx")
+	if err := WriteFileV4(p, heap); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := OpenIndex(p)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { mapped.Close() })
+	return map[string]Queryable{"heap": heap, "direct-flat": build(TargetFlat), "mapped-v4": mapped}
+}
 
+func TestBatchMatchesSingleQueries(t *testing.T) {
+	data := workload.MustGenerate(workload.DNA, 4000, 3)
+	data = data[:len(data)-1]
 	ops := randomOps(data, 300, 17)
-	results := idx.Batch(ops)
-	if len(results) != len(ops) {
-		t.Fatalf("got %d results for %d ops", len(results), len(ops))
-	}
-	for i, op := range ops {
-		r := results[i]
-		if r.Found != idx.Contains(op.Pattern) {
-			t.Fatalf("op %d (%s %q): Found = %v, want %v", i, op.Kind, op.Pattern, r.Found, idx.Contains(op.Pattern))
+	for name, idx := range batchLayouts(t, data, &Config{MemoryBudget: 64 * 1024}) {
+		results := idx.Batch(ops)
+		if len(results) != len(ops) {
+			t.Fatalf("%s: got %d results for %d ops", name, len(results), len(ops))
 		}
-		if op.Kind == OpContains {
-			continue
-		}
-		if want := idx.Count(op.Pattern); r.Count != want && r.Found {
-			t.Fatalf("op %d (%s %q): Count = %d, want %d", i, op.Kind, op.Pattern, r.Count, want)
-		}
-		if op.Kind != OpOccurrences {
-			continue
-		}
-		want := idx.Occurrences(op.Pattern)
-		if op.MaxOccurrences > 0 && len(want) > op.MaxOccurrences {
-			want = want[:op.MaxOccurrences]
-		}
-		if len(r.Occurrences) != len(want) {
-			t.Fatalf("op %d (%q, max %d): Occurrences = %v, want %v", i, op.Pattern, op.MaxOccurrences, r.Occurrences, want)
-		}
-		for j := range want {
-			if r.Occurrences[j] != want[j] {
-				t.Fatalf("op %d (%q): Occurrences = %v, want %v", i, op.Pattern, r.Occurrences, want)
+		for i, op := range ops {
+			r := results[i]
+			if r.Found != idx.Contains(op.Pattern) {
+				t.Fatalf("%s op %d (%s %q): Found = %v, want %v", name, i, op.Kind, op.Pattern, r.Found, idx.Contains(op.Pattern))
+			}
+			if op.Kind == OpContains {
+				continue
+			}
+			if want := idx.Count(op.Pattern); r.Count != want && r.Found {
+				t.Fatalf("%s op %d (%s %q): Count = %d, want %d", name, i, op.Kind, op.Pattern, r.Count, want)
+			}
+			if op.Kind != OpOccurrences {
+				continue
+			}
+			want := idx.Occurrences(op.Pattern)
+			if op.MaxOccurrences > 0 && len(want) > op.MaxOccurrences {
+				want = want[:op.MaxOccurrences]
+			}
+			if len(r.Occurrences) != len(want) {
+				t.Fatalf("%s op %d (%q, max %d): Occurrences = %v, want %v", name, i, op.Pattern, op.MaxOccurrences, r.Occurrences, want)
+			}
+			for j := range want {
+				if r.Occurrences[j] != want[j] {
+					t.Fatalf("%s op %d (%q): Occurrences = %v, want %v", name, i, op.Pattern, r.Occurrences, want)
+				}
 			}
 		}
 	}
 }
 
 func TestBatchEdgeCases(t *testing.T) {
-	idx, err := Build([]byte("TGGTGGTGGTGCGGTGATGGTGC"), nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := idx.Batch(nil); len(got) != 0 {
-		t.Errorf("Batch(nil) = %v", got)
-	}
-	res := idx.Batch([]Op{
-		{Kind: OpCount, Pattern: nil},                                                   // empty pattern matches everywhere
-		{Kind: OpCount, Pattern: []byte("TG")},                                          // paper Table 1
-		{Kind: OpCount, Pattern: []byte("TG")},                                          // duplicate
-		{Kind: OpContains, Pattern: []byte("TGT")},                                      // fTGT = 0
-		{Kind: OpOccurrences, Pattern: []byte("TGGTGGTG")},                              // the LRS
-		{Kind: OpContains, Pattern: bytes.Repeat([]byte("TGGTGGTGGTGCGGTGATGGTGC"), 2)}, // longer than S
-	})
-	if res[0].Count != idx.Len() { // every position incl. terminator starts a suffix
-		t.Errorf("Count(empty) = %d, want %d", res[0].Count, idx.Len())
-	}
-	if res[1].Count != 7 || res[2].Count != 7 {
-		t.Errorf("Count(TG) = %d/%d, want 7", res[1].Count, res[2].Count)
-	}
-	if res[3].Found {
-		t.Error("Contains(TGT) = true")
-	}
-	if len(res[4].Occurrences) != 2 {
-		t.Errorf("Occurrences(TGGTGGTG) = %v, want 2 offsets", res[4].Occurrences)
-	}
-	if res[5].Found {
-		t.Error("pattern longer than S reported found")
+	for name, idx := range batchLayouts(t, []byte("TGGTGGTGGTGCGGTGATGGTGC"), nil) {
+		if got := idx.Batch(nil); len(got) != 0 {
+			t.Errorf("%s: Batch(nil) = %v", name, got)
+		}
+		res := idx.Batch([]Op{
+			{Kind: OpCount, Pattern: nil},                                                   // empty pattern matches everywhere
+			{Kind: OpCount, Pattern: []byte("TG")},                                          // paper Table 1
+			{Kind: OpCount, Pattern: []byte("TG")},                                          // duplicate
+			{Kind: OpContains, Pattern: []byte("TGT")},                                      // fTGT = 0
+			{Kind: OpOccurrences, Pattern: []byte("TGGTGGTG")},                              // the LRS
+			{Kind: OpContains, Pattern: bytes.Repeat([]byte("TGGTGGTGGTGCGGTGATGGTGC"), 2)}, // longer than S
+			{Kind: OpCount, Pattern: []byte("$")},                                           // terminator probe
+			{Kind: OpContains, Pattern: []byte{0xFF}},                                       // out-of-alphabet byte
+			{Kind: OpContains, Pattern: []byte("TG\xffTG")},                                 // out-of-alphabet mid-pattern
+		})
+		if res[0].Count != idx.Len() { // every position incl. terminator starts a suffix
+			t.Errorf("%s: Count(empty) = %d, want %d", name, res[0].Count, idx.Len())
+		}
+		if res[1].Count != 7 || res[2].Count != 7 {
+			t.Errorf("%s: Count(TG) = %d/%d, want 7", name, res[1].Count, res[2].Count)
+		}
+		if res[3].Found {
+			t.Errorf("%s: Contains(TGT) = true", name)
+		}
+		if len(res[4].Occurrences) != 2 {
+			t.Errorf("%s: Occurrences(TGGTGGTG) = %v, want 2 offsets", name, res[4].Occurrences)
+		}
+		if res[5].Found {
+			t.Errorf("%s: pattern longer than S reported found", name)
+		}
+		if res[6].Count != 1 {
+			t.Errorf("%s: Count($) = %d, want 1", name, res[6].Count)
+		}
+		if res[7].Found || res[8].Found {
+			t.Errorf("%s: out-of-alphabet pattern reported found (%v/%v)", name, res[7].Found, res[8].Found)
+		}
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -181,14 +182,17 @@ func compareReports(fresh jsonReport, path string, tolerance float64) error {
 	for _, e := range old.Experiments {
 		oldByID[e.ID] = e
 	}
-	// Host-speed normalization factor: the smallest per-scenario wall ratio.
-	// The least-regressed scenario defines how fast this host is relative to
-	// the recorder's; scenarios above that baseline by more than the
-	// tolerance regressed relative to the rest of the run. (A sum- or
-	// mean-based factor would let a dominant scenario's regression inflate
-	// the factor and hide itself.)
+	// Host-speed normalization factor: the median per-scenario wall ratio.
+	// The typical scenario defines how fast this host is relative to the
+	// recorder's; scenarios above that baseline by more than the tolerance
+	// regressed relative to the rest of the run. The median keeps the
+	// estimate honest from both sides: a dominant scenario's regression
+	// cannot inflate the factor and hide itself (the flaw of a mean), and
+	// one lucky fast scenario cannot drag every other budget down with it
+	// (the flaw of the min, which turned scheduler jitter into gate
+	// failures).
 	compared := 0
-	hostFactor := 0.0
+	var ratios []float64
 	for _, ne := range fresh.Experiments {
 		oe, ok := oldByID[ne.ID]
 		if !ok {
@@ -196,16 +200,16 @@ func compareReports(fresh jsonReport, path string, tolerance float64) error {
 		}
 		compared++
 		if oe.WallMillis > wallCellFloorMS && ne.WallMillis > 0 {
-			if r := ne.WallMillis / oe.WallMillis; hostFactor == 0 || r < hostFactor {
-				hostFactor = r
-			}
+			ratios = append(ratios, ne.WallMillis/oe.WallMillis)
 		}
 	}
 	if compared == 0 {
 		return fmt.Errorf("%s: no overlapping experiments to compare", path)
 	}
-	if hostFactor == 0 {
-		hostFactor = 1.0
+	hostFactor := 1.0
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		hostFactor = ratios[len(ratios)/2]
 	}
 
 	var problems []string
@@ -233,7 +237,9 @@ const wallCellFloorMS = 10
 // diffTables compares two regenerated tables cell by cell. Virtual-time
 // cells are deterministic and must match exactly; cells under a column
 // whose header mentions "wall" are host-dependent and only checked for
-// >tolerance% regression after host-speed normalization.
+// >tolerance% regression after host-speed normalization — except memory
+// cells ("mem" in the header), which are bytes, not time: they do not
+// shrink on a faster host, so they are gated against the raw tolerance.
 func diffTables(id string, old, fresh *bench.Table, tolerance, hostFactor float64) []string {
 	if old == nil || fresh == nil {
 		return nil
@@ -249,11 +255,15 @@ func diffTables(id string, old, fresh *bench.Table, tolerance, hostFactor float6
 				continue // ragged row; the header row defines the comparable width
 			}
 			ov, nv := old.Rows[r][c], fresh.Rows[r][c]
-			if strings.Contains(strings.ToLower(fresh.Header[c]), "wall") {
+			if h := strings.ToLower(fresh.Header[c]); strings.Contains(h, "wall") {
 				of, err1 := strconv.ParseFloat(ov, 64)
 				nf, err2 := strconv.ParseFloat(nv, 64)
 				if err1 == nil && err2 == nil && of > 0 {
-					want := of * hostFactor
+					factor := hostFactor
+					if strings.Contains(h, "mem") {
+						factor = 1.0
+					}
+					want := of * factor
 					if nf > want*(1+tolerance/100) && nf > wallCellFloorMS {
 						problems = append(problems, fmt.Sprintf("%s row %d: wall %sms regressed >%.0f%% over recorded %sms (host-normalized %.1fms)",
 							id, r, nv, tolerance, ov, want))

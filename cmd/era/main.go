@@ -5,6 +5,7 @@
 //
 //	era build -in genome.seq -out genome.idx -mem 67108864 -mode serial
 //	era build -gen dna -n 500000 -out dna.idx
+//	era build -gen dna -n 500000 -out dna.v4.idx   (direct-to-v4, no heap tree)
 //	era shard -in corpus.txt -shards 4 -out corpus.idx
 //	era shard -gen english -n 2000000 -docs 64 -shards 8 -out text.idx
 //	era compact -in dna.idx -out dna.v4.idx
@@ -53,6 +54,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -89,6 +91,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   era build -in FILE | -gen KIND -n N [-out FILE] [-mem BYTES] [-mode serial|shared-disk|shared-nothing] [-workers N] [-skipseek]
+            (-out ending in .v4 or .v4.idx builds the mmap-native image directly, skipping the heap tree)
   era shard -in FILE | -gen KIND -n N -docs D [-shards K] [-out FILE] [-name NAME] [-mem BYTES] [-workers N]
   era compact -in FILE [-out FILE] [-verify]
   era query -index FILE -pattern P [-max N]
@@ -310,23 +313,43 @@ func build(args []string) {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+	// A .v4 output selects direct-to-v4 construction: the build emits the
+	// mmap-native sections straight from the sorted suffixes — no heap tree,
+	// no flattening pass — and the file is byte-identical to building a heap
+	// index and compacting it.
+	toV4 := strings.HasSuffix(*out, ".v4") || strings.HasSuffix(*out, ".v4.idx")
+	if toV4 {
+		cfg.Target = era.TargetFlat
+	}
 
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
 	idx, err := era.Build(data, cfg)
 	if err != nil {
 		fatal(err)
 	}
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
 	if *name == "" {
 		base := filepath.Base(*out)
 		*name = strings.TrimSuffix(base, filepath.Ext(base))
+		*name = strings.TrimSuffix(*name, ".v4") // idx.v4.idx → idx
 	}
 	idx.SetName(*name)
-	if err := idx.WriteFile(*out); err != nil {
+	if toV4 {
+		err = era.WriteFileV4(*out, idx)
+	} else {
+		err = idx.WriteFile(*out)
+	}
+	if err != nil {
 		fatal(err)
 	}
 	s := idx.Stats()
 	fmt.Printf("indexed %d symbols (alphabet %s) into %s as %q\n", idx.Len()-1, idx.Alphabet().Name(), *out, *name)
 	fmt.Printf("modeled time %v, %d scans, %d prefixes, %d virtual trees, %d sub-trees, %d tree nodes\n",
 		s.ModeledTime, s.Scans, s.Prefixes, s.Groups, s.SubTrees, s.TreeNodes)
+	fmt.Printf("build allocated %.1f MB total, heap high-water %.1f MB\n",
+		float64(after.TotalAlloc-before.TotalAlloc)/(1<<20), float64(after.HeapSys-after.HeapReleased)/(1<<20))
 }
 
 // shard builds a document-aligned sharded index (format v3). Documents come

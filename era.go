@@ -49,6 +49,23 @@ const (
 	SharedNothing
 )
 
+// BuildTarget selects the in-memory layout a build materializes.
+type BuildTarget int
+
+const (
+	// TargetHeap assembles the classic pointer-based heap tree (the layout
+	// v1–v3 files serialize). The default.
+	TargetHeap BuildTarget = iota
+	// TargetFlat emits the mmap-native flat sections directly from the
+	// sorted-suffix sub-trees — no intermediate heap tree is ever built, so
+	// the construction memory peak drops to roughly the encoded image size.
+	// The resulting index queries through the same zero-copy FlatTree that
+	// serves mapped v4 files, and WriteToV4 reuses the already-encoded
+	// sections instead of flattening. The image is byte-identical to
+	// building a heap tree and flattening it.
+	TargetFlat
+)
+
 // Config tunes a build. The zero value (or a nil pointer) selects sensible
 // defaults: automatic alphabet detection, a 64 MB budget, serial execution.
 type Config struct {
@@ -67,6 +84,9 @@ type Config struct {
 	// DiskModel overrides the simulated storage cost model (defaults to
 	// sim.DefaultModel, a 2011 SATA-class disk).
 	DiskModel *sim.CostModel
+	// Target selects the index layout to build: TargetHeap (default) or
+	// TargetFlat for direct-to-v4 emission.
+	Target BuildTarget
 }
 
 // BuildStats summarizes the accounted construction work.
@@ -98,7 +118,8 @@ type Index struct {
 	tree    suffixtree.View
 	data    []byte
 	alpha   *alphabet.Alphabet
-	docEnds []int32 // exclusive end offset per document (corpus indexes)
+	docEnds []int32          // exclusive end offset per document (corpus indexes)
+	flat    *suffixtree.Flat // encoded sections when built with TargetFlat
 	stats   BuildStats
 	mp      *mapping    // non-nil when the index views a mapped v4 file
 	ck      *checkState // non-nil when the image carries stored checksums
@@ -178,7 +199,14 @@ func build(docs [][]byte, cfgp *Config) (*Index, error) {
 	opts := core.Options{
 		MemoryBudget: cfg.MemoryBudget,
 		SkipSeek:     cfg.SkipSeek,
-		Assemble:     true,
+	}
+	switch cfg.Target {
+	case TargetHeap:
+		opts.Assemble = true
+	case TargetFlat:
+		opts.AssembleFlat = true
+	default:
+		return nil, fmt.Errorf("era: unknown build target %d", cfg.Target)
 	}
 
 	idx := &Index{data: data, alpha: alpha, docEnds: docEnds}
@@ -188,36 +216,60 @@ func build(docs [][]byte, cfgp *Config) (*Index, error) {
 		if err != nil {
 			return nil, err
 		}
-		idx.tree = res.Tree
-		idx.stats = statsOf(res.Stats, res.Tree)
+		if err := idx.adoptResult(res.Tree, res.Flat, res.Stats); err != nil {
+			return nil, err
+		}
 	case SharedDisk:
 		res, err := core.BuildParallel(f, core.ParallelOptions{Options: opts, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
-		idx.tree = res.Tree
-		idx.stats = statsOf(res.Stats, res.Tree)
+		if err := idx.adoptResult(res.Tree, res.Flat, res.Stats); err != nil {
+			return nil, err
+		}
 	case SharedNothing:
 		res, err := core.BuildDistributed(f, core.DistributedOptions{Options: opts, Nodes: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
-		idx.tree = res.Tree
-		idx.stats = statsOf(res.Stats, res.Tree)
+		if err := idx.adoptResult(res.Tree, res.Flat, res.Stats); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("era: unknown mode %d", cfg.Mode)
 	}
 	return idx, nil
 }
 
-func statsOf(s core.Stats, t *suffixtree.Tree) BuildStats {
+// adoptResult installs a build driver's output — a heap tree or directly
+// emitted flat sections, whichever the target asked for — as the index's
+// query view.
+func (x *Index) adoptResult(t *suffixtree.Tree, fl *suffixtree.Flat, s core.Stats) error {
+	switch {
+	case fl != nil:
+		ft, err := suffixtree.NewFlatTree(x.data, fl.Nodes, fl.Sym, fl.Dense, fl.LeafIdx, fl.LeafData, fl.NLeaves)
+		if err != nil {
+			return fmt.Errorf("era: viewing direct-built flat sections: %w", err)
+		}
+		x.tree, x.flat = ft, fl
+		x.stats = statsOf(s, int64(fl.NNodes-1))
+	case t != nil:
+		x.tree = t
+		x.stats = statsOf(s, int64(t.NumNodes()-1))
+	default:
+		return fmt.Errorf("era: build produced no tree")
+	}
+	return nil
+}
+
+func statsOf(s core.Stats, treeNodes int64) BuildStats {
 	return BuildStats{
 		ModeledTime: s.VirtualTime,
 		Scans:       s.Scans,
 		Prefixes:    s.Prefixes,
 		Groups:      s.Groups,
 		SubTrees:    s.SubTrees,
-		TreeNodes:   int64(t.NumNodes() - 1),
+		TreeNodes:   treeNodes,
 	}
 }
 

@@ -175,6 +175,64 @@ func TestFormatsDifferential(t *testing.T) {
 	}
 }
 
+// TestDirectV4ByteIdentical is the direct-to-v4 acceptance pin: building
+// with TargetFlat — which never materializes the heap tree — must serialize
+// to exactly the bytes of building the heap tree and flattening it, for
+// every driver and worker count. Grafting order varies with workers and
+// differs from the builder's global label order, so this also locks in the
+// canonical edge re-basing that makes the image a pure function of tree
+// shape and string.
+func TestDirectV4ByteIdentical(t *testing.T) {
+	corpora := [][][]byte{
+		diffCorpus(),
+		{[]byte("GATTACAGATTACA")},
+		{[]byte("TGGTGGTGGTGCGGTGATGGTGC"), []byte("AAAA"), []byte("C")},
+	}
+	for ci, docs := range corpora {
+		heap, err := BuildCorpus(docs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heap.SetName("direct")
+		var want bytes.Buffer
+		if _, err := heap.WriteToV4(&want); err != nil {
+			t.Fatal(err)
+		}
+
+		check := func(label string, cfg *Config) {
+			cfg.Target = TargetFlat
+			idx, err := BuildCorpus(docs, cfg)
+			if err != nil {
+				t.Fatalf("corpus %d %s: %v", ci, label, err)
+			}
+			idx.SetName("direct")
+			if idx.flat == nil {
+				t.Fatalf("corpus %d %s: TargetFlat build did not retain flat sections", ci, label)
+			}
+			var got bytes.Buffer
+			if _, err := idx.WriteToV4(&got); err != nil {
+				t.Fatalf("corpus %d %s: %v", ci, label, err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("corpus %d %s: direct v4 image differs from flattened heap image (%d vs %d bytes)",
+					ci, label, got.Len(), want.Len())
+			}
+			// Modeled time and scan counts are per-driver; the tree-shape
+			// stats must match the heap build exactly.
+			if gw, ww := idx.Stats(), heap.Stats(); gw.TreeNodes != ww.TreeNodes || gw.SubTrees != ww.SubTrees {
+				t.Fatalf("corpus %d %s: stats %+v, want %+v", ci, label, gw, ww)
+			}
+		}
+		check("serial", &Config{})
+		for w := 1; w <= 8; w++ {
+			check(fmt.Sprintf("shared-disk-%d", w), &Config{Mode: SharedDisk, Workers: w})
+		}
+		for _, w := range []int{2, 5} {
+			check(fmt.Sprintf("shared-nothing-%d", w), &Config{Mode: SharedNothing, Workers: w})
+		}
+	}
+}
+
 // TestV4WriteToRoundTrip checks that a mapped index persists itself back as
 // a v4 image through the generic WriteTo/WriteFile path and reopens
 // identically — the property that lets `era serve` machinery stay

@@ -29,6 +29,17 @@ func FuzzBuildQuery(f *testing.F) {
 	f.Add([]byte("mississippi"), []byte("issi"), byte(2))
 	f.Add([]byte{0, 1, 0, 1, 1}, []byte{1, 1}, byte(3))
 	f.Add([]byte("AAAAAAAAAAAAAAAA"), []byte("AAA"), byte(0))
+	// Pattern lengths 1..16 against a period-4 string: the word-at-a-time
+	// edge compare sees every split of a pattern across the 8-byte word grid
+	// — sub-word only (1..7), exact words (8, 16), and word + partial tail
+	// (9..15) — with mismatches landing in both the word and the tail.
+	grid := []byte("ACGTACGTACGTACGTACGTACGT")
+	for n := 1; n <= 16; n++ {
+		f.Add(grid, grid[:n], byte(0))
+		mis := append([]byte(nil), grid[:n]...)
+		mis[n-1] = 'A' + 'C' - mis[n-1] // flip the final symbol within the alphabet
+		f.Add(grid, mis, byte(0))
+	}
 
 	f.Fuzz(func(t *testing.T, core, patRaw []byte, alphaSel byte) {
 		syms := fuzzAlphabets[int(alphaSel)%len(fuzzAlphabets)]
@@ -52,6 +63,12 @@ func FuzzBuildQuery(f *testing.F) {
 		idx, err := Build(data, &Config{MemoryBudget: 4 * 1024})
 		if err != nil {
 			t.Fatalf("Build(%q): %v", data, err)
+		}
+		// The same build emitted directly to the flat layout must answer
+		// identically (it descends with the word-at-a-time compare).
+		flat, err := Build(data, &Config{MemoryBudget: 4 * 1024, Target: TargetFlat})
+		if err != nil {
+			t.Fatalf("Build(%q, TargetFlat): %v", data, err)
 		}
 
 		// The oracle: a naive O(n²) suffix tree over the same string.
@@ -80,14 +97,27 @@ func FuzzBuildQuery(f *testing.F) {
 				t.Errorf("Occurrences(%q): %d offsets, oracle has %d (data %q)", p, len(gotOcc), len(wantOcc), data)
 			}
 
-			// The batched path must agree with the single-query path.
-			res := idx.Batch([]Op{
-				{Kind: OpContains, Pattern: p},
-				{Kind: OpCount, Pattern: p},
-				{Kind: OpOccurrences, Pattern: p},
-			})
-			if res[0].Found != wantContains || res[1].Count != wantCount || len(res[2].Occurrences) != len(wantOcc) {
-				t.Errorf("Batch(%q) = %+v, oracle: found %v count %d occ %d", p, res, wantContains, wantCount, len(wantOcc))
+			if got := flat.Contains(p); got != wantContains {
+				t.Errorf("flat Contains(%q) = %v, oracle says %v (data %q)", p, got, wantContains, data)
+			}
+			if got := flat.Count(p); got != wantCount {
+				t.Errorf("flat Count(%q) = %d, oracle says %d (data %q)", p, got, wantCount, data)
+			}
+			if got := flat.Occurrences(p); len(got) != len(wantOcc) {
+				t.Errorf("flat Occurrences(%q): %d offsets, oracle has %d (data %q)", p, len(got), len(wantOcc), data)
+			}
+
+			// The batched path must agree with the single-query path on both
+			// layouts.
+			for _, q := range []*Index{idx, flat} {
+				res := q.Batch([]Op{
+					{Kind: OpContains, Pattern: p},
+					{Kind: OpCount, Pattern: p},
+					{Kind: OpOccurrences, Pattern: p},
+				})
+				if res[0].Found != wantContains || res[1].Count != wantCount || len(res[2].Occurrences) != len(wantOcc) {
+					t.Errorf("Batch(%q) = %+v, oracle: found %v count %d occ %d", p, res, wantContains, wantCount, len(wantOcc))
+				}
 			}
 		}
 

@@ -46,9 +46,11 @@ type buildContext struct {
 
 	// Sub-tree materialization: a recycled arena-backed tree — used only
 	// when finished sub-trees are dropped after accounting — plus the LCP
-	// scratch feeding FromSortedSuffixesInto.
-	tree *suffixtree.Tree
-	lcp  []int32
+	// scratch feeding FromSortedSuffixesInto and the depth stack the
+	// direct-to-flat collect path replays node counts on.
+	tree         *suffixtree.Tree
+	lcp          []int32
+	depthScratch []int32
 
 	// Per-group pooled storage — the remaining per-group allocations the
 	// ROADMAP flagged after PR 3: the collect matcher (root table + trie

@@ -25,6 +25,7 @@ type DistributedOptions struct {
 // (chunked across the nodes), and tree construction.
 type DistributedResult struct {
 	Tree             *suffixtree.Tree // assembled tree when Options.Assemble
+	Flat             *suffixtree.Flat // flat sections when Options.AssembleFlat
 	Stats            Stats
 	TransferTime     time.Duration // broadcast of S to all nodes
 	VPTime           time.Duration // chunked vertical partitioning
@@ -46,8 +47,13 @@ func BuildDistributed(f *seq.File, opts DistributedOptions) (*DistributedResult,
 	if opts.Nodes < 1 {
 		return nil, fmt.Errorf("core: Nodes must be ≥ 1, got %d", opts.Nodes)
 	}
-	assemble := opts.Assemble
-	opts.Assemble = false // nodes collect sub-trees; the master assembles
+	if err := validateFlatOptions(opts.Options); err != nil {
+		return nil, err
+	}
+	assemble, assembleFlat := opts.Assemble, opts.AssembleFlat
+	// Nodes collect sub-trees (or their sorted-suffix inputs); the master
+	// assembles.
+	opts.Assemble, opts.AssembleFlat = false, false
 	model := f.Disk().Model()
 
 	// Broadcast S to every node (§5: "during initialization the input
@@ -89,7 +95,7 @@ func BuildDistributed(f *seq.File, opts DistributedOptions) (*DistributedResult,
 
 	jobs := scheduleGroups(groups)
 	start := time.Now()
-	runs, err := runGroupQueue(ctxs, jobs, model, layout, opts.Options, assemble)
+	runs, err := runGroupQueue(ctxs, jobs, model, layout, opts.Options, assemble, assembleFlat)
 	if err != nil {
 		return nil, err
 	}
@@ -111,6 +117,22 @@ func BuildDistributed(f *seq.File, opts DistributedOptions) (*DistributedResult,
 				}
 			}
 		}
+	}
+
+	if assembleFlat {
+		raw, err := f.Disk().Bytes(f.Name())
+		if err != nil {
+			return nil, err
+		}
+		var subs []flatSub
+		for gi := range byGi {
+			subs = append(subs, runs[byGi[gi]].flatSubs...)
+		}
+		fl, err := assembleFlatSubs(raw, subs)
+		if err != nil {
+			return nil, fmt.Errorf("core: assembling flat image: %w", err)
+		}
+		res.Flat = fl
 	}
 
 	res.ConstructionTime = sim.CombineSharedNothing(cpu, io)

@@ -53,6 +53,12 @@ type Options struct {
 	// Assemble grafts all sub-trees under the top trie into one queryable
 	// tree. Requires memory for the whole tree, so benchmarks leave it off.
 	Assemble bool
+	// AssembleFlat emits the mmap-native flat (format v4) sections directly
+	// from group assembly: no intermediate heap tree is ever materialized,
+	// cutting the build memory peak and the flatten copy. The image is
+	// byte-identical to flattening the tree Assemble would have produced.
+	// Mutually exclusive with Assemble and WriteTrees; requires ERa-str+mem.
+	AssembleFlat bool
 	// WriteTrees serializes every finished sub-tree to the disk (charged
 	// I/O), as the real system does.
 	WriteTrees bool
@@ -82,13 +88,17 @@ type Stats struct {
 // Result of a serial ERA build.
 type Result struct {
 	Tree   *suffixtree.Tree // assembled tree when Options.Assemble
+	Flat   *suffixtree.Flat // flat sections when Options.AssembleFlat
 	Groups []Group
 	Stats  Stats
 
 	// collect asks processGroup to retain finished sub-trees so a parallel
-	// master can assemble them.
-	collect  bool
-	subTrees []*suffixtree.Tree
+	// master can assemble them; collectFlat retains the sorted-suffix inputs
+	// instead, for direct flat assembly.
+	collect     bool
+	subTrees    []*suffixtree.Tree
+	collectFlat bool
+	flatSubs    []flatSub
 }
 
 // BuildSerial runs serial ERA (§4) over the on-disk string f.
@@ -106,6 +116,9 @@ func BuildSerial(f *seq.File, opts Options) (*Result, error) {
 func buildOn(f *seq.File, opts Options, clock *sim.Clock) (*Result, error) {
 	if opts.MemoryBudget <= 0 {
 		return nil, fmt.Errorf("core: Options.MemoryBudget is required")
+	}
+	if err := validateFlatOptions(opts); err != nil {
+		return nil, err
 	}
 	model := f.Disk().Model()
 	layout, err := PlanMemory(opts.MemoryBudget, opts.RSize, f.Alphabet().Bits())
@@ -140,12 +153,25 @@ func buildOn(f *seq.File, opts Options, clock *sim.Clock) (*Result, error) {
 		}
 		res.Tree = suffixtree.New(view)
 	}
+	res.collectFlat = opts.AssembleFlat
 
 	ctx := new(buildContext)
 	for gi, g := range groups {
 		if err := processGroup(ctx, f, sc, clock, clock, model, layout, opts, g, gi, res); err != nil {
 			return nil, err
 		}
+	}
+
+	if opts.AssembleFlat {
+		raw, err := f.Disk().Bytes(f.Name())
+		if err != nil {
+			return nil, err
+		}
+		fl, err := assembleFlatSubs(raw, res.flatSubs)
+		if err != nil {
+			return nil, err
+		}
+		res.Flat, res.flatSubs = fl, nil
 	}
 
 	res.Stats.VirtualTime = clock.Now()
@@ -175,7 +201,7 @@ func processGroup(ctx *buildContext, f *seq.File, sc *seq.Scanner, cpuClock, ioC
 	if ctx == nil {
 		ctx = new(buildContext)
 	}
-	discard := res.Tree == nil && !res.collect
+	discard := res.Tree == nil && !res.collect && !res.collectFlat
 
 	account := func(t *suffixtree.Tree, ti int) error {
 		res.Stats.SubTrees++
@@ -226,6 +252,16 @@ func processGroup(ctx *buildContext, f *seq.File, sc *seq.Scanner, cpuClock, ioC
 			ctx.tree.EnsureCap(2*int(g.Freq) + 1)
 		}
 		for ti, p := range prepared {
+			if res.collectFlat {
+				fs, nodes, err := collectFlatSub(int32(f.Len()), p, cpuClock, model, &ctx.depthScratch)
+				if err != nil {
+					return err
+				}
+				res.Stats.SubTrees++
+				res.Stats.TreeNodes += nodes
+				res.flatSubs = append(res.flatSubs, fs)
+				continue
+			}
 			var t *suffixtree.Tree
 			if discard {
 				t, err = buildSubTreeInto(ctx.tree, ctx.lcpBuf(len(p.L)), view, cpuClock, model, p)

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"era/internal/sim"
+	"era/internal/suffixtree"
+)
+
+// flatSub is one collected sub-tree awaiting direct-to-flat assembly: the
+// S-prefix label (arena-backed by VerticalPartition, immutable for the
+// build's lifetime) plus private copies of the sorted occurrence list and
+// its LCP array — the prepare pools recycle the originals on the worker's
+// next group.
+type flatSub struct {
+	label []byte
+	l     []int32
+	lcp   []int32
+}
+
+// collectFlatSub snapshots one prepared sub-tree for direct flat assembly.
+// It charges the same one-stack-pass CPU cost (2m sequential node touches)
+// that materializing the heap sub-tree charges, so modeled times are
+// identical whichever layout a build targets, and returns the node count
+// the equivalent heap sub-tree would have had (leaves plus split-created
+// branch nodes, local root excluded) so Stats.TreeNodes stays identical
+// too.
+func collectFlatSub(n int32, p Prepared, clock *sim.Clock, model sim.CostModel, scratch *[]int32) (flatSub, int64, error) {
+	m := len(p.L)
+	if m == 0 {
+		return flatSub{}, 0, fmt.Errorf("core: prefix %q has no occurrences", p.Prefix.Label)
+	}
+	buf := make([]int32, 2*m)
+	l, lcp := buf[:m:m], buf[m:]
+	copy(l, p.L)
+	if _, err := fillLCP(p, lcp); err != nil {
+		return flatSub{}, 0, err
+	}
+	nodes, err := countSubTreeNodes(n, l, lcp, scratch)
+	if err != nil {
+		return flatSub{}, 0, fmt.Errorf("core: prefix %q: %w", p.Prefix.Label, err)
+	}
+	clock.Advance(model.CPUTime(int64(2 * m)))
+	return flatSub{label: p.Prefix.Label, l: l, lcp: lcp}, nodes, nil
+}
+
+// countSubTreeNodes replays FromSortedSuffixes' rightmost-path walk over the
+// depths alone: the returned count is exactly the node count of the heap
+// sub-tree the same inputs would materialize (every suffix adds a leaf, and
+// every branch landing inside an edge adds one split node), with the same
+// malformed-input rejections, at no tree cost.
+func countSubTreeNodes(n int32, l, lcp []int32, scratch *[]int32) (int64, error) {
+	if l[0] < 0 || l[0] >= n {
+		return 0, fmt.Errorf("suffix %d outside the %d-byte string", l[0], n)
+	}
+	stack := append((*scratch)[:0], n-l[0])
+	nodes := int64(len(l))
+	for i := 1; i < len(l); i++ {
+		off := lcp[i]
+		if off >= n-l[i] {
+			return 0, fmt.Errorf("lcp %d ≥ suffix length %d at entry %d (suffixes not distinct?)", off, n-l[i], i)
+		}
+		for len(stack) > 0 && stack[len(stack)-1] > off {
+			stack = stack[:len(stack)-1]
+			var pd int32
+			if len(stack) > 0 {
+				pd = stack[len(stack)-1]
+			}
+			if pd < off {
+				nodes++ // the branch splits this edge: one new internal node
+				stack = append(stack, off)
+				break
+			}
+		}
+		stack = append(stack, n-l[i])
+	}
+	*scratch = stack[:0]
+	return nodes, nil
+}
+
+// assembleFlatSubs sorts the collected sub-trees by label and streams them
+// through a FlatBuilder over the raw string bytes. The labels are unique and
+// prefix-free (they partition the suffix set), so the order is total and the
+// emitted image is identical whichever worker of whichever driver collected
+// which group — the flat counterpart of grafting in global group order.
+func assembleFlatSubs(raw []byte, subs []flatSub) (*suffixtree.Flat, error) {
+	sort.Slice(subs, func(a, b int) bool { return bytes.Compare(subs[a].label, subs[b].label) < 0 })
+	fb := suffixtree.NewFlatBuilder(raw)
+	for _, s := range subs {
+		if _, err := fb.AddSubTree(s.label, s.l, s.lcp); err != nil {
+			return nil, err
+		}
+	}
+	return fb.Finish()
+}
+
+// validateFlatOptions rejects option combinations the direct-to-flat path
+// cannot honor.
+func validateFlatOptions(opts Options) error {
+	if !opts.AssembleFlat {
+		return nil
+	}
+	if opts.Assemble {
+		return fmt.Errorf("core: Assemble and AssembleFlat are mutually exclusive")
+	}
+	if opts.WriteTrees {
+		return fmt.Errorf("core: AssembleFlat cannot serialize heap sub-trees (WriteTrees)")
+	}
+	if opts.Method != StrMem {
+		return fmt.Errorf("core: AssembleFlat requires the ERa-str+mem method")
+	}
+	return nil
+}

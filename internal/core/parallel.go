@@ -32,6 +32,7 @@ type WorkerStats struct {
 // ParallelResult reports a parallel build.
 type ParallelResult struct {
 	Tree        *suffixtree.Tree // assembled tree when Options.Assemble
+	Flat        *suffixtree.Flat // flat sections when Options.AssembleFlat
 	Stats       Stats            // aggregate counters (scans etc. summed)
 	ModeledTime time.Duration    // virtual completion incl. VP and contention
 	VPTime      time.Duration
@@ -55,8 +56,13 @@ func BuildParallel(f *seq.File, opts ParallelOptions) (*ParallelResult, error) {
 	if opts.Workers < 1 {
 		return nil, fmt.Errorf("core: Workers must be ≥ 1, got %d", opts.Workers)
 	}
-	assemble := opts.Assemble
-	opts.Assemble = false // workers collect sub-trees; the master assembles
+	if err := validateFlatOptions(opts.Options); err != nil {
+		return nil, err
+	}
+	assemble, assembleFlat := opts.Assemble, opts.AssembleFlat
+	// Workers collect sub-trees (or their sorted-suffix inputs); the master
+	// assembles.
+	opts.Assemble, opts.AssembleFlat = false, false
 	perCore := opts.MemoryBudget / int64(opts.Workers)
 	model := f.Disk().Model()
 
@@ -90,7 +96,7 @@ func BuildParallel(f *seq.File, opts ParallelOptions) (*ParallelResult, error) {
 
 	jobs := scheduleGroups(groups)
 	start := time.Now()
-	runs, err := runGroupQueue(ctxs, jobs, model, layout, opts.Options, assemble)
+	runs, err := runGroupQueue(ctxs, jobs, model, layout, opts.Options, assemble, assembleFlat)
 	if err != nil {
 		return nil, err
 	}
@@ -111,6 +117,18 @@ func BuildParallel(f *seq.File, opts ParallelOptions) (*ParallelResult, error) {
 				}
 			}
 		}
+	}
+
+	if assembleFlat {
+		var subs []flatSub
+		for gi := range byGi {
+			subs = append(subs, runs[byGi[gi]].flatSubs...)
+		}
+		fl, err := assembleFlatSubs(raw, subs)
+		if err != nil {
+			return nil, fmt.Errorf("core: assembling flat image: %w", err)
+		}
+		res.Flat = fl
 	}
 
 	if opts.SkipSeek && opts.Workers > 1 {

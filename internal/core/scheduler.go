@@ -64,17 +64,18 @@ func scheduleGroups(groups []Group) []groupJob {
 // Stats field holds only this group's share (scans, rounds, symbols, ranges,
 // sub-trees, nodes, bytes, skips).
 type groupRun struct {
-	cpu, io time.Duration
-	seeks   int64
-	stats   Stats
-	trees   []*suffixtree.Tree
+	cpu, io  time.Duration
+	seeks    int64
+	stats    Stats
+	trees    []*suffixtree.Tree
+	flatSubs []flatSub
 }
 
 // runGroupQueue drains the job queue with one goroutine per context: idle
 // workers pull the next-costliest remaining group (work stealing via a
 // shared cursor). Results land in queue order; runs[i] belongs to jobs[i].
 func runGroupQueue(ctxs []*buildContext, jobs []groupJob, model sim.CostModel,
-	layout MemoryLayout, opts Options, collect bool) ([]groupRun, error) {
+	layout MemoryLayout, opts Options, collect, collectFlat bool) ([]groupRun, error) {
 
 	runs := make([]groupRun, len(jobs))
 	errs := make([]error, len(ctxs))
@@ -89,7 +90,7 @@ func runGroupQueue(ctxs []*buildContext, jobs []groupJob, model sim.CostModel,
 				if i >= len(jobs) {
 					return
 				}
-				if err := runGroupOn(ctxs[w], jobs[i], model, layout, opts, collect, &runs[i]); err != nil {
+				if err := runGroupOn(ctxs[w], jobs[i], model, layout, opts, collect, collectFlat, &runs[i]); err != nil {
 					errs[w] = fmt.Errorf("group %d: %w", jobs[i].gi, err)
 					return
 				}
@@ -108,13 +109,13 @@ func runGroupQueue(ctxs []*buildContext, jobs []groupJob, model sim.CostModel,
 // runGroupOn builds one group on a worker context, measuring its demands as
 // deltas of the worker's clocks and counters.
 func runGroupOn(ctx *buildContext, job groupJob, model sim.CostModel,
-	layout MemoryLayout, opts Options, collect bool, out *groupRun) error {
+	layout MemoryLayout, opts Options, collect, collectFlat bool, out *groupRun) error {
 
 	cpu0, io0 := ctx.cpu.Now(), ctx.io.Now()
 	scan0 := ctx.sc.Stats()
 	seeks0 := ctx.f.Disk().Stats().Seeks
 
-	gres := &Result{collect: collect}
+	gres := &Result{collect: collect, collectFlat: collectFlat}
 	gres.Stats.MinRange = int(^uint(0) >> 1)
 	if err := processGroup(ctx, ctx.f, ctx.sc, ctx.cpu, ctx.io, model, layout, opts, job.g, job.gi, gres); err != nil {
 		return err
@@ -132,6 +133,7 @@ func runGroupOn(ctx *buildContext, job groupJob, model sim.CostModel,
 	out.seeks = ctx.f.Disk().Stats().Seeks - seeks0
 	out.stats = gres.Stats
 	out.trees = gres.subTrees
+	out.flatSubs = gres.flatSubs
 	return nil
 }
 

@@ -68,8 +68,12 @@ const (
 	// flatDenseBytes is the size of one dense child table (256 × uint32).
 	flatDenseBytes = 256 * 4
 	// flatDenseMin is the child count at which a node gets a dense table;
-	// below it the binary search over the packed first-symbol run wins.
-	flatDenseMin = 16
+	// below it the word-parallel scan of the packed first-symbol run wins.
+	// 8 puts a table on the branchy top levels of text-alphabet trees (the
+	// hottest descent steps) at ~1 KiB per qualifying node; readers follow
+	// whatever threshold the image was written with, so older images with
+	// the previous threshold (16) stay valid.
+	flatDenseMin = 8
 )
 
 // Flat holds the encoded sections of a flattened tree, ready to be written
@@ -138,18 +142,24 @@ func (t *FlatTree) valid(u int32) bool { return u >= 0 && u < t.nNodes }
 // edge returns u's edge label offsets clamped to the string bounds, so the
 // descent loops can index data without further checks.
 func (t *FlatTree) edge(u int32) (int32, int32) {
-	r := t.rec(u)
+	return t.edgeOf(t.rec(u))
+}
+
+// edgeOf is edge for a record window the caller already holds — the fused
+// descent loops read each 32-byte record exactly once.
+func (t *FlatTree) edgeOf(r []byte) (int32, int32) {
 	n := int32(len(t.data))
-	cs := int32(binary.LittleEndian.Uint32(r[0:]))
-	ce := int32(binary.LittleEndian.Uint32(r[4:]))
-	if cs < 0 || cs > n {
-		cs = n
+	w := binary.LittleEndian.Uint64(r[0:8])
+	cs := int32(uint32(w))
+	ce := int32(uint32(w >> 32))
+	if uint32(cs) > uint32(n) {
+		cs = n // negative or past the string: unsigned compare catches both
+	}
+	if uint32(ce) > uint32(n) {
+		ce = n
 	}
 	if ce < cs {
 		ce = cs
-	}
-	if ce > n {
-		ce = n
 	}
 	return cs, ce
 }
@@ -281,55 +291,78 @@ func (t *FlatTree) Child(u int32, b byte) int32 {
 			}
 			return c
 		}
-		// Corrupt table reference: fall through to the binary search.
+		// Corrupt table reference: fall through to the run scan.
 	}
-	run := t.sym[cs : cs+cc]
-	lo, hi := 0, len(run)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if run[mid] < b {
-			lo = mid + 1
-		} else {
-			hi = mid
+	if j := findSym(t.sym, cs, cc, b); j >= 0 {
+		return cs + j
+	}
+	return None
+}
+
+// lookupChild is Child for a record window the caller already holds — the
+// fused descent loops decode each 32-byte record exactly once.
+func (t *FlatTree) lookupChild(r []byte, u int32, b byte) int32 {
+	cs := int32(binary.LittleEndian.Uint32(r[12:]))
+	cc := int32(binary.LittleEndian.Uint16(r[28:]))
+	if cs <= u || cc <= 0 || cs > t.nNodes-cc {
+		return None
+	}
+	if aux := binary.LittleEndian.Uint32(r[24:]); aux != 0 {
+		off := (int(aux) - 1) * flatDenseBytes
+		if off >= 0 && off+flatDenseBytes <= len(t.dense) {
+			c := int32(binary.LittleEndian.Uint32(t.dense[off+int(b)*4:]))
+			if c <= u || c >= t.nNodes {
+				return None // 0 = absent; anything ≤ u would break termination
+			}
+			return c
 		}
+		// Corrupt table reference: fall through to the run scan.
 	}
-	if lo < len(run) && run[lo] == b {
-		return cs + int32(lo)
+	if j := findSym(t.sym, cs, cc, b); j >= 0 {
+		return cs + j
 	}
 	return None
 }
 
 // Find matches pattern from the root and returns the locus where the match
-// ends, or ok=false if the pattern does not occur in S.
+// ends, or ok=false if the pattern does not occur in S. The descent reads
+// each node record once and compares edge labels a word at a time.
 func (t *FlatTree) Find(pattern []byte) (Locus, bool) {
 	cur := int32(0)
+	r := t.rec(cur)
 	i := 0
 	for i < len(pattern) {
-		c := t.Child(cur, pattern[i])
+		c := t.lookupChild(r, cur, pattern[i])
 		if c == None {
 			return Locus{}, false
 		}
-		cs, ce := t.edge(c)
-		k := int32(0)
-		for cs+k < ce && i < len(pattern) {
-			if t.data[cs+k] != pattern[i] {
-				return Locus{}, false
-			}
-			k++
-			i++
+		r = t.rec(c)
+		cs, ce := t.edgeOf(r)
+		// The child lookup already matched the first edge symbol (sym[c] is
+		// data[cs] in any valid image), so the label compare starts one byte
+		// in — and single-symbol edges, the common case near the root, skip
+		// it entirely.
+		k := 1
+		if ce-cs > 1 && len(pattern)-i > 1 {
+			k += commonPrefixLen(t.data[cs+1:ce], pattern[i+1:])
 		}
+		i += k
 		if i == len(pattern) {
-			return Locus{Node: c, Depth: k}, true
+			return Locus{Node: c, Depth: int32(k)}, true
+		}
+		if int32(k) < ce-cs {
+			return Locus{}, false
 		}
 		cur = c
 	}
-	e0, e1 := t.edge(cur)
+	e0, e1 := t.edgeOf(r)
 	return Locus{Node: cur, Depth: e1 - e0}, true
 }
 
 // MatchTrace matches pattern against the tree with per-symbol loci, resuming
 // from trace[from-1]; see Tree.MatchTrace for the contract. The two layouts
-// produce identical traces for identical trees.
+// produce identical traces for identical trees. Like Find, the descent is
+// fused: one record read per node, word-at-a-time label comparison.
 func (t *FlatTree) MatchTrace(pattern []byte, from int, trace []Locus) int {
 	i := from
 	cur := int32(0)
@@ -340,25 +373,37 @@ func (t *FlatTree) MatchTrace(pattern []byte, from int, trace []Locus) int {
 			return i
 		}
 	}
+	if i >= len(pattern) {
+		return i
+	}
+	r := t.rec(cur)
 	for i < len(pattern) {
-		cs, ce := t.edge(cur)
+		cs, ce := t.edgeOf(r)
 		if depth >= ce-cs {
-			c := t.Child(cur, pattern[i])
+			c := t.lookupChild(r, cur, pattern[i])
 			if c == None {
 				return i
 			}
-			cur, depth = c, 0
-			cs, ce = t.edge(cur)
-		}
-		p := cs + depth
-		for p < ce && i < len(pattern) {
-			if t.data[p] != pattern[i] {
-				return i
-			}
-			p++
-			depth++
-			trace[i] = Locus{Node: cur, Depth: depth}
+			cur = c
+			r = t.rec(cur)
+			cs, ce = t.edgeOf(r)
+			// The child lookup matched the first edge symbol; record it and
+			// move on — single-symbol edges never reach the label compare.
+			trace[i] = Locus{Node: cur, Depth: 1}
 			i++
+			depth = 1
+			if i >= len(pattern) || depth >= ce-cs {
+				continue
+			}
+		}
+		k := commonPrefixLen(t.data[cs+depth:ce], pattern[i:])
+		for j := 0; j < k; j++ {
+			trace[i+j] = Locus{Node: cur, Depth: depth + int32(j) + 1}
+		}
+		i += k
+		depth += int32(k)
+		if i < len(pattern) && depth < ce-cs {
+			return i // mismatch inside the edge
 		}
 	}
 	return i
@@ -684,15 +729,35 @@ func Flatten(v View, data []byte) (*Flat, error) {
 		NLeaves: int32(len(leaves)),
 	}
 
+	// Canonical edge windows: every non-root label is re-based onto the
+	// subtree's lexicographically first suffix — start = firstLeaf + depth −
+	// edgeLen, end = firstLeaf + depth. Builders that assemble sub-trees in
+	// different orders leave different (but label-equal) windows on the nodes
+	// their grafts split; re-basing makes the encoded image a pure function
+	// of tree shape and string, so serial, parallel, distributed, and
+	// direct-to-flat builds all emit byte-identical sections.
+	canon := func(old int32) (int32, int32, error) {
+		ls := leafStart[old]
+		if leafCount[old] <= 0 || int(ls) >= len(leaves) {
+			return 0, 0, fmt.Errorf("suffixtree: node %d has no leaves below it", old)
+		}
+		ee := leaves[ls] + depth[old]
+		es := ee - v.EdgeLen(old)
+		if es < 0 || int(es) >= len(data) || ee < es {
+			return 0, 0, fmt.Errorf("suffixtree: node %d edge start %d outside the %d-byte string", old, es, len(data))
+		}
+		return es, ee, nil
+	}
+
 	// First-symbol array first: the dense tables below index it for child
 	// runs, which sit after their parent in the BFS order.
 	for ni, old := range order {
 		if ni == 0 {
 			continue
 		}
-		es := v.EdgeStart(old)
-		if es < 0 || int(es) >= len(data) {
-			return nil, fmt.Errorf("suffixtree: node %d edge start %d outside the %d-byte string", old, es, len(data))
+		es, _, err := canon(old)
+		if err != nil {
+			return nil, err
 		}
 		f.Sym[ni] = data[es]
 	}
@@ -700,7 +765,13 @@ func Flatten(v View, data []byte) (*Flat, error) {
 	// Emit records; branchy nodes get a dense first-symbol table.
 	for ni, old := range order {
 		r := f.Nodes[ni*flatNodeSize:]
-		es, ee := v.EdgeStart(old), v.EdgeEnd(old)
+		var es, ee int32
+		if ni != 0 {
+			var err error
+			if es, ee, err = canon(old); err != nil {
+				return nil, err
+			}
+		}
 		binary.LittleEndian.PutUint32(r[0:], uint32(es))
 		binary.LittleEndian.PutUint32(r[4:], uint32(ee))
 		binary.LittleEndian.PutUint32(r[8:], uint32(depth[old]))

@@ -1,0 +1,54 @@
+package suffixtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchFlatSetup builds a FlatTree over skewed English-like text and derives
+// the qbench-style pattern mix (hits of assorted lengths plus misses).
+func benchFlatSetup(b *testing.B) (*FlatTree, [][]byte) {
+	rng := rand.New(rand.NewSource(77))
+	data := make([]byte, 24000)
+	syms := []byte("etaoinshrdlucmfwypvbgkjqxz")
+	for i := range data {
+		data[i] = syms[rng.Intn(len(syms))]
+	}
+	_, ft, _ := buildBoth(b, data)
+	var pats [][]byte
+	for i := 0; i < 512; i++ {
+		off := (i * 2003) % (len(data) - 32)
+		l := 2 + i%14
+		p := data[off : off+l]
+		if i%5 == 4 {
+			p = append(append([]byte(nil), p...), "qqzzxxjj"[i%8])
+		}
+		pats = append(pats, p)
+	}
+	return ft, pats
+}
+
+// BenchmarkFlatFind times the fused descent alone — the inner loop of every
+// Contains/Count/Occurrences call on the serving path.
+func BenchmarkFlatFind(b *testing.B) {
+	ft, pats := benchFlatSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pats {
+			ft.Find(p)
+		}
+	}
+}
+
+// BenchmarkFlatMatchTrace times the prefix-resumed descent Batch uses: each
+// pattern resumes from the shared prefix with its predecessor.
+func BenchmarkFlatMatchTrace(b *testing.B) {
+	ft, pats := benchFlatSetup(b)
+	trace := make([]Locus, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pats {
+			ft.MatchTrace(p, 0, trace[:len(p)])
+		}
+	}
+}

@@ -12,7 +12,7 @@ import (
 
 // flatten builds a heap tree over data (terminator appended) via the naive
 // insert path and returns both layouts.
-func buildBoth(t *testing.T, data []byte) (*Tree, *FlatTree, []byte) {
+func buildBoth(t testing.TB, data []byte) (*Tree, *FlatTree, []byte) {
 	t.Helper()
 	term := append(append([]byte(nil), data...), alphabet.Terminator)
 	var distinct []byte
@@ -46,7 +46,7 @@ func buildBoth(t *testing.T, data []byte) (*Tree, *FlatTree, []byte) {
 // naiveTree inserts every suffix of s by splitting edges — a small, obviously
 // correct builder that exercises AttachSorted/SplitEdge exactly like the
 // oracle in internal/ukkonen.
-func naiveTree(t *testing.T, s seq.String) *Tree {
+func naiveTree(t testing.TB, s seq.String) *Tree {
 	tr := New(s)
 	n := s.Len()
 	for i := 0; i < n; i++ {

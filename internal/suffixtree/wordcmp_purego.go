@@ -1,0 +1,12 @@
+//go:build purego
+
+package suffixtree
+
+// commonPrefixLen under the purego tag avoids unsafe entirely; descent
+// correctness is identical, only the bytes-per-cycle differ.
+func commonPrefixLen(a, b []byte) int { return commonPrefixLenGeneric(a, b) }
+
+// findSym under the purego tag is the binary search over the sorted run.
+func findSym(sym []byte, cs, cc int32, b byte) int32 {
+	return findSymGeneric(sym, cs, cc, b)
+}

@@ -513,9 +513,12 @@ func (x *Index) writeV4Mono(w io.Writer) (int64, error) {
 	if err := x.CheckErr(); err != nil {
 		return 0, err // never re-serialize a mapped image that fails its checksums
 	}
-	f, err := suffixtree.Flatten(x.tree, x.data)
-	if err != nil {
-		return 0, fmt.Errorf("era: flattening index %q: %w", x.name, err)
+	f := x.flat // TargetFlat builds already hold the encoded sections
+	if f == nil {
+		var err error
+		if f, err = suffixtree.Flatten(x.tree, x.data); err != nil {
+			return 0, fmt.Errorf("era: flattening index %q: %w", x.name, err)
+		}
 	}
 	return x.writeV4MonoWith(w, f)
 }
