@@ -1,0 +1,197 @@
+package era
+
+import (
+	"fmt"
+	"sort"
+
+	"era/internal/alphabet"
+	"era/internal/suffixtree"
+)
+
+// Analytics answers one analytics query against the live corpus,
+// byte-identically to a from-scratch BuildCorpus over the surviving
+// documents. The whole query runs against one acquired snapshot, so it sees
+// a single mutation epoch regardless of concurrent appends and deletes.
+func (lx *LiveIndex) Analytics(q Query) (Answer, error) {
+	s := lx.acquire()
+	if s == nil {
+		return Answer{}, errLiveClosed
+	}
+	defer s.release()
+	if err := q.Validate(nil, s.numDocs); err != nil {
+		return Answer{}, err
+	}
+	return s.analytics(q)
+}
+
+// checkErr surfaces the first tier whose checksums fail verification.
+func (s *liveSnapshot) checkErr() error {
+	for i, t := range s.tiers {
+		if err := t.h.idx.CheckErr(); err != nil {
+			return fmt.Errorf("tier %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// analytics is the tier-merging executor. Tombstones never relax the answer
+// discipline: a tier with dead documents contributes only matches that
+// start in a live document and stay inside its live run (translate), and
+// the stitched scans see only live content — the virtual global string is
+// assembled from live segments, so a `$`-window or junction scan touches no
+// tombstoned byte and no tier tree at all.
+func (s *liveSnapshot) analytics(q Query) (Answer, error) {
+	if err := s.checkErr(); err != nil {
+		return Answer{}, err
+	}
+	switch q.Kind {
+	case OpTopK:
+		return s.topK(q), nil
+	case OpLongestRepeat:
+		// Clean tiers' tree answers are sound lower bounds (their content is
+		// contiguous live content); tiers with tombstones are skipped — a
+		// repeat inside one may span dead bytes, so the tree answer is not a
+		// live repeat. The stitched search settles the true length either way.
+		lo := 0
+		s.fanOutClean(func(t *liveTier) int {
+			lbl, _ := t.h.idx.tree.LongestRepeatedSubstring()
+			return len(lbl)
+		}, &lo)
+		content := s.globalSlice(nil, 0, s.totalLen-1)
+		label, occ := longestRepeatContent(content, lo)
+		return Answer{Found: label != nil, Pattern: label, Occurrences: occ, Count: len(occ)}, nil
+	case OpCommonSubstring:
+		label, offA, offB := lcsTwoStrings(s.docBytes(q.DocA), s.docBytes(q.DocB))
+		return Answer{Found: label != nil, Pattern: label, OffsetA: offA, OffsetB: offB, Count: len(label)}, nil
+	case OpDocFreq:
+		return docFreqAnswer(q.Patterns, func(p []byte) ([]DocHit, error) {
+			return s.docOccurrences(p), nil
+		})
+	case OpMismatch:
+		return s.mismatch(q), nil
+	}
+	return s.batch([]Query{q})[0], nil
+}
+
+// fanOutClean folds f over the clean (tombstone-free) tiers, keeping the
+// maximum in *acc; tiers run concurrently through fanOut.
+func (s *liveSnapshot) fanOutClean(f func(t *liveTier) int, acc *int) {
+	vals := make([]int, len(s.tiers))
+	s.fanOut(func(i int, t *liveTier) {
+		if t.nDead == 0 {
+			vals[i] = f(t)
+		}
+	})
+	for _, v := range vals {
+		if v > *acc {
+			*acc = v
+		}
+	}
+}
+
+func (s *liveSnapshot) topK(q Query) Answer {
+	L := q.MinLen
+	perTier := make([]map[string]int, len(s.tiers))
+	s.fanOut(func(i int, t *liveTier) {
+		m := map[string]int{}
+		idx := t.h.idx
+		if t.nDead == 0 {
+			collectPrefixCounts(idx.tree, L, func(label []byte, count int) {
+				m[string(label)] += count
+			})
+		} else {
+			// Tombstoned tiers count through full occurrence enumeration
+			// plus translate, so only live windows contribute.
+			suffixtree.PrefixLoci(idx.tree, int32(L), func(node int32) bool {
+				lbl := idx.tree.PathLabel(node)
+				if len(lbl) < L {
+					return true
+				}
+				lbl = lbl[:L]
+				if bytesIndexTerminator(lbl) {
+					return true
+				}
+				leaves := idx.tree.Leaves(node)
+				occ := make([]int, len(leaves))
+				for j, o := range leaves {
+					occ[j] = int(o)
+				}
+				sort.Ints(occ)
+				if c := len(t.translate(occ, L, 0)); c > 0 {
+					m[string(lbl)] += c
+				}
+				return true
+			})
+		}
+		perTier[i] = m
+	})
+	agg := map[string]int{}
+	for _, m := range perTier {
+		for sub, c := range m {
+			agg[sub] += c
+		}
+	}
+	s.stitch.crossingWindows(L, func(_ int, window []byte) {
+		agg[string(window)]++
+	})
+	ans := topAnswer(agg, q.K)
+	for _, e := range ans.Top {
+		if s.count(e.Pattern) != e.Count {
+			for sub := range agg {
+				agg[sub] = s.count([]byte(sub))
+			}
+			return topAnswer(agg, q.K)
+		}
+	}
+	return ans
+}
+
+func (s *liveSnapshot) mismatch(q Query) Answer {
+	m := len(q.Pattern)
+	perTier := make([][]int, len(s.tiers))
+	s.fanOut(func(i int, t *liveTier) {
+		raw := suffixtree.MismatchSearch(t.h.idx.tree, t.h.idx.data, q.Pattern, q.K, alphabet.Terminator)
+		occ := make([]int, len(raw))
+		for j, o := range raw {
+			occ[j] = int(o)
+		}
+		sort.Ints(occ)
+		if t.nDead == 0 {
+			for j := range occ {
+				occ[j] += t.gStart[0]
+			}
+			perTier[i] = occ
+		} else {
+			perTier[i] = t.translate(occ, m, 0)
+		}
+	})
+	var crossing []int
+	s.stitch.crossingWindows(m, func(start int, window []byte) {
+		if hammingAtMost(window, q.Pattern, q.K) {
+			crossing = append(crossing, start)
+		}
+	})
+	return mismatchAnswer(mergeOccurrences(perTier, crossing, 0), q.MaxOccurrences)
+}
+
+// docBytes returns the raw content of the live document with ordinal ord.
+func (s *liveSnapshot) docBytes(ord int) []byte {
+	for _, t := range s.tiers {
+		for d, g := range t.gDoc {
+			if g == ord {
+				return t.h.idx.data[t.localStart(d):t.h.idx.docEnds[d]]
+			}
+		}
+	}
+	return nil
+}
+
+// bytesIndexTerminator reports whether b contains the corpus terminator.
+func bytesIndexTerminator(b []byte) bool {
+	for _, c := range b {
+		if c == alphabet.Terminator {
+			return true
+		}
+	}
+	return false
+}

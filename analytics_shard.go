@@ -1,0 +1,145 @@
+package era
+
+import (
+	"sort"
+
+	"era/internal/alphabet"
+	"era/internal/suffixtree"
+)
+
+// Analytics answers one analytics query against the sharded index,
+// byte-identically to the monolithic executor over the same corpus. The
+// merge semantics per op:
+//
+//   - OpTopK: every shard enumerates its depth-L loci (candidate substrings
+//     with shard-local counts), junction-crossing windows add the matches no
+//     shard tree sees, and the aggregated ranking is re-verified with global
+//     Count before it is answered — a disagreement (impossible while the
+//     aggregation is exact, cheap insurance if it ever isn't) triggers a
+//     full re-count and re-rank.
+//   - OpLongestRepeat: the per-shard tree answers are a sound lower bound
+//     (a within-shard repeat is a global repeat); the true length, which may
+//     straddle shard cuts, is binary-searched over the stitched virtual
+//     string with verified rolling hashes.
+//   - OpCommonSubstring: both documents in one shard delegate to that
+//     shard's tree executor; documents in different shards hash-search their
+//     raw bytes directly. Either path computes the same canonical answer —
+//     it is a pure function of the two documents' contents.
+//   - OpDocFreq: built on DocOccurrences, whose sharded/monolithic identity
+//     is already pinned (document-aligned cuts need no stitching).
+//   - OpMismatch: per-shard bounded-branching descents find within-shard
+//     windows; junction windows are Hamming-scanned; the merge is the same
+//     ascending interleave Occurrences uses.
+func (sx *ShardedIndex) Analytics(q Query) (Answer, error) {
+	if err := q.Validate(nil, sx.numDocs); err != nil {
+		return Answer{}, err
+	}
+	if err := sx.CheckErr(); err != nil {
+		return Answer{}, err
+	}
+	switch q.Kind {
+	case OpTopK:
+		return sx.topK(q), nil
+	case OpLongestRepeat:
+		depths := make([]int, len(sx.shards))
+		sx.fanOut(func(i int, sh *Index) {
+			lbl, _ := sh.tree.LongestRepeatedSubstring()
+			depths[i] = len(lbl)
+		})
+		lo := 0
+		for _, d := range depths {
+			if d > lo {
+				lo = d
+			}
+		}
+		content := sx.stitch.slice(nil, 0, sx.totalLen-1)
+		label, occ := longestRepeatContent(content, lo)
+		return Answer{Found: label != nil, Pattern: label, Occurrences: occ, Count: len(occ)}, nil
+	case OpCommonSubstring:
+		si, la := sx.shardOfDoc(q.DocA)
+		sj, lb := sx.shardOfDoc(q.DocB)
+		if si == sj {
+			return sx.shards[si].Analytics(Query{Kind: OpCommonSubstring, DocA: la, DocB: lb})
+		}
+		label, offA, offB := lcsTwoStrings(sx.docBytes(si, la), sx.docBytes(sj, lb))
+		return Answer{Found: label != nil, Pattern: label, OffsetA: offA, OffsetB: offB, Count: len(label)}, nil
+	case OpDocFreq:
+		return docFreqAnswer(q.Patterns, sx.DocOccurrences)
+	case OpMismatch:
+		return sx.mismatch(q), nil
+	}
+	return sx.Batch([]Query{q})[0], nil
+}
+
+// topK aggregates exact global counts for every distinct length-L substring:
+// shard trees count the within-shard windows, the junction scan counts the
+// crossing ones (deduplicated), and their sum is the monolithic count. The
+// ranked answer is then re-verified against Count.
+func (sx *ShardedIndex) topK(q Query) Answer {
+	perShard := make([]map[string]int, len(sx.shards))
+	sx.fanOut(func(i int, sh *Index) {
+		m := map[string]int{}
+		collectPrefixCounts(sh.tree, q.MinLen, func(label []byte, count int) {
+			m[string(label)] += count
+		})
+		perShard[i] = m
+	})
+	agg := map[string]int{}
+	for _, m := range perShard {
+		for s, c := range m {
+			agg[s] += c
+		}
+	}
+	sx.stitch.crossingWindows(q.MinLen, func(_ int, window []byte) {
+		agg[string(window)]++
+	})
+	ans := topAnswer(agg, q.K)
+	for _, e := range ans.Top {
+		if sx.Count(e.Pattern) != e.Count {
+			// Aggregation disagreed with the authoritative count: re-count
+			// every candidate and re-rank.
+			for s := range agg {
+				agg[s] = sx.Count([]byte(s))
+			}
+			return topAnswer(agg, q.K)
+		}
+	}
+	return ans
+}
+
+func (sx *ShardedIndex) mismatch(q Query) Answer {
+	m := len(q.Pattern)
+	perShard := make([][]int, len(sx.shards))
+	sx.fanOut(func(i int, sh *Index) {
+		occ := suffixtree.MismatchSearch(sh.tree, sh.data, q.Pattern, q.K, alphabet.Terminator)
+		out := make([]int, len(occ))
+		for j, o := range occ {
+			out[j] = int(o) + sx.offStart[i]
+		}
+		sort.Ints(out)
+		perShard[i] = out
+	})
+	var crossing []int
+	sx.stitch.crossingWindows(m, func(start int, window []byte) {
+		if hammingAtMost(window, q.Pattern, q.K) {
+			crossing = append(crossing, start)
+		}
+	})
+	return mismatchAnswer(mergeOccurrences(perShard, crossing, 0), q.MaxOccurrences)
+}
+
+// shardOfDoc resolves a global document ordinal to (shard, local ordinal).
+func (sx *ShardedIndex) shardOfDoc(doc int) (int, int) {
+	i := sort.Search(len(sx.docStart), func(j int) bool { return sx.docStart[j] > doc }) - 1
+	return i, doc - sx.docStart[i]
+}
+
+// docBytes returns the raw content of shard si's local document ld.
+func (sx *ShardedIndex) docBytes(si, ld int) []byte {
+	sh := sx.shards[si]
+	start := 0
+	if ld > 0 {
+		start = int(sh.docEnds[ld-1])
+	}
+	return sh.data[start:sh.docEnds[ld]]
+}

@@ -1,0 +1,357 @@
+package era
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// Naive scan oracles for the analytics ops, computed directly over the raw
+// document bytes — no trees, no hashing, no stitching. Every layer's
+// Analytics must be byte-identical to these: the answers are pure functions
+// of the virtual global string (the documents' concatenation) and the
+// document cuts. The oracles share only the canonical ranking/packaging
+// helpers (topAnswer, mismatchAnswer) with the real executors; every count
+// and candidate is derived independently.
+
+func naiveTopK(global []byte, L, k int) Answer {
+	agg := map[string]int{}
+	for i := 0; i+L <= len(global); i++ {
+		agg[string(global[i:i+L])]++
+	}
+	return topAnswer(agg, k)
+}
+
+func naiveLRS(global []byte) Answer {
+	n := len(global)
+	for m := n - 1; m >= 1; m-- {
+		pos := map[string][]int{}
+		for i := 0; i+m <= n; i++ {
+			s := string(global[i : i+m])
+			pos[s] = append(pos[s], i)
+		}
+		best := ""
+		for s, p := range pos {
+			if len(p) >= 2 && (best == "" || s < best) {
+				best = s
+			}
+		}
+		if best != "" {
+			return Answer{Found: true, Pattern: []byte(best), Occurrences: pos[best], Count: len(pos[best])}
+		}
+	}
+	return Answer{}
+}
+
+func naiveLCS(a, b []byte) Answer {
+	maxLen := len(a)
+	if len(b) < maxLen {
+		maxLen = len(b)
+	}
+	for m := maxLen; m >= 1; m-- {
+		inA := map[string]bool{}
+		for i := 0; i+m <= len(a); i++ {
+			inA[string(a[i:i+m])] = true
+		}
+		best, found := "", false
+		for j := 0; j+m <= len(b); j++ {
+			s := string(b[j : j+m])
+			if inA[s] && (!found || s < best) {
+				best, found = s, true
+			}
+		}
+		if found {
+			lbl := []byte(best)
+			return Answer{Found: true, Pattern: lbl, OffsetA: bytes.Index(a, lbl), OffsetB: bytes.Index(b, lbl), Count: m}
+		}
+	}
+	return Answer{OffsetA: -1, OffsetB: -1}
+}
+
+func naiveDocFreq(docs [][]byte, patterns [][]byte) Answer {
+	ans := Answer{Stats: make([]PatternStat, len(patterns))}
+	for i, p := range patterns {
+		st := &ans.Stats[i]
+		for _, d := range docs {
+			c := 0
+			for j := 0; j+len(p) <= len(d); j++ {
+				if bytes.Equal(d[j:j+len(p)], p) {
+					c++
+				}
+			}
+			if c > 0 {
+				st.Docs++
+			}
+			st.Count += c
+		}
+		ans.Count += st.Count
+		if st.Count > 0 {
+			ans.Found = true
+		}
+	}
+	return ans
+}
+
+func naiveMismatch(global, pattern []byte, k, max int) Answer {
+	m := len(pattern)
+	var occ []int
+	for i := 0; i+m <= len(global); i++ {
+		if hammingAtMost(global[i:i+m], pattern, k) {
+			occ = append(occ, i)
+		}
+	}
+	return mismatchAnswer(occ, max)
+}
+
+func naiveAnswer(docs [][]byte, q Query) Answer {
+	global := bytes.Join(docs, nil)
+	switch q.Kind {
+	case OpTopK:
+		return naiveTopK(global, q.MinLen, q.K)
+	case OpLongestRepeat:
+		return naiveLRS(global)
+	case OpCommonSubstring:
+		return naiveLCS(docs[q.DocA], docs[q.DocB])
+	case OpDocFreq:
+		return naiveDocFreq(docs, q.Patterns)
+	case OpMismatch:
+		return naiveMismatch(global, q.Pattern, q.K, q.MaxOccurrences)
+	}
+	panic("not an analytics kind")
+}
+
+// analyticsQuerySet is the differential workload: every op kind, several
+// parameterizations each, including absent patterns and both document-pair
+// orders.
+func analyticsQuerySet(numDocs int) []Query {
+	qs := []Query{
+		{Kind: OpTopK, K: 1, MinLen: 2},
+		{Kind: OpTopK, K: 5, MinLen: 3},
+		{Kind: OpTopK, K: 64, MinLen: 4},
+		{Kind: OpTopK, K: 3, MinLen: 1},
+		{Kind: OpLongestRepeat},
+		{Kind: OpDocFreq, Patterns: [][]byte{[]byte("GATTACA"), []byte("TT"), []byte("CCC"), []byte("AAAAAAAGG")}},
+		{Kind: OpDocFreq, Patterns: [][]byte{[]byte("G")}},
+		{Kind: OpMismatch, Pattern: []byte("GATTACA"), K: 0},
+		{Kind: OpMismatch, Pattern: []byte("GATTACA"), K: 1},
+		{Kind: OpMismatch, Pattern: []byte("GGTG"), K: 2},
+		{Kind: OpMismatch, Pattern: []byte("TTAA"), K: 1, MaxOccurrences: 3},
+		{Kind: OpMismatch, Pattern: []byte("NOPE"), K: 0},
+	}
+	for a := 0; a < numDocs && a < 3; a++ {
+		for b := 0; b < numDocs; b++ {
+			if a != b {
+				qs = append(qs, Query{Kind: OpCommonSubstring, DocA: a, DocB: b})
+			}
+		}
+	}
+	return qs
+}
+
+// TestAnalyticsDifferential pins every analytics op byte-identical across
+// the four layers — heap monolithic, v4 file-backed monolithic, sharded,
+// and live after appends and deletes — against the naive scan oracle.
+func TestAnalyticsDifferential(t *testing.T) {
+	docs := [][]byte{
+		[]byte("GATTACAGATTACAGGTT"),
+		[]byte("CCCGATTACACCCTTG"),
+		[]byte("TTTTGGTTAACC"),
+		[]byte("ACGTACGTACGTGATT"),
+		[]byte("TGGTGGTGGTGCGGTGATGGTGC"),
+	}
+
+	heap, err := BuildCorpus(docs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v4path := filepath.Join(t.TempDir(), "analytics.idx")
+	if err := WriteFileV4(v4path, heap); err != nil {
+		t.Fatal(err)
+	}
+	flat, err := OpenIndex(v4path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flat.Close()
+
+	sx, err := BuildShardedCorpus(docs, &ShardConfig{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The live index accumulates the same corpus through appends interleaved
+	// with extra documents that are then deleted, so the surviving corpus —
+	// spread over several tiers, with tombstones in place — matches docs.
+	// MemtableMaxDocs 2 forces multiple tiers.
+	lx, err := NewLive("analytics-diff", &LiveConfig{Dir: t.TempDir(), MemtableMaxDocs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lx.Close()
+	extra := [][]byte{[]byte("AAAAACCCCC"), []byte("GGGGTTTTAA"), []byte("CAGTCAGT")}
+	var dead []uint64
+	appendOne := func(d []byte) uint64 {
+		t.Helper()
+		ids, err := lx.Append([][]byte{d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ids[0]
+	}
+	appendOne(docs[0])
+	dead = append(dead, appendOne(extra[0]))
+	appendOne(docs[1])
+	appendOne(docs[2])
+	dead = append(dead, appendOne(extra[1]))
+	appendOne(docs[3])
+	dead = append(dead, appendOne(extra[2]))
+	appendOne(docs[4])
+	for _, id := range dead {
+		if ok, err := lx.Delete(id); err != nil || !ok {
+			t.Fatalf("Delete(%d) = %v, %v", id, ok, err)
+		}
+	}
+	if lx.NumDocs() != len(docs) {
+		t.Fatalf("live NumDocs = %d, want %d", lx.NumDocs(), len(docs))
+	}
+
+	layers := []struct {
+		name string
+		q    Queryable
+	}{
+		{"heap", heap},
+		{"v4-mono", flat},
+		{"sharded", sx},
+		{"live", lx},
+	}
+
+	for _, q := range analyticsQuerySet(len(docs)) {
+		want := naiveAnswer(docs, q)
+		for _, layer := range layers {
+			got, err := layer.q.Analytics(q)
+			if err != nil {
+				t.Fatalf("%s: Analytics(%s %+v): %v", layer.name, q.Kind, q, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: Analytics(%s %+v)\n got %+v\nwant %+v", layer.name, q.Kind, q, got, want)
+			}
+		}
+	}
+}
+
+// TestAnalyticsBatchDispatch pins the mutual dispatch: an analytics op
+// inside Batch answers exactly like Analytics, on every layer, including
+// mixed batches with membership ops around it.
+func TestAnalyticsBatchDispatch(t *testing.T) {
+	docs := [][]byte{
+		[]byte("GATTACAGATTACA"),
+		[]byte("CCCGATTACACCC"),
+		[]byte("ACGTACGTACGT"),
+	}
+	heap, err := BuildCorpus(docs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, err := BuildShardedCorpus(docs, &ShardConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lx, err := NewLive("analytics-batch", &LiveConfig{Dir: t.TempDir(), MemtableMaxDocs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lx.Close()
+	if _, err := lx.Append(docs); err != nil {
+		t.Fatal(err)
+	}
+
+	ops := []Op{
+		{Kind: OpCount, Pattern: []byte("GATTACA")},
+		{Kind: OpTopK, K: 4, MinLen: 3},
+		{Kind: OpOccurrences, Pattern: []byte("ACGT"), MaxOccurrences: 2},
+		{Kind: OpLongestRepeat},
+		{Kind: OpMismatch, Pattern: []byte("GATT"), K: 1},
+		{Kind: OpCommonSubstring, DocA: 0, DocB: 1},
+		{Kind: OpDocFreq, Patterns: [][]byte{[]byte("CCC"), []byte("TACA")}},
+	}
+	for _, layer := range []struct {
+		name string
+		q    Queryable
+	}{{"heap", heap}, {"sharded", sx}, {"live", lx}} {
+		batched := layer.q.Batch(ops)
+		for i, op := range ops {
+			if !op.Kind.IsAnalytic() {
+				continue
+			}
+			direct, err := layer.q.Analytics(op)
+			if err != nil {
+				t.Fatalf("%s: Analytics(%s): %v", layer.name, op.Kind, err)
+			}
+			if !reflect.DeepEqual(batched[i], direct) {
+				t.Errorf("%s: Batch op %d (%s)\n got %+v\nwant %+v", layer.name, i, op.Kind, batched[i], direct)
+			}
+		}
+	}
+}
+
+// TestQueryValidate covers the per-op validation surface: pattern-less ops
+// validate without a pattern, and each kind rejects its own malformed
+// parameters.
+func TestQueryValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		q    Query
+		ok   bool
+	}{
+		{"lrs no pattern", Query{Kind: OpLongestRepeat}, true},
+		{"topk ok", Query{Kind: OpTopK, K: 10, MinLen: 4}, true},
+		{"topk zero k", Query{Kind: OpTopK, K: 0, MinLen: 4}, false},
+		{"topk huge k", Query{Kind: OpTopK, K: MaxTopK + 1, MinLen: 4}, false},
+		{"topk zero minlen", Query{Kind: OpTopK, K: 10}, false},
+		{"lcs ok", Query{Kind: OpCommonSubstring, DocA: 0, DocB: 2}, true},
+		{"lcs same doc", Query{Kind: OpCommonSubstring, DocA: 1, DocB: 1}, false},
+		{"lcs out of range", Query{Kind: OpCommonSubstring, DocA: 0, DocB: 3}, false},
+		{"lcs negative", Query{Kind: OpCommonSubstring, DocA: -1, DocB: 1}, false},
+		{"docfreq ok", Query{Kind: OpDocFreq, Patterns: [][]byte{[]byte("A")}}, true},
+		{"docfreq empty set", Query{Kind: OpDocFreq}, false},
+		{"docfreq empty pattern", Query{Kind: OpDocFreq, Patterns: [][]byte{nil}}, false},
+		{"mismatch ok", Query{Kind: OpMismatch, Pattern: []byte("ACG"), K: 2}, true},
+		{"mismatch no pattern", Query{Kind: OpMismatch, K: 1}, false},
+		{"mismatch k too big", Query{Kind: OpMismatch, Pattern: []byte("ACG"), K: MaxMismatches + 1}, false},
+		{"membership lenient without alphabet", Query{Kind: OpCount}, true},
+	}
+	for _, c := range cases {
+		err := c.q.Validate(nil, 3)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+// TestFingerprintInjective spot-checks that distinct plans get distinct
+// fingerprints (the serving cache's correctness hinges on it).
+func TestFingerprintInjective(t *testing.T) {
+	qs := []Query{
+		{Kind: OpCount, Pattern: []byte("AC")},
+		{Kind: OpOccurrences, Pattern: []byte("AC")},
+		{Kind: OpOccurrences, Pattern: []byte("AC"), MaxOccurrences: 5},
+		{Kind: OpTopK, K: 5, MinLen: 3},
+		{Kind: OpTopK, K: 3, MinLen: 5},
+		{Kind: OpMismatch, Pattern: []byte("AC"), K: 1},
+		{Kind: OpCommonSubstring, DocA: 0, DocB: 1},
+		{Kind: OpCommonSubstring, DocA: 1, DocB: 0},
+		{Kind: OpDocFreq, Patterns: [][]byte{[]byte("A"), []byte("C")}},
+		{Kind: OpDocFreq, Patterns: [][]byte{[]byte("AC")}},
+		{Kind: OpDocFreq, Patterns: [][]byte{[]byte("A"), []byte("")}},
+	}
+	seen := map[string]int{}
+	for i, q := range qs {
+		fp := q.Fingerprint()
+		if j, dup := seen[fp]; dup {
+			t.Errorf("plans %d and %d share fingerprint %q", j, i, fp)
+		}
+		seen[fp] = i
+	}
+}

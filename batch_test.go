@@ -89,7 +89,7 @@ func TestBatchMatchesSingleQueries(t *testing.T) {
 			if op.Kind != OpOccurrences {
 				continue
 			}
-			want := idx.Occurrences(op.Pattern)
+			want, _ := idx.Occurrences(op.Pattern)
 			if op.MaxOccurrences > 0 && len(want) > op.MaxOccurrences {
 				want = want[:op.MaxOccurrences]
 			}

@@ -1,6 +1,7 @@
 package era
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -27,6 +28,12 @@ import (
 
 // indexFooterMagic introduces the v2/v3 trailing checksum footer ("ERCK").
 const indexFooterMagic = 0x4b435245
+
+// ErrCorruptIndex reports an index whose stored checksums failed to verify.
+// Query methods that can error (Occurrences, DocOccurrences, Analytics) wrap
+// it, so callers can distinguish corruption from an honest empty answer with
+// errors.Is; CheckErr returns the same wrapped verdict directly.
+var ErrCorruptIndex = errors.New("era: corrupt index")
 
 // checkSection is one deferred verification window of a v4 image.
 type checkSection struct {
@@ -61,7 +68,7 @@ func (c *checkState) verify() error {
 	}
 	for _, s := range c.secs {
 		if got := crc32.Checksum(s.data, castagnoli); got != s.want {
-			c.err = fmt.Errorf("era: corrupt index: %s section checksum mismatch (stored %#08x, computed %#08x)", s.name, s.want, got)
+			c.err = fmt.Errorf("%w: %s section checksum mismatch (stored %#08x, computed %#08x)", ErrCorruptIndex, s.name, s.want, got)
 			c.state.Store(2)
 			return c.err
 		}

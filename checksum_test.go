@@ -1,6 +1,7 @@
 package era
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -46,19 +47,31 @@ func assertFlipSafe(t *testing.T, path string, oracle Queryable, pat []byte) str
 		t.Fatalf("unexpected index type %T", q)
 	}
 
-	gotContains, gotCount, gotOccs := q.Contains(pat), q.Count(pat), q.Occurrences(pat)
+	gotContains, gotCount := q.Contains(pat), q.Count(pat)
+	gotOccs, occErr := q.Occurrences(pat)
 	if verr != nil {
-		// Detected. The damaged region is gated (a monolithic index zeroes
-		// every answer; a sharded one zeroes the damaged shard's), so each
-		// answer is either the exact oracle value or the zero value — the one
-		// thing corruption must never produce is a third, fabricated answer.
-		zeroOK := !gotContains && gotCount == 0 && len(gotOccs) == 0
+		// Detected. The boolean/count paths are gated to zero values (a
+		// monolithic index zeroes every answer; a sharded one zeroes the
+		// damaged shard's), so each is either the exact oracle value or the
+		// zero value — never a third, fabricated answer. The occurrence path
+		// must do better: surface the corruption as ErrCorruptIndex instead
+		// of silently returning empty.
+		if !errors.Is(occErr, ErrCorruptIndex) {
+			t.Fatalf("corrupt index: Occurrences err = %v, want ErrCorruptIndex (verify: %v)", occErr, verr)
+		}
+		if len(gotOccs) != 0 {
+			t.Fatalf("corrupt index returned occurrences alongside error: %v", gotOccs)
+		}
+		zeroOK := !gotContains && gotCount == 0
 		oracleOK := gotContains == oracle.Contains(pat) && gotCount == oracle.Count(pat)
 		if !zeroOK && !oracleOK {
-			t.Fatalf("corrupt index answering garbage: Contains=%v Count=%d Occurrences=%v (verify: %v)",
-				gotContains, gotCount, gotOccs, verr)
+			t.Fatalf("corrupt index answering garbage: Contains=%v Count=%d (verify: %v)",
+				gotContains, gotCount, verr)
 		}
 		return "verify"
+	}
+	if occErr != nil {
+		t.Fatalf("healthy index errored: %v", occErr)
 	}
 	// Undetected (the flip landed outside any checksummed window — header
 	// padding and the like): answers must still be exactly right.

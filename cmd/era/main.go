@@ -435,7 +435,10 @@ func query(args []string) {
 		fatal(fmt.Errorf("-index and -pattern are required"))
 	}
 	idx := load(*index)
-	occ := idx.Occurrences([]byte(*pattern))
+	occ, err := idx.Occurrences([]byte(*pattern))
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("%q occurs %d times\n", *pattern, len(occ))
 	for i, o := range occ {
 		if i >= *maxOut {

@@ -18,7 +18,10 @@ func TestBuildAndQuery(t *testing.T) {
 		t.Errorf("Count(TG) = %d, want 7 (paper Table 1)", got)
 	}
 	want := []int{0, 3, 6, 9, 14, 17, 20}
-	got := idx.Occurrences([]byte("TG"))
+	got, err := idx.Occurrences([]byte("TG"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != len(want) {
 		t.Fatalf("Occurrences(TG) = %v, want %v", got, want)
 	}
@@ -57,7 +60,10 @@ func TestBuildModes(t *testing.T) {
 		if err != nil {
 			t.Fatalf("mode %d: %v", mode, err)
 		}
-		occ := idx.Occurrences([]byte("TGA"))
+		occ, err := idx.Occurrences([]byte("TGA"))
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
 		if reference == nil {
 			reference = occ
 			continue
@@ -112,7 +118,10 @@ func TestCorpusQueries(t *testing.T) {
 		t.Fatalf("NumDocs = %d, want 3", idx.NumDocs())
 	}
 
-	hits := idx.DocOccurrences([]byte("ATTA"))
+	hits, err := idx.DocOccurrences([]byte("ATTA"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantHits := []DocHit{{0, 1}, {0, 8}, {1, 1}}
 	if len(hits) != len(wantHits) {
 		t.Fatalf("DocOccurrences(ATTA) = %v, want %v", hits, wantHits)
@@ -127,7 +136,7 @@ func TestCorpusQueries(t *testing.T) {
 	// the boundary of docs 0→1 ("...TACA"+"CATT..." has no AG crossing;
 	// construct one that does: doc0 ends with A, doc1 starts with C). Use
 	// a crossing check with "ACA"+"CAT": "ACAT" crosses.
-	cross := idx.DocOccurrences([]byte("ACAT"))
+	cross, _ := idx.DocOccurrences([]byte("ACAT"))
 	if len(cross) != 0 {
 		t.Errorf("DocOccurrences(ACAT) = %v, want none (crossing matches excluded)", cross)
 	}

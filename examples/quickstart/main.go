@@ -26,7 +26,11 @@ func main() {
 	// All occurrences of the S-prefix TG — Table 1 of the paper lists the
 	// seven suffixes sharing it.
 	fmt.Println("Count(TG):       ", idx.Count([]byte("TG")))
-	fmt.Println("Occurrences(TG): ", idx.Occurrences([]byte("TG")))
+	occ, err := idx.Occurrences([]byte("TG"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Occurrences(TG): ", occ)
 
 	// The longest repeated substring is the deepest internal node.
 	lrs, occ := idx.LongestRepeatedSubstring()

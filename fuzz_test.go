@@ -2,6 +2,7 @@ package era
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"era/internal/alphabet"
@@ -29,6 +30,13 @@ func FuzzBuildQuery(f *testing.F) {
 	f.Add([]byte("mississippi"), []byte("issi"), byte(2))
 	f.Add([]byte{0, 1, 0, 1, 1}, []byte{1, 1}, byte(3))
 	f.Add([]byte("AAAAAAAAAAAAAAAA"), []byte("AAA"), byte(0))
+	// Analytics-heavy seeds: strong repeat structure (lrs/topk ties), a
+	// pattern at Hamming distance 1 from many windows (mismatch), and
+	// periodic strings where top-k counts collide and rank by label.
+	f.Add([]byte("GATTACAGATTACA"), []byte("GATTACA"), byte(0))
+	f.Add([]byte("abcabcabcabcx"), []byte("abd"), byte(2))
+	f.Add([]byte("011001100110"), []byte("0101"), byte(3))
+	f.Add([]byte("MKLVMKLVMKLV"), []byte("MKLX"), byte(1))
 	// Pattern lengths 1..16 against a period-4 string: the word-at-a-time
 	// edge compare sees every split of a pattern across the 8-byte word grid
 	// — sub-word only (1..7), exact words (8, 16), and word + partial tail
@@ -92,7 +100,7 @@ func FuzzBuildQuery(f *testing.F) {
 				t.Errorf("Count(%q) = %d, oracle says %d (data %q)", p, got, wantCount, data)
 			}
 			wantOcc := oracle.Occurrences(p)
-			gotOcc := idx.Occurrences(p)
+			gotOcc, _ := idx.Occurrences(p)
 			if len(gotOcc) != len(wantOcc) {
 				t.Errorf("Occurrences(%q): %d offsets, oracle has %d (data %q)", p, len(gotOcc), len(wantOcc), data)
 			}
@@ -103,7 +111,7 @@ func FuzzBuildQuery(f *testing.F) {
 			if got := flat.Count(p); got != wantCount {
 				t.Errorf("flat Count(%q) = %d, oracle says %d (data %q)", p, got, wantCount, data)
 			}
-			if got := flat.Occurrences(p); len(got) != len(wantOcc) {
+			if got, _ := flat.Occurrences(p); len(got) != len(wantOcc) {
 				t.Errorf("flat Occurrences(%q): %d offsets, oracle has %d (data %q)", p, len(got), len(wantOcc), data)
 			}
 
@@ -134,6 +142,35 @@ func FuzzBuildQuery(f *testing.F) {
 		} else if bytes.ContainsFunc(data[1:], func(r rune) bool { return byte(r) == data[0] }) && len(data) > 1 {
 			// Any repeated single symbol implies a non-empty LRS.
 			t.Errorf("empty LRS but %q repeats symbols", data)
+		}
+
+		// The analytics plans, on both layouts, against the naive scan
+		// oracles (data is the single document, so it is the whole virtual
+		// global string).
+		analytics := []Query{
+			{Kind: OpLongestRepeat},
+			{Kind: OpTopK, K: 8, MinLen: 2},
+			{Kind: OpTopK, K: 3, MinLen: len(data)/2 + 1},
+		}
+		if len(pat) > 0 {
+			analytics = append(analytics,
+				Query{Kind: OpMismatch, Pattern: pat, K: 0},
+				Query{Kind: OpMismatch, Pattern: pat, K: 1},
+				Query{Kind: OpMismatch, Pattern: pat, K: 2, MaxOccurrences: 4},
+				Query{Kind: OpDocFreq, Patterns: [][]byte{pat, data}},
+			)
+		}
+		for _, q := range analytics {
+			want := naiveAnswer([][]byte{data}, q)
+			for _, x := range []*Index{idx, flat} {
+				got, err := x.Analytics(q)
+				if err != nil {
+					t.Fatalf("Analytics(%s %+v): %v (data %q)", q.Kind, q, err, data)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("Analytics(%s %+v) = %+v, oracle %+v (data %q)", q.Kind, q, got, want, data)
+				}
+			}
 		}
 	})
 }

@@ -161,6 +161,7 @@ var All = []Experiment{
 	{"qbench", "§1 (serving)", "query layouts: heap tree vs mmap-native v4", RunQBench},
 	{"httpq", "§1 (serving)", "HTTP serving under N clients: heap vs mmap", RunHTTPQ},
 	{"livemix", "§1 (serving)", "live corpus: append/delete/compact vs rebuild", RunLiveMix},
+	{"analytics", "§1 (serving)", "analytics ops across layers: topk/lrs/lcs/docfreq/mismatch", RunAnalytics},
 }
 
 // ByID finds an experiment.

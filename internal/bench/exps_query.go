@@ -105,7 +105,8 @@ func RunQBench(s Scale) (*Table, error) {
 		{"occurrences", func(q era.Queryable) int {
 			c := 0
 			for _, p := range pats {
-				c += len(q.Occurrences(p))
+				occ, _ := q.Occurrences(p)
+				c += len(occ)
 			}
 			return c
 		}},

@@ -502,13 +502,15 @@ func (e *Engine) acquireEntry(index string) (*catalogEntry, error) {
 	}
 }
 
-// BatchChecked is Batch with pattern validation: empty patterns and
-// patterns holding bytes outside the index's alphabet are rejected with an
-// error wrapping ErrBadPattern that names the offending byte (and the op,
-// for multi-op batches). Validation and execution use one catalog
-// snapshot, so a concurrent hot reload cannot slip a pattern past a check
-// made against a different index's alphabet. The HTTP layer serves through
-// this; Batch keeps the lenient library semantics.
+// BatchChecked is Batch with per-op plan validation (era.Query.Validate):
+// each op's own requirements are enforced — membership ops need a non-empty
+// pattern inside the index's alphabet, analytics ops check their own
+// parameters (k, min_len, document ordinals) and pattern-less ops are not
+// rejected for having no pattern. Failures come back wrapping ErrBadPattern
+// and name the op for multi-op batches. Validation and execution use one
+// catalog snapshot, so a concurrent hot reload cannot slip a pattern past a
+// check made against a different index's alphabet. The HTTP layer serves
+// through this; Batch keeps the lenient library semantics.
 func (e *Engine) BatchChecked(index string, ops []era.Op) ([]era.Result, error) {
 	ent, err := e.acquireEntry(index)
 	if err != nil {
@@ -516,19 +518,14 @@ func (e *Engine) BatchChecked(index string, ops []era.Op) ([]era.Result, error) 
 	}
 	defer ent.release()
 	a := ent.idx.Alphabet()
+	numDocs := ent.idx.NumDocs()
 	for i, op := range ops {
 		prefix := ""
 		if len(ops) > 1 {
 			prefix = fmt.Sprintf("op %d: ", i)
 		}
-		if len(op.Pattern) == 0 {
-			return nil, fmt.Errorf("server: %w: %sempty pattern", ErrBadPattern, prefix)
-		}
-		for j, b := range op.Pattern {
-			if !a.Contains(b) {
-				return nil, fmt.Errorf("server: %w: %spattern byte %q at offset %d is not in the index's %s alphabet",
-					ErrBadPattern, prefix, b, j, a.Name())
-			}
+		if err := op.Validate(a, numDocs); err != nil {
+			return nil, fmt.Errorf("server: %w: %s%v", ErrBadPattern, prefix, err)
 		}
 	}
 	return e.batchEntry(ent, ops), nil
@@ -555,9 +552,12 @@ func (e *Engine) batchEntry(ent *catalogEntry, ops []era.Op) []era.Result {
 	// Patterns containing the reserved terminator byte can only "match"
 	// the sentinel the builder appends internally — never corpus content —
 	// so they are answered not-found without consulting the tree. Clients
-	// must not see phantom occurrences of the internal '$'.
+	// must not see phantom occurrences of the internal '$'. Analytics ops
+	// are exempt: their executors are content-windowed already (labels and
+	// windows containing the terminator never surface), and several of them
+	// legitimately carry no pattern at all.
 	sane := func(op era.Op) bool {
-		return bytes.IndexByte(op.Pattern, alphabet.Terminator) < 0
+		return op.Kind.IsAnalytic() || bytes.IndexByte(op.Pattern, alphabet.Terminator) < 0
 	}
 
 	if e.cache == nil {
@@ -601,10 +601,13 @@ func (e *Engine) batchEntry(ent *catalogEntry, ops []era.Op) []era.Result {
 	}
 	for j, r := range ent.idx.Batch(missOps) {
 		results[missAt[j]] = r
-		// The cache is bounded in entries, so huge occurrence lists (an
+		// The cache is bounded in entries, so huge answer payloads (an
 		// unlimited-max query on a frequent pattern can return O(corpus)
-		// offsets) would make its memory unbounded; serve them uncached.
-		if len(r.Occurrences) <= maxCachedOccurrences {
+		// offsets; a low-min_len top-k can rank O(corpus) candidates) would
+		// make its memory unbounded; serve them uncached.
+		if len(r.Occurrences) <= maxCachedOccurrences &&
+			len(r.Top) <= maxCachedOccurrences &&
+			len(r.Stats) <= maxCachedOccurrences {
 			e.cache.put(keys[missAt[j]], r)
 		}
 	}
@@ -691,17 +694,10 @@ func epochPrefix(epoch uint64) string {
 
 // cacheKey encodes everything a result depends on: the entry's key prefix
 // (load epoch — unique per Load — plus, for live indexes, the mutation
-// epoch), the operation, its occurrence cap and the pattern.
+// epoch) and the op's canonical fingerprint, which covers every parameter
+// of every op kind injectively.
 func cacheKey(prefix string, op era.Op) string {
-	var sb strings.Builder
-	sb.Grow(24 + len(prefix) + len(op.Pattern))
-	sb.WriteString(prefix)
-	sb.WriteString(strconv.Itoa(int(op.Kind)))
-	sb.WriteByte('|')
-	sb.WriteString(strconv.Itoa(op.MaxOccurrences))
-	sb.WriteByte('|')
-	sb.Write(op.Pattern)
-	return sb.String()
+	return prefix + op.Fingerprint()
 }
 
 // Stats is a snapshot of engine activity.

@@ -56,7 +56,7 @@ func TestEngineQueryKinds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := idx.Occurrences(pat)
+	want, _ := idx.Occurrences(pat)
 	if len(res.Occurrences) != len(want) {
 		t.Fatalf("Occurrences(%s) = %v, want %v", pat, res.Occurrences, want)
 	}
@@ -180,7 +180,7 @@ func TestEngineBatch(t *testing.T) {
 	if results[1].Found != idx.Contains([]byte("TGGTTACGT")) {
 		t.Errorf("batched Contains = %v", results[1].Found)
 	}
-	occ := idx.Occurrences([]byte("ACG"))
+	occ, _ := idx.Occurrences([]byte("ACG"))
 	if results[2].Count != len(occ) {
 		t.Errorf("batched Occurrences count = %d, want %d", results[2].Count, len(occ))
 	}
@@ -336,7 +336,8 @@ func TestConcurrentQueries(t *testing.T) {
 	}
 	expected := make([]expect, len(patterns))
 	for i, p := range patterns {
-		expected[i] = expect{idx.Contains(p), idx.Count(p), idx.Occurrences(p)}
+		occ, _ := idx.Occurrences(p)
+		expected[i] = expect{idx.Contains(p), idx.Count(p), occ}
 	}
 
 	const clients = 16
@@ -459,7 +460,7 @@ func TestEngineServesShardedIndex(t *testing.T) {
 	if batch[0].Count != sx.Count(pat) {
 		t.Errorf("batched sharded Count = %d, want %d", batch[0].Count, sx.Count(pat))
 	}
-	if occ := sx.Occurrences(pat); len(occ) > 5 && len(batch[0].Occurrences) != 5 {
+	if occ, _ := sx.Occurrences(pat); len(occ) > 5 && len(batch[0].Occurrences) != 5 {
 		t.Errorf("sharded MaxOccurrences not applied: %d offsets", len(batch[0].Occurrences))
 	}
 }

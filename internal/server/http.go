@@ -8,7 +8,8 @@
 //	GET  /v1/indexes          loaded indexes with summary metadata
 //	GET  /v1/indexes/{name}   one index's metadata
 //	POST /v1/query            one query: {"index","op","pattern"[,"max"]}
-//	POST /v1/batch            many queries: {"index","ops":[{"op","pattern"[,"max"]},...]}
+//	POST /v1/analytics        one analytics query: {"index","op",...per-op params}
+//	POST /v1/batch            many queries: {"index","ops":[{"op",...},...]}
 //
 // Live (mutable) indexes additionally accept:
 //
@@ -167,6 +168,35 @@ func NewHandlerWithLog(engine *Engine, errLog *log.Logger) http.Handler {
 		}
 		h.writeJSON(w, http.StatusOK, toWire(op, res[0]))
 	})
+	mux.HandleFunc("POST /v1/analytics", func(w http.ResponseWriter, r *http.Request) {
+		var req queryRequest
+		if !h.readJSON(w, r, &req) {
+			return
+		}
+		op, err := req.op()
+		if err != nil {
+			h.writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if !op.Kind.IsAnalytic() {
+			h.writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("op %q is a membership query, not an analytics op; use /v1/query", req.Op))
+			return
+		}
+		// Same checked path as /v1/query — one catalog snapshot for
+		// validation and execution, fingerprint-keyed caching — plus a
+		// per-op-kind histogram: analytics latencies differ by orders of
+		// magnitude between kinds, so one shared histogram would hide all
+		// of them.
+		start := time.Now()
+		res, err := engine.BatchChecked(req.Index, []era.Op{op})
+		h.metrics.analyticsHist(op.Kind).observe(time.Since(start))
+		if err != nil {
+			h.writeQueryError(w, err)
+			return
+		}
+		h.writeJSON(w, http.StatusOK, toWire(op, res[0]))
+	})
 	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req batchRequest
 		if !h.readJSON(w, r, &req) {
@@ -242,12 +272,18 @@ func (h *api) metricz() metricsResponse {
 	}
 	return metricsResponse{
 		Engine: h.engine.Stats(),
-		Ops: map[string]HistSnapshot{
-			"query":  h.metrics.query.snapshot(),
-			"batch":  h.metrics.batch.snapshot(),
-			"append": h.metrics.append.snapshot(),
-			"delete": h.metrics.delete.snapshot(),
-		},
+		Ops: func() map[string]HistSnapshot {
+			ops := map[string]HistSnapshot{
+				"query":  h.metrics.query.snapshot(),
+				"batch":  h.metrics.batch.snapshot(),
+				"append": h.metrics.append.snapshot(),
+				"delete": h.metrics.delete.snapshot(),
+			}
+			for k := era.OpTopK; k <= era.OpMismatch; k++ {
+				ops["analytics:"+k.String()] = h.metrics.analyticsHist(k).snapshot()
+			}
+			return ops
+		}(),
 		Indexes: infos,
 	}
 }
@@ -289,11 +325,21 @@ func (h *api) writeQueryError(w http.ResponseWriter, err error) {
 	h.writeError(w, status, err.Error())
 }
 
-// queryOp is the wire form of one operation.
+// queryOp is the wire form of one operation. Membership ops (contains,
+// count, occurrences) use op/pattern/max; the analytics ops add their own
+// parameters — topk: k + min_len; lcs: doc_a + doc_b; docfreq: patterns;
+// mismatch: pattern + k. Per-op validation happens in the engine
+// (era.Query.Validate) against the target index, so a pattern-less op is
+// not rejected here for having no pattern.
 type queryOp struct {
-	Op      string `json:"op"`
-	Pattern string `json:"pattern"`
-	Max     int    `json:"max,omitempty"`
+	Op       string   `json:"op"`
+	Pattern  string   `json:"pattern,omitempty"`
+	Max      int      `json:"max,omitempty"`
+	K        int      `json:"k,omitempty"`
+	MinLen   int      `json:"min_len,omitempty"`
+	DocA     int      `json:"doc_a,omitempty"`
+	DocB     int      `json:"doc_b,omitempty"`
+	Patterns []string `json:"patterns,omitempty"`
 }
 
 func (q *queryOp) op() (era.Op, error) {
@@ -304,7 +350,22 @@ func (q *queryOp) op() (era.Op, error) {
 	if q.Max < 0 {
 		return era.Op{}, fmt.Errorf("max must be ≥ 0, got %d", q.Max)
 	}
-	return era.Op{Kind: kind, Pattern: []byte(q.Pattern), MaxOccurrences: q.Max}, nil
+	op := era.Op{
+		Kind:           kind,
+		Pattern:        []byte(q.Pattern),
+		MaxOccurrences: q.Max,
+		K:              q.K,
+		MinLen:         q.MinLen,
+		DocA:           q.DocA,
+		DocB:           q.DocB,
+	}
+	if len(q.Patterns) > 0 {
+		op.Patterns = make([][]byte, len(q.Patterns))
+		for i, p := range q.Patterns {
+			op.Patterns[i] = []byte(p)
+		}
+	}
+	return op, nil
 }
 
 type queryRequest struct {
@@ -332,27 +393,88 @@ type deleteResponse struct {
 	ID      uint64 `json:"id"`
 }
 
-// queryResponse is the wire form of one result. Count and Occurrences are
-// present only when the op asked for them.
+// queryResponse is the wire form of one result. Fields beyond found are
+// present only when the op produces them: count/occurrences for the
+// membership ops, pattern + occurrences for lrs, pattern + offsets for lcs,
+// top for topk, stats for docfreq.
 type queryResponse struct {
-	Found       bool  `json:"found"`
-	Count       *int  `json:"count,omitempty"`
-	Occurrences []int `json:"occurrences,omitempty"`
-	Truncated   bool  `json:"truncated,omitempty"`
+	Found       bool       `json:"found"`
+	Count       *int       `json:"count,omitempty"`
+	Occurrences []int      `json:"occurrences,omitempty"`
+	Truncated   bool       `json:"truncated,omitempty"`
+	Pattern     string     `json:"pattern,omitempty"`
+	Top         []wireTop  `json:"top,omitempty"`
+	OffsetA     *int       `json:"offset_a,omitempty"`
+	OffsetB     *int       `json:"offset_b,omitempty"`
+	Stats       []wireStat `json:"stats,omitempty"`
+}
+
+// wireTop is one ranked entry of a topk answer.
+type wireTop struct {
+	Pattern string `json:"pattern"`
+	Count   int    `json:"count"`
+}
+
+// wireStat is one pattern's document-frequency stats, positionally aligned
+// with the request's patterns array.
+type wireStat struct {
+	Docs  int `json:"docs"`
+	Count int `json:"count"`
 }
 
 func toWire(op era.Op, res era.Result) queryResponse {
 	out := queryResponse{Found: res.Found}
-	if op.Kind == era.OpCount || op.Kind == era.OpOccurrences {
+	switch op.Kind {
+	case era.OpCount, era.OpOccurrences:
 		c := res.Count
 		out.Count = &c
-	}
-	if op.Kind == era.OpOccurrences && res.Found {
-		out.Occurrences = res.Occurrences
-		if out.Occurrences == nil {
-			out.Occurrences = []int{}
+		if op.Kind == era.OpOccurrences && res.Found {
+			out.Occurrences = res.Occurrences
+			if out.Occurrences == nil {
+				out.Occurrences = []int{}
+			}
+			out.Truncated = len(res.Occurrences) < res.Count
 		}
-		out.Truncated = len(res.Occurrences) < res.Count
+	case era.OpTopK:
+		c := res.Count
+		out.Count = &c
+		out.Top = make([]wireTop, len(res.Top))
+		for i, e := range res.Top {
+			out.Top[i] = wireTop{Pattern: string(e.Pattern), Count: e.Count}
+		}
+	case era.OpLongestRepeat:
+		c := res.Count
+		out.Count = &c
+		out.Pattern = string(res.Pattern)
+		if res.Found {
+			out.Occurrences = res.Occurrences
+			if out.Occurrences == nil {
+				out.Occurrences = []int{}
+			}
+		}
+	case era.OpCommonSubstring:
+		c := res.Count
+		out.Count = &c
+		out.Pattern = string(res.Pattern)
+		a, b := res.OffsetA, res.OffsetB
+		out.OffsetA, out.OffsetB = &a, &b
+	case era.OpDocFreq:
+		c := res.Count
+		out.Count = &c
+		out.Stats = make([]wireStat, len(res.Stats))
+		for i, s := range res.Stats {
+			out.Stats[i] = wireStat{Docs: s.Docs, Count: s.Count}
+		}
+	case era.OpMismatch:
+		c := res.Count
+		out.Count = &c
+		if res.Found {
+			out.Occurrences = res.Occurrences
+			if out.Occurrences == nil {
+				out.Occurrences = []int{}
+			}
+			out.Truncated = len(res.Occurrences) < res.Count
+		}
 	}
 	return out
 }

@@ -66,7 +66,7 @@ func TestHTTPQuery(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("status %d: %v", status, out)
 	}
-	occ := idx.Occurrences([]byte("ACGT"))
+	occ, _ := idx.Occurrences([]byte("ACGT"))
 	if got := out["occurrences"].([]any); len(occ) >= 2 && len(got) != 2 {
 		t.Errorf("occurrences = %v, want 2 capped offsets of %v", got, occ)
 	}
@@ -368,7 +368,7 @@ func TestHTTPQueryErrorStatusMapping(t *testing.T) {
 func TestHTTPTruncatedAcrossCacheHitAndMiss(t *testing.T) {
 	ts, idx := newTestServer(t)
 	pat := "TG"
-	occ := idx.Occurrences([]byte(pat))
+	occ, _ := idx.Occurrences([]byte(pat))
 	if len(occ) <= 2 {
 		t.Fatalf("test pattern %q has only %d occurrences", pat, len(occ))
 	}
@@ -560,5 +560,161 @@ func TestHTTPLiveMutations(t *testing.T) {
 	if m.Ops["append"].Count == 0 || m.Ops["delete"].Count == 0 {
 		t.Errorf("append/delete histograms absent: append=%d delete=%d",
 			m.Ops["append"].Count, m.Ops["delete"].Count)
+	}
+}
+
+// TestHTTPAnalytics drives the /v1/analytics endpoint end to end: answers
+// match the library executor, pattern-less ops are no longer rejected by a
+// blanket empty-pattern check, malformed per-op parameters map to 400,
+// mutation invalidates cached analytics answers, and /metricz grows a
+// histogram per analytics op kind.
+func TestHTTPAnalytics(t *testing.T) {
+	e := NewEngine(256)
+	idx := buildIndex(t, "dna", 2000, 1)
+	if err := e.Load(idx); err != nil {
+		t.Fatal(err)
+	}
+	lx, err := era.NewLive("alive", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lx.Append([][]byte{[]byte("ACACACTT")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load(lx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	ts := httptest.NewServer(NewHandler(e))
+	t.Cleanup(ts.Close)
+
+	// topk against the library answer.
+	wantTop, err := idx.Analytics(era.Query{Kind: era.OpTopK, K: 3, MinLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := postJSON(t, ts.URL+"/v1/analytics", map[string]any{
+		"index": "dna", "op": "topk", "k": 3, "min_len": 4,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("topk status %d: %v", code, body)
+	}
+	top, ok := body["top"].([]any)
+	if !ok || len(top) != len(wantTop.Top) {
+		t.Fatalf("topk response %v, want %d entries", body, len(wantTop.Top))
+	}
+	first := top[0].(map[string]any)
+	if first["pattern"] != string(wantTop.Top[0].Pattern) || int(first["count"].(float64)) != wantTop.Top[0].Count {
+		t.Errorf("topk[0] = %v, want %q/%d", first, wantTop.Top[0].Pattern, wantTop.Top[0].Count)
+	}
+
+	// lrs is pattern-less: the per-op validation must accept it (the old
+	// blanket empty-pattern 400 is the regression this guards against).
+	wantLRS, err := idx.Analytics(era.Query{Kind: era.OpLongestRepeat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body = postJSON(t, ts.URL+"/v1/analytics", map[string]any{
+		"index": "dna", "op": "lrs",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("lrs status %d: %v", code, body)
+	}
+	if body["pattern"] != string(wantLRS.Pattern) {
+		t.Errorf("lrs pattern = %v, want %q", body["pattern"], wantLRS.Pattern)
+	}
+
+	// The same pattern-less op through /v1/query must also pass validation.
+	code, body = postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"index": "dna", "op": "lrs",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("lrs via /v1/query status %d: %v", code, body)
+	}
+
+	// docfreq and mismatch round-trip their parameter shapes.
+	code, body = postJSON(t, ts.URL+"/v1/analytics", map[string]any{
+		"index": "dna", "op": "docfreq", "patterns": []string{"ACGT", "TTTTTTTTTTTT"},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("docfreq status %d: %v", code, body)
+	}
+	if stats, ok := body["stats"].([]any); !ok || len(stats) != 2 {
+		t.Fatalf("docfreq stats = %v, want 2 entries", body)
+	}
+	code, body = postJSON(t, ts.URL+"/v1/analytics", map[string]any{
+		"index": "dna", "op": "mismatch", "pattern": "ACGTAC", "k": 1, "max": 5,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("mismatch status %d: %v", code, body)
+	}
+
+	// Client errors: membership op on /v1/analytics, malformed parameters,
+	// empty pattern where the op does need one.
+	for _, tc := range []struct {
+		name string
+		req  map[string]any
+	}{
+		{"membership op", map[string]any{"index": "dna", "op": "count", "pattern": "AC"}},
+		{"topk zero k", map[string]any{"index": "dna", "op": "topk", "min_len": 4}},
+		{"topk zero min_len", map[string]any{"index": "dna", "op": "topk", "k": 5}},
+		{"mismatch k too big", map[string]any{"index": "dna", "op": "mismatch", "pattern": "AC", "k": 3}},
+		{"mismatch empty pattern", map[string]any{"index": "dna", "op": "mismatch", "k": 1}},
+		{"lcs same doc", map[string]any{"index": "dna", "op": "lcs", "doc_a": 0, "doc_b": 0}},
+		{"docfreq empty set", map[string]any{"index": "dna", "op": "docfreq"}},
+	} {
+		code, body := postJSON(t, ts.URL+"/v1/analytics", tc.req)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%v), want 400", tc.name, code, body)
+		}
+	}
+
+	// Mutation invalidates cached analytics answers: the live index's LRS
+	// changes after an append, and the second query must see it.
+	lrsLive := func() string {
+		t.Helper()
+		code, body := postJSON(t, ts.URL+"/v1/analytics", map[string]any{
+			"index": "alive", "op": "lrs",
+		})
+		if code != http.StatusOK {
+			t.Fatalf("live lrs status %d: %v", code, body)
+		}
+		p, _ := body["pattern"].(string)
+		return p
+	}
+	before := lrsLive()
+	if before != "ACAC" {
+		t.Fatalf("live LRS = %q, want ACAC", before)
+	}
+	if got := lrsLive(); got != before { // cache-hit path answers identically
+		t.Fatalf("cached live LRS = %q, want %q", got, before)
+	}
+	code, body = postJSON(t, ts.URL+"/v1/indexes/alive/docs", map[string]any{
+		"docs": []string{"GGGGGGGG"},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("append status %d: %v", code, body)
+	}
+	if got := lrsLive(); got != "GGGGGGG" {
+		t.Errorf("live LRS after append = %q, want GGGGGGG (stale cache?)", got)
+	}
+
+	// Every exercised analytics op has its own /metricz histogram.
+	mres, err := http.Get(ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mres.Body.Close()
+	var m metricsResponse
+	if err := json.NewDecoder(mres.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"analytics:topk", "analytics:lrs", "analytics:docfreq", "analytics:mismatch"} {
+		if m.Ops[op].Count == 0 {
+			t.Errorf("%s histogram absent or empty", op)
+		}
+	}
+	if _, present := m.Ops["analytics:lcs"]; !present {
+		t.Error("analytics:lcs histogram not reported")
 	}
 }

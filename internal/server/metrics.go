@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"era"
 )
 
 // latencyHist is a lock-free log₂-bucketed latency histogram. Bucket
@@ -96,4 +98,15 @@ type opMetrics struct {
 	batch  latencyHist // POST /v1/batch
 	append latencyHist // POST /v1/indexes/{name}/docs
 	delete latencyHist // DELETE /v1/indexes/{name}/docs/{id}
+
+	// analytics holds one histogram per analytics op kind (indexed by
+	// kind − era.OpTopK); /metricz reports them as "analytics:topk",
+	// "analytics:lrs", … so each op's latency profile — they differ by
+	// orders of magnitude — is visible separately.
+	analytics [int(era.OpMismatch-era.OpTopK) + 1]latencyHist
+}
+
+// analyticsHist returns the histogram for one analytics op kind.
+func (m *opMetrics) analyticsHist(kind era.OpKind) *latencyHist {
+	return &m.analytics[int(kind-era.OpTopK)]
 }

@@ -579,35 +579,17 @@ func (t *FlatTree) WalkDFS(u int32, fn func(id, depth int32) bool) {
 
 // LongestRepeatedSubstring returns the longest substring of S occurring at
 // least twice, with the offsets of its occurrences; ties break exactly as in
-// the heap layout (first strictly-deeper internal node in DFS order).
+// the heap layout — both delegate to the shared LongestRepeated.
 func (t *FlatTree) LongestRepeatedSubstring() ([]byte, []int32) {
-	best, bestDepth := None, int32(0)
-	t.WalkDFS(0, func(id, depth int32) bool {
-		if id != 0 && !t.IsLeaf(id) && depth > bestDepth {
-			best, bestDepth = id, depth
-		}
-		return true
-	})
-	if best == None {
-		return nil, nil
-	}
-	return t.PathLabel(best), t.Leaves(best)
+	return LongestRepeated(t)
 }
 
 // MaximalRepeats calls fn for every internal node whose path label has
 // length ≥ minLen and occurs at least minOcc times; DFS order, subtree
 // skipped when fn returns false — identical semantics to the heap layout,
-// with the leaf counts read instead of recounted.
+// both delegating to the shared VisitRepeats.
 func (t *FlatTree) MaximalRepeats(minLen int32, minOcc int, fn func(node int32, depth int32, occ int) bool) {
-	t.WalkDFS(0, func(id, depth int32) bool {
-		if id == 0 || t.IsLeaf(id) {
-			return true
-		}
-		if depth >= minLen && t.CountLeaves(id) >= minOcc {
-			return fn(id, depth, t.CountLeaves(id))
-		}
-		return true
-	})
+	VisitRepeats(t, minLen, minOcc, fn)
 }
 
 // unzigzag32 decodes the zigzag form of a signed 32-bit delta.

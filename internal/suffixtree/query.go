@@ -113,67 +113,16 @@ func (t *Tree) Count(pattern []byte) int {
 // LongestRepeatedSubstring returns the longest substring of S occurring at
 // least twice, with the offsets of its occurrences. Ties break toward the
 // lexicographically smallest. It is the path label of the deepest internal
-// node.
+// node; see LongestRepeated for the shared implementation.
 func (t *Tree) LongestRepeatedSubstring() ([]byte, []int32) {
-	best, bestDepth := None, int32(0)
-	t.WalkDFS(t.Root(), func(id, depth int32) bool {
-		if !t.IsLeaf(id) && id != t.Root() && depth > bestDepth {
-			best, bestDepth = id, depth
-		}
-		return true
-	})
-	if best == None {
-		return nil, nil
-	}
-	return t.PathLabel(best), t.Leaves(best)
+	return LongestRepeated(t)
 }
 
 // MaximalRepeats calls fn for every internal node whose path label has
 // length ≥ minLen and occurs at least minOcc times, passing the label depth
 // and occurrence count. Traversal order is DFS. If fn returns false the
-// subtree is skipped. Used by the time-series motif example.
+// subtree is skipped. Used by the time-series motif example; see
+// VisitRepeats for the shared implementation.
 func (t *Tree) MaximalRepeats(minLen int32, minOcc int, fn func(node int32, depth int32, occ int) bool) {
-	// Precompute leaf counts bottom-up to avoid quadratic re-counting.
-	counts := make([]int, len(t.nodes))
-	t.countLeavesInto(counts)
-	t.WalkDFS(t.Root(), func(id, depth int32) bool {
-		if id == t.Root() || t.IsLeaf(id) {
-			return true
-		}
-		if depth >= minLen && counts[id] >= minOcc {
-			return fn(id, depth, counts[id])
-		}
-		return true
-	})
-}
-
-// countLeavesInto fills counts[u] with the number of leaves below u, for all u.
-func (t *Tree) countLeavesInto(counts []int) {
-	// Iterative post-order over the node array: children have larger ids
-	// than parents only for builder-emitted trees, which is not guaranteed
-	// after grafting, so walk explicitly.
-	type frame struct {
-		id      int32
-		visited bool
-	}
-	stack := []frame{{t.Root(), false}}
-	for len(stack) > 0 {
-		f := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if f.visited {
-			n := 0
-			if t.IsLeaf(f.id) {
-				n = 1
-			}
-			for c := t.nodes[f.id].firstChild; c != None; c = t.nodes[c].nextSib {
-				n += counts[c]
-			}
-			counts[f.id] = n
-			continue
-		}
-		stack = append(stack, frame{f.id, true})
-		for c := t.nodes[f.id].firstChild; c != None; c = t.nodes[c].nextSib {
-			stack = append(stack, frame{c, false})
-		}
-	}
+	VisitRepeats(t, minLen, minOcc, fn)
 }

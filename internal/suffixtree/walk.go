@@ -1,0 +1,199 @@
+package suffixtree
+
+// Layout-agnostic walk primitives over View. Everything here is written once
+// against the interface so the heap layout (*Tree) and the mmap-native flat
+// layout (*FlatTree) answer the analytics queries (era's query-plan executor)
+// through one implementation. Traversal order is pinned: children are visited
+// in first-symbol (sibling) order, so pre-order DFS enumerates path labels in
+// lexicographic order — every tie-break the era layer documents ("smallest
+// substring wins") falls out of that order for free.
+//
+// All walks are budgeted against NumNodes: a corrupt flat file can encode
+// overlapping child runs (a DAG), which would re-expand shared subtrees
+// exponentially. Wrong answers on a corrupt file are acceptable (the
+// checksum layer catches them before they are served); runaway walks are not.
+
+// Walk visits every node reachable from u in depth-first pre-order, children
+// in first-symbol order; fn receives the node id and its string depth. If fn
+// returns false the subtree below the node is skipped.
+func Walk(v View, u int32, fn func(id, depth int32) bool) {
+	type frame struct{ id, depth int32 }
+	stack := make([]frame, 0, 64)
+	stack = append(stack, frame{u, v.EdgeLen(u)})
+	budget := v.NumNodes()
+	for len(stack) > 0 && budget > 0 {
+		budget--
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !fn(f.id, f.depth) {
+			continue
+		}
+		mark := len(stack)
+		v.ForEachChild(f.id, func(c int32) bool {
+			stack = append(stack, frame{c, f.depth + v.EdgeLen(c)})
+			return true
+		})
+		// Children were pushed in sibling order; reverse the run so the
+		// first sibling pops first.
+		for i, j := mark, len(stack)-1; i < j; i, j = i+1, j-1 {
+			stack[i], stack[j] = stack[j], stack[i]
+		}
+	}
+}
+
+// LeafCounts returns, for every node id, the number of leaves in its
+// subtree, computed in one post-order pass (node ids are dense in
+// [0, NumNodes) for both layouts).
+func LeafCounts(v View) []int32 {
+	n := v.NumNodes()
+	counts := make([]int32, n)
+	type frame struct {
+		id      int32
+		visited bool
+	}
+	stack := make([]frame, 0, 64)
+	stack = append(stack, frame{v.Root(), false})
+	budget := 2 * n
+	for len(stack) > 0 && budget > 0 {
+		budget--
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !f.visited {
+			stack = append(stack, frame{f.id, true})
+			v.ForEachChild(f.id, func(c int32) bool {
+				stack = append(stack, frame{c, false})
+				return true
+			})
+			continue
+		}
+		if v.IsLeaf(f.id) {
+			counts[f.id] = 1
+			continue
+		}
+		var sum int32
+		v.ForEachChild(f.id, func(c int32) bool {
+			sum += counts[c]
+			return true
+		})
+		counts[f.id] = sum
+	}
+	return counts
+}
+
+// LongestRepeated returns the deepest internal node's path label — the
+// longest substring of S occurring at least twice — with the offsets of its
+// occurrences. Ties break toward the lexicographically smallest substring
+// (the first strictly-deeper internal node in pre-order).
+func LongestRepeated(v View) ([]byte, []int32) {
+	root := v.Root()
+	best, bestDepth := None, int32(0)
+	Walk(v, root, func(id, depth int32) bool {
+		if id != root && !v.IsLeaf(id) && depth > bestDepth {
+			best, bestDepth = id, depth
+		}
+		return true
+	})
+	if best == None {
+		return nil, nil
+	}
+	return v.PathLabel(best), v.Leaves(best)
+}
+
+// VisitRepeats calls fn for every internal node whose path label has length
+// ≥ minLen and occurs at least minOcc times, passing the label depth and
+// occurrence count; DFS order, subtree skipped when fn returns false.
+func VisitRepeats(v View, minLen int32, minOcc int, fn func(node int32, depth int32, occ int) bool) {
+	counts := LeafCounts(v)
+	root := v.Root()
+	Walk(v, root, func(id, depth int32) bool {
+		if id == root || v.IsLeaf(id) {
+			return true
+		}
+		if depth >= minLen && int(counts[id]) >= minOcc {
+			return fn(id, depth, int(counts[id]))
+		}
+		return true
+	})
+}
+
+// PrefixLoci visits, in lexicographic label order, the locus of every
+// distinct length-L substring of S: the shallowest node on each root path
+// whose string depth reaches L. The subtree below a locus is pruned (every
+// descendant shares the same length-L prefix), so the walk touches each
+// locus path once. fn returning false stops the walk.
+func PrefixLoci(v View, L int32, fn func(node int32) bool) {
+	if L <= 0 {
+		return
+	}
+	root := v.Root()
+	stopped := false
+	Walk(v, root, func(id, depth int32) bool {
+		if stopped {
+			return false
+		}
+		if id != root && depth >= L {
+			if !fn(id) {
+				stopped = true
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// MismatchSearch returns the suffix offsets (unsorted, in leaf order) where
+// pattern occurs in s within at most k symbol mismatches — Hamming distance,
+// no insertions or deletions. The descent branches only where the mismatch
+// budget allows: on a mismatched symbol the budget drops by one and every
+// child edge is tried, so the explored frontier is bounded by |Σ|^k · |P|
+// paths. Edges carrying the skip byte (the corpus terminator) are pruned —
+// a terminator is never content, so no window containing it can match.
+func MismatchSearch(v View, s []byte, pattern []byte, k int, skip byte) []int32 {
+	m := len(pattern)
+	if m == 0 {
+		return nil
+	}
+	var out []int32
+	// Nodes entered across all branches, bounding corrupt-layout cycles
+	// (a zero-length child edge would otherwise recurse forever).
+	budget := v.NumNodes() * (k + 2)
+	var walk func(u int32, epos int32, pi, mis int)
+	walk = func(u int32, epos int32, pi, mis int) {
+		if budget <= 0 {
+			return
+		}
+		budget--
+		for {
+			if pi == m {
+				out = append(out, v.Leaves(u)...)
+				return
+			}
+			if epos == v.EdgeLen(u) {
+				v.ForEachChild(u, func(c int32) bool {
+					walk(c, 0, pi, mis)
+					return true
+				})
+				return
+			}
+			es := v.EdgeStart(u) + epos
+			if int(es) >= len(s) {
+				return
+			}
+			sym := s[es]
+			if sym == skip {
+				return
+			}
+			if sym != pattern[pi] {
+				mis++
+				if mis > k {
+					return
+				}
+			}
+			epos++
+			pi++
+		}
+	}
+	root := v.Root()
+	walk(root, v.EdgeLen(root), 0, 0)
+	return out
+}

@@ -571,26 +571,34 @@ func (lx *LiveIndex) Count(p []byte) int {
 	return s.count(p)
 }
 
-// Occurrences returns the ascending global offsets of every occurrence.
-func (lx *LiveIndex) Occurrences(p []byte) []int {
+// Occurrences returns the ascending global offsets of every occurrence. A
+// closed index or a tier failing checksum verification surfaces an error
+// (the latter wrapping ErrCorruptIndex) instead of a silently short list.
+func (lx *LiveIndex) Occurrences(p []byte) ([]int, error) {
 	s := lx.acquire()
 	if s == nil {
-		return []int{}
+		return nil, errLiveClosed
 	}
 	defer s.release()
-	return s.occurrences(p)
+	if err := s.checkErr(); err != nil {
+		return nil, err
+	}
+	return s.occurrences(p), nil
 }
 
 // DocOccurrences returns per-document hits, sorted by (Doc, Offset), with
 // document numbers being live ordinals (tombstoned documents renumber their
 // successors, exactly as a rebuild over the survivors would).
-func (lx *LiveIndex) DocOccurrences(p []byte) []DocHit {
+func (lx *LiveIndex) DocOccurrences(p []byte) ([]DocHit, error) {
 	s := lx.acquire()
 	if s == nil {
-		return []DocHit{}
+		return nil, errLiveClosed
 	}
 	defer s.release()
-	return s.docOccurrences(p)
+	if err := s.checkErr(); err != nil {
+		return nil, err
+	}
+	return s.docOccurrences(p), nil
 }
 
 // Batch answers many queries against one consistent snapshot: every op sees

@@ -37,10 +37,11 @@ func (x *Index) Count(pattern []byte) int {
 }
 
 // Occurrences returns the start offsets of every occurrence of pattern in
-// the concatenated input, sorted ascending.
-func (x *Index) Occurrences(pattern []byte) []int {
-	if !x.healthy() {
-		return []int{}
+// the concatenated input, sorted ascending. A corrupt index surfaces
+// ErrCorruptIndex instead of silently answering empty.
+func (x *Index) Occurrences(pattern []byte) ([]int, error) {
+	if err := x.CheckErr(); err != nil {
+		return nil, err
 	}
 	occ := x.tree.Occurrences(pattern)
 	out := make([]int, len(occ))
@@ -48,23 +49,34 @@ func (x *Index) Occurrences(pattern []byte) []int {
 		out[i] = int(o)
 	}
 	sort.Ints(out)
-	return out
+	return out, nil
 }
 
-// OpKind selects the operation a batched query performs.
+// OpKind selects the operation a query plan performs.
 type OpKind int
 
 const (
-	// OpContains answers Result.Found only.
+	// OpContains answers Answer.Found only.
 	OpContains OpKind = iota
-	// OpCount fills Result.Count (and Found).
+	// OpCount fills Answer.Count (and Found).
 	OpCount
-	// OpOccurrences fills Result.Occurrences (and Count, Found).
+	// OpOccurrences fills Answer.Occurrences (and Count, Found).
 	OpOccurrences
+	// OpTopK ranks the K most frequent substrings of length MinLen.
+	OpTopK
+	// OpLongestRepeat finds the longest substring occurring at least twice.
+	OpLongestRepeat
+	// OpCommonSubstring finds the longest substring shared by DocA and DocB.
+	OpCommonSubstring
+	// OpDocFreq aggregates per-document stats for a pattern set.
+	OpDocFreq
+	// OpMismatch finds pattern occurrences within K symbol mismatches.
+	OpMismatch
 )
 
 // String returns the wire name of the kind ("contains", "count",
-// "occurrences"), as used by the JSON query API.
+// "occurrences", "topk", "lrs", "lcs", "docfreq", "mismatch"), as used by
+// the JSON query API.
 func (k OpKind) String() string {
 	switch k {
 	case OpContains:
@@ -73,6 +85,16 @@ func (k OpKind) String() string {
 		return "count"
 	case OpOccurrences:
 		return "occurrences"
+	case OpTopK:
+		return "topk"
+	case OpLongestRepeat:
+		return "lrs"
+	case OpCommonSubstring:
+		return "lcs"
+	case OpDocFreq:
+		return "docfreq"
+	case OpMismatch:
+		return "mismatch"
 	}
 	return fmt.Sprintf("OpKind(%d)", int(k))
 }
@@ -86,25 +108,18 @@ func ParseOpKind(s string) (OpKind, error) {
 		return OpCount, nil
 	case "occurrences":
 		return OpOccurrences, nil
+	case "topk":
+		return OpTopK, nil
+	case "lrs":
+		return OpLongestRepeat, nil
+	case "lcs":
+		return OpCommonSubstring, nil
+	case "docfreq":
+		return OpDocFreq, nil
+	case "mismatch":
+		return OpMismatch, nil
 	}
-	return 0, fmt.Errorf("era: unknown query op %q (want contains, count or occurrences)", s)
-}
-
-// Op is one query of a batch.
-type Op struct {
-	Kind    OpKind
-	Pattern []byte
-	// MaxOccurrences caps the offsets returned for OpOccurrences;
-	// 0 returns all of them.
-	MaxOccurrences int
-}
-
-// Result answers one Op. Fields beyond what the Op's kind requires are left
-// at their zero value.
-type Result struct {
-	Found       bool
-	Count       int
-	Occurrences []int
+	return 0, fmt.Errorf("era: unknown query op %q (want contains, count, occurrences, topk, lrs, lcs, docfreq or mismatch)", s)
 }
 
 // Batch answers many queries in one call, amortizing tree descents:
@@ -121,10 +136,18 @@ func (x *Index) Batch(ops []Op) []Result {
 		return results
 	}
 
-	order := make([]int, len(ops))
+	order := make([]int, 0, len(ops))
 	maxLen := 0
 	for i, op := range ops {
-		order[i] = i
+		if op.Kind.IsAnalytic() {
+			// Analytics plans dispatch through the per-layer executor; a
+			// malformed plan leaves the zero Answer.
+			if a, err := x.Analytics(op); err == nil {
+				results[i] = a
+			}
+			continue
+		}
+		order = append(order, i)
 		if len(op.Pattern) > maxLen {
 			maxLen = len(op.Pattern)
 		}
@@ -223,10 +246,11 @@ type DocHit struct {
 
 // DocOccurrences returns the per-document occurrences of pattern, excluding
 // matches that cross document boundaries (the standard generalized suffix
-// tree discipline when documents are concatenated without separators).
-func (x *Index) DocOccurrences(pattern []byte) []DocHit {
-	if !x.healthy() {
-		return []DocHit{}
+// tree discipline when documents are concatenated without separators). A
+// corrupt index surfaces ErrCorruptIndex instead of silently answering empty.
+func (x *Index) DocOccurrences(pattern []byte) ([]DocHit, error) {
+	if err := x.CheckErr(); err != nil {
+		return nil, err
 	}
 	occ := x.tree.Occurrences(pattern)
 	hits := make([]DocHit, 0, len(occ))
@@ -245,7 +269,7 @@ func (x *Index) DocOccurrences(pattern []byte) []DocHit {
 		}
 		return hits[i].Offset < hits[j].Offset
 	})
-	return hits
+	return hits, nil
 }
 
 // docOf returns the document containing absolute offset o and the

@@ -46,8 +46,9 @@ type Queryable interface {
 	TreeNodes() int64
 	Contains(pattern []byte) bool
 	Count(pattern []byte) int
-	Occurrences(pattern []byte) []int
-	DocOccurrences(pattern []byte) []DocHit
+	Occurrences(pattern []byte) ([]int, error)
+	DocOccurrences(pattern []byte) ([]DocHit, error)
+	Analytics(q Query) (Answer, error)
 	Batch(ops []Op) []Result
 	WriteFile(path string) error
 	MappedBytes() int64
@@ -447,27 +448,41 @@ func (sx *ShardedIndex) Count(pattern []byte) int {
 }
 
 // Occurrences returns the global start offsets of every occurrence of
-// pattern, sorted ascending — byte-identical to the monolithic index.
-func (sx *ShardedIndex) Occurrences(pattern []byte) []int {
+// pattern, sorted ascending — byte-identical to the monolithic index. A
+// corrupt shard surfaces ErrCorruptIndex instead of a silently short list.
+func (sx *ShardedIndex) Occurrences(pattern []byte) ([]int, error) {
+	if err := sx.CheckErr(); err != nil {
+		return nil, err
+	}
 	if len(pattern) == 0 {
 		out := make([]int, sx.totalLen)
 		for i := range out {
 			out[i] = i
 		}
-		return out
+		return out, nil
 	}
 	perShard := make([][]int, len(sx.shards))
+	errs := make([]error, len(sx.shards))
 	sx.fanOut(func(i int, sh *Index) {
 		if !sx.shardValid(i, pattern) {
 			return
 		}
-		occ := sh.Occurrences(pattern)
+		occ, err := sh.Occurrences(pattern)
+		if err != nil {
+			errs[i] = err
+			return
+		}
 		for j := range occ {
 			occ[j] += sx.offStart[i]
 		}
 		perShard[i] = occ
 	})
-	return mergeOccurrences(perShard, sx.crossingOccurrences(pattern, 0), 0)
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return mergeOccurrences(perShard, sx.crossingOccurrences(pattern, 0), 0), nil
 }
 
 // mergeOccurrences merges per-shard occurrence lists (each sorted, and in
@@ -510,19 +525,33 @@ func mergeOccurrences(perShard [][]int, crossing []int, max int) []int {
 
 // DocOccurrences returns per-document occurrences, identical to the
 // monolithic index: shard cuts are document-aligned, so a boundary-crossing
-// match is a document-crossing match, which is excluded on both sides.
-func (sx *ShardedIndex) DocOccurrences(pattern []byte) []DocHit {
+// match is a document-crossing match, which is excluded on both sides. A
+// corrupt shard surfaces ErrCorruptIndex instead of a silently short list.
+func (sx *ShardedIndex) DocOccurrences(pattern []byte) ([]DocHit, error) {
+	if err := sx.CheckErr(); err != nil {
+		return nil, err
+	}
 	perShard := make([][]DocHit, len(sx.shards))
+	errs := make([]error, len(sx.shards))
 	sx.fanOut(func(i int, sh *Index) {
 		if !sx.shardValid(i, pattern) {
 			return
 		}
-		hits := sh.DocOccurrences(pattern)
+		hits, err := sh.DocOccurrences(pattern)
+		if err != nil {
+			errs[i] = err
+			return
+		}
 		for j := range hits {
 			hits[j].Doc += sx.docStart[i]
 		}
 		perShard[i] = hits
 	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
 	var n int
 	for _, h := range perShard {
 		n += len(h)
@@ -531,7 +560,7 @@ func (sx *ShardedIndex) DocOccurrences(pattern []byte) []DocHit {
 	for _, h := range perShard {
 		out = append(out, h...) // shards hold ascending document runs
 	}
-	return out
+	return out, nil
 }
 
 // Batch answers many queries in one call: every shard serves the whole op
@@ -544,6 +573,23 @@ func (sx *ShardedIndex) Batch(ops []Op) []Result {
 	if len(ops) == 0 {
 		return results
 	}
+	// Analytics plans dispatch through the sharded executor (their merge is
+	// op-specific); the membership sub-batches see a trivial placeholder.
+	sub := ops
+	copied := false
+	for i := range ops {
+		if !ops[i].Kind.IsAnalytic() {
+			continue
+		}
+		if !copied {
+			sub = append([]Op(nil), ops...)
+			copied = true
+		}
+		if a, err := sx.Analytics(ops[i]); err == nil {
+			results[i] = a
+		}
+		sub[i] = Op{Kind: OpContains}
+	}
 	perShard := make([][]Result, len(sx.shards))
 	var crossing [][]int
 	var wg sync.WaitGroup
@@ -554,7 +600,7 @@ func (sx *ShardedIndex) Batch(ops []Op) []Result {
 		defer wg.Done()
 		crossing = make([][]int, len(ops))
 		for oi, op := range ops {
-			if len(op.Pattern) == 0 {
+			if len(op.Pattern) == 0 || op.Kind.IsAnalytic() {
 				continue
 			}
 			limit := 0
@@ -565,11 +611,14 @@ func (sx *ShardedIndex) Batch(ops []Op) []Result {
 		}
 	}()
 	sx.fanOut(func(i int, sh *Index) {
-		perShard[i] = sh.Batch(ops)
+		perShard[i] = sh.Batch(sub)
 	})
 	wg.Wait()
 
 	for oi, op := range ops {
+		if op.Kind.IsAnalytic() {
+			continue // answered above by the sharded executor
+		}
 		r := &results[oi]
 		if len(op.Pattern) == 0 {
 			// The monolithic tree resolves the empty pattern at the root:

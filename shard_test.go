@@ -119,7 +119,8 @@ func assertShardedMatches(t *testing.T, mono *Index, sx *ShardedIndex, pats [][]
 		if got, want := sx.Count(p), mono.Count(p); got != want {
 			t.Errorf("pattern %d %q: Count = %d, want %d", pi, p, got, want)
 		}
-		gotOcc, wantOcc := sx.Occurrences(p), mono.Occurrences(p)
+		gotOcc, _ := sx.Occurrences(p)
+		wantOcc, _ := mono.Occurrences(p)
 		if len(gotOcc) != len(wantOcc) {
 			t.Errorf("pattern %d %q: %d occurrences, want %d", pi, p, len(gotOcc), len(wantOcc))
 		} else {
@@ -130,7 +131,8 @@ func assertShardedMatches(t *testing.T, mono *Index, sx *ShardedIndex, pats [][]
 				}
 			}
 		}
-		gotHits, wantHits := sx.DocOccurrences(p), mono.DocOccurrences(p)
+		gotHits, _ := sx.DocOccurrences(p)
+		wantHits, _ := mono.DocOccurrences(p)
 		if len(gotHits) != len(wantHits) {
 			t.Errorf("pattern %d %q: %d doc hits, want %d", pi, p, len(gotHits), len(wantHits))
 		} else {

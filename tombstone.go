@@ -328,7 +328,8 @@ func (s *liveSnapshot) contains(p []byte) bool {
 		if t.nDead == 0 {
 			found[i] = t.h.idx.Contains(p)
 		} else {
-			found[i] = len(t.translate(t.h.idx.Occurrences(p), len(p), 1)) > 0
+			occ, _ := t.h.idx.Occurrences(p) // boolean path keeps degrading silently
+			found[i] = len(t.translate(occ, len(p), 1)) > 0
 		}
 	})
 	for _, f := range found {
@@ -354,7 +355,8 @@ func (s *liveSnapshot) count(p []byte) int {
 		if t.nDead == 0 {
 			counts[i] = t.h.idx.Count(p)
 		} else {
-			counts[i] = len(t.translate(t.h.idx.Occurrences(p), len(p), 0))
+			occ, _ := t.h.idx.Occurrences(p) // count path keeps degrading silently
+			counts[i] = len(t.translate(occ, len(p), 0))
 		}
 	})
 	total := len(s.stitch.crossingOccurrences(p, 0))
@@ -380,7 +382,7 @@ func (s *liveSnapshot) occurrences(p []byte) []int {
 	}
 	perTier := make([][]int, len(s.tiers))
 	s.fanOut(func(i int, t *liveTier) {
-		occ := t.h.idx.Occurrences(p)
+		occ, _ := t.h.idx.Occurrences(p) // LiveIndex.Occurrences surfaced checkErr already
 		if t.nDead == 0 {
 			// A clean tier's local→global map is one constant shift.
 			for j := range occ {
@@ -402,7 +404,7 @@ func (s *liveSnapshot) docOccurrences(p []byte) []DocHit {
 	}
 	perTier := make([][]DocHit, len(s.tiers))
 	s.fanOut(func(i int, t *liveTier) {
-		hits := t.h.idx.DocOccurrences(p)
+		hits, _ := t.h.idx.DocOccurrences(p) // LiveIndex.DocOccurrences surfaced checkErr already
 		if t.nDead == 0 {
 			base := t.gDoc[0]
 			for j := range hits {
@@ -445,15 +447,19 @@ func (s *liveSnapshot) batch(ops []Op) []Result {
 	}
 
 	// Empty and terminator-bearing patterns resolve directly against the
-	// virtual string, never through the tier trees.
+	// virtual string, never through the tier trees; analytics plans dispatch
+	// through the snapshot executor.
 	const (
 		opNormal = uint8(iota)
 		opEmpty
 		opTerm
+		opAnalytic
 	)
 	class := make([]uint8, len(ops))
 	for i, op := range ops {
 		switch {
+		case op.Kind.IsAnalytic():
+			class[i] = opAnalytic
 		case len(op.Pattern) == 0:
 			class[i] = opEmpty
 		case bytes.IndexByte(op.Pattern, alphabet.Terminator) >= 0:
@@ -519,6 +525,13 @@ func (s *liveSnapshot) batch(ops []Op) []Result {
 		op := &ops[oi]
 		r := &results[oi]
 		switch class[oi] {
+		case opAnalytic:
+			// Same snapshot, so the whole batch sees one mutation epoch; a
+			// malformed plan leaves the zero Answer.
+			if a, err := s.analytics(*op); err == nil {
+				results[oi] = a
+			}
+			continue
 		case opEmpty:
 			// The monolithic tree resolves the empty pattern at the root:
 			// found, with every suffix (terminator included) below it.
