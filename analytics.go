@@ -2,6 +2,7 @@ package era
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -221,23 +222,36 @@ func (q *Query) Fingerprint() string {
 // Analytics answers one analytics query against the monolithic index. It is
 // the reference executor: the sharded and live executors must answer
 // byte-identically. Membership kinds route through Batch (one dispatch
-// surface either way); corrupt indexes surface ErrCorruptIndex.
-func (x *Index) Analytics(q Query) (Answer, error) {
+// surface either way); corrupt indexes surface ErrCorruptIndex. The long
+// walks (topk enumeration, the lrs tree walk, the mismatch descent) poll ctx
+// periodically, so a canceled or expired context abandons the work and
+// returns ctx's error instead of pinning the worker until completion.
+func (x *Index) Analytics(ctx context.Context, q Query) (Answer, error) {
 	if err := q.Validate(nil, len(x.docEnds)); err != nil {
 		return Answer{}, err
 	}
 	if err := x.CheckErr(); err != nil {
 		return Answer{}, err
 	}
+	if err := ctx.Err(); err != nil {
+		return Answer{}, err
+	}
+	stop := ctxStop(ctx)
 	switch q.Kind {
 	case OpTopK:
 		agg := map[string]int{}
-		collectPrefixCounts(x.tree, q.MinLen, func(label []byte, count int) {
+		collectPrefixCounts(x.tree, q.MinLen, stop, func(label []byte, count int) {
 			agg[string(label)] += count
 		})
+		if err := ctx.Err(); err != nil {
+			return Answer{}, err
+		}
 		return topAnswer(agg, q.K), nil
 	case OpLongestRepeat:
-		lbl, occ := x.tree.LongestRepeatedSubstring()
+		lbl, occ := suffixtree.LongestRepeated(x.tree, stop)
+		if err := ctx.Err(); err != nil {
+			return Answer{}, err
+		}
 		if len(lbl) == 0 {
 			return Answer{}, nil
 		}
@@ -248,11 +262,14 @@ func (x *Index) Analytics(q Query) (Answer, error) {
 		sort.Ints(out)
 		return Answer{Found: true, Pattern: lbl, Occurrences: out, Count: len(out)}, nil
 	case OpCommonSubstring:
-		return x.commonSubstring(q.DocA, q.DocB), nil
+		return x.commonSubstring(ctx, q.DocA, q.DocB)
 	case OpDocFreq:
-		return docFreqAnswer(q.Patterns, x.DocOccurrences)
+		return docFreqAnswer(q.Patterns, ctxDocOcc(ctx, x.DocOccurrences))
 	case OpMismatch:
-		occ := suffixtree.MismatchSearch(x.tree, x.data, q.Pattern, q.K, alphabet.Terminator)
+		occ := suffixtree.MismatchSearch(x.tree, x.data, q.Pattern, q.K, alphabet.Terminator, stop)
+		if err := ctx.Err(); err != nil {
+			return Answer{}, err
+		}
 		out := make([]int, len(occ))
 		for i, o := range occ {
 			out[i] = int(o)
@@ -263,6 +280,44 @@ func (x *Index) Analytics(q Query) (Answer, error) {
 	return x.Batch([]Query{q})[0], nil
 }
 
+// ctxStop adapts a context to the walk primitives' stop predicate: ctx.Err
+// is sampled once per stopCheckInterval calls, so the per-node overhead is a
+// counter increment, not a channel poll. A context that can never be
+// canceled costs nothing: the predicate is nil and the walks skip the check
+// entirely.
+func ctxStop(ctx context.Context) func() bool {
+	if ctx.Done() == nil {
+		return nil
+	}
+	n := 0
+	return func() bool {
+		n++
+		if n&(stopCheckInterval-1) != 0 {
+			return false
+		}
+		return ctx.Err() != nil
+	}
+}
+
+// stopCheckInterval is how many stop-predicate polls elapse between actual
+// ctx.Err samples; must be a power of two.
+const stopCheckInterval = 1024
+
+// ctxDocOcc wraps a DocOccurrences implementation with a per-pattern ctx
+// check, so a canceled docfreq query stops between patterns instead of
+// scanning the whole set.
+func ctxDocOcc(ctx context.Context, docOcc func([]byte) ([]DocHit, error)) func([]byte) ([]DocHit, error) {
+	if ctx.Done() == nil {
+		return docOcc
+	}
+	return func(p []byte) ([]DocHit, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return docOcc(p)
+	}
+}
+
 // commonSubstring finds the longest substring occurring (non-crossing) in
 // both documents a and b: one post-order pass computing, per internal node,
 // the per-document slack (the largest depth at which the node still has a
@@ -270,7 +325,8 @@ func (x *Index) Analytics(q Query) (Answer, error) {
 // maximum over nodes of min(depth, slackA, slackB), which also covers
 // answers whose locus lies mid-edge. Only the two requested documents are
 // tracked, so corpora of any document count are supported.
-func (x *Index) commonSubstring(a, b int) Answer {
+func (x *Index) commonSubstring(ctx context.Context, a, b int) (Answer, error) {
+	stop := ctxStop(ctx)
 	t := x.tree
 	n := t.NumNodes()
 	sa := make([]int32, n)
@@ -286,6 +342,9 @@ func (x *Index) commonSubstring(a, b int) Answer {
 	stack := []frame{{t.Root(), 0, false}}
 	budget := 2 * n
 	for len(stack) > 0 && budget > 0 {
+		if stop != nil && stop() {
+			return Answer{}, ctx.Err()
+		}
 		budget--
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -337,7 +396,7 @@ func (x *Index) commonSubstring(a, b int) Answer {
 		}
 	}
 	if bestLen == 0 {
-		return Answer{OffsetA: -1, OffsetB: -1}
+		return Answer{OffsetA: -1, OffsetB: -1}, nil
 	}
 	var label []byte
 	for _, id := range cands {
@@ -350,7 +409,7 @@ func (x *Index) commonSubstring(a, b int) Answer {
 		}
 	}
 	offA, offB := x.minDocOffset(label, a), x.minDocOffset(label, b)
-	return Answer{Found: true, Pattern: label, OffsetA: offA, OffsetB: offB, Count: len(label)}
+	return Answer{Found: true, Pattern: label, OffsetA: offA, OffsetB: offB, Count: len(label)}, nil
 }
 
 // minDocOffset returns the smallest non-crossing occurrence offset of
@@ -371,9 +430,14 @@ func (x *Index) minDocOffset(pattern []byte, doc int) int {
 
 // collectPrefixCounts enumerates every distinct length-L content substring
 // (windows containing the terminator are skipped) with its occurrence count
-// — the depth-L loci walk with O(1)-amortized subtree counts.
-func collectPrefixCounts(v suffixtree.View, L int, add func(label []byte, count int)) {
+// — the depth-L loci walk with O(1)-amortized subtree counts. A non-nil
+// stop predicate (ctxStop) abandons the walk early; the caller re-checks
+// its context afterwards and discards the partial aggregate.
+func collectPrefixCounts(v suffixtree.View, L int, stop func() bool, add func(label []byte, count int)) {
 	suffixtree.PrefixLoci(v, int32(L), func(node int32) bool {
+		if stop != nil && stop() {
+			return false
+		}
 		lbl := v.PathLabel(node)
 		if len(lbl) < L {
 			return true // defensive: corrupt layout
@@ -536,14 +600,19 @@ func windowHashes(s []byte, m int) []uint64 {
 }
 
 // hasRepeatedWindow reports whether some length-m substring of content
-// occurs at least twice.
-func hasRepeatedWindow(content []byte, m int) bool {
+// occurs at least twice. A non-nil stop predicate abandons the scan early
+// (reporting false); the caller re-checks its context and discards the
+// misled binary search.
+func hasRepeatedWindow(content []byte, m int, stop func() bool) bool {
 	hs := windowHashes(content, m)
 	if hs == nil {
 		return false
 	}
 	byHash := make(map[uint64][]int32, len(hs))
 	for i, h := range hs {
+		if stop != nil && stop() {
+			return false
+		}
 		for _, j := range byHash[h] {
 			if bytes.Equal(content[i:i+m], content[j:int(j)+m]) {
 				return true
@@ -558,25 +627,33 @@ func hasRepeatedWindow(content []byte, m int) bool {
 // answer directly over the materialized content: the longest length is
 // binary-searched above the caller's known-achievable lower bound (0 when
 // unknown), the lexicographically smallest repeated substring of that
-// length wins, and its ascending occurrence positions are returned.
-func longestRepeatContent(content []byte, lo int) (label []byte, occ []int) {
+// length wins, and its ascending occurrence positions are returned. A
+// canceled ctx abandons the search and returns ctx's error.
+func longestRepeatContent(ctx context.Context, content []byte, lo int) (label []byte, occ []int, err error) {
 	n := len(content)
 	if n < 2 {
-		return nil, nil
+		return nil, nil, ctx.Err()
 	}
+	stop := ctxStop(ctx)
 	best := lo
 	l, r := lo+1, n-1
 	for l <= r {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		mid := (l + r) / 2
-		if hasRepeatedWindow(content, mid) {
+		if hasRepeatedWindow(content, mid, stop) {
 			best = mid
 			l = mid + 1
 		} else {
 			r = mid - 1
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	if best == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	// Group the best-length windows by hash, split groups by actual bytes,
 	// and take the lexicographically smallest substring repeating ≥ 2×.
@@ -606,7 +683,7 @@ func longestRepeatContent(content []byte, lo int) (label []byte, occ []int) {
 		}
 	}
 	if label == nil {
-		return nil, nil // unreachable unless the binary search was misled
+		return nil, nil, nil // unreachable unless the binary search was misled
 	}
 	for i := 0; i+best <= n; {
 		rel := bytes.Index(content[i:], label)
@@ -616,7 +693,7 @@ func longestRepeatContent(content []byte, lo int) (label []byte, occ []int) {
 		occ = append(occ, i+rel)
 		i += rel + 1
 	}
-	return append([]byte(nil), label...), occ
+	return append([]byte(nil), label...), occ, nil
 }
 
 // lcsTwoStrings computes the canonical longest-common-substring answer for

@@ -1,6 +1,7 @@
 package era
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -12,7 +13,7 @@ import (
 // byte-identically to a from-scratch BuildCorpus over the surviving
 // documents. The whole query runs against one acquired snapshot, so it sees
 // a single mutation epoch regardless of concurrent appends and deletes.
-func (lx *LiveIndex) Analytics(q Query) (Answer, error) {
+func (lx *LiveIndex) Analytics(ctx context.Context, q Query) (Answer, error) {
 	s := lx.acquire()
 	if s == nil {
 		return Answer{}, errLiveClosed
@@ -21,7 +22,7 @@ func (lx *LiveIndex) Analytics(q Query) (Answer, error) {
 	if err := q.Validate(nil, s.numDocs); err != nil {
 		return Answer{}, err
 	}
-	return s.analytics(q)
+	return s.analytics(ctx, q)
 }
 
 // checkErr surfaces the first tier whose checksums fail verification.
@@ -40,13 +41,20 @@ func (s *liveSnapshot) checkErr() error {
 // the stitched scans see only live content — the virtual global string is
 // assembled from live segments, so a `$`-window or junction scan touches no
 // tombstoned byte and no tier tree at all.
-func (s *liveSnapshot) analytics(q Query) (Answer, error) {
+func (s *liveSnapshot) analytics(ctx context.Context, q Query) (Answer, error) {
 	if err := s.checkErr(); err != nil {
+		return Answer{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Answer{}, err
 	}
 	switch q.Kind {
 	case OpTopK:
-		return s.topK(q), nil
+		ans := s.topK(ctx, q)
+		if err := ctx.Err(); err != nil {
+			return Answer{}, err
+		}
+		return ans, nil
 	case OpLongestRepeat:
 		// Clean tiers' tree answers are sound lower bounds (their content is
 		// contiguous live content); tiers with tombstones are skipped — a
@@ -54,21 +62,31 @@ func (s *liveSnapshot) analytics(q Query) (Answer, error) {
 		// live repeat. The stitched search settles the true length either way.
 		lo := 0
 		s.fanOutClean(func(t *liveTier) int {
-			lbl, _ := t.h.idx.tree.LongestRepeatedSubstring()
+			lbl, _ := suffixtree.LongestRepeated(t.h.idx.tree, ctxStop(ctx))
 			return len(lbl)
 		}, &lo)
+		if err := ctx.Err(); err != nil {
+			return Answer{}, err
+		}
 		content := s.globalSlice(nil, 0, s.totalLen-1)
-		label, occ := longestRepeatContent(content, lo)
+		label, occ, err := longestRepeatContent(ctx, content, lo)
+		if err != nil {
+			return Answer{}, err
+		}
 		return Answer{Found: label != nil, Pattern: label, Occurrences: occ, Count: len(occ)}, nil
 	case OpCommonSubstring:
 		label, offA, offB := lcsTwoStrings(s.docBytes(q.DocA), s.docBytes(q.DocB))
 		return Answer{Found: label != nil, Pattern: label, OffsetA: offA, OffsetB: offB, Count: len(label)}, nil
 	case OpDocFreq:
-		return docFreqAnswer(q.Patterns, func(p []byte) ([]DocHit, error) {
+		return docFreqAnswer(q.Patterns, ctxDocOcc(ctx, func(p []byte) ([]DocHit, error) {
 			return s.docOccurrences(p), nil
-		})
+		}))
 	case OpMismatch:
-		return s.mismatch(q), nil
+		ans := s.mismatch(ctx, q)
+		if err := ctx.Err(); err != nil {
+			return Answer{}, err
+		}
+		return ans, nil
 	}
 	return s.batch([]Query{q})[0], nil
 }
@@ -89,20 +107,24 @@ func (s *liveSnapshot) fanOutClean(f func(t *liveTier) int, acc *int) {
 	}
 }
 
-func (s *liveSnapshot) topK(q Query) Answer {
+func (s *liveSnapshot) topK(ctx context.Context, q Query) Answer {
 	L := q.MinLen
 	perTier := make([]map[string]int, len(s.tiers))
 	s.fanOut(func(i int, t *liveTier) {
 		m := map[string]int{}
 		idx := t.h.idx
+		stop := ctxStop(ctx)
 		if t.nDead == 0 {
-			collectPrefixCounts(idx.tree, L, func(label []byte, count int) {
+			collectPrefixCounts(idx.tree, L, stop, func(label []byte, count int) {
 				m[string(label)] += count
 			})
 		} else {
 			// Tombstoned tiers count through full occurrence enumeration
 			// plus translate, so only live windows contribute.
 			suffixtree.PrefixLoci(idx.tree, int32(L), func(node int32) bool {
+				if stop != nil && stop() {
+					return false
+				}
 				lbl := idx.tree.PathLabel(node)
 				if len(lbl) < L {
 					return true
@@ -125,6 +147,9 @@ func (s *liveSnapshot) topK(q Query) Answer {
 		}
 		perTier[i] = m
 	})
+	if ctx.Err() != nil {
+		return Answer{} // discarded by the caller's ctx re-check
+	}
 	agg := map[string]int{}
 	for _, m := range perTier {
 		for sub, c := range m {
@@ -146,11 +171,11 @@ func (s *liveSnapshot) topK(q Query) Answer {
 	return ans
 }
 
-func (s *liveSnapshot) mismatch(q Query) Answer {
+func (s *liveSnapshot) mismatch(ctx context.Context, q Query) Answer {
 	m := len(q.Pattern)
 	perTier := make([][]int, len(s.tiers))
 	s.fanOut(func(i int, t *liveTier) {
-		raw := suffixtree.MismatchSearch(t.h.idx.tree, t.h.idx.data, q.Pattern, q.K, alphabet.Terminator)
+		raw := suffixtree.MismatchSearch(t.h.idx.tree, t.h.idx.data, q.Pattern, q.K, alphabet.Terminator, ctxStop(ctx))
 		occ := make([]int, len(raw))
 		for j, o := range raw {
 			occ[j] = int(o)

@@ -1,6 +1,7 @@
 package era
 
 import (
+	"context"
 	"sort"
 
 	"era/internal/alphabet"
@@ -30,22 +31,32 @@ import (
 //   - OpMismatch: per-shard bounded-branching descents find within-shard
 //     windows; junction windows are Hamming-scanned; the merge is the same
 //     ascending interleave Occurrences uses.
-func (sx *ShardedIndex) Analytics(q Query) (Answer, error) {
+func (sx *ShardedIndex) Analytics(ctx context.Context, q Query) (Answer, error) {
 	if err := q.Validate(nil, sx.numDocs); err != nil {
 		return Answer{}, err
 	}
 	if err := sx.CheckErr(); err != nil {
 		return Answer{}, err
 	}
+	if err := ctx.Err(); err != nil {
+		return Answer{}, err
+	}
 	switch q.Kind {
 	case OpTopK:
-		return sx.topK(q), nil
+		ans := sx.topK(ctx, q)
+		if err := ctx.Err(); err != nil {
+			return Answer{}, err
+		}
+		return ans, nil
 	case OpLongestRepeat:
 		depths := make([]int, len(sx.shards))
 		sx.fanOut(func(i int, sh *Index) {
-			lbl, _ := sh.tree.LongestRepeatedSubstring()
+			lbl, _ := suffixtree.LongestRepeated(sh.tree, ctxStop(ctx))
 			depths[i] = len(lbl)
 		})
+		if err := ctx.Err(); err != nil {
+			return Answer{}, err
+		}
 		lo := 0
 		for _, d := range depths {
 			if d > lo {
@@ -53,20 +64,27 @@ func (sx *ShardedIndex) Analytics(q Query) (Answer, error) {
 			}
 		}
 		content := sx.stitch.slice(nil, 0, sx.totalLen-1)
-		label, occ := longestRepeatContent(content, lo)
+		label, occ, err := longestRepeatContent(ctx, content, lo)
+		if err != nil {
+			return Answer{}, err
+		}
 		return Answer{Found: label != nil, Pattern: label, Occurrences: occ, Count: len(occ)}, nil
 	case OpCommonSubstring:
 		si, la := sx.shardOfDoc(q.DocA)
 		sj, lb := sx.shardOfDoc(q.DocB)
 		if si == sj {
-			return sx.shards[si].Analytics(Query{Kind: OpCommonSubstring, DocA: la, DocB: lb})
+			return sx.shards[si].Analytics(ctx, Query{Kind: OpCommonSubstring, DocA: la, DocB: lb})
 		}
 		label, offA, offB := lcsTwoStrings(sx.docBytes(si, la), sx.docBytes(sj, lb))
 		return Answer{Found: label != nil, Pattern: label, OffsetA: offA, OffsetB: offB, Count: len(label)}, nil
 	case OpDocFreq:
-		return docFreqAnswer(q.Patterns, sx.DocOccurrences)
+		return docFreqAnswer(q.Patterns, ctxDocOcc(ctx, sx.DocOccurrences))
 	case OpMismatch:
-		return sx.mismatch(q), nil
+		ans := sx.mismatch(ctx, q)
+		if err := ctx.Err(); err != nil {
+			return Answer{}, err
+		}
+		return ans, nil
 	}
 	return sx.Batch([]Query{q})[0], nil
 }
@@ -75,15 +93,18 @@ func (sx *ShardedIndex) Analytics(q Query) (Answer, error) {
 // shard trees count the within-shard windows, the junction scan counts the
 // crossing ones (deduplicated), and their sum is the monolithic count. The
 // ranked answer is then re-verified against Count.
-func (sx *ShardedIndex) topK(q Query) Answer {
+func (sx *ShardedIndex) topK(ctx context.Context, q Query) Answer {
 	perShard := make([]map[string]int, len(sx.shards))
 	sx.fanOut(func(i int, sh *Index) {
 		m := map[string]int{}
-		collectPrefixCounts(sh.tree, q.MinLen, func(label []byte, count int) {
+		collectPrefixCounts(sh.tree, q.MinLen, ctxStop(ctx), func(label []byte, count int) {
 			m[string(label)] += count
 		})
 		perShard[i] = m
 	})
+	if ctx.Err() != nil {
+		return Answer{} // discarded by the caller's ctx re-check
+	}
 	agg := map[string]int{}
 	for _, m := range perShard {
 		for s, c := range m {
@@ -107,11 +128,11 @@ func (sx *ShardedIndex) topK(q Query) Answer {
 	return ans
 }
 
-func (sx *ShardedIndex) mismatch(q Query) Answer {
+func (sx *ShardedIndex) mismatch(ctx context.Context, q Query) Answer {
 	m := len(q.Pattern)
 	perShard := make([][]int, len(sx.shards))
 	sx.fanOut(func(i int, sh *Index) {
-		occ := suffixtree.MismatchSearch(sh.tree, sh.data, q.Pattern, q.K, alphabet.Terminator)
+		occ := suffixtree.MismatchSearch(sh.tree, sh.data, q.Pattern, q.K, alphabet.Terminator, ctxStop(ctx))
 		out := make([]int, len(occ))
 		for j, o := range occ {
 			out[j] = int(o) + sx.offStart[i]

@@ -2,6 +2,7 @@ package era
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -230,7 +231,7 @@ func TestAnalyticsDifferential(t *testing.T) {
 	for _, q := range analyticsQuerySet(len(docs)) {
 		want := naiveAnswer(docs, q)
 		for _, layer := range layers {
-			got, err := layer.q.Analytics(q)
+			got, err := layer.q.Analytics(context.Background(), q)
 			if err != nil {
 				t.Fatalf("%s: Analytics(%s %+v): %v", layer.name, q.Kind, q, err)
 			}
@@ -285,7 +286,7 @@ func TestAnalyticsBatchDispatch(t *testing.T) {
 			if !op.Kind.IsAnalytic() {
 				continue
 			}
-			direct, err := layer.q.Analytics(op)
+			direct, err := layer.q.Analytics(context.Background(), op)
 			if err != nil {
 				t.Fatalf("%s: Analytics(%s): %v", layer.name, op.Kind, err)
 			}

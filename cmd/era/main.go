@@ -60,6 +60,7 @@ import (
 	"time"
 
 	"era"
+	"era/internal/cluster/route"
 	"era/internal/server"
 	"era/internal/workload"
 )
@@ -83,6 +84,8 @@ func main() {
 		verify(os.Args[2:])
 	case "serve":
 		serve(os.Args[2:])
+	case "route":
+		routeCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -97,7 +100,9 @@ func usage() {
   era query -index FILE -pattern P [-max N]
   era stats -index FILE
   era verify FILE|LIVEDIR ...
-  era serve [-addr HOST:PORT] [-cache N] [-dir DIR] [-live DIR] [-drain DURATION] [INDEX.idx ...]`)
+  era serve [-addr HOST:PORT] [-cache N] [-dir DIR] [-live DIR] [-drain DURATION] [-timeout DURATION] [INDEX.idx ...]
+  era route -replicas URL,URL,... [-addr HOST:PORT] [-corpus NAME] [-replication N] [-vnodes N]
+            [-timeout D] [-attempt D] [-retries N] [-hedge D] [-strict] [-check D] [-maxpat N]`)
 	os.Exit(2)
 }
 
@@ -163,11 +168,12 @@ func compact(args []string) {
 func serve(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
-		addr  = fs.String("addr", ":8329", "listen address")
-		dir   = fs.String("dir", "", "load every *.idx file in this directory")
-		live  = fs.String("live", "", "open (or create) a mutable live index persisted under this directory")
-		cache = fs.Int("cache", 4096, "query result cache capacity (0 disables)")
-		drain = fs.Duration("drain", 15*time.Second, "graceful shutdown drain budget on SIGTERM/SIGINT")
+		addr    = fs.String("addr", ":8329", "listen address")
+		dir     = fs.String("dir", "", "load every *.idx file in this directory")
+		live    = fs.String("live", "", "open (or create) a mutable live index persisted under this directory")
+		cache   = fs.Int("cache", 4096, "query result cache capacity (0 disables)")
+		drain   = fs.Duration("drain", 15*time.Second, "graceful shutdown drain budget on SIGTERM/SIGINT")
+		timeout = fs.Duration("timeout", 0, "server-side per-query execution budget (0 = unbounded); past it long analytics walks abandon and the client gets 504")
 	)
 	fs.Parse(args)
 	if *dir == "" && *live == "" && fs.NArg() == 0 {
@@ -230,7 +236,7 @@ func serve(args []string) {
 	log.Printf("serving %d indexes on %s", len(engine.Names()), *addr)
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: server.NewHandlerWithLog(engine, log.Default()),
+		Handler: server.NewHandlerOpts(engine, server.Options{ErrLog: log.Default(), QueryTimeout: *timeout}),
 		// Bound header dribble and idle keep-alives so stalled clients
 		// cannot park goroutines and fds forever. No WriteTimeout: large
 		// occurrence responses on slow links are legitimate.
@@ -252,6 +258,9 @@ func serve(args []string) {
 		fatal(err)
 	case <-ctx.Done():
 		stop()
+		// Fail /readyz first: routers eject this replica and stop sending new
+		// traffic while the in-flight requests drain below.
+		engine.SetReady(false)
 		log.Printf("signal received; draining for up to %v", *drain)
 		dctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
@@ -358,16 +367,17 @@ func build(args []string) {
 func shard(args []string) {
 	fs := flag.NewFlagSet("shard", flag.ExitOnError)
 	var (
-		in      = fs.String("in", "", "input file, one document per line")
-		gen     = fs.String("gen", "", "generate a synthetic corpus instead: genome, dna, protein, english")
-		n       = fs.Int("n", 1<<20, "symbols to generate with -gen")
-		nDocs   = fs.Int("docs", 64, "documents to slice a generated corpus into")
-		seed    = fs.Int64("seed", 42, "generator seed")
-		shards  = fs.Int("shards", 4, "number of document-aligned shards")
-		out     = fs.String("out", "index.idx", "output index file")
-		name    = fs.String("name", "", "corpus name stored in the index (default: -out base name)")
-		mem     = fs.Int64("mem", 64<<20, "per-shard construction memory budget in bytes")
-		workers = fs.Int("workers", 4, "cores per shard build")
+		in       = fs.String("in", "", "input file, one document per line")
+		gen      = fs.String("gen", "", "generate a synthetic corpus instead: genome, dna, protein, english")
+		n        = fs.Int("n", 1<<20, "symbols to generate with -gen")
+		nDocs    = fs.Int("docs", 64, "documents to slice a generated corpus into")
+		seed     = fs.Int64("seed", 42, "generator seed")
+		shards   = fs.Int("shards", 4, "number of document-aligned shards")
+		out      = fs.String("out", "index.idx", "output index file")
+		name     = fs.String("name", "", "corpus name stored in the index (default: -out base name)")
+		mem      = fs.Int64("mem", 64<<20, "per-shard construction memory budget in bytes")
+		workers  = fs.Int("workers", 4, "cores per shard build")
+		splitdir = fs.String("splitdir", "", "additionally write each shard as a standalone v4 index NAME~i.idx under this directory, for era route replicas")
 	)
 	fs.Parse(args)
 
@@ -420,6 +430,113 @@ func shard(args []string) {
 		sh, firstDoc := sx.Shard(i)
 		fmt.Printf("  shard %d: docs %d–%d, %d symbols, %d tree nodes\n",
 			i, firstDoc, firstDoc+sh.NumDocs()-1, sh.Len()-1, sh.TreeNodes())
+	}
+	if *splitdir != "" {
+		// One standalone v4 file per shard, named NAME~i — the shard-family
+		// convention era route discovers. Replicas load whichever files the
+		// router's placement assigns them (or all of them; the ring decides
+		// who is actually queried).
+		if err := os.MkdirAll(*splitdir, 0o755); err != nil {
+			fatal(err)
+		}
+		for i := 0; i < sx.NumShards(); i++ {
+			sh, _ := sx.Shard(i)
+			shardName := fmt.Sprintf("%s~%d", *name, i)
+			sh.SetName(shardName)
+			path := filepath.Join(*splitdir, shardName+".idx")
+			if err := era.WriteFileV4(path, sh); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  wrote %s\n", path)
+		}
+	}
+}
+
+// routeCmd runs the stateless cluster router (see internal/cluster/route):
+// consistent-hash placement of corpus shards over `era serve` replicas,
+// health-checked fan-out with retries and hedging, and stitch-aware merges
+// that answer byte-identically to one monolithic index.
+func routeCmd(args []string) {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", ":8330", "listen address")
+		replicas    = fs.String("replicas", "", "comma-separated base URLs of era serve replicas (required)")
+		corpus      = fs.String("corpus", "", "shard family to serve (NAME for shards NAME~0..K-1); empty auto-detects")
+		replication = fs.Int("replication", 2, "replicas per shard")
+		vnodes      = fs.Int("vnodes", 64, "virtual nodes per replica on the hash ring")
+		timeout     = fs.Duration("timeout", 10*time.Second, "end-to-end budget per client request")
+		attempt     = fs.Duration("attempt", 0, "per-attempt sub-request deadline (default timeout/(retries+2))")
+		retries     = fs.Int("retries", 2, "additional attempts per failed sub-request")
+		hedge       = fs.Duration("hedge", 0, "hedged-read delay: fire a second copy of a slow first attempt (0 disables)")
+		strict      = fs.Bool("strict", false, "refuse degraded answers with 503 instead of flagging partial:true")
+		check       = fs.Duration("check", time.Second, "health probe interval")
+		maxpat      = fs.Int("maxpat", 64, "junction window half-width prefetched at startup")
+		drain       = fs.Duration("drain", 15*time.Second, "graceful shutdown drain budget on SIGTERM/SIGINT")
+	)
+	fs.Parse(args)
+	if *replicas == "" {
+		fatal(fmt.Errorf("route needs -replicas"))
+	}
+	var bases []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			bases = append(bases, strings.TrimSuffix(r, "/"))
+		}
+	}
+	rt, err := route.NewRouter(route.RouterConfig{
+		Replicas:       bases,
+		Corpus:         *corpus,
+		Replication:    *replication,
+		VNodes:         *vnodes,
+		Timeout:        *timeout,
+		AttemptTimeout: *attempt,
+		Retries:        *retries,
+		HedgeDelay:     *hedge,
+		Strict:         *strict,
+		MaxPattern:     *maxpat,
+		ErrLog:         log.Default(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rt.Health().Interval = *check
+	rctx, rcancel := context.WithTimeout(context.Background(), *timeout)
+	err = rt.Refresh(rctx)
+	rcancel()
+	if err != nil {
+		fatal(err)
+	}
+	for shard, owners := range rt.Placement() {
+		log.Printf("shard %s -> %v", shard, owners)
+	}
+	rt.Health().Start()
+	defer rt.Health().Stop()
+
+	log.Printf("routing over %d replicas on %s (replication %d)", len(bases), *addr, *replication)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received; draining for up to %v", *drain)
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+			srv.Close()
+		}
+		log.Printf("shut down cleanly")
 	}
 }
 

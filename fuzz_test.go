@@ -2,6 +2,7 @@ package era
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"testing"
 
@@ -163,7 +164,7 @@ func FuzzBuildQuery(f *testing.F) {
 		for _, q := range analytics {
 			want := naiveAnswer([][]byte{data}, q)
 			for _, x := range []*Index{idx, flat} {
-				got, err := x.Analytics(q)
+				got, err := x.Analytics(context.Background(), q)
 				if err != nil {
 					t.Fatalf("Analytics(%s %+v): %v (data %q)", q.Kind, q, err, data)
 				}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -141,7 +142,7 @@ func RunAnalytics(s Scale) (*Table, error) {
 	for _, qc := range queries {
 		var ref era.Answer
 		for i, layer := range layers {
-			ans, err := layer.Analytics(qc.q)
+			ans, err := layer.Analytics(context.Background(), qc.q)
 			if err != nil {
 				return nil, fmt.Errorf("analytics: %s on %s: %w", qc.name, names[i], err)
 			}
@@ -155,7 +156,7 @@ func RunAnalytics(s Scale) (*Table, error) {
 		for _, layer := range layers {
 			t0 := time.Now()
 			for r := 0; r < rounds; r++ {
-				if _, err := layer.Analytics(qc.q); err != nil {
+				if _, err := layer.Analytics(context.Background(), qc.q); err != nil {
 					return nil, err
 				}
 			}

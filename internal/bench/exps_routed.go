@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"era"
+	"era/internal/cluster/route"
+	"era/internal/server"
+	"era/internal/workload"
+)
+
+// RoutedReplicas is the replica-count sweep of the "routed" experiment.
+var RoutedReplicas = []int{1, 2, 4}
+
+// RunRouted measures the fault-tolerant serving tier end to end: a
+// consistent-hash router fanning membership batches out over N `era serve`
+// replicas and merging with the boundary stitch. Before anything is timed,
+// every routed answer is checked byte-identical to a monolithic server over
+// the same corpus. The degraded cell repeats the sweep with one replica
+// dropping every request (replication 2 keeps the answers exact); with a
+// single replica there is no surviving owner, so that cell is skipped.
+func RunRouted(s Scale) (*Table, error) {
+	t := &Table{ID: "routed", Paper: "§1 (serving)", Title: "Routed serving over N replicas: healthy vs one replica down; English text",
+		Header: []string{"replicas", "wall(ms)", "wall-1-down(ms)", "identical"}}
+
+	n := s.GB(2)
+	data, err := workload.Generate(workload.English, n, 17009)
+	if err != nil {
+		return nil, err
+	}
+	data = data[:len(data)-1]
+	docs, err := workload.SliceDocs(data, 48)
+	if err != nil {
+		return nil, err
+	}
+
+	mono, err := era.BuildCorpus(docs, nil)
+	if err != nil {
+		return nil, err
+	}
+	mono.SetName("routed")
+	monoEng := server.NewEngine(0)
+	if err := monoEng.Load(mono); err != nil {
+		return nil, err
+	}
+	defer monoEng.Close()
+	quiet := log.New(io.Discard, "", 0)
+	monoSrv := httptest.NewServer(server.NewHandlerOpts(monoEng, server.Options{ErrLog: quiet}))
+	defer monoSrv.Close()
+
+	sx, err := era.BuildShardedCorpus(docs, &era.ShardConfig{Shards: 3})
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]*era.Index, sx.NumShards())
+	for i := range shards {
+		sh, _ := sx.Shard(i)
+		sh.SetName(fmt.Sprintf("routed~%d", i))
+		shards[i] = sh
+	}
+
+	// The request set: batches of mixed membership ops; every client
+	// replays the same bodies against the router.
+	const batchSize, batches = 32, 8
+	bodies := make([][]byte, batches)
+	for b := range bodies {
+		ops := make([]map[string]any, batchSize)
+		for i := range ops {
+			k := b*batchSize + i
+			off := (k * 1511) % (len(data) - 24)
+			p := string(data[off : off+3+k%10])
+			switch k % 3 {
+			case 0:
+				ops[i] = map[string]any{"op": "contains", "pattern": p}
+			case 1:
+				ops[i] = map[string]any{"op": "count", "pattern": p}
+			default:
+				ops[i] = map[string]any{"op": "occurrences", "pattern": p, "max": 8}
+			}
+		}
+		body, err := json.Marshal(map[string]any{"index": "routed", "ops": ops})
+		if err != nil {
+			return nil, err
+		}
+		bodies[b] = body
+	}
+
+	post := func(client *http.Client, url string, body []byte) ([]byte, error) {
+		res, err := client.Post(url+"/v1/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer res.Body.Close()
+		out, err := io.ReadAll(res.Body)
+		if err != nil {
+			return nil, err
+		}
+		if res.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("routed: status %d: %s", res.StatusCode, out)
+		}
+		return out, nil
+	}
+
+	const clients, reqsPerClient = 4, 16
+	sweep := func(url string) (time.Duration, error) {
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(seed int) {
+				defer wg.Done()
+				client := &http.Client{}
+				for r := 0; r < reqsPerClient; r++ {
+					if _, err := post(client, url, bodies[(seed+r)%len(bodies)]); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+
+	for _, replicas := range RoutedReplicas {
+		wall, degraded, err := runRoutedReplicas(shards, replicas, quiet, bodies, monoSrv.URL, post, sweep)
+		if err != nil {
+			return nil, err
+		}
+		degCell := "-"
+		if replicas > 1 {
+			degCell = ms(degraded)
+		}
+		ops := clients * reqsPerClient * batchSize
+		t.AddRow(itoa(replicas), ms(wall), degCell, "yes")
+		t.Notes = append(t.Notes, fmt.Sprintf("%d replicas: %d ops — healthy %.1f kq/s",
+			replicas, ops, float64(ops)/wall.Seconds()/1000))
+	}
+	t.Notes = append(t.Notes,
+		"identical = routed batch bodies byte-equal to a monolithic server, healthy and with one replica dropping every request",
+		fmt.Sprintf("requests: %d clients × %d batches of %d membership ops; replication factor min(2, replicas)", clients, reqsPerClient, batchSize))
+	return t, nil
+}
+
+// runRoutedReplicas stands up one routed deployment (every shard on every
+// replica; the ring restricts the owners actually queried), checks identity
+// against the monolithic server, and times the healthy and one-down sweeps.
+func runRoutedReplicas(shards []*era.Index, replicas int, quiet *log.Logger, bodies [][]byte, monoURL string,
+	post func(*http.Client, string, []byte) ([]byte, error), sweep func(string) (time.Duration, error)) (wall, degraded time.Duration, err error) {
+	var fronts []string
+	var proxies []*route.FaultProxy
+	var cleanup []func()
+	defer func() {
+		for _, c := range cleanup {
+			c()
+		}
+	}()
+	for r := 0; r < replicas; r++ {
+		eng := server.NewEngine(0)
+		for _, sh := range shards {
+			if err := eng.Load(sh); err != nil {
+				return 0, 0, err
+			}
+		}
+		backend := httptest.NewServer(server.NewHandlerOpts(eng, server.Options{ErrLog: quiet}))
+		proxy := route.NewFaultProxy(backend.URL)
+		front := httptest.NewServer(proxy)
+		cleanup = append(cleanup, front.Close, backend.Close)
+		proxies = append(proxies, proxy)
+		fronts = append(fronts, front.URL)
+	}
+
+	rt, err := route.NewRouter(route.RouterConfig{
+		Replicas:       fronts,
+		Corpus:         "routed",
+		Replication:    2,
+		Timeout:        30 * time.Second,
+		AttemptTimeout: 2 * time.Second,
+		ErrLog:         quiet,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := rt.Refresh(ctx); err != nil {
+		return 0, 0, err
+	}
+	front := httptest.NewServer(rt.Handler())
+	cleanup = append(cleanup, front.Close)
+
+	verify := func() error {
+		chk := http.DefaultClient
+		for _, body := range bodies {
+			a, err := post(chk, front.URL, body)
+			if err != nil {
+				return err
+			}
+			b, err := post(chk, monoURL, body)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(a, b) {
+				return fmt.Errorf("routed: %d-replica router and monolithic server answered differently", replicas)
+			}
+		}
+		return nil
+	}
+	if err := verify(); err != nil {
+		return 0, 0, err
+	}
+	if wall, err = sweep(front.URL); err != nil {
+		return 0, 0, err
+	}
+
+	if replicas > 1 {
+		proxies[0].Set(route.FaultDrop, -1)
+		if err := verify(); err != nil {
+			return 0, 0, fmt.Errorf("with one replica down: %w", err)
+		}
+		if degraded, err = sweep(front.URL); err != nil {
+			return 0, 0, err
+		}
+	}
+	return wall, degraded, nil
+}

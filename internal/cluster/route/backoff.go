@@ -1,0 +1,54 @@
+package route
+
+import (
+	"math/rand"
+	"time"
+)
+
+// defaultRand is the process-seeded jitter source used when Backoff.Rand is
+// nil; a variable so nothing else needs the math/rand import.
+var defaultRand = rand.Float64
+
+// Backoff computes full-jitter exponential retry delays: attempt i draws
+// uniformly from [0, min(Cap, Base·2^i)). Full jitter (rather than
+// equal-jitter or none) is what prevents retry synchronization — when a
+// replica blip fails many requests at once, their retries spread over the
+// whole window instead of arriving as a second thundering herd.
+type Backoff struct {
+	Base time.Duration // ceiling of attempt 0
+	Cap  time.Duration // overall ceiling; 0 means no cap beyond Base growth
+	// Rand returns a uniform float64 in [0, 1); nil uses a process-seeded
+	// source. Tests inject a deterministic one.
+	Rand func() float64
+}
+
+// Delay returns the sleep before retry attempt (0-based). Attempt numbers
+// past 62 clamp rather than overflow the shift.
+func (b Backoff) Delay(attempt int) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	ceil := b.Cap
+	if ceil <= 0 {
+		ceil = 1<<62 - 1
+	}
+	window := b.Base
+	for i := 0; i < attempt; i++ {
+		window *= 2
+		if window >= ceil || window <= 0 { // overflow guard
+			window = ceil
+			break
+		}
+	}
+	if window > ceil {
+		window = ceil
+	}
+	r := b.Rand
+	if r == nil {
+		r = defaultRand
+	}
+	return time.Duration(r() * float64(window))
+}

@@ -1,0 +1,68 @@
+package route
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffBounds pins the full-jitter window per attempt with a
+// deterministic rand: attempt i draws from [0, min(cap, base*2^i)).
+func TestBackoffBounds(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond}
+
+	// Rand pinned to its supremum-approaching value: the delay must stay
+	// strictly under the window.
+	b.Rand = func() float64 { return 0.999999 }
+	wantCeil := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+		80 * time.Millisecond,
+	}
+	for attempt, ceil := range wantCeil {
+		d := b.Delay(attempt)
+		if d >= ceil {
+			t.Errorf("attempt %d: delay %v >= window %v", attempt, d, ceil)
+		}
+		if d < ceil/2 {
+			t.Errorf("attempt %d: delay %v too small for rand≈1 (window %v)", attempt, d, ceil)
+		}
+	}
+
+	// Rand pinned to 0: every delay is exactly zero (full jitter includes
+	// the immediate retry).
+	b.Rand = func() float64 { return 0 }
+	for attempt := 0; attempt < 6; attempt++ {
+		if d := b.Delay(attempt); d != 0 {
+			t.Errorf("attempt %d: delay %v with rand=0, want 0", attempt, d)
+		}
+	}
+
+	// Rand pinned to 0.5: exactly half the window, deterministic.
+	b.Rand = func() float64 { return 0.5 }
+	if d := b.Delay(2); d != 20*time.Millisecond {
+		t.Errorf("attempt 2 at rand=0.5: delay %v, want 20ms", d)
+	}
+}
+
+// TestBackoffDegenerate pins the edge cases: zero base disables backoff,
+// negative attempts clamp to 0, and huge attempt numbers do not overflow.
+func TestBackoffDegenerate(t *testing.T) {
+	if d := (Backoff{}).Delay(3); d != 0 {
+		t.Errorf("zero-value backoff delayed %v, want 0", d)
+	}
+	b := Backoff{Base: time.Millisecond, Cap: time.Second, Rand: func() float64 { return 0.999 }}
+	if d := b.Delay(-5); d >= time.Millisecond {
+		t.Errorf("negative attempt used window > base: %v", d)
+	}
+	if d := b.Delay(500); d >= time.Second {
+		t.Errorf("huge attempt overflowed the cap: %v", d)
+	}
+	// No cap: the window still cannot overflow into a negative duration.
+	nb := Backoff{Base: time.Hour, Rand: func() float64 { return 0.999 }}
+	if d := nb.Delay(400); d < 0 {
+		t.Errorf("uncapped backoff overflowed negative: %v", d)
+	}
+}

@@ -1,0 +1,168 @@
+package route
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// FaultMode is one way a FaultProxy can sabotage a request.
+type FaultMode int
+
+const (
+	// FaultNone forwards requests untouched.
+	FaultNone FaultMode = iota
+	// FaultDrop aborts the connection before any response bytes are sent —
+	// the client sees a transport error, not an HTTP status.
+	FaultDrop
+	// FaultDelay sleeps Delay before forwarding; with a delay past the
+	// caller's attempt deadline this is an induced timeout.
+	FaultDelay
+	// Fault500 answers 500 without consulting the backend.
+	Fault500
+	// FaultTruncate advertises the full Content-Length, sends half the
+	// body, then aborts — the client's read fails mid-stream.
+	FaultTruncate
+	// FaultPartialJSON sends a 200 whose body is the first half of the
+	// real response with a correct (shortened) Content-Length — a
+	// syntactically broken payload that only JSON decoding catches.
+	FaultPartialJSON
+)
+
+// String names the mode for test output.
+func (m FaultMode) String() string {
+	switch m {
+	case FaultNone:
+		return "none"
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case Fault500:
+		return "500"
+	case FaultTruncate:
+		return "truncate"
+	case FaultPartialJSON:
+		return "partialjson"
+	}
+	return "unknown"
+}
+
+// FaultProxy sits between the router and one replica, injecting a
+// configured fault into the first N requests (or every request) it sees.
+// It forwards by replaying the request against the backend handler-style —
+// a real HTTP round trip to Backend — so the fault surface is the network
+// behavior the router actually observes: connection aborts, timeouts,
+// status codes, and torn bodies.
+type FaultProxy struct {
+	Backend string       // base URL of the real replica
+	Client  *http.Client // round-tripper to the backend; nil uses http.DefaultClient
+	Delay   time.Duration
+
+	mode   atomic.Int64
+	budget atomic.Int64 // remaining faulted requests; negative = unlimited
+	hits   atomic.Int64 // requests that were faulted
+}
+
+// NewFaultProxy returns a transparent proxy for backend; arm it with Set.
+func NewFaultProxy(backend string) *FaultProxy {
+	p := &FaultProxy{Backend: backend, Delay: 50 * time.Millisecond}
+	p.budget.Store(-1)
+	return p
+}
+
+// Set arms the proxy: the next n requests (n < 0 for all requests) are hit
+// with mode; later requests pass through.
+func (p *FaultProxy) Set(mode FaultMode, n int) {
+	p.mode.Store(int64(mode))
+	p.budget.Store(int64(n))
+}
+
+// Hits returns how many requests were faulted since construction.
+func (p *FaultProxy) Hits() int { return int(p.hits.Load()) }
+
+// ServeHTTP implements the proxy.
+func (p *FaultProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	mode := FaultMode(p.mode.Load())
+	if mode != FaultNone {
+		// Consume one unit of fault budget; racing requests may both take
+		// the last unit, which only means one extra fault — fine for tests.
+		if b := p.budget.Load(); b == 0 {
+			mode = FaultNone
+		} else if b > 0 {
+			p.budget.Add(-1)
+		}
+	}
+	if mode != FaultNone {
+		p.hits.Add(1)
+	}
+	switch mode {
+	case FaultDrop:
+		panic(http.ErrAbortHandler)
+	case Fault500:
+		http.Error(w, "injected fault", http.StatusInternalServerError)
+		return
+	case FaultDelay:
+		select {
+		case <-time.After(p.Delay):
+		case <-r.Context().Done():
+			panic(http.ErrAbortHandler)
+		}
+	}
+
+	status, header, body, err := p.forward(r)
+	if err != nil {
+		http.Error(w, "fault proxy: backend unreachable: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	switch mode {
+	case FaultTruncate:
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(status)
+		w.Write(body[:len(body)/2])
+		panic(http.ErrAbortHandler) // tear the connection mid-body
+	case FaultPartialJSON:
+		half := body[:len(body)/2]
+		w.Header().Set("Content-Length", strconv.Itoa(len(half)))
+		w.WriteHeader(status)
+		w.Write(half)
+		return
+	default:
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(status)
+		w.Write(body)
+	}
+}
+
+// forward replays the request against the backend and buffers the full
+// response, so the fault modes can slice the body deliberately.
+func (p *FaultProxy) forward(r *http.Request) (int, http.Header, []byte, error) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.Backend+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header = r.Header.Clone()
+	client := p.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	header := resp.Header.Clone()
+	header.Del("Content-Length") // re-set per fault mode above
+	return resp.StatusCode, header, body, nil
+}

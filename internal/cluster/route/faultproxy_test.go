@@ -1,0 +1,127 @@
+package route
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// newProxied stands up a JSON backend and a FaultProxy in front of it,
+// returning the proxy handle and the proxy's base URL.
+func newProxied(t *testing.T) (*FaultProxy, string) {
+	t.Helper()
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"found":true,"count":42}`)
+	}))
+	t.Cleanup(backend.Close)
+	p := NewFaultProxy(backend.URL)
+	front := httptest.NewServer(p)
+	t.Cleanup(front.Close)
+	return p, front.URL
+}
+
+func TestFaultProxyPassthrough(t *testing.T) {
+	_, url := newProxied(t)
+	resp, err := http.Get(url + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Found bool `json:"found"`
+		Count int  `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Found || out.Count != 42 {
+		t.Fatalf("passthrough mangled the response: %+v", out)
+	}
+}
+
+func TestFaultProxyDrop(t *testing.T) {
+	p, url := newProxied(t)
+	p.Set(FaultDrop, 1)
+	if _, err := http.Get(url + "/x"); err == nil {
+		t.Fatal("dropped connection produced a response")
+	}
+	// Budget spent: the next request passes through.
+	resp, err := http.Get(url + "/x")
+	if err != nil {
+		t.Fatalf("request after fault budget: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after fault budget: status %d", resp.StatusCode)
+	}
+	if p.Hits() != 1 {
+		t.Fatalf("proxy recorded %d faults, want 1", p.Hits())
+	}
+}
+
+func TestFaultProxy500(t *testing.T) {
+	p, url := newProxied(t)
+	p.Set(Fault500, -1)
+	resp, err := http.Get(url + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestFaultProxyDelay(t *testing.T) {
+	p, url := newProxied(t)
+	p.Delay = 80 * time.Millisecond
+	p.Set(FaultDelay, 1)
+	start := time.Now()
+	resp, err := http.Get(url + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < p.Delay {
+		t.Fatalf("delayed request returned in %v, want >= %v", elapsed, p.Delay)
+	}
+}
+
+// TestFaultProxyTruncate pins the torn-transfer mode: the advertised
+// Content-Length exceeds the bytes sent, so the client's read errors.
+func TestFaultProxyTruncate(t *testing.T) {
+	p, url := newProxied(t)
+	p.Set(FaultTruncate, 1)
+	resp, err := http.Get(url + "/x")
+	if err != nil {
+		return // some transports surface the abort at Do already
+	}
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); err == nil {
+		t.Fatal("truncated body read cleanly")
+	}
+}
+
+// TestFaultProxyPartialJSON pins the syntactically-torn mode: a clean 200
+// whose body is half the real payload — only JSON decoding catches it.
+func TestFaultProxyPartialJSON(t *testing.T) {
+	p, url := newProxied(t)
+	p.Set(FaultPartialJSON, 1)
+	resp, err := http.Get(url + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("partial-JSON body should read cleanly, got %v", err)
+	}
+	var out map[string]any
+	if json.Unmarshal(body, &out) == nil {
+		t.Fatalf("half a JSON payload decoded cleanly: %q", body)
+	}
+}

@@ -1,0 +1,176 @@
+package route
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Health actively probes each replica's /readyz and classifies it healthy
+// or ejected. Ejection takes FailThreshold consecutive failures (one
+// timeout must not evict a replica that is merely slow) and readmission
+// takes OKThreshold consecutive successes (a replica flapping up and down
+// must not immediately re-enter rotation). The router consults Healthy to
+// order candidates; ejected replicas are skipped unless every owner of a
+// shard is ejected, in which case they are tried anyway — the checker's
+// view lags reality by up to one probe interval.
+type Health struct {
+	Client        *http.Client
+	Interval      time.Duration // probe period for the background loop
+	Timeout       time.Duration // per-probe budget
+	FailThreshold int           // consecutive failures before ejection
+	OKThreshold   int           // consecutive successes before readmission
+
+	mu    sync.Mutex
+	state map[string]*replicaHealth
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+type replicaHealth struct {
+	healthy bool
+	fails   int // consecutive probe failures
+	oks     int // consecutive probe successes while ejected
+}
+
+// NewHealth returns a checker over the replica base URLs; every replica
+// starts healthy (the optimistic default: traffic flows immediately and
+// the first probes correct it).
+func NewHealth(replicas []string) *Health {
+	h := &Health{
+		Client:        http.DefaultClient,
+		Interval:      time.Second,
+		Timeout:       500 * time.Millisecond,
+		FailThreshold: 3,
+		OKThreshold:   2,
+		state:         make(map[string]*replicaHealth, len(replicas)),
+	}
+	for _, r := range replicas {
+		h.state[r] = &replicaHealth{healthy: true}
+	}
+	return h
+}
+
+// Healthy reports the checker's current verdict for a replica; unknown
+// replicas are healthy (never probed means never failed).
+func (h *Health) Healthy(replica string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.state[replica]
+	return !ok || st.healthy
+}
+
+// Snapshot returns the verdict for every tracked replica.
+func (h *Health) Snapshot() map[string]bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]bool, len(h.state))
+	for r, st := range h.state {
+		out[r] = st.healthy
+	}
+	return out
+}
+
+// Report feeds an observation from serving traffic into the state machine:
+// a request-level failure counts like a failed probe. This closes the gap
+// between probes — a replica that just died is ejected by the requests that
+// discover it, not only by the next background sweep.
+func (h *Health) Report(replica string, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, present := h.state[replica]
+	if !present {
+		st = &replicaHealth{healthy: true}
+		h.state[replica] = st
+	}
+	h.observe(st, ok)
+}
+
+// CheckOnce probes every replica synchronously and updates the state
+// machine; tests drive ejection and readmission deterministically with it.
+func (h *Health) CheckOnce(ctx context.Context) {
+	h.mu.Lock()
+	replicas := make([]string, 0, len(h.state))
+	for r := range h.state {
+		replicas = append(replicas, r)
+	}
+	h.mu.Unlock()
+	for _, r := range replicas {
+		ok := h.probe(ctx, r)
+		h.Report(r, ok)
+	}
+}
+
+// Start launches the background probe loop; Stop ends it. Starting twice
+// without an intervening Stop is a bug.
+func (h *Health) Start() {
+	h.stop = make(chan struct{})
+	h.done = make(chan struct{})
+	go func() {
+		defer close(h.done)
+		tick := time.NewTicker(h.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-tick.C:
+				h.CheckOnce(context.Background())
+			}
+		}
+	}()
+}
+
+// Stop ends the background loop and waits for it to exit.
+func (h *Health) Stop() {
+	if h.stop == nil {
+		return
+	}
+	close(h.stop)
+	<-h.done
+	h.stop = nil
+}
+
+// observe advances one replica's state machine; h.mu is held.
+func (h *Health) observe(st *replicaHealth, ok bool) {
+	if ok {
+		st.fails = 0
+		if st.healthy {
+			return
+		}
+		st.oks++
+		if st.oks >= h.OKThreshold {
+			st.healthy = true
+			st.oks = 0
+		}
+		return
+	}
+	st.oks = 0
+	st.fails++
+	if st.healthy && st.fails >= h.FailThreshold {
+		st.healthy = false
+	}
+}
+
+// probe is one /readyz round trip: only 200 within the timeout counts as
+// healthy — a 503 is a replica asking to be drained, which is exactly what
+// ejection delivers.
+func (h *Health) probe(ctx context.Context, replica string) bool {
+	ctx, cancel := context.WithTimeout(ctx, h.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, replica+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	client := h.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

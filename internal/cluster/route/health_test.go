@@ -1,0 +1,113 @@
+package route
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// TestHealthEjectReadmit drives the state machine deterministically with
+// CheckOnce: a replica is ejected only after FailThreshold consecutive
+// failed probes and readmitted only after OKThreshold consecutive
+// successes.
+func TestHealthEjectReadmit(t *testing.T) {
+	var ready atomic.Bool
+	ready.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			t.Errorf("probe hit %s, want /readyz", r.URL.Path)
+		}
+		if ready.Load() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	h := NewHealth([]string{srv.URL})
+	h.FailThreshold = 3
+	h.OKThreshold = 2
+	ctx := context.Background()
+
+	if !h.Healthy(srv.URL) {
+		t.Fatal("replica not healthy at start")
+	}
+	ready.Store(false)
+	h.CheckOnce(ctx)
+	h.CheckOnce(ctx)
+	if !h.Healthy(srv.URL) {
+		t.Fatal("ejected after 2 failures with threshold 3")
+	}
+	h.CheckOnce(ctx)
+	if h.Healthy(srv.URL) {
+		t.Fatal("not ejected after 3 consecutive failures")
+	}
+
+	ready.Store(true)
+	h.CheckOnce(ctx)
+	if h.Healthy(srv.URL) {
+		t.Fatal("readmitted after 1 success with threshold 2")
+	}
+	h.CheckOnce(ctx)
+	if !h.Healthy(srv.URL) {
+		t.Fatal("not readmitted after 2 consecutive successes")
+	}
+}
+
+// TestHealthFlapDoesNotReadmit pins the consecutive-success requirement: a
+// replica alternating ok/fail while ejected stays ejected.
+func TestHealthFlapDoesNotReadmit(t *testing.T) {
+	h := NewHealth([]string{"r"})
+	h.FailThreshold = 2
+	h.OKThreshold = 2
+	h.Report("r", false)
+	h.Report("r", false)
+	if h.Healthy("r") {
+		t.Fatal("not ejected after 2 failures")
+	}
+	for i := 0; i < 5; i++ {
+		h.Report("r", true)
+		h.Report("r", false)
+	}
+	if h.Healthy("r") {
+		t.Fatal("flapping replica was readmitted")
+	}
+	h.Report("r", true)
+	h.Report("r", true)
+	if !h.Healthy("r") {
+		t.Fatal("stable replica not readmitted")
+	}
+}
+
+// TestHealthFailureResetsOnSuccess pins that a lone failure between
+// successes never accumulates toward ejection.
+func TestHealthFailureResetsOnSuccess(t *testing.T) {
+	h := NewHealth([]string{"r"})
+	h.FailThreshold = 3
+	for i := 0; i < 10; i++ {
+		h.Report("r", false)
+		h.Report("r", false)
+		h.Report("r", true)
+	}
+	if !h.Healthy("r") {
+		t.Fatal("interleaved successes did not reset the failure count")
+	}
+}
+
+// TestHealthProbeStatuses pins what counts as healthy: only a 200 within
+// the budget; a 503 (draining replica) is a failed probe.
+func TestHealthProbeStatuses(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	h := NewHealth([]string{srv.URL})
+	h.FailThreshold = 1
+	h.CheckOnce(context.Background())
+	if h.Healthy(srv.URL) {
+		t.Fatal("replica answering 503 /readyz stayed healthy")
+	}
+}

@@ -1,0 +1,121 @@
+package route
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingOwnersDistinct pins the co-location guarantee: a shard's replica
+// set never places two copies on the same node, for any replication factor
+// up to the member count.
+func TestRingOwnersDistinct(t *testing.T) {
+	r := NewRing(64)
+	nodes := []string{"a", "b", "c", "d", "e"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	for shard := 0; shard < 200; shard++ {
+		key := fmt.Sprintf("corpus~%d", shard)
+		for rep := 1; rep <= len(nodes); rep++ {
+			owners := r.Owners(key, rep)
+			if len(owners) != rep {
+				t.Fatalf("Owners(%q, %d) returned %d owners", key, rep, len(owners))
+			}
+			seen := map[string]bool{}
+			for _, o := range owners {
+				if seen[o] {
+					t.Fatalf("Owners(%q, %d) co-locates on %s: %v", key, rep, o, owners)
+				}
+				seen[o] = true
+			}
+		}
+	}
+}
+
+// TestRingOwnersStable pins determinism: the same ring answers the same
+// owners for the same key every time.
+func TestRingOwnersStable(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(32)
+		for _, n := range []string{"x", "y", "z"} {
+			r.Add(n)
+		}
+		return r
+	}
+	a, b := build(), build()
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("s~%d", i)
+		oa, ob := a.Owners(key, 2), b.Owners(key, 2)
+		if len(oa) != len(ob) {
+			t.Fatalf("rings disagree on %q: %v vs %v", key, oa, ob)
+		}
+		for j := range oa {
+			if oa[j] != ob[j] {
+				t.Fatalf("rings disagree on %q: %v vs %v", key, oa, ob)
+			}
+		}
+	}
+}
+
+// TestRingBoundedMovement pins the consistency property: adding one node to
+// an n-node ring reassigns roughly 1/(n+1) of the keys' primary owners —
+// never a wholesale reshuffle — and removing it restores the original
+// assignment exactly.
+func TestRingBoundedMovement(t *testing.T) {
+	const keys = 2000
+	nodes := []string{"n0", "n1", "n2", "n3"}
+	r := NewRing(128)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Owners(fmt.Sprintf("k%d", i), 1)[0]
+	}
+
+	r.Add("n4")
+	moved := 0
+	for i := range before {
+		now := r.Owners(fmt.Sprintf("k%d", i), 1)[0]
+		if now != before[i] {
+			if now != "n4" {
+				t.Fatalf("key k%d moved %s -> %s, but only the new node may gain keys", i, before[i], now)
+			}
+			moved++
+		}
+	}
+	// Ideal share is keys/5 = 400; vnode placement is statistical, so allow
+	// a generous band — the property under test is "a fraction moved", not
+	// "none" or "all".
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("adding one node to 4 moved %d of %d keys; want a bounded fraction near %d", moved, keys, keys/5)
+	}
+
+	r.Remove("n4")
+	for i := range before {
+		if now := r.Owners(fmt.Sprintf("k%d", i), 1)[0]; now != before[i] {
+			t.Fatalf("removing the added node did not restore key k%d (%s != %s)", i, now, before[i])
+		}
+	}
+}
+
+// TestRingSpread sanity-checks the vnode smoothing: with enough virtual
+// nodes no member owns a wildly disproportionate share of keys.
+func TestRingSpread(t *testing.T) {
+	r := NewRing(128)
+	members := []string{"a", "b", "c", "d"}
+	for _, n := range members {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owners(fmt.Sprintf("key-%d", i), 1)[0]]++
+	}
+	for _, n := range members {
+		share := float64(counts[n]) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("node %s owns %.0f%% of keys; vnode smoothing failed: %v", n, share*100, counts)
+		}
+	}
+}

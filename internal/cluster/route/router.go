@@ -1,0 +1,1392 @@
+// Package route is the fault-tolerant serving tier over `era serve`
+// replicas: consistent-hash shard placement, active health checking,
+// retries with jittered backoff, hedged reads, stitch-aware merging, and
+// explicit partial-answer degradation. It complements the sibling package
+// cluster (the §5 shared-nothing construction simulation): cluster builds
+// indexes across nodes, route serves them.
+package route
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"era"
+	"era/internal/server"
+)
+
+// Router serves a sharded corpus from per-shard monolithic indexes hosted
+// on `era serve` replicas, answering byte-identically to one big index.
+// Placement is a consistent-hash ring with virtual nodes: each shard's
+// replica set is the first Replication distinct nodes clockwise from the
+// shard name's hash, so adding a replica moves only the shards on the arcs
+// it gains. Per-shard sub-queries carry per-attempt deadlines, retry with
+// full-jitter backoff across the surviving owners, and optionally hedge
+// the first attempt; answers merge with the same boundary-stitch logic the
+// in-process ShardedIndex uses (era.Stitch and friends), so
+// junction-crossing matches are never lost.
+//
+// Degradation is explicit: when every replica of a shard is unreachable
+// the router answers from the surviving shards with "partial": true — or
+// refuses with 503 in strict mode — instead of hanging, erroring the whole
+// request, or silently returning a wrong answer dressed up as a complete
+// one.
+type Router struct {
+	cfg     RouterConfig
+	ring    *Ring
+	topo    atomic.Pointer[topology]
+	healthy *Health
+
+	requests  atomic.Int64
+	retries   atomic.Int64
+	hedges    atomic.Int64
+	partials  atomic.Int64
+	shardDown atomic.Int64 // sub-queries that exhausted every replica
+}
+
+// RouterConfig tunes a Router; zero values take the documented defaults.
+type RouterConfig struct {
+	// Replicas are the base URLs of the `era serve` processes.
+	Replicas []string
+	// Corpus names the shard family to serve ("x" serves shards "x~0",
+	// "x~1", ...). Empty auto-detects, requiring exactly one family.
+	Corpus string
+	// Replication is how many replicas each shard is placed on (default 2,
+	// capped at len(Replicas)).
+	Replication int
+	// VNodes is the virtual-node count per replica on the ring (default 64).
+	VNodes int
+	// Timeout bounds one client request end to end (default 10s).
+	Timeout time.Duration
+	// AttemptTimeout bounds one sub-request attempt against one replica
+	// (default Timeout / (Retries+2), so the retry budget fits the request
+	// deadline). It applies to cheap sub-requests — membership queries,
+	// content slices — where abandoning a slow replica for a retry is
+	// cheaper than waiting. Expensive analytics sub-requests (a depth-L
+	// census, a full-shard walk) legitimately run for seconds, so they get
+	// the full remaining request budget per attempt instead: retrying those
+	// on a deadline would abandon working replicas and resubmit the same
+	// heavy work, a self-amplifying overload. Their retries still fire on
+	// fast failures (refused connections, 5xx, torn bodies).
+	AttemptTimeout time.Duration
+	// Retries is how many additional attempts a failed sub-request gets
+	// (default 2). Client errors (4xx) never retry — they are deterministic.
+	Retries int
+	// HedgeDelay, when > 0, launches a second copy of a sub-request's first
+	// attempt against the next owner if the primary hasn't answered within
+	// the delay; the first success wins. Bounds tail latency at the cost of
+	// duplicate work.
+	HedgeDelay time.Duration
+	// Strict refuses degraded answers: a shard with no reachable replica
+	// fails the request with 503 instead of flagging "partial": true.
+	Strict bool
+	// MaxPattern is the junction-window half-width prefetched at Refresh
+	// (default 64): crossing scans for patterns up to this length are
+	// served from cache without touching replicas. Longer patterns fall
+	// back to live fetches.
+	MaxPattern int
+	// Backoff jitters the sleep between retry attempts; the zero value
+	// defaults to base 10ms, cap 250ms.
+	Backoff Backoff
+	// Health gates candidate selection; nil constructs a checker over
+	// Replicas (start it with Router.Health().Start()).
+	Health *Health
+	// Client issues the sub-requests; nil uses http.DefaultClient.
+	Client *http.Client
+	// ErrLog receives routing failures; nil uses the process logger.
+	ErrLog *log.Logger
+}
+
+// shardInfo is one shard of the served corpus with its global placement.
+type shardInfo struct {
+	Name     string
+	Symbols  int // indexed length incl. terminator
+	Docs     int
+	OffStart int // global content offset of the shard's first byte
+	DocStart int // global ordinal of the shard's first document
+	Owners   []string
+}
+
+// topology is an immutable snapshot of the discovered shard layout;
+// refreshes swap the pointer.
+type topology struct {
+	corpus   string
+	shards   []shardInfo
+	totalLen int // content + the single virtual terminator
+	numDocs  int
+	bounds   []int // interior junction offsets, ascending
+
+	// winCache holds the junction windows prefetched at refresh: winCache[j]
+	// covers global [winLo[j], winLo[j]+len(winCache[j])) around bounds[j].
+	winLo    []int
+	winCache [][]byte
+}
+
+// NewRouter builds a router over the replica set; call Refresh before
+// serving to discover the shard topology.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one replica")
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
+	}
+	if cfg.Replication > len(cfg.Replicas) {
+		cfg.Replication = len(cfg.Replicas)
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = 64
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = cfg.Timeout / time.Duration(cfg.Retries+2)
+	}
+	if cfg.MaxPattern <= 0 {
+		cfg.MaxPattern = 64
+	}
+	if cfg.Backoff.Base <= 0 {
+		cfg.Backoff = Backoff{Base: 10 * time.Millisecond, Cap: 250 * time.Millisecond, Rand: cfg.Backoff.Rand}
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	ring := NewRing(cfg.VNodes)
+	for _, r := range cfg.Replicas {
+		ring.Add(r)
+	}
+	h := cfg.Health
+	if h == nil {
+		h = NewHealth(cfg.Replicas)
+		h.Client = cfg.Client
+	}
+	return &Router{cfg: cfg, ring: ring, healthy: h}, nil
+}
+
+// Health exposes the router's checker so callers can start its background
+// loop (and tests can drive it synchronously).
+func (rt *Router) Health() *Health { return rt.healthy }
+
+// Placement returns shard name → replica set for the current topology;
+// provisioning tooling uses it to decide which replica loads which shard
+// files.
+func (rt *Router) Placement() map[string][]string {
+	topo := rt.topo.Load()
+	if topo == nil {
+		return nil
+	}
+	out := make(map[string][]string, len(topo.shards))
+	for _, sh := range topo.shards {
+		out[sh.Name] = append([]string(nil), sh.Owners...)
+	}
+	return out
+}
+
+// Refresh discovers the shard topology: it lists /v1/indexes on the
+// replicas, groups names of the form "corpus~N", verifies the family is
+// contiguous from 0, computes each shard's global offsets, assigns owners
+// from the ring, and prefetches the junction stitch windows. Serving
+// continues on the previous topology until the swap at the end.
+func (rt *Router) Refresh(ctx context.Context) error {
+	var infos []wireIndexInfo
+	var lastErr error
+	for _, base := range rt.cfg.Replicas {
+		var listing struct {
+			Indexes []wireIndexInfo `json:"indexes"`
+		}
+		err := rt.doJSON(ctx, []string{base}, false, http.MethodGet, "/v1/indexes", nil, &listing)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		infos = listing.Indexes
+		lastErr = nil
+		break
+	}
+	if lastErr != nil {
+		return fmt.Errorf("cluster: topology discovery failed on every replica: %w", lastErr)
+	}
+
+	byFamily := map[string]map[int]wireIndexInfo{}
+	for _, info := range infos {
+		tilde := strings.LastIndexByte(info.Name, '~')
+		if tilde < 1 {
+			continue
+		}
+		n, err := strconv.Atoi(info.Name[tilde+1:])
+		if err != nil || n < 0 {
+			continue
+		}
+		fam := info.Name[:tilde]
+		if byFamily[fam] == nil {
+			byFamily[fam] = map[int]wireIndexInfo{}
+		}
+		byFamily[fam][n] = info
+	}
+	corpus := rt.cfg.Corpus
+	if corpus == "" {
+		if len(byFamily) != 1 {
+			return fmt.Errorf("cluster: found %d shard families, need -corpus to pick one", len(byFamily))
+		}
+		for fam := range byFamily {
+			corpus = fam
+		}
+	}
+	family := byFamily[corpus]
+	if len(family) == 0 {
+		return fmt.Errorf("cluster: no shards named %s~N on the replicas", corpus)
+	}
+
+	topo := &topology{corpus: corpus}
+	for i := 0; i < len(family); i++ {
+		info, ok := family[i]
+		if !ok {
+			return fmt.Errorf("cluster: shard family %s has %d members but %s~%d is missing", corpus, len(family), corpus, i)
+		}
+		if info.Symbols < 1 {
+			return fmt.Errorf("cluster: shard %s reports %d symbols", info.Name, info.Symbols)
+		}
+		sh := shardInfo{
+			Name:     info.Name,
+			Symbols:  info.Symbols,
+			Docs:     info.Documents,
+			OffStart: topo.totalLen,
+			DocStart: topo.numDocs,
+			Owners:   rt.ring.Owners(info.Name, rt.cfg.Replication),
+		}
+		topo.shards = append(topo.shards, sh)
+		topo.totalLen += info.Symbols - 1 // per-shard terminators are not global bytes
+		topo.numDocs += info.Documents
+	}
+	topo.totalLen++ // the single virtual terminator
+	for _, sh := range topo.shards[1:] {
+		topo.bounds = append(topo.bounds, sh.OffStart)
+	}
+
+	// Prefetch junction windows up to the MaxPattern half-width; a failure
+	// here is tolerable (live fetches cover it), so errors only log.
+	for _, b := range topo.bounds {
+		lo, hi := b-rt.cfg.MaxPattern+1, b+rt.cfg.MaxPattern-1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > topo.totalLen {
+			hi = topo.totalLen
+		}
+		win, err := rt.globalSlice(ctx, topo, lo, hi)
+		if err != nil {
+			rt.logf("cluster: prefetching junction window at %d: %v", b, err)
+			topo.winLo = append(topo.winLo, -1)
+			topo.winCache = append(topo.winCache, nil)
+			continue
+		}
+		topo.winLo = append(topo.winLo, lo)
+		topo.winCache = append(topo.winCache, win)
+	}
+
+	rt.topo.Store(topo)
+	return nil
+}
+
+// wireIndexInfo is the subset of the replica /v1/indexes entry the router
+// needs.
+type wireIndexInfo struct {
+	Name      string `json:"name"`
+	Symbols   int    `json:"symbols"`
+	Documents int    `json:"documents"`
+}
+
+// ---------------------------------------------------------------------------
+// Sub-request plumbing: candidate selection, retries, hedging.
+
+// routeError is an HTTP-level failure from a replica (or synthesized by the
+// router); transport failures travel as ordinary errors.
+type routeError struct {
+	status int
+	msg    string
+}
+
+func (e *routeError) Error() string { return e.msg }
+
+// clientErr reports a deterministic client error (4xx): retrying it on
+// another replica cannot change the answer.
+func clientErr(err error) bool {
+	var re *routeError
+	return errors.As(err, &re) && re.status >= 400 && re.status < 500
+}
+
+// candidates orders a shard's owners for attempting: healthy owners first
+// (in ring preference order), ejected ones after — if the checker has
+// ejected everyone, the requests themselves get to discover a recovery.
+func (rt *Router) candidates(owners []string) []string {
+	out := make([]string, 0, len(owners))
+	var down []string
+	for _, o := range owners {
+		if rt.healthy.Healthy(o) {
+			out = append(out, o)
+		} else {
+			down = append(down, o)
+		}
+	}
+	return append(out, down...)
+}
+
+// doShard runs one sub-request against a shard's replica set: per-attempt
+// deadlines, full-jitter backoff between retries, an optional hedged first
+// attempt, ejection feedback to the health checker, and fail-fast on 4xx.
+// decode consumes a 2xx body; its error counts as a failed attempt (a torn
+// or truncated body is a network fault, not an answer). heavy marks an
+// expensive sub-request whose attempts run under the full remaining request
+// budget instead of AttemptTimeout (see RouterConfig.AttemptTimeout).
+func (rt *Router) doShard(ctx context.Context, owners []string, heavy bool, build func(base string) (*http.Request, error), decode func(body []byte) error) error {
+	cands := rt.candidates(owners)
+	if len(cands) == 0 {
+		return fmt.Errorf("cluster: no replicas")
+	}
+	attempts := rt.cfg.Retries + 1
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		base := cands[attempt%len(cands)]
+		var err error
+		if attempt == 0 && rt.cfg.HedgeDelay > 0 && len(cands) > 1 {
+			err = rt.hedged(ctx, base, cands[1], heavy, build, decode)
+		} else {
+			err = rt.attempt(ctx, base, heavy, build, decode)
+		}
+		if err == nil {
+			return nil
+		}
+		if clientErr(err) {
+			return err
+		}
+		lastErr = err
+		if attempt+1 < attempts {
+			rt.retries.Add(1)
+			select {
+			case <-time.After(rt.cfg.Backoff.Delay(attempt)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	rt.shardDown.Add(1)
+	rt.logf("cluster: sub-request failed after %d attempts: %v", attempts, lastErr)
+	return lastErr
+}
+
+// attempt is one bounded round trip to one replica, reporting the outcome
+// to the health checker. 4xx statuses are surfaced as routeErrors and count
+// as replica-healthy (the replica answered; the request was wrong).
+func (rt *Router) attempt(ctx context.Context, base string, heavy bool, build func(base string) (*http.Request, error), decode func(body []byte) error) error {
+	if !heavy {
+		// Heavy sub-requests keep the caller's deadline: the end-to-end
+		// budget already bounds them, and a tighter per-attempt cutoff would
+		// abandon a replica mid-census just to resubmit the same work.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
+		defer cancel()
+	}
+	req, err := build(base)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.cfg.Client.Do(req.WithContext(ctx))
+	if err != nil {
+		rt.healthy.Report(base, false)
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		rt.healthy.Report(base, false)
+		return fmt.Errorf("cluster: reading %s response: %w", base, err)
+	}
+	if resp.StatusCode >= 500 {
+		rt.healthy.Report(base, false)
+		return &routeError{status: resp.StatusCode, msg: wireErrMsg(body, resp.StatusCode)}
+	}
+	if resp.StatusCode >= 400 {
+		// The replica answered; the request was wrong. That is a healthy
+		// replica and a deterministic client error.
+		rt.healthy.Report(base, true)
+		return &routeError{status: resp.StatusCode, msg: wireErrMsg(body, resp.StatusCode)}
+	}
+	// The application-level length frame catches torn bodies whose transfer
+	// framing was rewritten to look consistent (a proxy or middlebox that
+	// recomputed Content-Length over a truncated payload).
+	if want := resp.Header.Get("X-Era-Content-Length"); want != "" {
+		if n, perr := strconv.Atoi(want); perr == nil && n != len(body) {
+			rt.healthy.Report(base, false)
+			return fmt.Errorf("cluster: %s sent %d of %d framed bytes", base, len(body), n)
+		}
+	}
+	if decode != nil {
+		if err := decode(body); err != nil {
+			// A 200 whose body does not parse is a torn response, not an
+			// answer; class it with the transport failures so it retries.
+			rt.healthy.Report(base, false)
+			return fmt.Errorf("cluster: decoding %s response: %w", base, err)
+		}
+	}
+	rt.healthy.Report(base, true)
+	return nil
+}
+
+// hedged races the primary attempt against a delayed secondary on the next
+// candidate; the first success wins and the loser's context is canceled.
+// Both failing returns the primary's error (it is the representative one).
+func (rt *Router) hedged(ctx context.Context, primary, secondary string, heavy bool, build func(base string) (*http.Request, error), decode func(body []byte) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// decode mutates caller state, so the race must serialize it: each arm
+	// decodes into a private buffer first and the winner applies.
+	type outcome struct {
+		err  error
+		body []byte
+	}
+	run := func(base string) outcome {
+		var body []byte
+		err := rt.attempt(ctx, base, heavy, build, func(b []byte) error {
+			body = b
+			return nil
+		})
+		return outcome{err: err, body: body}
+	}
+	prim := make(chan outcome, 1)
+	go func() { prim <- run(primary) }()
+
+	finish := func(o outcome) error {
+		if o.err != nil {
+			return o.err
+		}
+		if decode == nil {
+			return nil
+		}
+		return decode(o.body)
+	}
+
+	var firstErr error
+	var timer *time.Timer
+	timer = time.NewTimer(rt.cfg.HedgeDelay)
+	defer timer.Stop()
+	select {
+	case o := <-prim:
+		if o.err == nil || clientErr(o.err) {
+			return finish(o)
+		}
+		// Primary failed fast: its outcome is consumed, so only the
+		// secondary is still owed — fall through to it immediately. (Leaving
+		// prim live here would make the drain loop below wait for a second
+		// primary outcome that never comes, stalling until the deadline.)
+		firstErr = o.err
+		prim = nil
+	case <-timer.C:
+		// Primary is slow: hedge.
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	rt.hedges.Add(1)
+	sec := make(chan outcome, 1)
+	go func() { sec <- run(secondary) }()
+	for prim != nil || sec != nil {
+		var o outcome
+		select {
+		case o = <-prim: // nil channel blocks: only pending arms can fire
+			prim = nil
+		case o = <-sec:
+			sec = nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if o.err == nil || clientErr(o.err) {
+			return finish(o)
+		}
+		if firstErr == nil {
+			firstErr = o.err
+		}
+	}
+	return firstErr
+}
+
+// wireErrMsg extracts the {"error": ...} body of a replica error response.
+func wireErrMsg(body []byte, status int) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return fmt.Sprintf("replica answered status %d", status)
+}
+
+// doJSON runs one JSON round trip through doShard.
+func (rt *Router) doJSON(ctx context.Context, owners []string, heavy bool, method, path string, reqBody, out any) error {
+	var payload []byte
+	if reqBody != nil {
+		var err error
+		payload, err = json.Marshal(reqBody)
+		if err != nil {
+			return err
+		}
+	}
+	return rt.doShard(ctx, owners, heavy, func(base string) (*http.Request, error) {
+		var rd io.Reader
+		if payload != nil {
+			rd = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequest(method, base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		return req, nil
+	}, func(body []byte) error {
+		if out == nil {
+			return nil
+		}
+		return json.Unmarshal(body, out)
+	})
+}
+
+// doBytes runs one octet-stream GET through doShard.
+func (rt *Router) doBytes(ctx context.Context, owners []string, path string) ([]byte, error) {
+	var out []byte
+	err := rt.doShard(ctx, owners, false, func(base string) (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, base+path, nil)
+	}, func(body []byte) error {
+		out = body
+		return nil
+	})
+	return out, err
+}
+
+// ---------------------------------------------------------------------------
+// Shard data access: sub-queries, content slices, stitch construction.
+
+func (rt *Router) shardQuery(ctx context.Context, sh *shardInfo, op server.QueryOp) (server.QueryResponse, error) {
+	path, heavy := "/v1/query", false
+	if kind, err := era.ParseOpKind(op.Op); err == nil && kind.IsAnalytic() {
+		// Analytics walks a whole shard; its runtime is the corpus's, not
+		// the network's, so it keeps the full request budget per attempt.
+		path, heavy = "/v1/analytics", true
+	}
+	var resp server.QueryResponse
+	err := rt.doJSON(ctx, sh.Owners, heavy, http.MethodPost, path, server.QueryRequest{Index: sh.Name, QueryOp: op}, &resp)
+	return resp, err
+}
+
+func (rt *Router) shardPrefixCounts(ctx context.Context, sh *shardInfo, minLen int) (map[string]int, error) {
+	var resp struct {
+		Counts map[string]int `json:"counts"`
+	}
+	err := rt.doJSON(ctx, sh.Owners, true, http.MethodPost, "/v1/internal/prefixcounts",
+		map[string]any{"index": sh.Name, "min_len": minLen}, &resp)
+	return resp.Counts, err
+}
+
+// shardSlice fetches local content [lo, hi) of one shard.
+func (rt *Router) shardSlice(ctx context.Context, sh *shardInfo, lo, hi int) ([]byte, error) {
+	if lo == hi {
+		return nil, nil
+	}
+	return rt.doBytes(ctx, sh.Owners, fmt.Sprintf("/v1/indexes/%s/slice?lo=%d&hi=%d", sh.Name, lo, hi))
+}
+
+// globalSlice materializes global virtual-string bytes [lo, hi), spanning
+// shards as needed; position totalLen-1 is the virtual terminator, which no
+// replica stores, so it is synthesized.
+func (rt *Router) globalSlice(ctx context.Context, topo *topology, lo, hi int) ([]byte, error) {
+	if lo < 0 || hi < lo || hi > topo.totalLen {
+		return nil, fmt.Errorf("cluster: global slice [%d, %d) out of range [0, %d]", lo, hi, topo.totalLen)
+	}
+	needTerm := hi == topo.totalLen
+	if needTerm {
+		hi--
+	}
+	out := make([]byte, 0, hi-lo+1)
+	for i := range topo.shards {
+		sh := &topo.shards[i]
+		shLo, shHi := sh.OffStart, sh.OffStart+sh.Symbols-1
+		a, b := lo, hi
+		if a < shLo {
+			a = shLo
+		}
+		if b > shHi {
+			b = shHi
+		}
+		if a >= b {
+			continue
+		}
+		part, err := rt.shardSlice(ctx, sh, a-shLo, b-shLo)
+		if err != nil {
+			return nil, err
+		}
+		if len(part) != b-a {
+			return nil, fmt.Errorf("cluster: shard %s returned %d bytes for a %d-byte slice", sh.Name, len(part), b-a)
+		}
+		out = append(out, part...)
+	}
+	if needTerm {
+		out = append(out, era.TerminatorByte)
+	}
+	return out, nil
+}
+
+// junctionWindow returns global [lo, hi), serving from the refresh-time
+// cache when the range fits junction j's prefetched window.
+func (rt *Router) junctionWindow(ctx context.Context, topo *topology, j, lo, hi int) ([]byte, error) {
+	if j < len(topo.winCache) && topo.winCache[j] != nil {
+		cLo := topo.winLo[j]
+		if lo >= cLo && hi <= cLo+len(topo.winCache[j]) {
+			return topo.winCache[j][lo-cLo : hi-cLo], nil
+		}
+	}
+	return rt.globalSlice(ctx, topo, lo, hi)
+}
+
+// buildStitch assembles the junction-scan view for pattern length m: every
+// junction's stitch window is fetched up front (cache first), and junctions
+// whose bytes are unreachable — their shard is down — are dropped with
+// partial=true rather than scanned against fabricated bytes. The returned
+// Stitch serves slices purely from the prefetched windows, so the scan
+// itself cannot fail midway.
+func (rt *Router) buildStitch(ctx context.Context, topo *topology, m int) (st *era.Stitch, partial bool, err error) {
+	type win struct {
+		lo   int
+		data []byte
+	}
+	var bounds []int
+	wins := map[int]win{}
+	if m >= 2 {
+		for j, b := range topo.bounds {
+			lo, hi := b-m+1, b+m-1
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > topo.totalLen {
+				hi = topo.totalLen
+			}
+			data, werr := rt.junctionWindow(ctx, topo, j, lo, hi)
+			if werr != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, false, cerr
+				}
+				partial = true
+				continue
+			}
+			bounds = append(bounds, b)
+			wins[b] = win{lo: lo, data: data}
+		}
+	}
+	boundOf := func(lo, hi int) (win, bool) {
+		// The stitch scan requests exactly one window per junction; find the
+		// junction whose prefetched window covers the range.
+		for _, b := range bounds {
+			w := wins[b]
+			if lo >= w.lo && hi <= w.lo+len(w.data) {
+				return w, true
+			}
+		}
+		return win{}, false
+	}
+	st = era.NewStitch(topo.totalLen, bounds, func(buf []byte, lo, hi int) []byte {
+		if w, ok := boundOf(lo, hi); ok {
+			return w.data[lo-w.lo : hi-w.lo]
+		}
+		// Unreachable by construction; returning an empty window of the
+		// right length keeps the scan crash-free if it ever isn't.
+		return make([]byte, hi-lo)
+	})
+	return st, partial, nil
+}
+
+// ---------------------------------------------------------------------------
+// Routed execution: fan-out and stitch-aware merging per op kind.
+
+// errShardDown marks a shard whose every replica failed; the caller decides
+// between partial degradation and strict refusal.
+var errShardDown = errors.New("cluster: shard unavailable")
+
+// fanOut runs fn for every shard concurrently; failed shards are reported
+// in down (ascending), a 4xx from any shard aborts with that error.
+func (rt *Router) fanOut(ctx context.Context, topo *topology, fn func(i int, sh *shardInfo) error) (down []int, err error) {
+	errs := make([]error, len(topo.shards))
+	var wg sync.WaitGroup
+	for i := range topo.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i, &topo.shards[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e == nil {
+			continue
+		}
+		if clientErr(e) {
+			return nil, e
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		down = append(down, i)
+	}
+	return down, nil
+}
+
+// degrade folds a fan-out's dead-shard list into the answer policy: strict
+// mode refuses, otherwise the caller proceeds without those shards and the
+// answer is flagged partial.
+func (rt *Router) degrade(topo *topology, down []int) (partial bool, err error) {
+	if len(down) == 0 {
+		return false, nil
+	}
+	if rt.cfg.Strict {
+		names := make([]string, len(down))
+		for i, d := range down {
+			names[i] = topo.shards[d].Name
+		}
+		return false, fmt.Errorf("%w: %s", errShardDown, strings.Join(names, ", "))
+	}
+	return true, nil
+}
+
+// execute answers one planned op through the routed fan-out and merge.
+func (rt *Router) execute(ctx context.Context, topo *topology, op era.Op) (res era.Result, partial bool, err error) {
+	// Analytics parameters are validated against the global corpus (the
+	// replicas would validate against their local shard — a global document
+	// ordinal can be perfectly valid and still exceed every shard's count).
+	if op.Kind.IsAnalytic() {
+		if verr := op.Validate(nil, topo.numDocs); verr != nil {
+			return era.Result{}, false, &routeError{status: http.StatusBadRequest, msg: verr.Error()}
+		}
+	}
+	switch op.Kind {
+	case era.OpContains, era.OpCount, era.OpOccurrences:
+		return rt.membership(ctx, topo, op)
+	case era.OpTopK:
+		return rt.topK(ctx, topo, op)
+	case era.OpLongestRepeat:
+		return rt.longestRepeat(ctx, topo, op)
+	case era.OpCommonSubstring:
+		return rt.commonSubstring(ctx, topo, op)
+	case era.OpDocFreq:
+		return rt.docFreq(ctx, topo, op)
+	case era.OpMismatch:
+		return rt.mismatch(ctx, topo, op)
+	}
+	return era.Result{}, false, &routeError{status: http.StatusBadRequest, msg: fmt.Sprintf("unsupported op kind %v", op.Kind)}
+}
+
+// membership merges per-shard contains/count/occurrences with the
+// junction-crossing matches, exactly as ShardedIndex does. Per-shard
+// sub-queries keep the client's occurrence cap: shards cover ascending
+// disjoint ranges, so the merged first-Max needs at most the first Max from
+// each shard.
+func (rt *Router) membership(ctx context.Context, topo *topology, op era.Op) (era.Result, bool, error) {
+	// Patterns containing the terminator byte can only match where '$' is
+	// part of the global string — at its very end — so every shard but the
+	// last would report phantom matches against its own local terminator.
+	// Same gate as ShardedIndex.shardValid; skipped shards keep their
+	// zero-valued response, which the merges below naturally ignore.
+	withTerm := bytes.IndexByte(op.Pattern, era.TerminatorByte) >= 0
+	kind := opName(op.Kind)
+	resps := make([]server.QueryResponse, len(topo.shards))
+	down, err := rt.fanOut(ctx, topo, func(i int, sh *shardInfo) error {
+		if withTerm && i != len(topo.shards)-1 {
+			return nil
+		}
+		r, qerr := rt.shardQuery(ctx, sh, server.QueryOp{Op: kind, Pattern: string(op.Pattern), Max: op.MaxOccurrences})
+		resps[i] = r
+		return qerr
+	})
+	if err != nil {
+		return era.Result{}, false, err
+	}
+	partial, err := rt.degrade(topo, down)
+	if err != nil {
+		return era.Result{}, false, err
+	}
+	dead := map[int]bool{}
+	for _, i := range down {
+		dead[i] = true
+	}
+
+	switch op.Kind {
+	case era.OpContains:
+		for _, r := range resps {
+			if r.Found {
+				return era.Result{Found: true}, partial, nil
+			}
+		}
+		st, stPartial, serr := rt.buildStitch(ctx, topo, len(op.Pattern))
+		if serr != nil {
+			return era.Result{}, false, serr
+		}
+		return era.Result{Found: len(st.CrossingOccurrences(op.Pattern, 1)) > 0}, partial || stPartial, nil
+	case era.OpCount:
+		st, stPartial, serr := rt.buildStitch(ctx, topo, len(op.Pattern))
+		if serr != nil {
+			return era.Result{}, false, serr
+		}
+		total := len(st.CrossingOccurrences(op.Pattern, 0))
+		for i, r := range resps {
+			if !dead[i] && r.Count != nil {
+				total += *r.Count
+			}
+		}
+		return era.Result{Found: total > 0, Count: total}, partial || stPartial, nil
+	default: // era.OpOccurrences
+		st, stPartial, serr := rt.buildStitch(ctx, topo, len(op.Pattern))
+		if serr != nil {
+			return era.Result{}, false, serr
+		}
+		crossing := st.CrossingOccurrences(op.Pattern, 0)
+		perShard := make([][]int, 0, len(topo.shards))
+		total := len(crossing)
+		for i, r := range resps {
+			if dead[i] {
+				continue
+			}
+			if r.Count != nil {
+				total += *r.Count
+			}
+			if len(r.Occurrences) == 0 {
+				continue
+			}
+			occ := make([]int, len(r.Occurrences))
+			for j, o := range r.Occurrences {
+				occ[j] = o + topo.shards[i].OffStart
+			}
+			perShard = append(perShard, occ)
+		}
+		merged := era.MergeOccurrences(perShard, crossing, op.MaxOccurrences)
+		return era.Result{Found: total > 0, Count: total, Occurrences: merged}, partial || stPartial, nil
+	}
+}
+
+// topK aggregates exact global substring counts: every shard's full
+// depth-L census (per-shard top-k alone cannot be merged exactly — a
+// globally frequent substring can rank below k in every shard) plus the
+// junction-crossing windows, ranked with the shared canonical tie-break
+// and re-verified against the routed Count.
+func (rt *Router) topK(ctx context.Context, topo *topology, op era.Op) (era.Result, bool, error) {
+	perShard := make([]map[string]int, len(topo.shards))
+	down, err := rt.fanOut(ctx, topo, func(i int, sh *shardInfo) error {
+		counts, cerr := rt.shardPrefixCounts(ctx, sh, op.MinLen)
+		perShard[i] = counts
+		return cerr
+	})
+	if err != nil {
+		return era.Result{}, false, err
+	}
+	partial, err := rt.degrade(topo, down)
+	if err != nil {
+		return era.Result{}, false, err
+	}
+	agg := map[string]int{}
+	for _, m := range perShard {
+		for s, c := range m {
+			agg[s] += c
+		}
+	}
+	st, stPartial, serr := rt.buildStitch(ctx, topo, op.MinLen)
+	if serr != nil {
+		return era.Result{}, false, serr
+	}
+	partial = partial || stPartial
+	st.CrossingWindows(op.MinLen, func(_ int, window []byte) {
+		agg[string(window)]++
+	})
+	ans := era.TopAnswer(agg, op.K)
+	if !partial {
+		// Same insurance as ShardedIndex.topK: the ranked counts must agree
+		// with the authoritative global Count; a disagreement (unreachable
+		// while the aggregation is exact) triggers a full re-count.
+		for _, e := range ans.Top {
+			cnt, cerr := rt.routedCount(ctx, topo, e.Pattern)
+			if cerr != nil {
+				partial = true
+				break
+			}
+			if cnt != e.Count {
+				for s := range agg {
+					c, rerr := rt.routedCount(ctx, topo, []byte(s))
+					if rerr != nil {
+						partial = true
+						break
+					}
+					agg[s] = c
+				}
+				ans = era.TopAnswer(agg, op.K)
+				break
+			}
+		}
+	}
+	return ans, partial, nil
+}
+
+// routedCount is the membership count fan-out reused by topK's re-verify.
+func (rt *Router) routedCount(ctx context.Context, topo *topology, pattern []byte) (int, error) {
+	res, partial, err := rt.membership(ctx, topo, era.Op{Kind: era.OpCount, Pattern: pattern})
+	if err != nil {
+		return 0, err
+	}
+	if partial {
+		return 0, errShardDown
+	}
+	return res.Count, nil
+}
+
+// longestRepeat answers lrs: per-shard tree answers are sound lower bounds
+// (and power the degraded path); the true answer, which may straddle shard
+// cuts, comes from the canonical content-level search over the fully
+// materialized virtual string — identical to ShardedIndex.
+func (rt *Router) longestRepeat(ctx context.Context, topo *topology, op era.Op) (era.Result, bool, error) {
+	resps := make([]server.QueryResponse, len(topo.shards))
+	down, err := rt.fanOut(ctx, topo, func(i int, sh *shardInfo) error {
+		r, qerr := rt.shardQuery(ctx, sh, server.QueryOp{Op: "lrs"})
+		resps[i] = r
+		return qerr
+	})
+	if err != nil {
+		return era.Result{}, false, err
+	}
+	partial, err := rt.degrade(topo, down)
+	if err != nil {
+		return era.Result{}, false, err
+	}
+	dead := map[int]bool{}
+	for _, i := range down {
+		dead[i] = true
+	}
+	lo := 0
+	for i, r := range resps {
+		if !dead[i] && len(r.Pattern) > lo {
+			lo = len(r.Pattern)
+		}
+	}
+
+	if !partial {
+		content, cerr := rt.globalSlice(ctx, topo, 0, topo.totalLen-1)
+		if cerr != nil {
+			if ctx.Err() != nil {
+				return era.Result{}, false, ctx.Err()
+			}
+			// A shard died between the fan-out and the content fetch.
+			if rt.cfg.Strict {
+				return era.Result{}, false, fmt.Errorf("%w: content fetch: %v", errShardDown, cerr)
+			}
+			partial = true
+		} else {
+			label, occ, lerr := era.LongestRepeatContent(ctx, content, lo)
+			if lerr != nil {
+				return era.Result{}, false, lerr
+			}
+			return era.Result{Found: label != nil, Pattern: label, Occurrences: occ, Count: len(occ)}, false, nil
+		}
+	}
+	// Degraded: the best within-shard answer among the survivors — never a
+	// fabricated cross-junction repeat. Canonical tie-break: longest, then
+	// lexicographically smallest.
+	var best []byte
+	bestAt := -1
+	for i, r := range resps {
+		if dead[i] || r.Pattern == "" {
+			continue
+		}
+		lbl := []byte(r.Pattern)
+		if best == nil || len(lbl) > len(best) || (len(lbl) == len(best) && bytes.Compare(lbl, best) < 0) {
+			best, bestAt = lbl, i
+		}
+	}
+	if best == nil {
+		return era.Result{}, true, nil
+	}
+	occ := make([]int, len(resps[bestAt].Occurrences))
+	for j, o := range resps[bestAt].Occurrences {
+		occ[j] = o + topo.shards[bestAt].OffStart
+	}
+	return era.Result{Found: true, Pattern: best, Occurrences: occ, Count: len(occ)}, true, nil
+}
+
+// commonSubstring answers lcs: both documents in one shard delegate to that
+// shard's tree executor; documents in different shards fetch their raw
+// bytes and run the canonical hash search — either path is a pure function
+// of the two documents' contents, so the answers coincide.
+func (rt *Router) commonSubstring(ctx context.Context, topo *topology, op era.Op) (era.Result, bool, error) {
+	si, la := shardOfDoc(topo, op.DocA)
+	sj, lb := shardOfDoc(topo, op.DocB)
+	if si == sj {
+		resp, err := rt.shardQuery(ctx, &topo.shards[si], server.QueryOp{Op: "lcs", DocA: la, DocB: lb})
+		if err == nil {
+			return fromWire(era.OpCommonSubstring, resp), false, nil
+		}
+		if clientErr(err) || ctx.Err() != nil {
+			return era.Result{}, false, err
+		}
+		if rt.cfg.Strict {
+			return era.Result{}, false, fmt.Errorf("%w: %s: %v", errShardDown, topo.shards[si].Name, err)
+		}
+		return era.Result{OffsetA: -1, OffsetB: -1}, true, nil
+	}
+	var docA, docB []byte
+	fetch := func(s, ord int, out *[]byte) error {
+		b, err := rt.doBytes(ctx, topo.shards[s].Owners, fmt.Sprintf("/v1/indexes/%s/doc/%d", topo.shards[s].Name, ord))
+		*out = b
+		return err
+	}
+	errA := fetch(si, la, &docA)
+	errB := fetch(sj, lb, &docB)
+	for _, ferr := range []error{errA, errB} {
+		if ferr == nil {
+			continue
+		}
+		if clientErr(ferr) || ctx.Err() != nil {
+			return era.Result{}, false, ferr
+		}
+		if rt.cfg.Strict {
+			return era.Result{}, false, fmt.Errorf("%w: %v", errShardDown, ferr)
+		}
+		return era.Result{OffsetA: -1, OffsetB: -1}, true, nil
+	}
+	label, offA, offB := era.LCSTwoStrings(docA, docB)
+	return era.Result{Found: label != nil, Pattern: label, OffsetA: offA, OffsetB: offB, Count: len(label)}, false, nil
+}
+
+// docFreq sums per-shard document-frequency stats element-wise: shard cuts
+// are document-aligned, so no occurrence is double-counted or lost.
+func (rt *Router) docFreq(ctx context.Context, topo *topology, op era.Op) (era.Result, bool, error) {
+	pats := make([]string, len(op.Patterns))
+	for i, p := range op.Patterns {
+		pats[i] = string(p)
+	}
+	resps := make([]server.QueryResponse, len(topo.shards))
+	down, err := rt.fanOut(ctx, topo, func(i int, sh *shardInfo) error {
+		r, qerr := rt.shardQuery(ctx, sh, server.QueryOp{Op: "docfreq", Patterns: pats})
+		resps[i] = r
+		return qerr
+	})
+	if err != nil {
+		return era.Result{}, false, err
+	}
+	partial, err := rt.degrade(topo, down)
+	if err != nil {
+		return era.Result{}, false, err
+	}
+	dead := map[int]bool{}
+	for _, i := range down {
+		dead[i] = true
+	}
+	res := era.Result{Stats: make([]era.PatternStat, len(op.Patterns))}
+	for i, r := range resps {
+		if dead[i] {
+			continue
+		}
+		for j, s := range r.Stats {
+			if j >= len(res.Stats) {
+				break
+			}
+			res.Stats[j].Docs += s.Docs
+			res.Stats[j].Count += s.Count
+		}
+	}
+	for _, s := range res.Stats {
+		res.Count += s.Count
+		if s.Count > 0 {
+			res.Found = true
+		}
+	}
+	return res, partial, nil
+}
+
+// mismatch merges per-shard bounded-branching matches with the
+// Hamming-scanned junction windows, same ascending interleave as
+// occurrences.
+func (rt *Router) mismatch(ctx context.Context, topo *topology, op era.Op) (era.Result, bool, error) {
+	resps := make([]server.QueryResponse, len(topo.shards))
+	down, err := rt.fanOut(ctx, topo, func(i int, sh *shardInfo) error {
+		// Max 0: the merge needs every within-shard match to cap globally.
+		r, qerr := rt.shardQuery(ctx, sh, server.QueryOp{Op: "mismatch", Pattern: string(op.Pattern), K: op.K})
+		resps[i] = r
+		return qerr
+	})
+	if err != nil {
+		return era.Result{}, false, err
+	}
+	partial, err := rt.degrade(topo, down)
+	if err != nil {
+		return era.Result{}, false, err
+	}
+	dead := map[int]bool{}
+	for _, i := range down {
+		dead[i] = true
+	}
+	perShard := make([][]int, 0, len(topo.shards))
+	for i, r := range resps {
+		if dead[i] || len(r.Occurrences) == 0 {
+			continue
+		}
+		occ := make([]int, len(r.Occurrences))
+		for j, o := range r.Occurrences {
+			occ[j] = o + topo.shards[i].OffStart
+		}
+		perShard = append(perShard, occ)
+	}
+	st, stPartial, serr := rt.buildStitch(ctx, topo, len(op.Pattern))
+	if serr != nil {
+		return era.Result{}, false, serr
+	}
+	var crossing []int
+	st.CrossingWindows(len(op.Pattern), func(start int, window []byte) {
+		if era.HammingAtMost(window, op.Pattern, op.K) {
+			crossing = append(crossing, start)
+		}
+	})
+	merged := era.MergeOccurrences(perShard, crossing, 0)
+	return era.MismatchAnswer(merged, op.MaxOccurrences), partial || stPartial, nil
+}
+
+// shardOfDoc resolves a global document ordinal to (shard index, local
+// ordinal).
+func shardOfDoc(topo *topology, doc int) (int, int) {
+	i := sort.Search(len(topo.shards), func(j int) bool { return topo.shards[j].DocStart > doc }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return i, doc - topo.shards[i].DocStart
+}
+
+// fromWire converts a replica's wire response back to the library result.
+func fromWire(kind era.OpKind, w server.QueryResponse) era.Result {
+	res := era.Result{Found: w.Found, Occurrences: w.Occurrences}
+	if w.Count != nil {
+		res.Count = *w.Count
+	}
+	if w.Pattern != "" {
+		res.Pattern = []byte(w.Pattern)
+	}
+	if w.OffsetA != nil {
+		res.OffsetA = *w.OffsetA
+	}
+	if w.OffsetB != nil {
+		res.OffsetB = *w.OffsetB
+	}
+	if len(w.Top) > 0 {
+		res.Top = make([]era.TopEntry, len(w.Top))
+		for i, t := range w.Top {
+			res.Top[i] = era.TopEntry{Pattern: []byte(t.Pattern), Count: t.Count}
+		}
+	}
+	if len(w.Stats) > 0 {
+		res.Stats = make([]era.PatternStat, len(w.Stats))
+		for i, s := range w.Stats {
+			res.Stats[i] = era.PatternStat{Docs: s.Docs, Count: s.Count}
+		}
+	}
+	return res
+}
+
+func opName(kind era.OpKind) string { return kind.String() }
+
+// ---------------------------------------------------------------------------
+// HTTP front end.
+
+// Handler returns the router's HTTP API: the same /v1/query, /v1/analytics
+// and /v1/batch surface as a replica (so clients cannot tell a router from
+// a monolithic server except by the partial field), plus its own probes and
+// metrics.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		enc := json.NewEncoder(w)
+		enc.SetEscapeHTML(false)
+		if err := enc.Encode(v); err != nil {
+			rt.logf("cluster: encoding response: %v", err)
+		}
+	}
+	writeErr := func(w http.ResponseWriter, status int, msg string) {
+		writeJSON(w, status, map[string]string{"error": msg})
+	}
+	fail := func(w http.ResponseWriter, err error) {
+		var re *routeError
+		switch {
+		case errors.As(err, &re):
+			writeErr(w, re.status, re.msg)
+		case errors.Is(err, errShardDown):
+			writeErr(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, context.DeadlineExceeded):
+			writeErr(w, http.StatusGatewayTimeout, "routed query deadline exceeded")
+		case errors.Is(err, context.Canceled):
+			writeErr(w, http.StatusServiceUnavailable, "request canceled")
+		default:
+			// Whatever broke the fan-out was replica-side or network-side.
+			writeErr(w, http.StatusBadGateway, err.Error())
+		}
+	}
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		topo := rt.topo.Load()
+		anyHealthy := false
+		for _, ok := range rt.healthy.Snapshot() {
+			if ok {
+				anyHealthy = true
+				break
+			}
+		}
+		if topo == nil || !anyHealthy {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+	})
+	mux.HandleFunc("GET /metricz", func(w http.ResponseWriter, r *http.Request) {
+		topo := rt.topo.Load()
+		shards := 0
+		if topo != nil {
+			shards = len(topo.shards)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"requests":    rt.requests.Load(),
+			"retries":     rt.retries.Load(),
+			"hedges":      rt.hedges.Load(),
+			"partials":    rt.partials.Load(),
+			"shard_down":  rt.shardDown.Load(),
+			"shards":      shards,
+			"replicas":    rt.healthy.Snapshot(),
+			"replication": rt.cfg.Replication,
+		})
+	})
+	mux.HandleFunc("GET /v1/indexes", func(w http.ResponseWriter, r *http.Request) {
+		topo := rt.topo.Load()
+		if topo == nil {
+			writeJSON(w, http.StatusOK, map[string]any{"indexes": []any{}})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"indexes": []map[string]any{{
+			"name":      topo.corpus,
+			"symbols":   topo.totalLen,
+			"documents": topo.numDocs,
+			"shards":    len(topo.shards),
+		}}})
+	})
+
+	serveOps := func(w http.ResponseWriter, r *http.Request, index string, qops []server.QueryOp, batch bool) {
+		topo := rt.topo.Load()
+		if topo == nil {
+			writeErr(w, http.StatusServiceUnavailable, "router has no topology yet")
+			return
+		}
+		if index != topo.corpus {
+			writeErr(w, http.StatusNotFound, fmt.Sprintf("no index named %q routed (serving %q)", index, topo.corpus))
+			return
+		}
+		rt.requests.Add(1)
+		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.Timeout)
+		defer cancel()
+		wire := make([]server.QueryResponse, len(qops))
+		for i := range qops {
+			op, err := qops[i].Plan()
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			res, partial, err := rt.execute(ctx, topo, op)
+			if err != nil {
+				fail(w, err)
+				return
+			}
+			if partial {
+				rt.partials.Add(1)
+			}
+			wire[i] = server.ToWire(op, res)
+			wire[i].Partial = partial
+		}
+		if batch {
+			writeJSON(w, http.StatusOK, map[string]any{"results": wire})
+			return
+		}
+		writeJSON(w, http.StatusOK, wire[0])
+	}
+	readJSON := func(w http.ResponseWriter, r *http.Request, dst any) bool {
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(dst); err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+			return false
+		}
+		return true
+	}
+	single := func(analyticsOnly bool) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			var req server.QueryRequest
+			if !readJSON(w, r, &req) {
+				return
+			}
+			if analyticsOnly {
+				// Same surface discipline as the replica API (an unknown op
+				// falls through to Plan's own parse error).
+				if kind, err := era.ParseOpKind(req.Op); err == nil && !kind.IsAnalytic() {
+					writeErr(w, http.StatusBadRequest,
+						fmt.Sprintf("op %q is a membership query, not an analytics op; use /v1/query", req.Op))
+					return
+				}
+			}
+			serveOps(w, r, req.Index, []server.QueryOp{req.QueryOp}, false)
+		}
+	}
+	mux.HandleFunc("POST /v1/query", single(false))
+	mux.HandleFunc("POST /v1/analytics", single(true))
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req server.BatchRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if len(req.Ops) == 0 {
+			writeErr(w, http.StatusBadRequest, "batch has no ops")
+			return
+		}
+		if len(req.Ops) > server.MaxBatchOps {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("batch of %d ops exceeds the limit of %d", len(req.Ops), server.MaxBatchOps))
+			return
+		}
+		serveOps(w, r, req.Index, req.Ops, true)
+	})
+	return mux
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.cfg.ErrLog != nil {
+		rt.cfg.ErrLog.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}

@@ -13,6 +13,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -108,6 +109,12 @@ type Engine struct {
 	// memory is ordinary garbage once the last reference drops.
 	retired []*catalogEntry
 	closed  bool
+
+	// notReady is set by SetReady(false) — the serve command flips it at
+	// the start of a graceful drain so load balancers and the cluster
+	// router's health checker stop sending new work before the listener
+	// closes. Engines start ready.
+	notReady atomic.Bool
 }
 
 // catalogEntry pairs an index — monolithic, sharded, or live, anything
@@ -449,6 +456,24 @@ func (e *Engine) Names() []string {
 	return names
 }
 
+// Ready reports whether the engine should receive new traffic: it is not
+// closed, has not been marked draining (SetReady(false)), and serves at
+// least one index — an engine whose whole catalog was quarantined or never
+// loaded is alive but not ready. The /readyz endpoint and the cluster
+// router's health checker read this.
+func (e *Engine) Ready() bool {
+	if e.notReady.Load() {
+		return false
+	}
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	return !closed && len(*e.catalog.Load()) > 0
+}
+
+// SetReady marks the engine ready (the default) or draining; see Ready.
+func (e *Engine) SetReady(ready bool) { e.notReady.Store(!ready) }
+
 // Query answers one op against the index named index. Results may be served
 // from the cache; treat Result.Occurrences as read-only.
 func (e *Engine) Query(index string, op era.Op) (era.Result, error) {
@@ -469,7 +494,7 @@ func (e *Engine) Batch(index string, ops []era.Op) ([]era.Result, error) {
 		return nil, err
 	}
 	defer ent.release()
-	return e.batchEntry(ent, ops), nil
+	return e.batchEntry(context.Background(), ent, ops)
 }
 
 // acquireEntry resolves a name to its catalog entry with an in-flight
@@ -502,6 +527,19 @@ func (e *Engine) acquireEntry(index string) (*catalogEntry, error) {
 	}
 }
 
+// Acquire resolves a name to its index with an in-flight reference held,
+// going through the same first-touch corruption gate as query serving. The
+// caller must invoke the returned release exactly once when done; until
+// then the index cannot be retired out from under it. The shard-serving
+// endpoints use this to hand raw content bytes out safely.
+func (e *Engine) Acquire(index string) (era.Queryable, func(), error) {
+	ent, err := e.acquireEntry(index)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ent.idx, ent.release, nil
+}
+
 // BatchChecked is Batch with per-op plan validation (era.Query.Validate):
 // each op's own requirements are enforced — membership ops need a non-empty
 // pattern inside the index's alphabet, analytics ops check their own
@@ -511,7 +549,12 @@ func (e *Engine) acquireEntry(index string) (*catalogEntry, error) {
 // catalog snapshot, so a concurrent hot reload cannot slip a pattern past a
 // check made against a different index's alphabet. The HTTP layer serves
 // through this; Batch keeps the lenient library semantics.
-func (e *Engine) BatchChecked(index string, ops []era.Op) ([]era.Result, error) {
+//
+// ctx is honored by the analytics executors (their long walks poll it
+// periodically), so a canceled request or an expired server deadline
+// abandons the work and surfaces ctx's error instead of running to
+// completion against a client that already hung up.
+func (e *Engine) BatchChecked(ctx context.Context, index string, ops []era.Op) ([]era.Result, error) {
 	ent, err := e.acquireEntry(index)
 	if err != nil {
 		return nil, err
@@ -528,12 +571,17 @@ func (e *Engine) BatchChecked(index string, ops []era.Op) ([]era.Result, error) 
 			return nil, fmt.Errorf("server: %w: %s%v", ErrBadPattern, prefix, err)
 		}
 	}
-	return e.batchEntry(ent, ops), nil
+	return e.batchEntry(ctx, ent, ops)
 }
 
 // batchEntry answers ops against one resolved catalog entry; the caller
-// holds an in-flight reference on it.
-func (e *Engine) batchEntry(ent *catalogEntry, ops []era.Op) []era.Result {
+// holds an in-flight reference on it. Analytics ops execute through the
+// layer's ctx-aware executor directly (membership ops share one amortized
+// Queryable.Batch call, which cannot carry a context); a ctx cancellation
+// aborts the whole batch with ctx's error, while any other analytics
+// failure leaves that op's zero Result — the same discipline
+// Queryable.Batch applies.
+func (e *Engine) batchEntry(ctx context.Context, ent *catalogEntry, ops []era.Op) ([]era.Result, error) {
 	e.queries.Add(int64(len(ops)))
 
 	// A live index mutates under a stable load epoch, so its cache keys get
@@ -560,26 +608,50 @@ func (e *Engine) batchEntry(ent *catalogEntry, ops []era.Op) []era.Result {
 		return op.Kind.IsAnalytic() || bytes.IndexByte(op.Pattern, alphabet.Terminator) < 0
 	}
 
+	// runAnalytic executes one analytics plan through the layer's ctx-aware
+	// executor. A cancellation aborts the batch; any other executor error
+	// (e.g. a corrupt index detected mid-walk) leaves the zero Result.
+	runAnalytic := func(op era.Op) (era.Result, error) {
+		a, err := ent.idx.Analytics(ctx, op)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return era.Result{}, cerr
+			}
+			return era.Result{}, nil
+		}
+		return a, nil
+	}
+
 	if e.cache == nil {
 		results := make([]era.Result, len(ops))
-		var liveOps []era.Op
-		var liveAt []int
+		var memberOps []era.Op
+		var memberAt []int
 		for i, op := range ops {
-			if sane(op) {
-				liveOps = append(liveOps, op)
-				liveAt = append(liveAt, i)
+			if !sane(op) {
+				continue
 			}
+			if op.Kind.IsAnalytic() {
+				a, err := runAnalytic(op)
+				if err != nil {
+					return nil, err
+				}
+				results[i] = a
+				continue
+			}
+			memberOps = append(memberOps, op)
+			memberAt = append(memberAt, i)
 		}
-		for j, r := range ent.idx.Batch(liveOps) {
-			results[liveAt[j]] = r
+		for j, r := range ent.idx.Batch(memberOps) {
+			results[memberAt[j]] = r
 		}
-		return results
+		return results, nil
 	}
 
 	results := make([]era.Result, len(ops))
 	keys := make([]string, len(ops))
 	var missOps []era.Op
 	var missAt []int
+	var analyticAt []int
 	var hits int64
 	for i, op := range ops {
 		if !sane(op) {
@@ -591,25 +663,40 @@ func (e *Engine) batchEntry(ent *catalogEntry, ops []era.Op) []era.Result {
 			hits++
 			continue
 		}
+		if op.Kind.IsAnalytic() {
+			analyticAt = append(analyticAt, i)
+			continue
+		}
 		missOps = append(missOps, op)
 		missAt = append(missAt, i)
 	}
 	e.cacheHits.Add(hits)
-	e.cacheMisses.Add(int64(len(missOps)))
-	if len(missOps) == 0 {
-		return results
-	}
-	for j, r := range ent.idx.Batch(missOps) {
-		results[missAt[j]] = r
-		// The cache is bounded in entries, so huge answer payloads (an
-		// unlimited-max query on a frequent pattern can return O(corpus)
-		// offsets; a low-min_len top-k can rank O(corpus) candidates) would
-		// make its memory unbounded; serve them uncached.
+	e.cacheMisses.Add(int64(len(missOps) + len(analyticAt)))
+	// The cache is bounded in entries, so huge answer payloads (an
+	// unlimited-max query on a frequent pattern can return O(corpus)
+	// offsets; a low-min_len top-k can rank O(corpus) candidates) would
+	// make its memory unbounded; serve them uncached.
+	cachePut := func(key string, r era.Result) {
 		if len(r.Occurrences) <= maxCachedOccurrences &&
 			len(r.Top) <= maxCachedOccurrences &&
 			len(r.Stats) <= maxCachedOccurrences {
-			e.cache.put(keys[missAt[j]], r)
+			e.cache.put(key, r)
 		}
+	}
+	if len(missOps)+len(analyticAt) == 0 {
+		return results, nil
+	}
+	for _, i := range analyticAt {
+		a, err := runAnalytic(ops[i])
+		if err != nil {
+			return nil, err
+		}
+		results[i] = a
+		cachePut(keys[i], a)
+	}
+	for j, r := range ent.idx.Batch(missOps) {
+		results[missAt[j]] = r
+		cachePut(keys[missAt[j]], r)
 	}
 	// Re-check after the puts: a Load/Unload that retired this entry — or a
 	// mutation that moved a live index past the epoch these results were
@@ -620,7 +707,7 @@ func (e *Engine) batchEntry(ent *catalogEntry, ops []era.Op) []era.Result {
 	if ent.retired.Load() || (isLive && live.Epoch() != liveEpoch) {
 		e.cache.purgePrefix(prefix)
 	}
-	return results
+	return results, nil
 }
 
 // AppendDocs appends documents to the live index named index, returning

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -637,11 +638,14 @@ func TestEngineCachePurgePutInterleaving(t *testing.T) {
 	if err := e.Load(buildIndex(t, "dna", 1000, 2)); err != nil {
 		t.Fatal(err)
 	}
-	res := e.batchEntry(ent, []era.Op{
+	res, err := e.batchEntry(context.Background(), ent, []era.Op{
 		{Kind: era.OpCount, Pattern: []byte("A")},
 		{Kind: era.OpCount, Pattern: []byte("ACG")},
 	})
 	ent.release()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res) != 2 || !res[0].Found {
 		t.Fatalf("stale-entry batch answered %+v", res)
 	}

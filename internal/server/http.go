@@ -2,7 +2,8 @@
 //
 // Endpoints:
 //
-//	GET  /healthz             liveness probe
+//	GET  /healthz             liveness probe (the process is up)
+//	GET  /readyz              readiness probe (the engine wants traffic)
 //	GET  /metricz             per-op latency histograms + per-index memory
 //	GET  /v1/stats            engine counters (queries, cache hits/misses)
 //	GET  /v1/indexes          loaded indexes with summary metadata
@@ -10,6 +11,13 @@
 //	POST /v1/query            one query: {"index","op","pattern"[,"max"]}
 //	POST /v1/analytics        one analytics query: {"index","op",...per-op params}
 //	POST /v1/batch            many queries: {"index","ops":[{"op",...},...]}
+//
+// Shard-serving endpoints, consumed by the cluster router (internal/cluster)
+// against replicas holding monolithic shard indexes:
+//
+//	GET  /v1/indexes/{name}/slice?lo=&hi=  raw content bytes [lo,hi) (octet-stream)
+//	GET  /v1/indexes/{name}/doc/{ord}      one document's raw content (octet-stream)
+//	POST /v1/internal/prefixcounts         every length-L substring with its count
 //
 // Live (mutable) indexes additionally accept:
 //
@@ -29,13 +37,16 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"era"
@@ -58,16 +69,44 @@ const MaxAppendDocs = 10000
 // NewHandler returns the HTTP API over engine, logging server-side
 // failures (e.g. response encoding errors) to the process-default logger.
 func NewHandler(engine *Engine) http.Handler {
-	return NewHandlerWithLog(engine, nil)
+	return NewHandlerOpts(engine, Options{})
 }
 
 // NewHandlerWithLog is NewHandler with an explicit error log; nil falls
 // back to the process-default logger.
 func NewHandlerWithLog(engine *Engine, errLog *log.Logger) http.Handler {
-	h := &api{engine: engine, errLog: errLog}
+	return NewHandlerOpts(engine, Options{ErrLog: errLog})
+}
+
+// Options tunes the HTTP handler beyond its engine.
+type Options struct {
+	// ErrLog receives server-side failures (response-encoding errors,
+	// recovered panics); nil falls back to the process-default logger.
+	ErrLog *log.Logger
+	// QueryTimeout bounds the server-side execution of each query,
+	// analytics and batch request: past it the request's context expires,
+	// the analytics executors abandon their walks at the next periodic
+	// check, and the client gets 504. Zero means no server-imposed bound —
+	// the client's own disconnect still cancels the context either way.
+	QueryTimeout time.Duration
+}
+
+// NewHandlerOpts is NewHandler with explicit Options.
+func NewHandlerOpts(engine *Engine, opts Options) http.Handler {
+	h := &api{engine: engine, errLog: opts.ErrLog, timeout: opts.QueryTimeout}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		h.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness is the router's ejection signal: alive-but-draining (or
+		// a fully quarantined catalog) answers 503 so new traffic routes to
+		// healthy replicas, while /healthz above keeps reporting liveness.
+		if !engine.Ready() {
+			h.writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
+			return
+		}
+		h.writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
 	})
 	mux.HandleFunc("GET /metricz", func(w http.ResponseWriter, r *http.Request) {
 		h.writeJSON(w, http.StatusOK, h.metricz())
@@ -145,35 +184,37 @@ func NewHandlerWithLog(engine *Engine, errLog *log.Logger) http.Handler {
 		h.writeJSON(w, http.StatusOK, deleteResponse{Deleted: deleted, ID: id})
 	})
 	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
-		var req queryRequest
+		var req QueryRequest
 		if !h.readJSON(w, r, &req) {
 			return
 		}
-		op, err := req.op()
+		op, err := req.Plan()
 		if err != nil {
 			h.writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		ctx, cancel := h.queryCtx(r)
+		defer cancel()
 		// The histogram times the engine work only (not body decode or
 		// response encode), so it reflects index latency, not client I/O.
 		start := time.Now()
 		// BatchChecked validates the pattern against the target index's
 		// alphabet on the same catalog snapshot it answers from, so a
 		// concurrent hot reload cannot desynchronize check and answer.
-		res, err := engine.BatchChecked(req.Index, []era.Op{op})
+		res, err := engine.BatchChecked(ctx, req.Index, []era.Op{op})
 		h.metrics.query.observe(time.Since(start))
 		if err != nil {
 			h.writeQueryError(w, err)
 			return
 		}
-		h.writeJSON(w, http.StatusOK, toWire(op, res[0]))
+		h.writeJSON(w, http.StatusOK, ToWire(op, res[0]))
 	})
 	mux.HandleFunc("POST /v1/analytics", func(w http.ResponseWriter, r *http.Request) {
-		var req queryRequest
+		var req QueryRequest
 		if !h.readJSON(w, r, &req) {
 			return
 		}
-		op, err := req.op()
+		op, err := req.Plan()
 		if err != nil {
 			h.writeError(w, http.StatusBadRequest, err.Error())
 			return
@@ -183,22 +224,24 @@ func NewHandlerWithLog(engine *Engine, errLog *log.Logger) http.Handler {
 				fmt.Sprintf("op %q is a membership query, not an analytics op; use /v1/query", req.Op))
 			return
 		}
+		ctx, cancel := h.queryCtx(r)
+		defer cancel()
 		// Same checked path as /v1/query — one catalog snapshot for
 		// validation and execution, fingerprint-keyed caching — plus a
 		// per-op-kind histogram: analytics latencies differ by orders of
 		// magnitude between kinds, so one shared histogram would hide all
 		// of them.
 		start := time.Now()
-		res, err := engine.BatchChecked(req.Index, []era.Op{op})
+		res, err := engine.BatchChecked(ctx, req.Index, []era.Op{op})
 		h.metrics.analyticsHist(op.Kind).observe(time.Since(start))
 		if err != nil {
 			h.writeQueryError(w, err)
 			return
 		}
-		h.writeJSON(w, http.StatusOK, toWire(op, res[0]))
+		h.writeJSON(w, http.StatusOK, ToWire(op, res[0]))
 	})
 	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
-		var req batchRequest
+		var req BatchRequest
 		if !h.readJSON(w, r, &req) {
 			return
 		}
@@ -212,27 +255,179 @@ func NewHandlerWithLog(engine *Engine, errLog *log.Logger) http.Handler {
 		}
 		ops := make([]era.Op, len(req.Ops))
 		for i, q := range req.Ops {
-			op, err := q.op()
+			op, err := q.Plan()
 			if err != nil {
 				h.writeError(w, http.StatusBadRequest, fmt.Sprintf("op %d: %v", i, err))
 				return
 			}
 			ops[i] = op
 		}
+		ctx, cancel := h.queryCtx(r)
+		defer cancel()
 		start := time.Now()
-		results, err := engine.BatchChecked(req.Index, ops)
+		results, err := engine.BatchChecked(ctx, req.Index, ops)
 		h.metrics.batch.observe(time.Since(start))
 		if err != nil {
 			h.writeQueryError(w, err)
 			return
 		}
-		wire := make([]queryResponse, len(results))
+		wire := make([]QueryResponse, len(results))
 		for i, res := range results {
-			wire[i] = toWire(ops[i], res)
+			wire[i] = ToWire(ops[i], res)
 		}
 		h.writeJSON(w, http.StatusOK, map[string]any{"results": wire})
 	})
-	return mux
+	mux.HandleFunc("GET /v1/indexes/{name}/slice", func(w http.ResponseWriter, r *http.Request) {
+		idx, release, err := engine.Acquire(r.PathValue("name"))
+		if err != nil {
+			h.writeQueryError(w, err)
+			return
+		}
+		defer release()
+		slicer, ok := idx.(interface {
+			ContentSlice(lo, hi int) ([]byte, error)
+		})
+		if !ok {
+			h.writeError(w, http.StatusBadRequest, "index does not serve raw content slices")
+			return
+		}
+		lo, err1 := strconv.Atoi(r.URL.Query().Get("lo"))
+		hi, err2 := strconv.Atoi(r.URL.Query().Get("hi"))
+		if err1 != nil || err2 != nil {
+			h.writeError(w, http.StatusBadRequest, "lo and hi must be integers")
+			return
+		}
+		b, err := slicer.ContentSlice(lo, hi)
+		if err != nil {
+			h.writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		h.writeBytes(w, b)
+	})
+	mux.HandleFunc("GET /v1/indexes/{name}/doc/{ord}", func(w http.ResponseWriter, r *http.Request) {
+		idx, release, err := engine.Acquire(r.PathValue("name"))
+		if err != nil {
+			h.writeQueryError(w, err)
+			return
+		}
+		defer release()
+		reader, ok := idx.(interface {
+			DocBytes(ord int) ([]byte, error)
+		})
+		if !ok {
+			h.writeError(w, http.StatusBadRequest, "index does not serve raw documents")
+			return
+		}
+		ord, err := strconv.Atoi(r.PathValue("ord"))
+		if err != nil {
+			h.writeError(w, http.StatusBadRequest, "document ordinal must be an integer")
+			return
+		}
+		b, err := reader.DocBytes(ord)
+		if err != nil {
+			h.writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		h.writeBytes(w, b)
+	})
+	mux.HandleFunc("POST /v1/internal/prefixcounts", func(w http.ResponseWriter, r *http.Request) {
+		// The router's exact top-k merge needs every length-L substring of
+		// each shard with its count — a globally frequent substring can rank
+		// below k in every shard, so per-shard top-k answers cannot be
+		// merged exactly.
+		var req prefixCountsRequest
+		if !h.readJSON(w, r, &req) {
+			return
+		}
+		if req.MinLen < 1 {
+			h.writeError(w, http.StatusBadRequest, fmt.Sprintf("min_len %d < 1", req.MinLen))
+			return
+		}
+		idx, release, err := engine.Acquire(req.Index)
+		if err != nil {
+			h.writeQueryError(w, err)
+			return
+		}
+		defer release()
+		counter, ok := idx.(interface {
+			PrefixCounts(ctx context.Context, L int) (map[string]int, error)
+		})
+		if !ok {
+			h.writeError(w, http.StatusBadRequest, "index does not serve prefix counts")
+			return
+		}
+		ctx, cancel := h.queryCtx(r)
+		defer cancel()
+		counts, err := counter.PrefixCounts(ctx, req.MinLen)
+		if err != nil {
+			h.writeQueryError(w, err)
+			return
+		}
+		h.writeJSON(w, http.StatusOK, prefixCountsResponse{Counts: counts})
+	})
+	return h.recoverPanics(mux)
+}
+
+// recoverPanics is the outermost middleware: a panicking handler must cost
+// one 500, not the replica. The recovered value and stack go to the error
+// log, and the panics counter surfaces in /metricz so a crash-looping
+// request pattern is visible from outside.
+func (h *api) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				// The sentinel for deliberately torn responses (the fault
+				// proxy uses it too); re-panic so net/http aborts the
+				// connection as intended.
+				panic(rec)
+			}
+			h.panics.Add(1)
+			h.logf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// The status line may already be gone; WriteHeader is then a
+			// no-op plus a log line, which is the best that can be done.
+			h.writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal panic: %v", rec))
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// queryCtx derives the execution context for one query request: the
+// client's own context (canceled when it disconnects), bounded by the
+// handler's QueryTimeout when one is configured.
+func (h *api) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if h.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), h.timeout)
+}
+
+// writeBytes serves raw index content; the explicit Content-Length means a
+// truncated transfer surfaces as a client-side read error instead of a
+// silently short body. X-Era-Content-Length is the application-level length
+// frame: unlike Content-Length it survives proxies that rewrite the
+// transfer framing, so a router can detect a torn body that arrived with an
+// internally consistent (but wrong) Content-Length.
+func (h *api) writeBytes(w http.ResponseWriter, b []byte) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.Header().Set("X-Era-Content-Length", strconv.Itoa(len(b)))
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(b); err != nil {
+		h.logf("server: writing content bytes: %v", err)
+	}
+}
+
+type prefixCountsRequest struct {
+	Index  string `json:"index"`
+	MinLen int    `json:"min_len"`
+}
+
+type prefixCountsResponse struct {
+	Counts map[string]int `json:"counts"`
 }
 
 // metricsResponse is the /metricz payload: engine counters, per-op latency
@@ -243,6 +438,7 @@ type metricsResponse struct {
 	Engine  Stats                   `json:"engine"`
 	Ops     map[string]HistSnapshot `json:"ops"`
 	Indexes []indexMemInfo          `json:"indexes"`
+	Panics  int64                   `json:"panics"`
 }
 
 type indexMemInfo struct {
@@ -285,6 +481,7 @@ func (h *api) metricz() metricsResponse {
 			return ops
 		}(),
 		Indexes: infos,
+		Panics:  h.panics.Load(),
 	}
 }
 
@@ -293,6 +490,8 @@ type api struct {
 	engine  *Engine
 	errLog  *log.Logger
 	metrics opMetrics
+	timeout time.Duration // per-request query budget; 0 means unbounded
+	panics  atomic.Int64  // handlers recovered by recoverPanics
 }
 
 func (h *api) logf(format string, args ...any) {
@@ -321,17 +520,24 @@ func (h *api) writeQueryError(w http.ResponseWriter, err error) {
 		// one-second backoff is generous.
 		w.Header().Set("Retry-After", "1")
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		// The server's own -timeout expired mid-walk; the query was
+		// abandoned, not answered wrong.
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away; the status is for the access log only.
+		status = http.StatusServiceUnavailable
 	}
 	h.writeError(w, status, err.Error())
 }
 
-// queryOp is the wire form of one operation. Membership ops (contains,
+// QueryOp is the wire form of one operation. Membership ops (contains,
 // count, occurrences) use op/pattern/max; the analytics ops add their own
 // parameters — topk: k + min_len; lcs: doc_a + doc_b; docfreq: patterns;
 // mismatch: pattern + k. Per-op validation happens in the engine
 // (era.Query.Validate) against the target index, so a pattern-less op is
 // not rejected here for having no pattern.
-type queryOp struct {
+type QueryOp struct {
 	Op       string   `json:"op"`
 	Pattern  string   `json:"pattern,omitempty"`
 	Max      int      `json:"max,omitempty"`
@@ -342,7 +548,7 @@ type queryOp struct {
 	Patterns []string `json:"patterns,omitempty"`
 }
 
-func (q *queryOp) op() (era.Op, error) {
+func (q *QueryOp) Plan() (era.Op, error) {
 	kind, err := era.ParseOpKind(q.Op)
 	if err != nil {
 		return era.Op{}, err
@@ -368,14 +574,14 @@ func (q *queryOp) op() (era.Op, error) {
 	return op, nil
 }
 
-type queryRequest struct {
+type QueryRequest struct {
 	Index string `json:"index"`
-	queryOp
+	QueryOp
 }
 
-type batchRequest struct {
+type BatchRequest struct {
 	Index string    `json:"index"`
-	Ops   []queryOp `json:"ops"`
+	Ops   []QueryOp `json:"ops"`
 }
 
 // appendRequest carries documents for a live index; like patterns, they
@@ -393,37 +599,41 @@ type deleteResponse struct {
 	ID      uint64 `json:"id"`
 }
 
-// queryResponse is the wire form of one result. Fields beyond found are
+// QueryResponse is the wire form of one result. Fields beyond found are
 // present only when the op produces them: count/occurrences for the
 // membership ops, pattern + occurrences for lrs, pattern + offsets for lcs,
 // top for topk, stats for docfreq.
-type queryResponse struct {
+type QueryResponse struct {
 	Found       bool       `json:"found"`
 	Count       *int       `json:"count,omitempty"`
 	Occurrences []int      `json:"occurrences,omitempty"`
 	Truncated   bool       `json:"truncated,omitempty"`
 	Pattern     string     `json:"pattern,omitempty"`
-	Top         []wireTop  `json:"top,omitempty"`
+	Top         []WireTop  `json:"top,omitempty"`
 	OffsetA     *int       `json:"offset_a,omitempty"`
 	OffsetB     *int       `json:"offset_b,omitempty"`
-	Stats       []wireStat `json:"stats,omitempty"`
+	Stats       []WireStat `json:"stats,omitempty"`
+	// Partial marks a degraded routed answer: every replica of at least one
+	// shard was unreachable, so the result covers only the shards that
+	// responded. Monolithic servers never set it.
+	Partial bool `json:"partial,omitempty"`
 }
 
-// wireTop is one ranked entry of a topk answer.
-type wireTop struct {
+// WireTop is one ranked entry of a topk answer.
+type WireTop struct {
 	Pattern string `json:"pattern"`
 	Count   int    `json:"count"`
 }
 
-// wireStat is one pattern's document-frequency stats, positionally aligned
+// WireStat is one pattern's document-frequency stats, positionally aligned
 // with the request's patterns array.
-type wireStat struct {
+type WireStat struct {
 	Docs  int `json:"docs"`
 	Count int `json:"count"`
 }
 
-func toWire(op era.Op, res era.Result) queryResponse {
-	out := queryResponse{Found: res.Found}
+func ToWire(op era.Op, res era.Result) QueryResponse {
+	out := QueryResponse{Found: res.Found}
 	switch op.Kind {
 	case era.OpCount, era.OpOccurrences:
 		c := res.Count
@@ -438,9 +648,9 @@ func toWire(op era.Op, res era.Result) queryResponse {
 	case era.OpTopK:
 		c := res.Count
 		out.Count = &c
-		out.Top = make([]wireTop, len(res.Top))
+		out.Top = make([]WireTop, len(res.Top))
 		for i, e := range res.Top {
-			out.Top[i] = wireTop{Pattern: string(e.Pattern), Count: e.Count}
+			out.Top[i] = WireTop{Pattern: string(e.Pattern), Count: e.Count}
 		}
 	case era.OpLongestRepeat:
 		c := res.Count
@@ -461,9 +671,9 @@ func toWire(op era.Op, res era.Result) queryResponse {
 	case era.OpDocFreq:
 		c := res.Count
 		out.Count = &c
-		out.Stats = make([]wireStat, len(res.Stats))
+		out.Stats = make([]WireStat, len(res.Stats))
 		for i, s := range res.Stats {
-			out.Stats[i] = wireStat{Docs: s.Docs, Count: s.Count}
+			out.Stats[i] = WireStat{Docs: s.Docs, Count: s.Count}
 		}
 	case era.OpMismatch:
 		c := res.Count

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -589,7 +590,7 @@ func TestHTTPAnalytics(t *testing.T) {
 	t.Cleanup(ts.Close)
 
 	// topk against the library answer.
-	wantTop, err := idx.Analytics(era.Query{Kind: era.OpTopK, K: 3, MinLen: 4})
+	wantTop, err := idx.Analytics(context.Background(), era.Query{Kind: era.OpTopK, K: 3, MinLen: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -610,7 +611,7 @@ func TestHTTPAnalytics(t *testing.T) {
 
 	// lrs is pattern-less: the per-op validation must accept it (the old
 	// blanket empty-pattern 400 is the regression this guards against).
-	wantLRS, err := idx.Analytics(era.Query{Kind: era.OpLongestRepeat})
+	wantLRS, err := idx.Analytics(context.Background(), era.Query{Kind: era.OpLongestRepeat})
 	if err != nil {
 		t.Fatal(err)
 	}

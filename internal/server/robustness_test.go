@@ -1,0 +1,135 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"era"
+)
+
+// panicIndex wraps a real index but panics on Batch, standing in for a
+// query-path bug that would otherwise kill the serving process.
+type panicIndex struct {
+	*era.Index
+}
+
+func (p panicIndex) Batch(ops []era.Op) []era.Result { panic("injected query-path bug") }
+
+// TestPanicRecovery pins the crash-isolation middleware: a handler panic
+// answers 500 to that client, increments the /metricz panics counter, and
+// leaves the server serving (the next request on a healthy index works).
+func TestPanicRecovery(t *testing.T) {
+	e := NewEngine(0) // no query cache: Batch is hit directly
+	if err := e.Load(panicIndex{buildIndex(t, "boom", 500, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load(buildIndex(t, "ok", 500, 4)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandlerOpts(e, Options{ErrLog: log.New(io.Discard, "", 0)}))
+	defer ts.Close()
+
+	status, out := postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"index": "boom", "op": "count", "pattern": "A",
+	})
+	if status != http.StatusInternalServerError {
+		t.Fatalf("panicking query answered %d: %v", status, out)
+	}
+	if out["error"] == "" {
+		t.Fatalf("500 without an error body: %v", out)
+	}
+
+	// The process survived: a healthy index still answers.
+	status, out = postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"index": "ok", "op": "contains", "pattern": "A",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("healthy index after a panic answered %d: %v", status, out)
+	}
+
+	mres, err := http.Get(ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mres.Body.Close()
+	var metrics struct {
+		Panics int64 `json:"panics"`
+	}
+	if err := json.NewDecoder(mres.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Panics != 1 {
+		t.Fatalf("panics counter = %d, want 1", metrics.Panics)
+	}
+}
+
+// TestReadyz pins the readiness contract: ready only while the engine has
+// indexes and has not been drained with SetReady(false) — the signal
+// routers use to eject a replica before its listener stops.
+func TestReadyz(t *testing.T) {
+	e := NewEngine(0)
+	ts := httptest.NewServer(NewHandler(e))
+	defer ts.Close()
+
+	get := func() int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if s := get(); s != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with no indexes = %d, want 503", s)
+	}
+	if err := e.Load(buildIndex(t, "dna", 500, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if s := get(); s != http.StatusOK {
+		t.Fatalf("/readyz with an index = %d, want 200", s)
+	}
+	e.SetReady(false)
+	if s := get(); s != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after SetReady(false) = %d, want 503", s)
+	}
+	e.SetReady(true)
+	if s := get(); s != http.StatusOK {
+		t.Fatalf("/readyz after SetReady(true) = %d, want 200", s)
+	}
+}
+
+// TestQueryTimeout504 pins the -timeout flag's wiring: an expired query
+// budget surfaces as 504 Gateway Timeout, not a hung request or a 500.
+func TestQueryTimeout504(t *testing.T) {
+	e := NewEngine(0)
+	if err := e.Load(buildIndex(t, "dna", 2000, 6)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandlerOpts(e, Options{QueryTimeout: time.Nanosecond}))
+	defer ts.Close()
+
+	status, out := postJSON(t, ts.URL+"/v1/analytics", map[string]any{
+		"index": "dna", "op": "lrs",
+	})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("expired analytics budget answered %d: %v", status, out)
+	}
+}
+
+// TestAnalyticsContextCancel pins the library-level contract the server
+// relies on: a canceled context aborts an analytics walk with ctx's error.
+func TestAnalyticsContextCancel(t *testing.T) {
+	idx := buildIndex(t, "dna", 2000, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := idx.Analytics(ctx, era.Query{Kind: era.OpLongestRepeat}); err != context.Canceled {
+		t.Fatalf("Analytics with canceled ctx: err = %v, want context.Canceled", err)
+	}
+}

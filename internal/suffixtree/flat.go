@@ -581,7 +581,7 @@ func (t *FlatTree) WalkDFS(u int32, fn func(id, depth int32) bool) {
 // least twice, with the offsets of its occurrences; ties break exactly as in
 // the heap layout — both delegate to the shared LongestRepeated.
 func (t *FlatTree) LongestRepeatedSubstring() ([]byte, []int32) {
-	return LongestRepeated(t)
+	return LongestRepeated(t, nil)
 }
 
 // MaximalRepeats calls fn for every internal node whose path label has

@@ -115,7 +115,7 @@ func (t *Tree) Count(pattern []byte) int {
 // lexicographically smallest. It is the path label of the deepest internal
 // node; see LongestRepeated for the shared implementation.
 func (t *Tree) LongestRepeatedSubstring() ([]byte, []int32) {
-	return LongestRepeated(t)
+	return LongestRepeated(t, nil)
 }
 
 // MaximalRepeats calls fn for every internal node whose path label has

@@ -83,17 +83,27 @@ func LeafCounts(v View) []int32 {
 // LongestRepeated returns the deepest internal node's path label — the
 // longest substring of S occurring at least twice — with the offsets of its
 // occurrences. Ties break toward the lexicographically smallest substring
-// (the first strictly-deeper internal node in pre-order).
-func LongestRepeated(v View) ([]byte, []int32) {
+// (the first strictly-deeper internal node in pre-order). A non-nil stop is
+// polled once per visited node; when it reports true the walk abandons and
+// returns nil — the caller owns mapping that to a cancellation error.
+func LongestRepeated(v View, stop func() bool) ([]byte, []int32) {
 	root := v.Root()
 	best, bestDepth := None, int32(0)
+	stopped := false
 	Walk(v, root, func(id, depth int32) bool {
+		if stop != nil && stop() {
+			stopped = true
+			return false
+		}
+		if stopped {
+			return false
+		}
 		if id != root && !v.IsLeaf(id) && depth > bestDepth {
 			best, bestDepth = id, depth
 		}
 		return true
 	})
-	if best == None {
+	if stopped || best == None {
 		return nil, nil
 	}
 	return v.PathLabel(best), v.Leaves(best)
@@ -148,7 +158,10 @@ func PrefixLoci(v View, L int32, fn func(node int32) bool) {
 // child edge is tried, so the explored frontier is bounded by |Σ|^k · |P|
 // paths. Edges carrying the skip byte (the corpus terminator) are pruned —
 // a terminator is never content, so no window containing it can match.
-func MismatchSearch(v View, s []byte, pattern []byte, k int, skip byte) []int32 {
+// A non-nil stop is polled once per entered node; true abandons the search
+// and returns what was found so far — the caller owns mapping that to a
+// cancellation error.
+func MismatchSearch(v View, s []byte, pattern []byte, k int, skip byte, stop func() bool) []int32 {
 	m := len(pattern)
 	if m == 0 {
 		return nil
@@ -160,6 +173,10 @@ func MismatchSearch(v View, s []byte, pattern []byte, k int, skip byte) []int32 
 	var walk func(u int32, epos int32, pi, mis int)
 	walk = func(u int32, epos int32, pi, mis int) {
 		if budget <= 0 {
+			return
+		}
+		if stop != nil && stop() {
+			budget = 0
 			return
 		}
 		budget--

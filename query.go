@@ -2,6 +2,7 @@ package era
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
 
@@ -142,7 +143,7 @@ func (x *Index) Batch(ops []Op) []Result {
 		if op.Kind.IsAnalytic() {
 			// Analytics plans dispatch through the per-layer executor; a
 			// malformed plan leaves the zero Answer.
-			if a, err := x.Analytics(op); err == nil {
+			if a, err := x.Analytics(context.Background(), op); err == nil {
 				results[i] = a
 			}
 			continue

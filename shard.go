@@ -2,6 +2,7 @@ package era
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -48,7 +49,7 @@ type Queryable interface {
 	Count(pattern []byte) int
 	Occurrences(pattern []byte) ([]int, error)
 	DocOccurrences(pattern []byte) ([]DocHit, error)
-	Analytics(q Query) (Answer, error)
+	Analytics(ctx context.Context, q Query) (Answer, error)
 	Batch(ops []Op) []Result
 	WriteFile(path string) error
 	MappedBytes() int64
@@ -585,7 +586,7 @@ func (sx *ShardedIndex) Batch(ops []Op) []Result {
 			sub = append([]Op(nil), ops...)
 			copied = true
 		}
-		if a, err := sx.Analytics(ops[i]); err == nil {
+		if a, err := sx.Analytics(context.Background(), ops[i]); err == nil {
 			results[i] = a
 		}
 		sub[i] = Op{Kind: OpContains}

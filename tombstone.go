@@ -2,6 +2,7 @@ package era
 
 import (
 	"bytes"
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -528,7 +529,7 @@ func (s *liveSnapshot) batch(ops []Op) []Result {
 		case opAnalytic:
 			// Same snapshot, so the whole batch sees one mutation epoch; a
 			// malformed plan leaves the zero Answer.
-			if a, err := s.analytics(*op); err == nil {
+			if a, err := s.analytics(context.Background(), *op); err == nil {
 				results[oi] = a
 			}
 			continue
